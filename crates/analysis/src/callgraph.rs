@@ -1,0 +1,173 @@
+//! The program call graph.
+//!
+//! HELIX's loop selection works program-wide: a loop inside a function called from another
+//! loop counts as a subloop of the caller (Section 2.2). The call graph provides the edges
+//! needed to build that interprocedural *static loop nesting graph* and to compute
+//! side-effect (mod/ref) summaries for calls inside loops.
+
+use helix_ir::{FuncId, Instr, InstrRef, Module};
+use std::collections::{BTreeSet, HashMap};
+
+/// A call site: the calling function, the instruction, and the callee.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CallSite {
+    /// The calling function.
+    pub caller: FuncId,
+    /// The call instruction.
+    pub at: InstrRef,
+    /// The called function.
+    pub callee: FuncId,
+}
+
+/// The program call graph.
+#[derive(Clone, Debug)]
+pub struct CallGraph {
+    /// All call sites in the module.
+    pub call_sites: Vec<CallSite>,
+    callees_of: HashMap<FuncId, BTreeSet<FuncId>>,
+    callers_of: HashMap<FuncId, BTreeSet<FuncId>>,
+}
+
+impl CallGraph {
+    /// Builds the call graph of `module`.
+    pub fn new(module: &Module) -> Self {
+        let mut call_sites = Vec::new();
+        let mut callees_of: HashMap<FuncId, BTreeSet<FuncId>> = HashMap::new();
+        let mut callers_of: HashMap<FuncId, BTreeSet<FuncId>> = HashMap::new();
+        for caller in module.function_ids() {
+            callees_of.entry(caller).or_default();
+            for (at, instr) in module.function(caller).instr_refs() {
+                if let Instr::Call { callee, .. } = instr {
+                    call_sites.push(CallSite {
+                        caller,
+                        at,
+                        callee: *callee,
+                    });
+                    callees_of.entry(caller).or_default().insert(*callee);
+                    callers_of.entry(*callee).or_default().insert(caller);
+                }
+            }
+        }
+        Self {
+            call_sites,
+            callees_of,
+            callers_of,
+        }
+    }
+
+    /// Functions directly called by `func`.
+    pub fn callees(&self, func: FuncId) -> Vec<FuncId> {
+        self.callees_of
+            .get(&func)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Functions that directly call `func`.
+    pub fn callers(&self, func: FuncId) -> Vec<FuncId> {
+        self.callers_of
+            .get(&func)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Call sites within `func`.
+    pub fn call_sites_in(&self, func: FuncId) -> Vec<CallSite> {
+        self.call_sites
+            .iter()
+            .filter(|c| c.caller == func)
+            .copied()
+            .collect()
+    }
+
+    /// Functions transitively reachable from `func` through calls (excluding `func` itself
+    /// unless it is recursive).
+    pub fn reachable_from(&self, func: FuncId) -> BTreeSet<FuncId> {
+        let mut out = BTreeSet::new();
+        let mut stack = self.callees(func);
+        while let Some(f) = stack.pop() {
+            if out.insert(f) {
+                stack.extend(self.callees(f));
+            }
+        }
+        out
+    }
+
+    /// Returns `true` if `func` can (transitively) reach itself through calls.
+    pub fn is_recursive(&self, func: FuncId) -> bool {
+        self.reachable_from(func).contains(&func)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helix_ir::builder::{FunctionBuilder, ModuleBuilder};
+    use helix_ir::Operand;
+
+    fn sample_module() -> (Module, FuncId, FuncId, FuncId) {
+        // main -> helper -> leaf, and helper is also called from leaf? no: leaf is a leaf.
+        let mut mb = ModuleBuilder::new("m");
+        let leaf_id = mb.declare_function("leaf", 1);
+        let helper_id = mb.declare_function("helper", 1);
+        let main_id = mb.declare_function("main", 0);
+
+        let mut leaf = FunctionBuilder::new("leaf", 1);
+        let p = leaf.param(0);
+        leaf.ret(Some(Operand::Var(p)));
+        mb.define_function(leaf_id, leaf.finish());
+
+        let mut helper = FunctionBuilder::new("helper", 1);
+        let hp = helper.param(0);
+        let r = helper.new_var();
+        helper.call(Some(r), leaf_id, vec![Operand::Var(hp)]);
+        helper.ret(Some(Operand::Var(r)));
+        mb.define_function(helper_id, helper.finish());
+
+        let mut main = FunctionBuilder::new("main", 0);
+        let r = main.new_var();
+        main.call(Some(r), helper_id, vec![Operand::int(1)]);
+        main.call(Some(r), helper_id, vec![Operand::int(2)]);
+        main.ret(Some(Operand::Var(r)));
+        mb.define_function(main_id, main.finish());
+
+        (mb.finish(), main_id, helper_id, leaf_id)
+    }
+
+    #[test]
+    fn edges_and_call_sites() {
+        let (m, main, helper, leaf) = sample_module();
+        let cg = CallGraph::new(&m);
+        assert_eq!(cg.callees(main), vec![helper]);
+        assert_eq!(cg.callees(helper), vec![leaf]);
+        assert!(cg.callees(leaf).is_empty());
+        assert_eq!(cg.callers(leaf), vec![helper]);
+        assert_eq!(cg.call_sites_in(main).len(), 2);
+        assert_eq!(cg.call_sites.len(), 3);
+    }
+
+    #[test]
+    fn transitive_reachability() {
+        let (m, main, helper, leaf) = sample_module();
+        let cg = CallGraph::new(&m);
+        let reach = cg.reachable_from(main);
+        assert!(reach.contains(&helper) && reach.contains(&leaf));
+        assert!(!cg.is_recursive(main));
+        assert!(!cg.is_recursive(leaf));
+    }
+
+    #[test]
+    fn recursion_detected() {
+        let mut mb = ModuleBuilder::new("rec");
+        let f_id = mb.declare_function("f", 1);
+        let mut f = FunctionBuilder::new("f", 1);
+        let p = f.param(0);
+        let r = f.new_var();
+        f.call(Some(r), f_id, vec![Operand::Var(p)]);
+        f.ret(Some(Operand::Var(r)));
+        mb.define_function(f_id, f.finish());
+        let m = mb.finish();
+        let cg = CallGraph::new(&m);
+        assert!(cg.is_recursive(f_id));
+    }
+}

@@ -1,0 +1,177 @@
+//! Control-flow-graph utilities computed once per function and shared by the other analyses.
+
+use helix_ir::{BlockId, Function};
+
+/// Pre-computed control flow graph information for one function.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    /// Predecessors of each block, indexed by block index.
+    pub preds: Vec<Vec<BlockId>>,
+    /// Successors of each block, indexed by block index.
+    pub succs: Vec<Vec<BlockId>>,
+    /// Reachable blocks in reverse postorder.
+    pub rpo: Vec<BlockId>,
+    /// Position of each block in `rpo` (`usize::MAX` for unreachable blocks).
+    pub rpo_index: Vec<usize>,
+    /// The entry block.
+    pub entry: BlockId,
+    /// Blocks whose terminator is a `Ret` (function exits).
+    pub exits: Vec<BlockId>,
+}
+
+impl Cfg {
+    /// Computes the CFG of `function`.
+    pub fn new(function: &Function) -> Self {
+        let n = function.blocks.len();
+        let mut preds = vec![Vec::new(); n];
+        let mut succs = vec![Vec::new(); n];
+        let mut exits = Vec::new();
+        for block in &function.blocks {
+            let ss = block.successors();
+            for s in &ss {
+                preds[s.index()].push(block.id);
+            }
+            if ss.is_empty() && block.terminator().is_some() {
+                exits.push(block.id);
+            }
+            succs[block.id.index()] = ss;
+        }
+        let rpo = function.reverse_postorder();
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, b) in rpo.iter().enumerate() {
+            rpo_index[b.index()] = i;
+        }
+        Self {
+            preds,
+            succs,
+            rpo,
+            rpo_index,
+            entry: function.entry,
+            exits,
+        }
+    }
+
+    /// Number of blocks (including unreachable ones).
+    pub fn num_blocks(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// Returns `true` if `block` is reachable from the entry.
+    pub fn is_reachable(&self, block: BlockId) -> bool {
+        self.rpo_index[block.index()] != usize::MAX
+    }
+
+    /// Predecessors of `block`.
+    pub fn preds(&self, block: BlockId) -> &[BlockId] {
+        &self.preds[block.index()]
+    }
+
+    /// Successors of `block`.
+    pub fn succs(&self, block: BlockId) -> &[BlockId] {
+        &self.succs[block.index()]
+    }
+
+    /// Returns `true` if `to` is reachable from `from` while staying inside `within`
+    /// (inclusive of both endpoints) and without traversing any edge into `forbidden_target`.
+    ///
+    /// This is the primitive the HELIX passes use to reason about "can instruction `b` still
+    /// be reached in the rest of the current iteration", where `forbidden_target` is the loop
+    /// header (traversing the back edge would move to the *next* iteration).
+    pub fn reaches_within(
+        &self,
+        from: BlockId,
+        to: BlockId,
+        within: &dyn Fn(BlockId) -> bool,
+        forbidden_target: Option<BlockId>,
+    ) -> bool {
+        if !within(from) {
+            return false;
+        }
+        let mut visited = vec![false; self.num_blocks()];
+        let mut stack = vec![from];
+        visited[from.index()] = true;
+        while let Some(b) = stack.pop() {
+            if b == to {
+                return true;
+            }
+            for &s in self.succs(b) {
+                if Some(s) == forbidden_target {
+                    continue;
+                }
+                if within(s) && !visited[s.index()] {
+                    visited[s.index()] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helix_ir::builder::FunctionBuilder;
+    use helix_ir::{Operand, Pred};
+
+    /// Builds a diamond CFG: entry -> {left, right} -> join -> ret.
+    fn diamond() -> Function {
+        let mut b = FunctionBuilder::new("diamond", 1);
+        let p = b.param(0);
+        let left = b.new_block();
+        let right = b.new_block();
+        let join = b.new_block();
+        let c = b.cmp_to_new(Pred::Gt, Operand::Var(p), Operand::int(0));
+        b.cond_br(Operand::Var(c), left, right);
+        b.switch_to(left);
+        b.br(join);
+        b.switch_to(right);
+        b.br(join);
+        b.switch_to(join);
+        b.ret(None);
+        b.finish()
+    }
+
+    #[test]
+    fn preds_succs_and_exits() {
+        let f = diamond();
+        let cfg = Cfg::new(&f);
+        assert_eq!(cfg.succs(f.entry).len(), 2);
+        assert_eq!(cfg.preds(BlockId::new(3)).len(), 2);
+        assert_eq!(cfg.exits, vec![BlockId::new(3)]);
+        assert_eq!(cfg.num_blocks(), 4);
+    }
+
+    #[test]
+    fn rpo_orders_entry_first_join_last() {
+        let f = diamond();
+        let cfg = Cfg::new(&f);
+        assert_eq!(cfg.rpo[0], f.entry);
+        assert_eq!(*cfg.rpo.last().unwrap(), BlockId::new(3));
+        assert!(cfg.is_reachable(BlockId::new(1)));
+    }
+
+    #[test]
+    fn unreachable_block_detected() {
+        let mut f = diamond();
+        let dead = f.new_block();
+        f.block_mut(dead).instrs.push(helix_ir::Instr::Ret { value: None });
+        let cfg = Cfg::new(&f);
+        assert!(!cfg.is_reachable(dead));
+    }
+
+    #[test]
+    fn reaches_within_respects_region_and_forbidden_edges() {
+        let f = diamond();
+        let cfg = Cfg::new(&f);
+        let all = |_: BlockId| true;
+        assert!(cfg.reaches_within(f.entry, BlockId::new(3), &all, None));
+        // Excluding the join block as a region member makes it unreachable.
+        let no_join = |b: BlockId| b != BlockId::new(3);
+        assert!(!cfg.reaches_within(f.entry, BlockId::new(3), &no_join, None));
+        // Forbidding edges into `left` cuts that path but the right path still reaches join.
+        assert!(cfg.reaches_within(f.entry, BlockId::new(3), &all, Some(BlockId::new(1))));
+        // Forbidding edges into join makes it unreachable.
+        assert!(!cfg.reaches_within(f.entry, BlockId::new(3), &all, Some(BlockId::new(3))));
+    }
+}

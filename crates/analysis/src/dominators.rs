@@ -1,0 +1,338 @@
+//! Dominator and post-dominator trees.
+//!
+//! Implemented with the Cooper–Harvey–Kennedy "engineering a simple, fast dominance algorithm"
+//! scheme over reverse postorder. HELIX uses dominance to identify natural-loop back edges and
+//! post-dominance to compute loop prologues (Step 1: the prologue is the set of loop
+//! instructions *not* post-dominated by the loop's back edge source).
+
+use crate::cfg::Cfg;
+use helix_ir::{BlockId, Function};
+
+/// A dominator tree over the blocks of one function.
+#[derive(Clone, Debug)]
+pub struct DomTree {
+    /// Immediate dominator of each block (by block index); `None` for the root and
+    /// unreachable blocks.
+    idom: Vec<Option<BlockId>>,
+    /// Depth of each block in the dominator tree (root = 0).
+    depth: Vec<usize>,
+    root: BlockId,
+}
+
+impl DomTree {
+    /// Computes the dominator tree of `function`.
+    pub fn new(function: &Function, cfg: &Cfg) -> Self {
+        let order: Vec<BlockId> = cfg.rpo.clone();
+        let index = |b: BlockId| cfg.rpo_index[b.index()];
+        Self::compute(
+            function.blocks.len(),
+            cfg.entry,
+            &order,
+            &index,
+            |b| cfg.preds(b).to_vec(),
+        )
+    }
+
+    fn compute(
+        num_blocks: usize,
+        root: BlockId,
+        order: &[BlockId],
+        order_index: &dyn Fn(BlockId) -> usize,
+        preds: impl Fn(BlockId) -> Vec<BlockId>,
+    ) -> Self {
+        // idoms indexed by position in `order`.
+        let mut idom_pos: Vec<Option<usize>> = vec![None; order.len()];
+        if !order.is_empty() {
+            idom_pos[0] = Some(0);
+        }
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for (pos, &block) in order.iter().enumerate().skip(1) {
+                let mut new_idom: Option<usize> = None;
+                for p in preds(block) {
+                    let p_pos = order_index(p);
+                    if p_pos == usize::MAX || idom_pos.get(p_pos).copied().flatten().is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p_pos,
+                        Some(cur) => Self::intersect(&idom_pos, cur, p_pos),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom_pos[pos] != Some(ni) {
+                        idom_pos[pos] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        let mut idom = vec![None; num_blocks];
+        for (pos, &block) in order.iter().enumerate() {
+            if pos == 0 {
+                continue;
+            }
+            if let Some(ip) = idom_pos[pos] {
+                idom[block.index()] = Some(order[ip]);
+            }
+        }
+        // Depths by walking up the idom chain.
+        let mut depth = vec![0usize; num_blocks];
+        for &block in order {
+            let mut d = 0;
+            let mut cur = block;
+            while let Some(p) = idom[cur.index()] {
+                d += 1;
+                cur = p;
+                if d > num_blocks {
+                    break; // defensive: malformed idom chain
+                }
+            }
+            depth[block.index()] = d;
+        }
+        Self { idom, depth, root }
+    }
+
+    fn intersect(idom_pos: &[Option<usize>], mut a: usize, mut b: usize) -> usize {
+        while a != b {
+            while a > b {
+                a = idom_pos[a].expect("processed block must have idom");
+            }
+            while b > a {
+                b = idom_pos[b].expect("processed block must have idom");
+            }
+        }
+        a
+    }
+
+    /// The root of the tree (the CFG entry, or the virtual exit for post-dominators).
+    pub fn root(&self) -> BlockId {
+        self.root
+    }
+
+    /// Immediate dominator of `block`, or `None` for the root / unreachable blocks.
+    pub fn idom(&self, block: BlockId) -> Option<BlockId> {
+        self.idom.get(block.index()).copied().flatten()
+    }
+
+    /// Returns `true` if `a` dominates `b` (reflexively).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if a == b {
+            return true;
+        }
+        let mut cur = b;
+        let mut steps = 0;
+        while let Some(p) = self.idom(cur) {
+            if p == a {
+                return true;
+            }
+            cur = p;
+            steps += 1;
+            if steps > self.idom.len() {
+                return false;
+            }
+        }
+        false
+    }
+
+    /// Returns `true` if `a` strictly dominates `b`.
+    pub fn strictly_dominates(&self, a: BlockId, b: BlockId) -> bool {
+        a != b && self.dominates(a, b)
+    }
+
+    /// Depth of `block` in the tree.
+    pub fn depth(&self, block: BlockId) -> usize {
+        self.depth[block.index()]
+    }
+}
+
+/// A post-dominator tree, computed on the reversed CFG with a virtual exit joining all `Ret`
+/// blocks.
+#[derive(Clone, Debug)]
+pub struct PostDomTree {
+    inner: DomTree,
+    /// Index used for the virtual exit node.
+    virtual_exit: usize,
+}
+
+impl PostDomTree {
+    /// Computes the post-dominator tree of `function`.
+    pub fn new(function: &Function, cfg: &Cfg) -> Self {
+        let n = function.blocks.len();
+        let virtual_exit = n;
+        // Build reversed adjacency: successors of b in reverse graph = preds(b) in CFG;
+        // the virtual exit's reverse-successors are the real exits.
+        // Order: reverse postorder of the reversed CFG starting from the virtual exit.
+        let mut rsucc: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
+        let mut rpred: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
+        for b in 0..n {
+            for &p in cfg.preds(BlockId::new(b as u32)) {
+                // Edge p -> b in CFG becomes b -> p in reverse graph.
+                rsucc[b].push(p.index());
+                rpred[p.index()].push(b);
+            }
+        }
+        for &e in &cfg.exits {
+            rsucc[virtual_exit].push(e.index());
+            rpred[e.index()].push(virtual_exit);
+        }
+        // DFS postorder on the reverse graph from the virtual exit.
+        let mut visited = vec![false; n + 1];
+        let mut postorder = Vec::new();
+        let mut stack = vec![(virtual_exit, 0usize)];
+        visited[virtual_exit] = true;
+        while let Some((node, child)) = stack.pop() {
+            if child < rsucc[node].len() {
+                stack.push((node, child + 1));
+                let c = rsucc[node][child];
+                if !visited[c] {
+                    visited[c] = true;
+                    stack.push((c, 0));
+                }
+            } else {
+                postorder.push(node);
+            }
+        }
+        postorder.reverse();
+        let order: Vec<BlockId> = postorder.iter().map(|&i| BlockId::new(i as u32)).collect();
+        let mut order_index = vec![usize::MAX; n + 1];
+        for (i, &node) in postorder.iter().enumerate() {
+            order_index[node] = i;
+        }
+        let idx_fn = move |b: BlockId| order_index.get(b.index()).copied().unwrap_or(usize::MAX);
+        let inner = DomTree::compute(
+            n + 1,
+            BlockId::new(virtual_exit as u32),
+            &order,
+            &idx_fn,
+            |b| rpred[b.index()].iter().map(|&i| BlockId::new(i as u32)).collect(),
+        );
+        Self {
+            inner,
+            virtual_exit,
+        }
+    }
+
+    /// Immediate post-dominator of `block` (`None` if it is the virtual exit's child or
+    /// unreachable in the reverse graph).
+    pub fn ipdom(&self, block: BlockId) -> Option<BlockId> {
+        match self.inner.idom(block) {
+            Some(b) if b.index() == self.virtual_exit => None,
+            other => other,
+        }
+    }
+
+    /// Returns `true` if `a` post-dominates `b` (reflexively).
+    pub fn post_dominates(&self, a: BlockId, b: BlockId) -> bool {
+        self.inner.dominates(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helix_ir::builder::FunctionBuilder;
+    use helix_ir::{Function, Operand, Pred};
+
+    fn diamond() -> Function {
+        let mut b = FunctionBuilder::new("diamond", 1);
+        let p = b.param(0);
+        let left = b.new_block();
+        let right = b.new_block();
+        let join = b.new_block();
+        let c = b.cmp_to_new(Pred::Gt, Operand::Var(p), Operand::int(0));
+        b.cond_br(Operand::Var(c), left, right);
+        b.switch_to(left);
+        b.br(join);
+        b.switch_to(right);
+        b.br(join);
+        b.switch_to(join);
+        b.ret(None);
+        b.finish()
+    }
+
+    fn simple_loop() -> Function {
+        // entry -> header; header -> body | exit; body -> header
+        let mut b = FunctionBuilder::new("loop", 1);
+        let n = b.param(0);
+        let i = b.new_var();
+        b.const_int(i, 0);
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.br(header);
+        b.switch_to(header);
+        let c = b.cmp_to_new(Pred::Lt, Operand::Var(i), Operand::Var(n));
+        b.cond_br(Operand::Var(c), body, exit);
+        b.switch_to(body);
+        b.binary(i, helix_ir::BinOp::Add, Operand::Var(i), Operand::int(1));
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(None);
+        b.finish()
+    }
+
+    #[test]
+    fn diamond_dominance() {
+        let f = diamond();
+        let cfg = Cfg::new(&f);
+        let dom = DomTree::new(&f, &cfg);
+        let entry = f.entry;
+        let (left, right, join) = (BlockId::new(1), BlockId::new(2), BlockId::new(3));
+        assert_eq!(dom.idom(left), Some(entry));
+        assert_eq!(dom.idom(right), Some(entry));
+        assert_eq!(dom.idom(join), Some(entry));
+        assert!(dom.dominates(entry, join));
+        assert!(!dom.dominates(left, join));
+        assert!(dom.strictly_dominates(entry, left));
+        assert!(!dom.strictly_dominates(entry, entry));
+        assert_eq!(dom.depth(entry), 0);
+        assert_eq!(dom.depth(join), 1);
+        assert_eq!(dom.root(), entry);
+    }
+
+    #[test]
+    fn diamond_post_dominance() {
+        let f = diamond();
+        let cfg = Cfg::new(&f);
+        let pdom = PostDomTree::new(&f, &cfg);
+        let entry = f.entry;
+        let (left, right, join) = (BlockId::new(1), BlockId::new(2), BlockId::new(3));
+        assert!(pdom.post_dominates(join, entry));
+        assert!(pdom.post_dominates(join, left));
+        assert!(!pdom.post_dominates(left, entry));
+        assert_eq!(pdom.ipdom(left), Some(join));
+        assert_eq!(pdom.ipdom(right), Some(join));
+        assert_eq!(pdom.ipdom(entry), Some(join));
+        assert_eq!(pdom.ipdom(join), None);
+    }
+
+    #[test]
+    fn loop_dominance() {
+        let f = simple_loop();
+        let cfg = Cfg::new(&f);
+        let dom = DomTree::new(&f, &cfg);
+        let header = BlockId::new(1);
+        let body = BlockId::new(2);
+        let exit = BlockId::new(3);
+        assert!(dom.dominates(header, body));
+        assert!(dom.dominates(header, exit));
+        assert!(!dom.dominates(body, exit));
+        // Back edge: body -> header where header dominates body.
+        assert!(dom.dominates(header, body));
+    }
+
+    #[test]
+    fn loop_post_dominance() {
+        let f = simple_loop();
+        let cfg = Cfg::new(&f);
+        let pdom = PostDomTree::new(&f, &cfg);
+        let header = BlockId::new(1);
+        let body = BlockId::new(2);
+        let exit = BlockId::new(3);
+        assert!(pdom.post_dominates(exit, header));
+        assert!(pdom.post_dominates(header, body));
+        assert!(!pdom.post_dominates(body, header));
+    }
+}

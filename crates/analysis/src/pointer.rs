@@ -1,0 +1,453 @@
+//! Interprocedural, flow-insensitive, Andersen-style pointer analysis.
+//!
+//! The HELIX paper relies on a "practical and accurate low-level pointer analysis" (Guo et
+//! al.) applied to the whole program to detect the memory data dependences a loop carries.
+//! This module provides the equivalent facility for the HELIX IR: every `Alloc` instruction
+//! and every global is an abstract object, points-to sets are propagated through copies,
+//! pointer arithmetic, loads, stores and calls until a fixed point, and the resulting
+//! may-alias relation feeds [`crate::ddg`].
+//!
+//! The analysis is:
+//! * **inclusion-based** (Andersen) — assignments add subset constraints;
+//! * **field-insensitive** — an object is a single blob regardless of the word offset;
+//! * **context-insensitive** — one summary per function;
+//! * **interprocedural** — arguments/returns propagate points-to sets across calls, and a
+//!   mod/ref summary records which objects each function may read or write (used for call
+//!   instructions inside loops).
+
+use crate::callgraph::CallGraph;
+use helix_ir::{FuncId, GlobalId, Instr, InstrRef, Module, Operand, VarId};
+use std::collections::{BTreeSet, HashMap};
+
+/// An abstract memory object.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AbstractObject {
+    /// A global memory object.
+    Global(GlobalId),
+    /// A heap object identified by its allocation site.
+    AllocSite {
+        /// The allocating function.
+        func: FuncId,
+        /// The `Alloc` instruction.
+        at: InstrRef,
+    },
+}
+
+/// A points-to set: the abstract objects a register (or an object's contents) may refer to.
+pub type ObjectSet = BTreeSet<AbstractObject>;
+
+/// Result of the whole-program pointer analysis.
+#[derive(Clone, Debug, Default)]
+pub struct PointerAnalysis {
+    /// Points-to set of each (function, register).
+    var_points_to: HashMap<(FuncId, VarId), ObjectSet>,
+    /// What each abstract object's memory may contain (field-insensitive heap summary).
+    heap: HashMap<AbstractObject, ObjectSet>,
+    /// Objects each function may read from memory, transitively through calls.
+    reads: HashMap<FuncId, ObjectSet>,
+    /// Objects each function may write to memory, transitively through calls.
+    writes: HashMap<FuncId, ObjectSet>,
+}
+
+impl PointerAnalysis {
+    /// Runs the analysis over the whole module.
+    pub fn new(module: &Module) -> Self {
+        let callgraph = CallGraph::new(module);
+        let mut analysis = PointerAnalysis::default();
+        // Seed every global object so empty sets still exist for queries.
+        for g in &module.globals {
+            analysis.heap.entry(AbstractObject::Global(g.id)).or_default();
+        }
+
+        // Iterate all constraints to a fixed point. The constraint graph is small for the
+        // synthetic workloads (hundreds of instructions), so a simple whole-program iteration
+        // is fast enough and much simpler than a worklist over explicit constraint edges.
+        let mut changed = true;
+        let mut rounds = 0usize;
+        while changed {
+            changed = false;
+            rounds += 1;
+            if rounds > 200 {
+                break; // defensive cap; sets are monotone so this should never trigger
+            }
+            for func in module.function_ids() {
+                let function = module.function(func);
+                for (at, instr) in function.instr_refs() {
+                    match instr {
+                        Instr::Alloc { dst, .. } => {
+                            let obj = AbstractObject::AllocSite { func, at };
+                            changed |= analysis.add_var_object(func, *dst, obj);
+                        }
+                        Instr::Const { dst, value }
+                        | Instr::Copy { dst, src: value }
+                        | Instr::Unary { dst, src: value, .. } => {
+                            let set = analysis.operand_set(func, *value);
+                            changed |= analysis.add_var_set(func, *dst, &set);
+                        }
+                        Instr::Binary { dst, lhs, rhs, .. } => {
+                            // Pointer arithmetic: the result may point to whatever either
+                            // operand points to.
+                            let mut set = analysis.operand_set(func, *lhs);
+                            set.extend(analysis.operand_set(func, *rhs));
+                            changed |= analysis.add_var_set(func, *dst, &set);
+                        }
+                        Instr::Select {
+                            dst,
+                            on_true,
+                            on_false,
+                            ..
+                        } => {
+                            let mut set = analysis.operand_set(func, *on_true);
+                            set.extend(analysis.operand_set(func, *on_false));
+                            changed |= analysis.add_var_set(func, *dst, &set);
+                        }
+                        Instr::Load { dst, addr, .. } => {
+                            let bases = analysis.operand_set(func, *addr);
+                            let mut loaded = ObjectSet::new();
+                            for b in &bases {
+                                if let Some(contents) = analysis.heap.get(b) {
+                                    loaded.extend(contents.iter().copied());
+                                }
+                            }
+                            changed |= analysis.add_var_set(func, *dst, &loaded);
+                            changed |= analysis.add_read_set(func, &bases);
+                        }
+                        Instr::Store { addr, value, .. } => {
+                            let bases = analysis.operand_set(func, *addr);
+                            let stored = analysis.operand_set(func, *value);
+                            for b in &bases {
+                                changed |= analysis.add_heap_set(*b, &stored);
+                            }
+                            changed |= analysis.add_write_set(func, &bases);
+                        }
+                        Instr::Call { dst, callee, args } => {
+                            // Arguments flow into callee parameters.
+                            let callee_fn = module.function(*callee);
+                            for (i, a) in args.iter().enumerate().take(callee_fn.num_params) {
+                                let set = analysis.operand_set(func, *a);
+                                changed |=
+                                    analysis.add_var_set(*callee, VarId::new(i as u32), &set);
+                            }
+                            // Return values flow back to the destination.
+                            if let Some(d) = dst {
+                                let ret = analysis.return_set(module, *callee);
+                                changed |= analysis.add_var_set(func, *d, &ret);
+                            }
+                            // Mod/ref of the callee flows into the caller.
+                            let callee_reads = analysis.reads.get(callee).cloned().unwrap_or_default();
+                            let callee_writes =
+                                analysis.writes.get(callee).cloned().unwrap_or_default();
+                            changed |= analysis.add_read_set(func, &callee_reads);
+                            changed |= analysis.add_write_set(func, &callee_writes);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            let _ = &callgraph; // call graph reserved for future context-sensitivity
+        }
+        analysis
+    }
+
+    fn return_set(&self, module: &Module, func: FuncId) -> ObjectSet {
+        let mut set = ObjectSet::new();
+        for (_, instr) in module.function(func).instr_refs() {
+            if let Instr::Ret { value: Some(v) } = instr {
+                set.extend(self.operand_set(func, *v));
+            }
+        }
+        set
+    }
+
+    fn operand_set(&self, func: FuncId, op: Operand) -> ObjectSet {
+        match op {
+            Operand::Var(v) => self
+                .var_points_to
+                .get(&(func, v))
+                .cloned()
+                .unwrap_or_default(),
+            Operand::Global(g) => {
+                let mut s = ObjectSet::new();
+                s.insert(AbstractObject::Global(g));
+                s
+            }
+            _ => ObjectSet::new(),
+        }
+    }
+
+    fn add_var_object(&mut self, func: FuncId, var: VarId, obj: AbstractObject) -> bool {
+        self.var_points_to.entry((func, var)).or_default().insert(obj)
+    }
+
+    fn add_var_set(&mut self, func: FuncId, var: VarId, set: &ObjectSet) -> bool {
+        if set.is_empty() {
+            return false;
+        }
+        let entry = self.var_points_to.entry((func, var)).or_default();
+        let before = entry.len();
+        entry.extend(set.iter().copied());
+        entry.len() != before
+    }
+
+    fn add_heap_set(&mut self, obj: AbstractObject, set: &ObjectSet) -> bool {
+        if set.is_empty() {
+            return false;
+        }
+        let entry = self.heap.entry(obj).or_default();
+        let before = entry.len();
+        entry.extend(set.iter().copied());
+        entry.len() != before
+    }
+
+    fn add_read_set(&mut self, func: FuncId, set: &ObjectSet) -> bool {
+        if set.is_empty() {
+            return false;
+        }
+        let entry = self.reads.entry(func).or_default();
+        let before = entry.len();
+        entry.extend(set.iter().copied());
+        entry.len() != before
+    }
+
+    fn add_write_set(&mut self, func: FuncId, set: &ObjectSet) -> bool {
+        if set.is_empty() {
+            return false;
+        }
+        let entry = self.writes.entry(func).or_default();
+        let before = entry.len();
+        entry.extend(set.iter().copied());
+        entry.len() != before
+    }
+
+    /// Points-to set of register `var` in `func`.
+    pub fn points_to(&self, func: FuncId, var: VarId) -> ObjectSet {
+        self.var_points_to
+            .get(&(func, var))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Points-to set of an address operand in `func`.
+    pub fn operand_points_to(&self, func: FuncId, op: Operand) -> ObjectSet {
+        self.operand_set(func, op)
+    }
+
+    /// Objects `func` may read (directly or through callees).
+    pub fn read_set(&self, func: FuncId) -> ObjectSet {
+        self.reads.get(&func).cloned().unwrap_or_default()
+    }
+
+    /// Objects `func` may write (directly or through callees).
+    pub fn write_set(&self, func: FuncId) -> ObjectSet {
+        self.writes.get(&func).cloned().unwrap_or_default()
+    }
+
+    /// May the two address operands (with constant offsets) refer to the same memory word?
+    ///
+    /// The test is object-based: the operands may alias if their points-to sets intersect.
+    /// One precision refinement matters a lot for the synthetic benchmarks: if both operands
+    /// are the *same* single object and both accesses use a directly known base (a `Global`
+    /// operand) with different constant offsets, the accesses are provably disjoint.
+    pub fn may_alias(
+        &self,
+        func_a: FuncId,
+        addr_a: Operand,
+        off_a: i64,
+        func_b: FuncId,
+        addr_b: Operand,
+        off_b: i64,
+    ) -> bool {
+        // Distinct constant offsets from the very same named global never collide.
+        if let (Operand::Global(ga), Operand::Global(gb)) = (addr_a, addr_b) {
+            if ga == gb {
+                return off_a == off_b;
+            }
+            return false;
+        }
+        let sa = self.operand_set(func_a, addr_a);
+        let sb = self.operand_set(func_b, addr_b);
+        if sa.is_empty() || sb.is_empty() {
+            // An empty set means the address was computed from integers the analysis cannot
+            // track (e.g. a constant address); stay conservative.
+            return true;
+        }
+        sa.intersection(&sb).next().is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helix_ir::builder::{FunctionBuilder, ModuleBuilder};
+    use helix_ir::{BinOp, Module, Operand};
+
+    fn module_with_two_globals() -> (Module, FuncId, GlobalId, GlobalId) {
+        let mut mb = ModuleBuilder::new("m");
+        let ga = mb.add_global("a", 16);
+        let gb = mb.add_global("b", 16);
+        let mut f = FunctionBuilder::new("main", 1);
+        let idx = f.param(0);
+        // pa = &a + idx ; pb = &b + idx ; store pa ; load pb
+        let pa = f.binary_to_new(BinOp::Add, Operand::Global(ga), Operand::Var(idx));
+        let pb = f.binary_to_new(BinOp::Add, Operand::Global(gb), Operand::Var(idx));
+        f.store(Operand::Var(pa), 0, Operand::int(1));
+        let v = f.new_var();
+        f.load(v, Operand::Var(pb), 0);
+        f.ret(Some(Operand::Var(v)));
+        let fid = mb.add_function(f.finish());
+        (mb.finish(), fid, ga, gb)
+    }
+
+    #[test]
+    fn distinct_globals_do_not_alias() {
+        let (m, fid, ga, gb) = module_with_two_globals();
+        let pa = PointerAnalysis::new(&m);
+        let f = m.function(fid);
+        // pa points to {a}, pb points to {b}.
+        let pa_var = VarId::new(f.num_params as u32); // first new var
+        let pb_var = VarId::new(f.num_params as u32 + 1);
+        assert_eq!(
+            pa.points_to(fid, pa_var),
+            [AbstractObject::Global(ga)].into_iter().collect()
+        );
+        assert_eq!(
+            pa.points_to(fid, pb_var),
+            [AbstractObject::Global(gb)].into_iter().collect()
+        );
+        assert!(!pa.may_alias(
+            fid,
+            Operand::Var(pa_var),
+            0,
+            fid,
+            Operand::Var(pb_var),
+            0
+        ));
+        assert!(pa.may_alias(
+            fid,
+            Operand::Var(pa_var),
+            0,
+            fid,
+            Operand::Var(pa_var),
+            3
+        ));
+    }
+
+    #[test]
+    fn same_global_different_constant_offsets_disjoint() {
+        let (m, fid, ga, _) = module_with_two_globals();
+        let pa = PointerAnalysis::new(&m);
+        assert!(!pa.may_alias(
+            fid,
+            Operand::Global(ga),
+            0,
+            fid,
+            Operand::Global(ga),
+            1
+        ));
+        assert!(pa.may_alias(fid, Operand::Global(ga), 2, fid, Operand::Global(ga), 2));
+    }
+
+    #[test]
+    fn alloc_sites_are_distinct_objects() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = FunctionBuilder::new("main", 0);
+        let a = f.new_var();
+        let b = f.new_var();
+        f.alloc(a, Operand::int(8));
+        f.alloc(b, Operand::int(8));
+        f.store(Operand::Var(a), 0, Operand::int(1));
+        f.store(Operand::Var(b), 0, Operand::int(2));
+        f.ret(None);
+        let fid = mb.add_function(f.finish());
+        let m = mb.finish();
+        let pa = PointerAnalysis::new(&m);
+        assert!(!pa.may_alias(fid, Operand::Var(a), 0, fid, Operand::Var(b), 0));
+        assert_eq!(pa.points_to(fid, a).len(), 1);
+        assert_eq!(pa.points_to(fid, b).len(), 1);
+        assert_ne!(pa.points_to(fid, a), pa.points_to(fid, b));
+    }
+
+    #[test]
+    fn pointers_stored_to_memory_flow_through_loads() {
+        // p = alloc; cell = alloc; store cell <- p; q = load cell; q and p must alias.
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = FunctionBuilder::new("main", 0);
+        let p = f.new_var();
+        let cell = f.new_var();
+        let q = f.new_var();
+        f.alloc(p, Operand::int(4));
+        f.alloc(cell, Operand::int(1));
+        f.store(Operand::Var(cell), 0, Operand::Var(p));
+        f.load(q, Operand::Var(cell), 0);
+        f.store(Operand::Var(q), 0, Operand::int(3));
+        f.ret(None);
+        let fid = mb.add_function(f.finish());
+        let m = mb.finish();
+        let pa = PointerAnalysis::new(&m);
+        assert!(pa.may_alias(fid, Operand::Var(p), 0, fid, Operand::Var(q), 0));
+        assert_eq!(pa.points_to(fid, q), pa.points_to(fid, p));
+    }
+
+    #[test]
+    fn interprocedural_argument_and_return_flow() {
+        // callee(x) returns x; main: p = alloc; r = callee(p); r aliases p.
+        let mut mb = ModuleBuilder::new("m");
+        let callee_id = mb.declare_function("id", 1);
+        let mut callee = FunctionBuilder::new("id", 1);
+        let x = callee.param(0);
+        callee.ret(Some(Operand::Var(x)));
+        mb.define_function(callee_id, callee.finish());
+
+        let mut main = FunctionBuilder::new("main", 0);
+        let p = main.new_var();
+        let r = main.new_var();
+        main.alloc(p, Operand::int(4));
+        main.call(Some(r), callee_id, vec![Operand::Var(p)]);
+        main.store(Operand::Var(r), 0, Operand::int(1));
+        main.ret(None);
+        let main_id = mb.add_function(main.finish());
+        let m = mb.finish();
+        let pa = PointerAnalysis::new(&m);
+        assert!(pa.may_alias(main_id, Operand::Var(p), 0, main_id, Operand::Var(r), 0));
+        // The callee writes nothing; main writes the alloc site.
+        assert!(pa.write_set(callee_id).is_empty());
+        assert_eq!(pa.write_set(main_id).len(), 1);
+    }
+
+    #[test]
+    fn mod_ref_summaries_propagate_through_calls() {
+        // writer(g) stores to global; main calls writer; main's write set includes the global.
+        let mut mb = ModuleBuilder::new("m");
+        let g = mb.add_global("shared", 4);
+        let writer_id = mb.declare_function("writer", 0);
+        let mut writer = FunctionBuilder::new("writer", 0);
+        writer.store(Operand::Global(g), 0, Operand::int(1));
+        writer.ret(None);
+        mb.define_function(writer_id, writer.finish());
+
+        let mut main = FunctionBuilder::new("main", 0);
+        main.call(None, writer_id, vec![]);
+        let v = main.new_var();
+        main.load(v, Operand::Global(g), 0);
+        main.ret(Some(Operand::Var(v)));
+        let main_id = mb.add_function(main.finish());
+        let m = mb.finish();
+        let pa = PointerAnalysis::new(&m);
+        assert!(pa.write_set(writer_id).contains(&AbstractObject::Global(g)));
+        assert!(pa.write_set(main_id).contains(&AbstractObject::Global(g)));
+        assert!(pa.read_set(main_id).contains(&AbstractObject::Global(g)));
+    }
+
+    #[test]
+    fn unknown_addresses_stay_conservative() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = FunctionBuilder::new("main", 1);
+        let p = f.param(0); // an integer treated as an address: untracked
+        f.store(Operand::Var(p), 0, Operand::int(1));
+        f.ret(None);
+        let fid = mb.add_function(f.finish());
+        let m = mb.finish();
+        let pa = PointerAnalysis::new(&m);
+        assert!(pa.may_alias(fid, Operand::Var(p), 0, fid, Operand::Var(p), 5));
+    }
+}

@@ -1,0 +1,34 @@
+//! Cost of the individual program analyses HELIX relies on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use helix_analysis::{Cfg, DomTree, LoopDdg, LoopForest, LoopNestingGraph, PointerAnalysis};
+
+fn bench_analyses(c: &mut Criterion) {
+    let bench = helix_workloads::all_benchmarks()[3]; // art
+    let (module, main) = bench.build();
+    let mut group = c.benchmark_group("analyses");
+    group.sample_size(20);
+    group.bench_function("pointer_analysis", |b| {
+        b.iter(|| std::hint::black_box(PointerAnalysis::new(&module).read_set(main).len()))
+    });
+    group.bench_function("loop_nesting_graph", |b| {
+        b.iter(|| std::hint::black_box(LoopNestingGraph::new(&module).len()))
+    });
+    let function = module.function(main);
+    let cfg = Cfg::new(function);
+    let dom = DomTree::new(function, &cfg);
+    let forest = LoopForest::new(function, &cfg, &dom);
+    let pointers = PointerAnalysis::new(&module);
+    let loop_id = forest.top_level()[0];
+    group.bench_function("loop_ddg", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                LoopDdg::compute(&module, main, &cfg, &forest, loop_id, &pointers).len(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_analyses);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Cost of regenerating the headline figure (the per-benchmark simulation behind Figure 9).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use helix_bench::analyze_benchmark;
+use helix_core::HelixConfig;
+use helix_simulator::{simulate_program, SimConfig};
+
+fn bench_simulation(c: &mut Criterion) {
+    let bench = helix_workloads::all_benchmarks()[3]; // art
+    let analysis = analyze_benchmark(&bench, HelixConfig::i7_980x());
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(20);
+    group.bench_function("simulate_art_6_cores", |b| {
+        b.iter(|| {
+            let r = simulate_program(&analysis.output, &analysis.profile, &SimConfig::helix_6_cores());
+            std::hint::black_box(r.speedup)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Compile-time cost of the full HELIX pipeline (profile -> analyze -> select) per benchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use helix_analysis::LoopNestingGraph;
+use helix_core::{Helix, HelixConfig};
+use helix_profiler::profile_program;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("helix_pipeline");
+    group.sample_size(10);
+    for bench in helix_workloads::all_benchmarks().into_iter().take(3) {
+        let (module, main) = bench.build();
+        let nesting = LoopNestingGraph::new(&module);
+        let profile = profile_program(&module, &nesting, main, &[]).expect("benchmark runs");
+        group.bench_function(bench.name, |b| {
+            b.iter(|| {
+                let output = Helix::new(HelixConfig::i7_980x()).analyze(&module, &profile);
+                std::hint::black_box(output.selection.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

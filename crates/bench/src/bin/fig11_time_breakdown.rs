@@ -1,0 +1,31 @@
+//! Figure 11: time breakdown (Parallel / Sequential-Data / Sequential-Control / Outside) when
+//! loops are chosen at a fixed nesting level 1–7 versus HELIX's variable-level selection (H).
+//! As in the paper, a 0-cycle communication latency is assumed for this analysis.
+
+use helix_bench::{analyze_benchmark, pct};
+use helix_core::HelixConfig;
+
+fn main() {
+    println!("Figure 11: time breakdown by loop-selection policy (% of sequential execution)");
+    println!("columns: Parallel / Sequential-Data / Sequential-Control / Outside");
+    let config = HelixConfig::i7_980x().with_selection_latency(0);
+    for bench in helix_workloads::all_benchmarks() {
+        let analysis = analyze_benchmark(&bench, config);
+        println!("{}:", bench.name);
+        for level in 1..=7usize {
+            let loops = analysis.output.loops_at_level(level);
+            let b = analysis.output.time_breakdown(&loops);
+            println!(
+                "  level {level}: {:>7} / {:>7} / {:>7} / {:>7}",
+                pct(b.parallel), pct(b.sequential_data), pct(b.sequential_control), pct(b.outside)
+            );
+        }
+        let b = analysis.output.time_breakdown(&analysis.output.selection.selected);
+        println!(
+            "  HELIX  : {:>7} / {:>7} / {:>7} / {:>7}",
+            pct(b.parallel), pct(b.sequential_data), pct(b.sequential_control), pct(b.outside)
+        );
+    }
+    println!("\npaper reference: no single fixed nesting level maximizes parallel code across");
+    println!("benchmarks; the HELIX selection consistently maximizes it.");
+}

@@ -1,0 +1,33 @@
+//! Figure 9: whole-program speedups achieved by HELIX on 2, 4 and 6 cores, one bar group per
+//! SPEC CPU2000 stand-in, plus the geometric mean.
+
+use helix_bench::{analyze_benchmark, geomean};
+use helix_core::HelixConfig;
+use helix_simulator::{simulate_program, SimConfig};
+
+fn main() {
+    println!("Figure 9: measured speedups (sequential execution = 1)");
+    println!("{:<10} {:>8} {:>8} {:>8} {:>14}", "benchmark", "2 cores", "4 cores", "6 cores", "paper (6c)");
+    let mut six_core = Vec::new();
+    let mut paper = Vec::new();
+    for bench in helix_workloads::all_benchmarks() {
+        let analysis = analyze_benchmark(&bench, HelixConfig::i7_980x());
+        let mut row = Vec::new();
+        for cores in [2usize, 4, 6] {
+            let cfg = SimConfig::helix_6_cores().with_cores(cores);
+            let result = simulate_program(&analysis.output, &analysis.profile, &cfg);
+            row.push(result.speedup);
+        }
+        println!(
+            "{:<10} {:>8.2} {:>8.2} {:>8.2} {:>14.2}",
+            bench.name, row[0], row[1], row[2], bench.paper_speedup_6_cores
+        );
+        six_core.push(row[2]);
+        paper.push(bench.paper_speedup_6_cores);
+    }
+    println!(
+        "{:<10} {:>8} {:>8} {:>8.2} {:>14.2}",
+        "geoMean", "", "", geomean(&six_core), geomean(&paper)
+    );
+    println!("\npaper reference: geomean 2.25x, maximum 4.12x (art) on six cores");
+}

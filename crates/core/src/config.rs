@@ -1,0 +1,138 @@
+//! HELIX transformation configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the HELIX transformation and of the speedup model.
+///
+/// The defaults correspond to the paper's evaluation platform, an Intel Core i7-980X:
+/// six cores, 110-cycle unprefetched signal latency (a pull through the shared L3), 4-cycle
+/// fully-prefetched signal latency (an L1 hit thanks to the SMT helper thread), and 110 cycles
+/// to transfer one CPU word between cores.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HelixConfig {
+    /// Number of cores devoted to a parallelized loop (`N` in the paper).
+    pub cores: usize,
+    /// Latency, in cycles, of a signal that is not prefetched (110 on the testbed).
+    pub signal_latency_unprefetched: u64,
+    /// Latency, in cycles, of a fully prefetched signal (4 on the testbed — an L1 hit).
+    pub signal_latency_prefetched: u64,
+    /// Latency, in cycles, assumed for a signal *during loop selection*. The paper studies
+    /// mis-estimation of this value in Figures 12 and 13.
+    pub selection_signal_latency: u64,
+    /// Cycles to transfer one CPU word between cores (`M` in Equation 1).
+    pub word_transfer_latency: u64,
+    /// Bytes per CPU word (`CPU_word` in Equation 1).
+    pub word_bytes: u64,
+    /// Per-invocation loop configuration overhead in cycles (`Conf_i`): initializing thread
+    /// memory buffers and dispatching the parallel threads.
+    pub config_overhead: u64,
+    /// Step 5: apply method inlining and code scheduling to shrink sequential segments.
+    pub enable_segment_minimization: bool,
+    /// Step 6: remove redundant signals (redundant `Wait`s, segment merging, Theorem 1).
+    pub enable_signal_minimization: bool,
+    /// Step 8: couple iteration threads with SMT helper threads that prefetch signals.
+    pub enable_helper_threads: bool,
+    /// Step 8's code-scheduling algorithm (Figure 6) that balances signal prefetching.
+    pub enable_prefetch_balancing: bool,
+    /// Step 5's method inlining of calls involved in dependences (disabled only for tests).
+    pub enable_inlining: bool,
+}
+
+impl HelixConfig {
+    /// The configuration of the paper's evaluation: six cores, measured latencies.
+    pub const fn i7_980x() -> Self {
+        Self {
+            cores: 6,
+            signal_latency_unprefetched: 110,
+            signal_latency_prefetched: 4,
+            selection_signal_latency: 4,
+            word_transfer_latency: 110,
+            word_bytes: 8,
+            config_overhead: 400,
+            enable_segment_minimization: true,
+            enable_signal_minimization: true,
+            enable_helper_threads: true,
+            enable_prefetch_balancing: true,
+            enable_inlining: true,
+        }
+    }
+
+    /// Same platform with a different core count (the paper reports 2, 4 and 6 cores).
+    pub fn with_cores(mut self, cores: usize) -> Self {
+        self.cores = cores;
+        self
+    }
+
+    /// Overrides the signal latency assumed during loop selection (Figures 12 and 13).
+    pub fn with_selection_latency(mut self, cycles: u64) -> Self {
+        self.selection_signal_latency = cycles;
+        self
+    }
+
+    /// Disables Step 6 (used by the Figure 10 ablation).
+    pub fn without_signal_minimization(mut self) -> Self {
+        self.enable_signal_minimization = false;
+        self
+    }
+
+    /// Disables Step 8 (used by the Figure 10 ablation).
+    pub fn without_helper_threads(mut self) -> Self {
+        self.enable_helper_threads = false;
+        self
+    }
+
+    /// Disables the Figure 6 balancing scheduler (used by the Figure 10 ablation).
+    pub fn without_prefetch_balancing(mut self) -> Self {
+        self.enable_prefetch_balancing = false;
+        self
+    }
+
+    /// The effective signal latency at run time given the prefetching configuration: with
+    /// helper threads a fully prefetched signal costs an L1 hit, without them it costs the
+    /// full inter-core pull.
+    pub fn best_case_signal_latency(&self) -> u64 {
+        if self.enable_helper_threads {
+            self.signal_latency_prefetched
+        } else {
+            self.signal_latency_unprefetched
+        }
+    }
+}
+
+impl Default for HelixConfig {
+    fn default() -> Self {
+        Self::i7_980x()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_constants() {
+        let c = HelixConfig::default();
+        assert_eq!(c.cores, 6);
+        assert_eq!(c.signal_latency_unprefetched, 110);
+        assert_eq!(c.signal_latency_prefetched, 4);
+        assert_eq!(c.word_transfer_latency, 110);
+        assert!(c.enable_signal_minimization && c.enable_helper_threads);
+    }
+
+    #[test]
+    fn builders_toggle_steps() {
+        let c = HelixConfig::i7_980x()
+            .with_cores(4)
+            .without_signal_minimization()
+            .without_helper_threads()
+            .without_prefetch_balancing()
+            .with_selection_latency(110);
+        assert_eq!(c.cores, 4);
+        assert!(!c.enable_signal_minimization);
+        assert!(!c.enable_helper_threads);
+        assert!(!c.enable_prefetch_balancing);
+        assert_eq!(c.selection_signal_latency, 110);
+        assert_eq!(c.best_case_signal_latency(), 110);
+        assert_eq!(HelixConfig::default().best_case_signal_latency(), 4);
+    }
+}

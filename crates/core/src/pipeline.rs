@@ -1,0 +1,541 @@
+//! The HELIX driver: analyze a whole program, build a parallelization plan per candidate
+//! loop, and select the most profitable loops.
+
+use crate::config::HelixConfig;
+use crate::model::{LoopModelInput, PrefetchMode, SpeedupModel};
+use crate::normalize::NormalizedLoop;
+use crate::optimize::{minimize_segments, minimize_signals};
+use crate::plan::ParallelizedLoop;
+use crate::schedule::schedule_prefetching;
+use crate::segments::build_segments;
+use crate::selection::{DynamicLoopGraph, LoopSelection};
+use helix_analysis::{
+    Cfg, InductionInfo, Liveness, LoopDdg, LoopNestingGraph, PointerAnalysis,
+};
+use helix_ir::{CostModel, Instr, Module, VarId};
+use helix_profiler::{LoopKey, ProgramProfile};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Per-benchmark statistics in the shape of the paper's Table 1.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct LoopStatistics {
+    /// Number of loops chosen for parallelization.
+    pub parallelized_loops: usize,
+    /// Number of candidate loops considered (all loops executed during profiling).
+    pub candidate_loops: usize,
+    /// Fraction of data dependences inside the parallelized loops that are loop-carried.
+    pub loop_carried_dep_fraction: f64,
+    /// Fraction of naive signals removed by Step 6.
+    pub signals_removed_fraction: f64,
+    /// Fraction of consumed data that must be forwarded between cores.
+    pub data_transfer_fraction: f64,
+    /// Largest per-iteration code size among parallelized loops, in kilobytes.
+    pub max_code_kb: f64,
+}
+
+/// Time breakdown of a benchmark under a given loop selection (the Figure 11 components).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimeBreakdown {
+    /// Fraction of time in parallelizable loop code.
+    pub parallel: f64,
+    /// Fraction of time in sequential segments (sequential-data).
+    pub sequential_data: f64,
+    /// Fraction of time in loop prologues (sequential-control).
+    pub sequential_control: f64,
+    /// Fraction of time outside the chosen loops.
+    pub outside: f64,
+}
+
+/// The result of running the HELIX analysis over a program.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HelixOutput {
+    /// One plan per candidate loop that executed during profiling.
+    pub plans: BTreeMap<LoopKey, ParallelizedLoop>,
+    /// Model inputs derived from plan + profile, per candidate loop.
+    pub model_inputs: BTreeMap<LoopKey, LoopModelInput>,
+    /// Loop-carried fraction of each candidate loop's dependence graph.
+    pub loop_carried_fraction: BTreeMap<LoopKey, f64>,
+    /// Dynamic nesting depth of each candidate loop.
+    pub nesting_depth: BTreeMap<LoopKey, usize>,
+    /// The selected loops.
+    pub selection: LoopSelection,
+    /// The configuration used.
+    pub config: HelixConfig,
+    /// Total program cycles of the profiling run.
+    pub program_cycles: u64,
+    /// Profile-reported loads per loop iteration (used for the data-transfer metric).
+    pub loads_per_iteration: BTreeMap<LoopKey, f64>,
+}
+
+/// The HELIX analysis driver.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Helix {
+    /// The transformation configuration.
+    pub config: HelixConfig,
+}
+
+impl Helix {
+    /// Creates a driver with the given configuration.
+    pub fn new(config: HelixConfig) -> Self {
+        Self { config }
+    }
+
+    /// Runs Steps 1–8 on every profiled candidate loop of `module` and selects the loops to
+    /// parallelize using the Section 2.2 algorithm.
+    pub fn analyze(&self, module: &Module, profile: &ProgramProfile) -> HelixOutput {
+        let nesting = LoopNestingGraph::new(module);
+        let pointers = PointerAnalysis::new(module);
+        let cost = CostModel::default();
+
+        let mut plans = BTreeMap::new();
+        let mut model_inputs = BTreeMap::new();
+        let mut loop_carried_fraction = BTreeMap::new();
+        let mut nesting_depth = BTreeMap::new();
+        let mut loads_per_iteration = BTreeMap::new();
+
+        for node in nesting.iter() {
+            let key: LoopKey = (node.func, node.loop_id);
+            if !profile.executed(key) {
+                continue;
+            }
+            let function = module.function(node.func);
+            let cfg = Cfg::new(function);
+            let forest = &nesting.forests[&node.func];
+            let norm = NormalizedLoop::compute(function, &cfg, forest, node.loop_id);
+            let ddg = LoopDdg::compute(module, node.func, &cfg, forest, node.loop_id, &pointers);
+            let induction = InductionInfo::compute(function, &cfg, forest, node.loop_id);
+
+            // Steps 2–4.
+            let mut segments = build_segments(
+                function,
+                &cfg,
+                forest,
+                node.loop_id,
+                &norm,
+                &ddg,
+                &induction,
+                &cost,
+            );
+            let signals_before: u64 = segments
+                .iter()
+                .map(|s| (s.wait_points.len() + s.signal_points.len()) as u64)
+                .sum();
+            // Step 5.
+            if self.config.enable_segment_minimization {
+                minimize_segments(function, &mut segments, &cost);
+            }
+            // Step 6.
+            if self.config.enable_signal_minimization {
+                minimize_signals(function, &cfg, forest, node.loop_id, &mut segments);
+            }
+            let signals_after: u64 = segments
+                .iter()
+                .filter(|s| s.synchronized)
+                .map(|s| (s.wait_points.len() + s.signal_points.len()) as u64)
+                .sum();
+
+            // Loop-boundary live variables (live-ins, live-outs, iteration live-ins).
+            let liveness = Liveness::new(function, &cfg);
+            let natural = forest.get(node.loop_id);
+            let mut boundary: BTreeSet<VarId> = BTreeSet::new();
+            let defined_in_loop: BTreeSet<VarId> = natural
+                .blocks
+                .iter()
+                .flat_map(|b| function.block(*b).instrs.iter().filter_map(Instr::dst))
+                .collect();
+            // Live into the header but defined outside: live-in values.
+            for v in liveness.live_in(natural.header).iter() {
+                let var = VarId::new(v as u32);
+                if !defined_in_loop.contains(&var) {
+                    boundary.insert(var);
+                }
+            }
+            // Defined inside and live at an exit block: live-out values.
+            for exit in &natural.exit_blocks {
+                for v in liveness.live_in(*exit).iter() {
+                    let var = VarId::new(v as u32);
+                    if defined_in_loop.contains(&var) {
+                        boundary.insert(var);
+                    }
+                }
+            }
+            // Carried by a synchronized register dependence: iteration live-ins.
+            for seg in &segments {
+                for dep in &seg.dependences {
+                    if let Some(v) = dep.var {
+                        boundary.insert(v);
+                    }
+                }
+            }
+
+            // Profile-weighted cycle accounting.
+            let lp = profile.loop_profile(key);
+            let iterations = lp.iterations.max(1) as f64;
+            let prologue_cycles =
+                profile.cycles_of_instrs(node.func, &norm.prologue_instrs(function)) as f64;
+            let seq_cycles: f64 = segments
+                .iter()
+                .filter(|s| s.synchronized)
+                .map(|s| {
+                    let instrs: Vec<helix_ir::InstrRef> = s.instrs.iter().copied().collect();
+                    profile.cycles_of_instrs(node.func, &instrs) as f64
+                })
+                .sum();
+            let total_cycles = lp.cycles as f64;
+            let prologue_per_iter = prologue_cycles / iterations;
+            let seq_per_iter = (seq_cycles / iterations).min(total_cycles / iterations);
+            let total_per_iter = total_cycles / iterations;
+
+            // Refresh the per-segment cycle estimates with profile weights.
+            for seg in &mut segments {
+                let instrs: Vec<helix_ir::InstrRef> = seg.instrs.iter().copied().collect();
+                let c = profile.cycles_of_instrs(node.func, &instrs) as f64 / iterations;
+                if c > 0.0 {
+                    seg.cycles_per_iteration = c;
+                }
+            }
+
+            // Data transferred between iterations: only RAW dependences whose consumer
+            // actually reads a value produced in the previous iteration move data; the paper
+            // observes this happens for a small fraction of iterations (Figure 2 argues ~6.25%
+            // for a typical two-branch segment). One word per transferring segment, weighted
+            // by that probability.
+            let transferring = segments
+                .iter()
+                .filter(|s| s.synchronized && s.transfers_data)
+                .count() as f64;
+            let bytes_per_iteration = transferring * self.config.word_bytes as f64 * 0.0625;
+
+            // Loads per iteration (for the Table 1 data-transfer percentage).
+            let loop_instrs = forest.instrs_of(node.loop_id, function);
+            let loads: u64 = loop_instrs
+                .iter()
+                .filter(|r| matches!(function.instr(**r), Instr::Load { .. }))
+                .map(|r| {
+                    profile
+                        .functions
+                        .get(&node.func)
+                        .map_or(0, |fp| fp.count_of(*r))
+                })
+                .sum();
+            loads_per_iteration.insert(key, loads as f64 / iterations);
+
+            // Per-iteration code size (including directly called functions, which Step 5 may
+            // inline): 4 bytes per instruction.
+            let mut code_instrs = loop_instrs.len();
+            for call in forest.calls_in(node.loop_id, function) {
+                if let Instr::Call { callee, .. } = function.instr(call) {
+                    code_instrs += module.function(*callee).instr_count();
+                }
+            }
+            let code_size_bytes = (code_instrs * 4) as u64;
+
+            let mut plan = ParallelizedLoop {
+                func: node.func,
+                loop_id: node.loop_id,
+                header: node.header,
+                prologue_blocks: norm.prologue_blocks.clone(),
+                body_blocks: norm.body_blocks.clone(),
+                segments,
+                boundary_live_vars: boundary,
+                induction_vars: induction
+                    .induction_vars
+                    .values()
+                    .map(|iv| (iv.var, iv.step))
+                    .collect(),
+                bytes_per_iteration,
+                signals_before_minimization: signals_before,
+                signals_after_minimization: signals_after,
+                prologue_cycles_per_iter: prologue_per_iter,
+                total_cycles_per_iter: total_per_iter,
+                sequential_cycles_per_iter: seq_per_iter,
+                code_size_bytes,
+            };
+
+            // Step 8: space the segments for helper-thread prefetching.
+            let parallel_per_iter = plan.parallel_cycles_per_iter();
+            schedule_prefetching(&mut plan.segments, parallel_per_iter, &self.config);
+
+            loop_carried_fraction.insert(key, ddg.loop_carried_fraction());
+            nesting_depth.insert(key, node.depth);
+            model_inputs.insert(
+                key,
+                LoopModelInput::from_plan(&plan, &lp, profile.total_cycles),
+            );
+            plans.insert(key, plan);
+        }
+
+        // Loop selection: saved time computed with the *selection* signal latency.
+        let selection_config = HelixConfig {
+            signal_latency_unprefetched: self.config.selection_signal_latency,
+            signal_latency_prefetched: self.config.selection_signal_latency,
+            ..self.config
+        };
+        let selection_model = SpeedupModel::new(selection_config);
+        let saved: BTreeMap<LoopKey, f64> = model_inputs
+            .iter()
+            .map(|(k, input)| {
+                let out = selection_model.evaluate_loop(input, PrefetchMode::None);
+                (*k, out.saved_cycles)
+            })
+            .collect();
+        let mut graph = DynamicLoopGraph::build(&nesting, profile, &saved);
+        graph.propagate_max_saved_time();
+        let selection = graph.select();
+
+        HelixOutput {
+            plans,
+            model_inputs,
+            loop_carried_fraction,
+            nesting_depth,
+            selection,
+            config: self.config,
+            program_cycles: profile.total_cycles,
+            loads_per_iteration,
+        }
+    }
+}
+
+impl HelixOutput {
+    /// The plans of the selected loops.
+    pub fn selected_plans(&self) -> Vec<&ParallelizedLoop> {
+        self.selection
+            .selected
+            .iter()
+            .filter_map(|k| self.plans.get(k))
+            .collect()
+    }
+
+    /// Candidate loops at a fixed dynamic nesting level (Figure 11's fixed-level selections).
+    pub fn loops_at_level(&self, level: usize) -> BTreeSet<LoopKey> {
+        self.nesting_depth
+            .iter()
+            .filter(|(_, d)| **d == level)
+            .map(|(k, _)| *k)
+            .collect()
+    }
+
+    /// The paper's Table 1 statistics for this program.
+    pub fn statistics(&self) -> LoopStatistics {
+        let selected = &self.selection.selected;
+        let plans: Vec<&ParallelizedLoop> = self.selected_plans();
+        let avg =
+            |values: Vec<f64>| -> f64 {
+                if values.is_empty() {
+                    0.0
+                } else {
+                    values.iter().sum::<f64>() / values.len() as f64
+                }
+            };
+        let loop_carried = avg(
+            selected
+                .iter()
+                .filter_map(|k| self.loop_carried_fraction.get(k).copied())
+                .collect(),
+        );
+        let signals_removed = avg(plans.iter().map(|p| p.signals_removed_fraction()).collect());
+        let data_transfers = avg(
+            plans
+                .iter()
+                .map(|p| {
+                    let key = (p.func, p.loop_id);
+                    let loads = self.loads_per_iteration.get(&key).copied().unwrap_or(0.0);
+                    let consumed_bytes = (loads * self.config.word_bytes as f64).max(1.0);
+                    (p.bytes_per_iteration / consumed_bytes).min(1.0)
+                })
+                .collect(),
+        );
+        let max_code_kb = plans
+            .iter()
+            .map(|p| p.code_size_bytes as f64 / 1024.0)
+            .fold(0.0, f64::max);
+        LoopStatistics {
+            parallelized_loops: selected.len(),
+            candidate_loops: self.plans.len(),
+            loop_carried_dep_fraction: loop_carried,
+            signals_removed_fraction: signals_removed,
+            data_transfer_fraction: data_transfers,
+            max_code_kb,
+        }
+    }
+
+    /// The model-estimated whole-program speedup of the current selection under a prefetching
+    /// mode (Sections 2.2 and 3.3).
+    pub fn estimated_speedup(&self, mode: PrefetchMode) -> f64 {
+        self.estimated_speedup_for(&self.selection.selected, mode)
+    }
+
+    /// The model-estimated speedup for an arbitrary set of loops (used by the fixed-level and
+    /// latency-misestimation studies).
+    pub fn estimated_speedup_for(&self, loops: &BTreeSet<LoopKey>, mode: PrefetchMode) -> f64 {
+        let model = SpeedupModel::new(self.config);
+        let outputs: Vec<_> = loops
+            .iter()
+            .filter_map(|k| self.model_inputs.get(k))
+            .map(|input| model.evaluate_loop(input, mode))
+            .collect();
+        model.program_speedup(&outputs)
+    }
+
+    /// The Figure 11 time breakdown for an arbitrary, non-nested set of loops.
+    pub fn time_breakdown(&self, loops: &BTreeSet<LoopKey>) -> TimeBreakdown {
+        if self.program_cycles == 0 {
+            return TimeBreakdown::default();
+        }
+        let total = self.program_cycles as f64;
+        let mut in_loops = 0.0;
+        let mut seq_data = 0.0;
+        let mut seq_control = 0.0;
+        for key in loops {
+            let (Some(plan), Some(input)) = (self.plans.get(key), self.model_inputs.get(key))
+            else {
+                continue;
+            };
+            let iters = input.iterations.max(1.0);
+            in_loops += input.loop_cycles;
+            seq_data += plan.sequential_cycles_per_iter * iters;
+            seq_control += plan.prologue_cycles_per_iter * iters;
+        }
+        let in_loops = in_loops.min(total);
+        let seq_data = seq_data.min(in_loops);
+        let seq_control = seq_control.min(in_loops - seq_data);
+        let parallel = (in_loops - seq_data - seq_control).max(0.0);
+        TimeBreakdown {
+            parallel: parallel / total,
+            sequential_data: seq_data / total,
+            sequential_control: seq_control / total,
+            outside: ((total - in_loops) / total).max(0.0),
+        }
+    }
+
+    /// Nesting-level histogram of the selected loops (Figure 13).
+    pub fn selected_level_distribution(&self) -> BTreeMap<usize, usize> {
+        let mut hist = BTreeMap::new();
+        for key in &self.selection.selected {
+            if let Some(d) = self.nesting_depth.get(key) {
+                *hist.entry(*d).or_insert(0) += 1;
+            }
+        }
+        hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helix_ir::builder::{FunctionBuilder, ModuleBuilder};
+    use helix_ir::{BinOp, FuncId, Operand};
+    use helix_profiler::profile_program;
+
+    /// A small program with one hot, mostly-parallel loop (a heavy per-element array
+    /// transform) and one cold, heavily sequential loop (global accumulator chain), plus code
+    /// outside loops.
+    fn program() -> (Module, FuncId) {
+        let mut mb = ModuleBuilder::new("bench");
+        let arr = mb.add_global("arr", 4096);
+        let acc = mb.add_global("acc", 1);
+        let mut fb = FunctionBuilder::new("main", 0);
+        // Hot loop: arr[i] = hash(i) over 1024 elements, where hash(i) is a chain of forty
+        // multiply/xor rounds — plenty of independent work per iteration, the only loop
+        // carried dependence is the field-insensitive output dependence of the store.
+        let hot = fb.counted_loop(Operand::int(0), Operand::int(1024), 1);
+        let addr = fb.binary_to_new(BinOp::Add, Operand::Global(arr), Operand::Var(hot.induction_var));
+        let mut v = fb.binary_to_new(BinOp::Mul, Operand::Var(hot.induction_var), Operand::int(2654435761));
+        for round in 0..40 {
+            let m = fb.binary_to_new(BinOp::Mul, Operand::Var(v), Operand::int(31 + round));
+            v = fb.binary_to_new(BinOp::Xor, Operand::Var(m), Operand::int(0x9e37));
+        }
+        fb.store(Operand::Var(addr), 0, Operand::Var(v));
+        fb.br(hot.latch);
+        fb.switch_to(hot.exit);
+        // Cold loop: 64 iterations of a serial global accumulation.
+        let cold = fb.counted_loop(Operand::int(0), Operand::int(64), 1);
+        let c = fb.new_var();
+        fb.load(c, Operand::Global(acc), 0);
+        let c2 = fb.binary_to_new(BinOp::Add, Operand::Var(c), Operand::int(1));
+        fb.store(Operand::Global(acc), 0, Operand::Var(c2));
+        fb.br(cold.latch);
+        fb.switch_to(cold.exit);
+        let r = fb.new_var();
+        fb.load(r, Operand::Global(acc), 0);
+        fb.ret(Some(Operand::Var(r)));
+        let main = mb.add_function(fb.finish());
+        (mb.finish(), main)
+    }
+
+    fn analyzed(config: HelixConfig) -> HelixOutput {
+        let (module, main) = program();
+        let nesting = helix_analysis::LoopNestingGraph::new(&module);
+        let profile = profile_program(&module, &nesting, main, &[]).unwrap();
+        Helix::new(config).analyze(&module, &profile)
+    }
+
+    #[test]
+    fn analysis_produces_plans_and_selects_the_hot_loop() {
+        let output = analyzed(HelixConfig::default());
+        assert_eq!(output.plans.len(), 2, "both loops are candidates");
+        assert!(!output.selection.is_empty(), "something must be selected");
+        // The hot array loop (1024 iterations) must be among the selected loops.
+        let selected_inputs: Vec<&LoopModelInput> = output
+            .selection
+            .selected
+            .iter()
+            .map(|k| &output.model_inputs[k])
+            .collect();
+        assert!(selected_inputs.iter().any(|i| i.iterations >= 1024.0));
+        // Statistics are populated.
+        let stats = output.statistics();
+        assert_eq!(stats.candidate_loops, 2);
+        assert!(stats.parallelized_loops >= 1);
+        assert!(stats.max_code_kb > 0.0);
+        assert!(stats.signals_removed_fraction >= 0.0);
+    }
+
+    #[test]
+    fn estimated_speedup_exceeds_one_and_scales_with_cores() {
+        let out6 = analyzed(HelixConfig::default());
+        let s6 = out6.estimated_speedup(PrefetchMode::Helix);
+        assert!(s6 > 1.0, "six cores must speed up the hot loop, got {s6}");
+        let out2 = analyzed(HelixConfig::default().with_cores(2));
+        let s2 = out2.estimated_speedup(PrefetchMode::Helix);
+        assert!(s6 > s2, "more cores, more speedup ({s6} vs {s2})");
+        // Prefetching ordering: ideal >= helix >= none.
+        let ideal = out6.estimated_speedup(PrefetchMode::Ideal);
+        let none = out6.estimated_speedup(PrefetchMode::None);
+        assert!(ideal >= s6);
+        assert!(s6 >= none);
+    }
+
+    #[test]
+    fn ablation_of_step6_and_step8_hurts() {
+        let full = analyzed(HelixConfig::default());
+        let no_helpers = analyzed(HelixConfig::default().without_helper_threads());
+        let s_full = full.estimated_speedup(PrefetchMode::Helix);
+        let s_none = no_helpers.estimated_speedup(PrefetchMode::None);
+        assert!(s_full >= s_none);
+    }
+
+    #[test]
+    fn time_breakdown_sums_to_one() {
+        let output = analyzed(HelixConfig::default());
+        let b = output.time_breakdown(&output.selection.selected);
+        let sum = b.parallel + b.sequential_data + b.sequential_control + b.outside;
+        assert!((sum - 1.0).abs() < 1e-6, "breakdown must sum to 1, got {sum}");
+        assert!(b.parallel > 0.0);
+        // Level-1 loops exist in this flat program.
+        assert!(!output.loops_at_level(1).is_empty());
+        assert!(output.loops_at_level(7).is_empty());
+        let dist = output.selected_level_distribution();
+        assert!(dist.values().sum::<usize>() >= 1);
+    }
+
+    #[test]
+    fn selection_latency_misestimation_changes_behaviour() {
+        // With a grossly overestimated signal latency, the serial accumulator loop must not
+        // be selected (it would slow down); the overall selection shrinks or stays equal.
+        let optimistic = analyzed(HelixConfig::default().with_selection_latency(0));
+        let pessimistic = analyzed(HelixConfig::default().with_selection_latency(110));
+        assert!(pessimistic.selection.len() <= optimistic.selection.len());
+    }
+}

@@ -1,0 +1,402 @@
+//! Convenience builders for constructing IR functions and modules.
+//!
+//! The builders keep an insertion point (a current block) and offer one method per
+//! instruction kind, which keeps the synthetic SPEC-like workloads in `helix-workloads`
+//! readable.
+
+use crate::function::Function;
+use crate::ids::{BlockId, DepId, FuncId, GlobalId, VarId};
+use crate::instr::{BinOp, Instr, Operand, Pred, UnOp};
+use crate::module::Module;
+use crate::value::Value;
+
+/// Builds one [`Function`] instruction by instruction.
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    function: Function,
+    current: BlockId,
+}
+
+impl FunctionBuilder {
+    /// Starts building a function with `num_params` parameters; the insertion point is the
+    /// entry block.
+    pub fn new(name: impl Into<String>, num_params: usize) -> Self {
+        let function = Function::new(name, num_params);
+        let current = function.entry;
+        Self { function, current }
+    }
+
+    /// Returns the register holding parameter `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn param(&self, index: usize) -> VarId {
+        self.function.param(index)
+    }
+
+    /// Allocates a fresh virtual register.
+    pub fn new_var(&mut self) -> VarId {
+        self.function.new_var()
+    }
+
+    /// Creates a new empty block (does not change the insertion point).
+    pub fn new_block(&mut self) -> BlockId {
+        self.function.new_block()
+    }
+
+    /// Moves the insertion point to `block`.
+    pub fn switch_to(&mut self, block: BlockId) {
+        self.current = block;
+    }
+
+    /// Returns the current insertion block.
+    pub fn current_block(&self) -> BlockId {
+        self.current
+    }
+
+    /// Appends a raw instruction at the insertion point.
+    pub fn push(&mut self, instr: Instr) {
+        self.function.block_mut(self.current).instrs.push(instr);
+    }
+
+    /// `dst = value` for an integer immediate.
+    pub fn const_int(&mut self, dst: VarId, value: i64) {
+        self.push(Instr::Const {
+            dst,
+            value: Operand::int(value),
+        });
+    }
+
+    /// `dst = value` for a float immediate.
+    pub fn const_float(&mut self, dst: VarId, value: f64) {
+        self.push(Instr::Const {
+            dst,
+            value: Operand::float(value),
+        });
+    }
+
+    /// `dst = src`.
+    pub fn copy(&mut self, dst: VarId, src: Operand) {
+        self.push(Instr::Copy { dst, src });
+    }
+
+    /// `dst = op src`.
+    pub fn unary(&mut self, dst: VarId, op: UnOp, src: Operand) {
+        self.push(Instr::Unary { dst, op, src });
+    }
+
+    /// `dst = lhs op rhs`.
+    pub fn binary(&mut self, dst: VarId, op: BinOp, lhs: Operand, rhs: Operand) {
+        self.push(Instr::Binary { dst, op, lhs, rhs });
+    }
+
+    /// Allocates a new register, emits `new = lhs op rhs`, and returns it.
+    pub fn binary_to_new(&mut self, op: BinOp, lhs: Operand, rhs: Operand) -> VarId {
+        let dst = self.new_var();
+        self.binary(dst, op, lhs, rhs);
+        dst
+    }
+
+    /// `dst = lhs pred rhs`.
+    pub fn cmp(&mut self, dst: VarId, pred: Pred, lhs: Operand, rhs: Operand) {
+        self.push(Instr::Cmp {
+            dst,
+            pred,
+            lhs,
+            rhs,
+        });
+    }
+
+    /// Allocates a new register, emits the comparison into it, and returns it.
+    pub fn cmp_to_new(&mut self, pred: Pred, lhs: Operand, rhs: Operand) -> VarId {
+        let dst = self.new_var();
+        self.cmp(dst, pred, lhs, rhs);
+        dst
+    }
+
+    /// `dst = cond ? on_true : on_false`.
+    pub fn select(&mut self, dst: VarId, cond: Operand, on_true: Operand, on_false: Operand) {
+        self.push(Instr::Select {
+            dst,
+            cond,
+            on_true,
+            on_false,
+        });
+    }
+
+    /// `dst = mem[addr + offset]`.
+    pub fn load(&mut self, dst: VarId, addr: Operand, offset: i64) {
+        self.push(Instr::Load { dst, addr, offset });
+    }
+
+    /// `mem[addr + offset] = value`.
+    pub fn store(&mut self, addr: Operand, offset: i64, value: Operand) {
+        self.push(Instr::Store {
+            addr,
+            offset,
+            value,
+        });
+    }
+
+    /// `dst = alloc(words)`.
+    pub fn alloc(&mut self, dst: VarId, words: Operand) {
+        self.push(Instr::Alloc { dst, words });
+    }
+
+    /// `dst = callee(args...)`.
+    pub fn call(&mut self, dst: Option<VarId>, callee: FuncId, args: Vec<Operand>) {
+        self.push(Instr::Call { dst, callee, args });
+    }
+
+    /// `Wait(dep)`.
+    pub fn wait(&mut self, dep: DepId) {
+        self.push(Instr::Wait { dep });
+    }
+
+    /// `Signal(dep)`.
+    pub fn signal(&mut self, dep: DepId) {
+        self.push(Instr::Signal { dep });
+    }
+
+    /// Unconditional branch.
+    pub fn br(&mut self, target: BlockId) {
+        self.push(Instr::Br { target });
+    }
+
+    /// Conditional branch.
+    pub fn cond_br(&mut self, cond: Operand, then_bb: BlockId, else_bb: BlockId) {
+        self.push(Instr::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+        });
+    }
+
+    /// Return.
+    pub fn ret(&mut self, value: Option<Operand>) {
+        self.push(Instr::Ret { value });
+    }
+
+    /// Finishes building and returns the function.
+    pub fn finish(self) -> Function {
+        self.function
+    }
+
+    /// Builds a canonical counted loop.
+    ///
+    /// Emits, starting at the insertion point:
+    ///
+    /// ```text
+    ///     iv = start
+    ///     br header
+    /// header:
+    ///     c = iv < end
+    ///     condbr c, body, exit
+    /// body:
+    ///     ... (caller fills via the returned handle) ...
+    /// latch:
+    ///     iv = iv + step
+    ///     br header
+    /// exit:
+    /// ```
+    ///
+    /// The caller receives the block ids and the induction variable, fills the body, and must
+    /// terminate the body with a branch to `latch`. The insertion point is left at `body`.
+    pub fn counted_loop(&mut self, start: Operand, end: Operand, step: i64) -> LoopHandle {
+        let iv = self.new_var();
+        let header = self.new_block();
+        let body = self.new_block();
+        let latch = self.new_block();
+        let exit = self.new_block();
+
+        self.copy(iv, start);
+        self.br(header);
+
+        self.switch_to(header);
+        let c = self.cmp_to_new(Pred::Lt, Operand::Var(iv), end);
+        self.cond_br(Operand::Var(c), body, exit);
+
+        self.switch_to(latch);
+        self.binary(iv, BinOp::Add, Operand::Var(iv), Operand::int(step));
+        self.br(header);
+
+        self.switch_to(body);
+        LoopHandle {
+            header,
+            body,
+            latch,
+            exit,
+            induction_var: iv,
+        }
+    }
+}
+
+/// Handle returned by [`FunctionBuilder::counted_loop`] describing the generated loop shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LoopHandle {
+    /// The loop header (contains the exit test).
+    pub header: BlockId,
+    /// The first body block (insertion point after the call).
+    pub body: BlockId,
+    /// The latch block that increments the induction variable and jumps back to the header.
+    pub latch: BlockId,
+    /// The loop exit block.
+    pub exit: BlockId,
+    /// The induction variable.
+    pub induction_var: VarId,
+}
+
+/// Builds a [`Module`] by accumulating functions and globals.
+#[derive(Debug, Default)]
+pub struct ModuleBuilder {
+    module: Module,
+}
+
+impl ModuleBuilder {
+    /// Starts an empty module.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            module: Module::new(name),
+        }
+    }
+
+    /// Adds a finished function.
+    pub fn add_function(&mut self, function: Function) -> FuncId {
+        self.module.add_function(function)
+    }
+
+    /// Adds a zero-initialized global.
+    pub fn add_global(&mut self, name: impl Into<String>, words: usize) -> GlobalId {
+        self.module.add_global(name, words)
+    }
+
+    /// Adds a global with an initializer.
+    pub fn add_global_init(
+        &mut self,
+        name: impl Into<String>,
+        words: usize,
+        init: Vec<Value>,
+    ) -> GlobalId {
+        self.module.add_global_init(name, words, init)
+    }
+
+    /// Reserves a function id before the function body exists (for mutually recursive calls).
+    ///
+    /// The placeholder is an empty function that immediately returns; replace it with
+    /// [`ModuleBuilder::define_function`].
+    pub fn declare_function(&mut self, name: impl Into<String>, num_params: usize) -> FuncId {
+        let mut f = Function::new(name, num_params);
+        let entry = f.entry;
+        f.block_mut(entry).instrs.push(Instr::Ret { value: None });
+        self.module.add_function(f)
+    }
+
+    /// Replaces a previously declared function with its real body.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was never declared.
+    pub fn define_function(&mut self, id: FuncId, function: Function) {
+        *self.module.function_mut(id) = function;
+    }
+
+    /// Finishes building and returns the module.
+    pub fn finish(self) -> Module {
+        self.module
+    }
+}
+
+impl Default for Module {
+    fn default() -> Self {
+        Module::new("module")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Machine;
+    use crate::verify::verify_function;
+
+    #[test]
+    fn build_and_run_simple_function() {
+        let mut module = Module::new("t");
+        let mut b = FunctionBuilder::new("add1", 1);
+        let p = b.param(0);
+        let r = b.binary_to_new(BinOp::Add, Operand::Var(p), Operand::int(1));
+        b.ret(Some(Operand::Var(r)));
+        let f = b.finish();
+        verify_function(&f, &[]).unwrap();
+        let id = module.add_function(f);
+        let mut m = Machine::new(&module);
+        let out = m.call(id, &[Value::Int(41)]).unwrap().unwrap();
+        assert_eq!(out.as_int(), 42);
+    }
+
+    #[test]
+    fn counted_loop_helper_runs() {
+        let mut module = Module::new("t");
+        let mut b = FunctionBuilder::new("sum_to_n", 1);
+        let n = b.param(0);
+        let acc = b.new_var();
+        b.const_int(acc, 0);
+        let lh = b.counted_loop(Operand::int(0), Operand::Var(n), 1);
+        b.binary(
+            acc,
+            BinOp::Add,
+            Operand::Var(acc),
+            Operand::Var(lh.induction_var),
+        );
+        b.br(lh.latch);
+        b.switch_to(lh.exit);
+        b.ret(Some(Operand::Var(acc)));
+        let f = b.finish();
+        verify_function(&f, &[]).unwrap();
+        let id = module.add_function(f);
+        let mut m = Machine::new(&module);
+        let out = m.call(id, &[Value::Int(5)]).unwrap().unwrap();
+        assert_eq!(out.as_int(), 10);
+    }
+
+    #[test]
+    fn module_builder_declare_then_define() {
+        let mut mb = ModuleBuilder::new("m");
+        let callee = mb.declare_function("callee", 1);
+        // The real body doubles its argument.
+        let mut b = FunctionBuilder::new("callee", 1);
+        let p = b.param(0);
+        let d = b.binary_to_new(BinOp::Mul, Operand::Var(p), Operand::int(2));
+        b.ret(Some(Operand::Var(d)));
+        mb.define_function(callee, b.finish());
+
+        let mut main = FunctionBuilder::new("main", 0);
+        let out = main.new_var();
+        main.call(Some(out), callee, vec![Operand::int(21)]);
+        main.ret(Some(Operand::Var(out)));
+        let main_id = mb.add_function(main.finish());
+
+        let module = mb.finish();
+        let mut m = Machine::new(&module);
+        assert_eq!(m.call(main_id, &[]).unwrap().unwrap().as_int(), 42);
+    }
+
+    #[test]
+    fn builder_emits_sync_instrs() {
+        let mut b = FunctionBuilder::new("sync", 0);
+        b.wait(DepId::new(0));
+        b.signal(DepId::new(0));
+        b.ret(None);
+        let f = b.finish();
+        assert_eq!(f.instr_count(), 3);
+        assert!(f.block(f.entry).instrs[0].is_sync());
+    }
+
+    #[test]
+    fn globals_via_module_builder() {
+        let mut mb = ModuleBuilder::new("m");
+        let g = mb.add_global_init("table", 8, vec![Value::Int(5)]);
+        let module = mb.finish();
+        assert_eq!(module.global(g).words, 8);
+    }
+}

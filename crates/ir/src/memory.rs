@@ -1,0 +1,211 @@
+//! Flat word-addressed program memory used by the interpreters.
+//!
+//! The layout mirrors a simple bare-metal model: word 0 is the null sentinel, globals occupy
+//! the next contiguous region, and heap allocations (`Alloc` instructions) bump upward from
+//! there. Addresses are plain `i64` word indices so pointer arithmetic in benchmark programs
+//! is ordinary integer arithmetic.
+
+use crate::module::Module;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// Error raised on out-of-range memory accesses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryError {
+    /// The faulting address.
+    pub address: i64,
+    /// Whether the faulting access was a write.
+    pub write: bool,
+}
+
+impl std::fmt::Display for MemoryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "out-of-range memory {} at address {}",
+            if self.write { "write" } else { "read" },
+            self.address
+        )
+    }
+}
+
+impl std::error::Error for MemoryError {}
+
+/// Flat, word-addressed program memory with a bump allocator.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Memory {
+    words: Vec<Value>,
+    heap_base: usize,
+    next_free: usize,
+}
+
+impl Memory {
+    /// Default memory capacity in words (grown on demand up to [`Memory::MAX_WORDS`]).
+    pub const DEFAULT_WORDS: usize = 1 << 16;
+    /// Hard upper bound on memory size to keep runaway workloads in check.
+    pub const MAX_WORDS: usize = 1 << 26;
+
+    /// Creates memory for a module: globals are laid out and initialized, and the heap starts
+    /// right after them.
+    pub fn for_module(module: &Module) -> Self {
+        let global_words = module.global_memory_words();
+        let capacity = (global_words + 1).max(Self::DEFAULT_WORDS);
+        let mut words = vec![Value::default(); capacity];
+        let bases = module.global_base_addresses();
+        for (global, base) in module.globals.iter().zip(&bases) {
+            for (offset, value) in global.init.iter().enumerate() {
+                words[*base as usize + offset] = *value;
+            }
+        }
+        Self {
+            words,
+            heap_base: global_words + 1,
+            next_free: global_words + 1,
+        }
+    }
+
+    /// Creates an empty memory with the default capacity and no globals.
+    pub fn new() -> Self {
+        Self {
+            words: vec![Value::default(); Self::DEFAULT_WORDS],
+            heap_base: 1,
+            next_free: 1,
+        }
+    }
+
+    /// Address of the first heap word.
+    pub fn heap_base(&self) -> i64 {
+        self.heap_base as i64
+    }
+
+    /// Number of words currently allocated on the heap.
+    pub fn heap_used(&self) -> usize {
+        self.next_free - self.heap_base
+    }
+
+    /// Bump-allocates `words` words and returns the base address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError`] if the allocation would exceed [`Memory::MAX_WORDS`].
+    pub fn alloc(&mut self, words: usize) -> Result<i64, MemoryError> {
+        let base = self.next_free;
+        let end = base.checked_add(words).ok_or(MemoryError {
+            address: i64::MAX,
+            write: true,
+        })?;
+        if end > Self::MAX_WORDS {
+            return Err(MemoryError {
+                address: end as i64,
+                write: true,
+            });
+        }
+        if end > self.words.len() {
+            let new_len = end.next_power_of_two().min(Self::MAX_WORDS);
+            self.words.resize(new_len, Value::default());
+        }
+        self.next_free = end;
+        Ok(base as i64)
+    }
+
+    /// Reads the word at `address`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError`] for negative or excessively large addresses.
+    pub fn load(&self, address: i64) -> Result<Value, MemoryError> {
+        let idx = self.check(address, false)?;
+        Ok(self.words.get(idx).copied().unwrap_or_default())
+    }
+
+    /// Writes the word at `address`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError`] for negative or excessively large addresses.
+    pub fn store(&mut self, address: i64, value: Value) -> Result<(), MemoryError> {
+        let idx = self.check(address, true)?;
+        if idx >= self.words.len() {
+            let new_len = (idx + 1).next_power_of_two().min(Self::MAX_WORDS);
+            self.words.resize(new_len, Value::default());
+        }
+        self.words[idx] = value;
+        Ok(())
+    }
+
+    fn check(&self, address: i64, write: bool) -> Result<usize, MemoryError> {
+        if address < 0 || address as usize >= Self::MAX_WORDS {
+            Err(MemoryError { address, write })
+        } else {
+            Ok(address as usize)
+        }
+    }
+}
+
+impl Default for Memory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::Module;
+
+    #[test]
+    fn load_store_roundtrip() {
+        let mut mem = Memory::new();
+        mem.store(100, Value::Int(42)).unwrap();
+        assert_eq!(mem.load(100).unwrap(), Value::Int(42));
+        assert_eq!(mem.load(101).unwrap(), Value::Int(0));
+    }
+
+    #[test]
+    fn negative_address_errors() {
+        let mut mem = Memory::new();
+        assert!(mem.load(-1).is_err());
+        assert!(mem.store(-5, Value::Int(1)).is_err());
+        let err = mem.load(-1).unwrap_err();
+        assert!(err.to_string().contains("read"));
+    }
+
+    #[test]
+    fn alloc_bumps_and_grows() {
+        let mut mem = Memory::new();
+        let a = mem.alloc(10).unwrap();
+        let b = mem.alloc(5).unwrap();
+        assert_eq!(b, a + 10);
+        assert_eq!(mem.heap_used(), 15);
+        // Growing past the default capacity works.
+        let big = mem.alloc(Memory::DEFAULT_WORDS * 2).unwrap();
+        mem.store(big, Value::Int(9)).unwrap();
+        assert_eq!(mem.load(big).unwrap(), Value::Int(9));
+    }
+
+    #[test]
+    fn alloc_beyond_max_errors() {
+        let mut mem = Memory::new();
+        assert!(mem.alloc(Memory::MAX_WORDS + 1).is_err());
+    }
+
+    #[test]
+    fn module_globals_are_initialized() {
+        let mut m = Module::new("m");
+        let g = m.add_global_init("g", 4, vec![Value::Int(3), Value::Int(4)]);
+        let mem = Memory::for_module(&m);
+        let base = m.global_base_addresses()[g.index()];
+        assert_eq!(mem.load(base).unwrap(), Value::Int(3));
+        assert_eq!(mem.load(base + 1).unwrap(), Value::Int(4));
+        assert_eq!(mem.load(base + 2).unwrap(), Value::Int(0));
+        assert_eq!(mem.heap_base(), 5);
+    }
+
+    #[test]
+    fn null_word_reserved() {
+        let m = Module::new("m");
+        let mem = Memory::for_module(&m);
+        assert_eq!(mem.heap_base(), 1);
+        assert_eq!(mem.load(0).unwrap(), Value::Int(0));
+    }
+}

@@ -1,0 +1,146 @@
+//! Textual printing of IR for debugging and golden tests.
+
+use crate::function::Function;
+use crate::instr::Instr;
+use crate::module::Module;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Formats a single instruction.
+pub fn format_instr(instr: &Instr) -> String {
+    match instr {
+        Instr::Const { dst, value } => format!("{dst} = const {value}"),
+        Instr::Copy { dst, src } => format!("{dst} = copy {src}"),
+        Instr::Unary { dst, op, src } => format!("{dst} = {op:?} {src}").to_lowercase(),
+        Instr::Binary { dst, op, lhs, rhs } => {
+            format!("{dst} = {op:?} {lhs}, {rhs}").to_lowercase()
+        }
+        Instr::Cmp {
+            dst,
+            pred,
+            lhs,
+            rhs,
+        } => format!("{dst} = cmp.{pred:?} {lhs}, {rhs}").to_lowercase(),
+        Instr::Select {
+            dst,
+            cond,
+            on_true,
+            on_false,
+        } => format!("{dst} = select {cond}, {on_true}, {on_false}"),
+        Instr::Load { dst, addr, offset } => format!("{dst} = load [{addr} + {offset}]"),
+        Instr::Store {
+            addr,
+            offset,
+            value,
+        } => format!("store [{addr} + {offset}], {value}"),
+        Instr::Alloc { dst, words } => format!("{dst} = alloc {words}"),
+        Instr::Call { dst, callee, args } => {
+            let args: Vec<String> = args.iter().map(|a| a.to_string()).collect();
+            match dst {
+                Some(d) => format!("{d} = call {callee}({})", args.join(", ")),
+                None => format!("call {callee}({})", args.join(", ")),
+            }
+        }
+        Instr::Wait { dep } => format!("wait {dep}"),
+        Instr::Signal { dep } => format!("signal {dep}"),
+        Instr::Br { target } => format!("br {target}"),
+        Instr::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+        } => format!("condbr {cond}, {then_bb}, {else_bb}"),
+        Instr::Ret { value } => match value {
+            Some(v) => format!("ret {v}"),
+            None => "ret".to_string(),
+        },
+    }
+}
+
+/// Formats a whole function.
+pub fn format_function(f: &Function) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "func {}({} params) {{", f.name, f.num_params);
+    for block in &f.blocks {
+        let marker = if block.id == f.entry { " (entry)" } else { "" };
+        let _ = writeln!(out, "{}:{marker}", block.id);
+        for instr in &block.instrs {
+            let _ = writeln!(out, "  {}", format_instr(instr));
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Formats a whole module.
+pub fn format_module(m: &Module) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "module {}", m.name);
+    for g in &m.globals {
+        let _ = writeln!(out, "global {} \"{}\" [{} words]", g.id, g.name, g.words);
+    }
+    for f in &m.functions {
+        out.push_str(&format_function(f));
+    }
+    out
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&format_function(self))
+    }
+}
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&format_module(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::ids::DepId;
+    use crate::instr::{BinOp, Operand, Pred};
+
+    #[test]
+    fn prints_readable_text() {
+        let mut b = FunctionBuilder::new("demo", 1);
+        let p = b.param(0);
+        let x = b.binary_to_new(BinOp::Add, Operand::Var(p), Operand::int(1));
+        let c = b.cmp_to_new(Pred::Lt, Operand::Var(x), Operand::int(10));
+        let t = b.new_block();
+        let e = b.new_block();
+        b.cond_br(Operand::Var(c), t, e);
+        b.switch_to(t);
+        b.wait(DepId::new(0));
+        b.store(Operand::Var(p), 0, Operand::Var(x));
+        b.signal(DepId::new(0));
+        b.ret(None);
+        b.switch_to(e);
+        b.ret(Some(Operand::Var(x)));
+        let f = b.finish();
+        let text = format_function(&f);
+        assert!(text.contains("func demo"));
+        assert!(text.contains("%v1 = add %v0, 1"));
+        assert!(text.contains("wait dep0"));
+        assert!(text.contains("signal dep0"));
+        assert!(text.contains("condbr"));
+        assert!(text.contains("(entry)"));
+        assert_eq!(text, f.to_string());
+    }
+
+    #[test]
+    fn module_printing_includes_globals() {
+        let mut m = Module::new("prog");
+        m.add_global("buf", 32);
+        let mut b = FunctionBuilder::new("main", 0);
+        b.ret(None);
+        m.add_function(b.finish());
+        let text = format_module(&m);
+        assert!(text.contains("module prog"));
+        assert!(text.contains("global @g0 \"buf\" [32 words]"));
+        assert!(text.contains("func main"));
+        assert_eq!(text, m.to_string());
+    }
+}

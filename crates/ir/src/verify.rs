@@ -1,0 +1,330 @@
+//! Structural verification of IR.
+//!
+//! The verifier catches the malformed shapes the HELIX passes must never produce: blocks
+//! without terminators, terminators in the middle of a block, branches to missing blocks,
+//! references to undeclared registers, calls to missing functions, and out-of-range globals.
+
+use crate::function::Function;
+use crate::ids::{BlockId, FuncId};
+use crate::instr::{Instr, Operand};
+use crate::module::{Global, Module};
+use std::fmt;
+
+/// A structural error found by the verifier.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VerifyError {
+    /// A block has no instructions or does not end in a terminator.
+    MissingTerminator {
+        /// Offending function name.
+        function: String,
+        /// Offending block.
+        block: BlockId,
+    },
+    /// A terminator appears before the end of a block.
+    EarlyTerminator {
+        /// Offending function name.
+        function: String,
+        /// Offending block.
+        block: BlockId,
+        /// Index of the premature terminator.
+        index: usize,
+    },
+    /// A branch targets a block that does not exist.
+    BadBranchTarget {
+        /// Offending function name.
+        function: String,
+        /// Offending block.
+        block: BlockId,
+        /// The missing target.
+        target: BlockId,
+    },
+    /// An instruction references a register outside the function's register count.
+    BadRegister {
+        /// Offending function name.
+        function: String,
+        /// Offending block.
+        block: BlockId,
+        /// Instruction index.
+        index: usize,
+    },
+    /// A call references a function that does not exist in the module.
+    BadCallee {
+        /// Offending function name.
+        function: String,
+        /// The missing callee.
+        callee: FuncId,
+    },
+    /// An operand references a global that does not exist in the module.
+    BadGlobal {
+        /// Offending function name.
+        function: String,
+        /// Offending block.
+        block: BlockId,
+        /// Instruction index.
+        index: usize,
+    },
+    /// The entry block id is out of range.
+    BadEntry {
+        /// Offending function name.
+        function: String,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::MissingTerminator { function, block } => {
+                write!(f, "{function}: block {block} does not end in a terminator")
+            }
+            VerifyError::EarlyTerminator {
+                function,
+                block,
+                index,
+            } => write!(
+                f,
+                "{function}: terminator in the middle of block {block} at index {index}"
+            ),
+            VerifyError::BadBranchTarget {
+                function,
+                block,
+                target,
+            } => write!(
+                f,
+                "{function}: block {block} branches to missing block {target}"
+            ),
+            VerifyError::BadRegister {
+                function,
+                block,
+                index,
+            } => write!(
+                f,
+                "{function}: instruction {block}[{index}] references an undeclared register"
+            ),
+            VerifyError::BadCallee { function, callee } => {
+                write!(f, "{function}: call to missing function {callee}")
+            }
+            VerifyError::BadGlobal {
+                function,
+                block,
+                index,
+            } => write!(
+                f,
+                "{function}: instruction {block}[{index}] references a missing global"
+            ),
+            VerifyError::BadEntry { function } => {
+                write!(f, "{function}: entry block is out of range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verifies one function against the module's globals.
+///
+/// `globals` is the module's global table (pass an empty slice when the function uses none).
+///
+/// # Errors
+///
+/// Returns the first [`VerifyError`] found.
+pub fn verify_function(function: &Function, globals: &[Global]) -> Result<(), VerifyError> {
+    let name = function.name.clone();
+    if function.entry.index() >= function.blocks.len() {
+        return Err(VerifyError::BadEntry { function: name });
+    }
+    for block in &function.blocks {
+        match block.instrs.last() {
+            Some(last) if last.is_terminator() => {}
+            _ => {
+                return Err(VerifyError::MissingTerminator {
+                    function: name,
+                    block: block.id,
+                })
+            }
+        }
+        for (index, instr) in block.instrs.iter().enumerate() {
+            if instr.is_terminator() && index + 1 != block.instrs.len() {
+                return Err(VerifyError::EarlyTerminator {
+                    function: name,
+                    block: block.id,
+                    index,
+                });
+            }
+            for target in instr.successors() {
+                if target.index() >= function.blocks.len() {
+                    return Err(VerifyError::BadBranchTarget {
+                        function: name,
+                        block: block.id,
+                        target,
+                    });
+                }
+            }
+            let mut regs_ok = true;
+            if let Some(dst) = instr.dst() {
+                regs_ok &= dst.index() < function.num_vars;
+            }
+            for op in instr.operands() {
+                match op {
+                    Operand::Var(v) => regs_ok &= v.index() < function.num_vars,
+                    Operand::Global(g) => {
+                        if g.index() >= globals.len() {
+                            return Err(VerifyError::BadGlobal {
+                                function: name,
+                                block: block.id,
+                                index,
+                            });
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            if !regs_ok {
+                return Err(VerifyError::BadRegister {
+                    function: name,
+                    block: block.id,
+                    index,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Verifies every function in a module, including call targets.
+///
+/// # Errors
+///
+/// Returns the first [`VerifyError`] found.
+pub fn verify_module(module: &Module) -> Result<(), VerifyError> {
+    for function in &module.functions {
+        verify_function(function, &module.globals)?;
+        for (_, instr) in function.instr_refs() {
+            if let Instr::Call { callee, .. } = instr {
+                if callee.index() >= module.functions.len() {
+                    return Err(VerifyError::BadCallee {
+                        function: function.name.clone(),
+                        callee: *callee,
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::ids::{GlobalId, VarId};
+    use crate::instr::{BinOp, Operand};
+
+    fn good_function() -> Function {
+        let mut b = FunctionBuilder::new("good", 1);
+        let p = b.param(0);
+        let x = b.binary_to_new(BinOp::Add, Operand::Var(p), Operand::int(1));
+        b.ret(Some(Operand::Var(x)));
+        b.finish()
+    }
+
+    #[test]
+    fn good_function_verifies() {
+        assert!(verify_function(&good_function(), &[]).is_ok());
+    }
+
+    #[test]
+    fn missing_terminator_detected() {
+        let mut f = good_function();
+        let entry = f.entry;
+        f.block_mut(entry).instrs.pop();
+        let err = verify_function(&f, &[]).unwrap_err();
+        assert!(matches!(err, VerifyError::MissingTerminator { .. }));
+        assert!(err.to_string().contains("terminator"));
+    }
+
+    #[test]
+    fn early_terminator_detected() {
+        let mut f = good_function();
+        let entry = f.entry;
+        f.block_mut(entry)
+            .instrs
+            .insert(0, Instr::Ret { value: None });
+        assert!(matches!(
+            verify_function(&f, &[]),
+            Err(VerifyError::EarlyTerminator { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_branch_target_detected() {
+        let mut f = good_function();
+        let entry = f.entry;
+        *f.block_mut(entry).instrs.last_mut().unwrap() = Instr::Br {
+            target: BlockId::new(42),
+        };
+        assert!(matches!(
+            verify_function(&f, &[]),
+            Err(VerifyError::BadBranchTarget { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_register_detected() {
+        let mut f = good_function();
+        let entry = f.entry;
+        f.block_mut(entry).instrs.insert(
+            0,
+            Instr::Copy {
+                dst: VarId::new(99),
+                src: Operand::int(0),
+            },
+        );
+        assert!(matches!(
+            verify_function(&f, &[]),
+            Err(VerifyError::BadRegister { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_global_detected() {
+        let mut f = good_function();
+        let entry = f.entry;
+        f.block_mut(entry).instrs.insert(
+            0,
+            Instr::Store {
+                addr: Operand::Global(GlobalId::new(3)),
+                offset: 0,
+                value: Operand::int(1),
+            },
+        );
+        assert!(matches!(
+            verify_function(&f, &[]),
+            Err(VerifyError::BadGlobal { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_callee_detected_at_module_level() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("caller", 0);
+        b.call(None, FuncId::new(7), vec![]);
+        b.ret(None);
+        m.add_function(b.finish());
+        assert!(matches!(
+            verify_module(&m),
+            Err(VerifyError::BadCallee { .. })
+        ));
+    }
+
+    #[test]
+    fn module_with_valid_calls_verifies() {
+        let mut m = Module::new("m");
+        let callee = m.add_function(good_function());
+        let mut b = FunctionBuilder::new("caller", 0);
+        let r = b.new_var();
+        b.call(Some(r), callee, vec![Operand::int(1)]);
+        b.ret(Some(Operand::Var(r)));
+        m.add_function(b.finish());
+        assert!(verify_module(&m).is_ok());
+    }
+}

@@ -1,0 +1,340 @@
+//! The profiling observer.
+//!
+//! [`Profiler`] tracks, while the sequential interpreter runs, which loops are active (a stack
+//! spanning function calls), how many times each is invoked and iterated, how many cycles are
+//! spent while each is active, and which nesting edges are dynamically traversed. The
+//! resulting [`ProgramProfile`] is exactly the feedback data the HELIX loop-selection
+//! algorithm consumes.
+
+use crate::profile::{FunctionProfile, LoopKey, ProgramProfile};
+use helix_analysis::{LoopForest, LoopNestingGraph};
+use helix_ir::interp::{ExecError, Observer};
+use helix_ir::{BlockId, FuncId, Instr, InstrRef, Machine, Module, Value};
+use std::collections::HashMap;
+
+/// One entry of the active-loop stack.
+#[derive(Clone, Copy, Debug)]
+struct ActiveLoop {
+    key: LoopKey,
+    /// Index of the call frame the loop belongs to; loops are popped when their frame returns.
+    frame: usize,
+}
+
+/// One call frame.
+#[derive(Clone, Copy, Debug)]
+struct Frame {
+    /// The executing function (kept for debugging/tracing output).
+    #[allow(dead_code)]
+    func: FuncId,
+    /// The caller and call site, absent for the root invocation.
+    callsite: Option<(FuncId, InstrRef)>,
+    /// Loop-stack depth when the frame was pushed (restored on return).
+    loop_baseline: usize,
+}
+
+/// The profiling observer. Attach to a [`Machine`] run via
+/// [`helix_ir::Machine::call_observed`], or use the [`profile_program`] convenience function.
+#[derive(Debug)]
+pub struct Profiler {
+    forests: HashMap<FuncId, LoopForest>,
+    header_index: HashMap<(FuncId, BlockId), helix_analysis::LoopId>,
+    profile: ProgramProfile,
+    frames: Vec<Frame>,
+    active_loops: Vec<ActiveLoop>,
+}
+
+impl Profiler {
+    /// Creates a profiler for `module`, reusing the loop forests of a pre-computed nesting
+    /// graph.
+    pub fn new(module: &Module, nesting: &LoopNestingGraph) -> Self {
+        let forests = nesting.forests.clone();
+        let mut header_index = HashMap::new();
+        for (func, forest) in &forests {
+            for l in forest.iter() {
+                header_index.insert((*func, l.header), l.id);
+            }
+        }
+        let _ = module;
+        Self {
+            forests,
+            header_index,
+            profile: ProgramProfile::default(),
+            frames: Vec::new(),
+            active_loops: Vec::new(),
+        }
+    }
+
+    /// Consumes the profiler and returns the collected profile.
+    pub fn finish(self) -> ProgramProfile {
+        self.profile
+    }
+
+    fn ensure_root_frame(&mut self, func: FuncId) {
+        if self.frames.is_empty() {
+            self.frames.push(Frame {
+                func,
+                callsite: None,
+                loop_baseline: 0,
+            });
+            self.profile.functions.entry(func).or_default().invocations += 1;
+        }
+    }
+
+    fn current_frame_index(&self) -> usize {
+        self.frames.len().saturating_sub(1)
+    }
+
+    /// Pops loops of the current frame that do not contain `block`.
+    fn pop_exited_loops(&mut self, func: FuncId, block: BlockId) {
+        let frame = self.current_frame_index();
+        while let Some(top) = self.active_loops.last() {
+            if top.frame != frame {
+                break;
+            }
+            let (f, lid) = top.key;
+            debug_assert_eq!(f, func);
+            let still_inside = self
+                .forests
+                .get(&f)
+                .map(|forest| forest.get(lid).contains(block))
+                .unwrap_or(false);
+            if still_inside {
+                break;
+            }
+            self.active_loops.pop();
+        }
+    }
+}
+
+impl Observer for Profiler {
+    fn on_block_enter(&mut self, func: FuncId, block: BlockId) {
+        self.ensure_root_frame(func);
+        self.pop_exited_loops(func, block);
+        let frame = self.current_frame_index();
+        if let Some(&lid) = self.header_index.get(&(func, block)) {
+            let key = (func, lid);
+            let is_new_iteration_of_top = self
+                .active_loops
+                .last()
+                .map(|t| t.frame == frame && t.key == key)
+                .unwrap_or(false);
+            if is_new_iteration_of_top {
+                // Re-entering the header through a back edge completes one iteration. The
+                // initial header entry is not counted, so trip counts match body executions.
+                self.profile.loops.entry(key).or_default().iterations += 1;
+            } else {
+                // Entering the loop: record an invocation and a dynamic edge from the
+                // enclosing active loop (if any).
+                match self.active_loops.last() {
+                    Some(parent) => {
+                        self.profile.dynamic_edges.insert((parent.key, key));
+                    }
+                    None => {
+                        self.profile.dynamic_roots.insert(key);
+                    }
+                }
+                self.profile.loops.entry(key).or_default().invocations += 1;
+                self.active_loops.push(ActiveLoop { key, frame });
+            }
+        }
+    }
+
+    fn on_instr(&mut self, func: FuncId, at: InstrRef, _instr: &Instr, cycles: u64) {
+        self.ensure_root_frame(func);
+        self.profile.total_cycles += cycles;
+        let fp: &mut FunctionProfile = self.profile.functions.entry(func).or_default();
+        let ip = fp.instrs.entry(at).or_default();
+        ip.count += 1;
+        ip.cycles += cycles;
+        // Attribute inclusive time to every pending call site up the stack.
+        for frame in &self.frames {
+            if let Some((caller, site)) = frame.callsite {
+                *self
+                    .profile
+                    .functions
+                    .entry(caller)
+                    .or_default()
+                    .callsite_cycles
+                    .entry(site)
+                    .or_default() += cycles;
+            }
+        }
+        // Attribute inclusive time to every active loop.
+        if self.active_loops.is_empty() {
+            self.profile.cycles_outside_loops += cycles;
+        } else {
+            for l in &self.active_loops {
+                self.profile.loops.entry(l.key).or_default().cycles += cycles;
+            }
+        }
+    }
+
+    fn on_call(&mut self, caller: FuncId, at: InstrRef, callee: FuncId) {
+        self.ensure_root_frame(caller);
+        self.frames.push(Frame {
+            func: callee,
+            callsite: Some((caller, at)),
+            loop_baseline: self.active_loops.len(),
+        });
+        self.profile
+            .functions
+            .entry(callee)
+            .or_default()
+            .invocations += 1;
+    }
+
+    fn on_return(&mut self, _func: FuncId) {
+        if self.frames.len() > 1 {
+            let frame = self.frames.pop().expect("frame stack underflow");
+            self.active_loops.truncate(frame.loop_baseline);
+        } else {
+            // Returning from the root invocation: deactivate all loops.
+            self.active_loops.clear();
+        }
+    }
+}
+
+/// Runs `main` of `module` with `args` under the profiler and returns the program profile.
+///
+/// # Errors
+///
+/// Returns the interpreter error if the program faults or exhausts its fuel.
+pub fn profile_program(
+    module: &Module,
+    nesting: &LoopNestingGraph,
+    main: FuncId,
+    args: &[Value],
+) -> Result<ProgramProfile, ExecError> {
+    let mut machine = Machine::new(module);
+    let mut profiler = Profiler::new(module, nesting);
+    machine.call_observed(main, args, &mut profiler)?;
+    Ok(profiler.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helix_ir::builder::{FunctionBuilder, ModuleBuilder};
+    use helix_ir::{BinOp, Operand};
+
+    /// main: for i in 0..10 { for j in 0..5 { s += j } }; plus a helper called in the outer
+    /// loop whose own loop becomes a dynamic child of the outer loop.
+    fn profiled_module() -> (Module, FuncId, LoopNestingGraph) {
+        let mut mb = ModuleBuilder::new("prof");
+        let helper_id = mb.declare_function("helper", 1);
+        let mut helper = FunctionBuilder::new("helper", 1);
+        let hn = helper.param(0);
+        let acc = helper.new_var();
+        helper.const_int(acc, 0);
+        let hl = helper.counted_loop(Operand::int(0), Operand::Var(hn), 1);
+        helper.binary(acc, BinOp::Add, Operand::Var(acc), Operand::Var(hl.induction_var));
+        helper.br(hl.latch);
+        helper.switch_to(hl.exit);
+        helper.ret(Some(Operand::Var(acc)));
+        mb.define_function(helper_id, helper.finish());
+
+        let mut main = FunctionBuilder::new("main", 0);
+        let s = main.new_var();
+        main.const_int(s, 0);
+        let outer = main.counted_loop(Operand::int(0), Operand::int(10), 1);
+        let inner = main.counted_loop(Operand::int(0), Operand::int(5), 1);
+        main.binary(s, BinOp::Add, Operand::Var(s), Operand::Var(inner.induction_var));
+        main.br(inner.latch);
+        main.switch_to(inner.exit);
+        let h = main.new_var();
+        main.call(Some(h), helper_id, vec![Operand::int(3)]);
+        main.binary(s, BinOp::Add, Operand::Var(s), Operand::Var(h));
+        main.br(outer.latch);
+        main.switch_to(outer.exit);
+        main.ret(Some(Operand::Var(s)));
+        let main_id = mb.add_function(main.finish());
+        let module = mb.finish();
+        let nesting = LoopNestingGraph::new(&module);
+        (module, main_id, nesting)
+    }
+
+    #[test]
+    fn loop_counts_match_trip_counts() {
+        let (module, main_id, nesting) = profiled_module();
+        let profile = profile_program(&module, &nesting, main_id, &[]).unwrap();
+        // Identify loops by their per-function forest.
+        let main_forest = &nesting.forests[&main_id];
+        let outer_id = main_forest.top_level()[0];
+        let outer_key = (main_id, outer_id);
+        let inner_id = main_forest.get(outer_id).children[0];
+        let inner_key = (main_id, inner_id);
+
+        let outer = profile.loop_profile(outer_key);
+        assert_eq!(outer.invocations, 1);
+        assert_eq!(outer.iterations, 10);
+        let inner = profile.loop_profile(inner_key);
+        assert_eq!(inner.invocations, 10);
+        assert_eq!(inner.iterations, 50);
+        assert!(inner.iterations_per_invocation() > 4.9);
+        assert!(profile.executed(outer_key));
+        assert!(outer.cycles > inner.cycles);
+        assert!(profile.total_cycles > outer.cycles);
+        assert!(profile.cycles_outside_loops > 0);
+    }
+
+    #[test]
+    fn dynamic_edges_include_interprocedural_nesting() {
+        let (module, main_id, nesting) = profiled_module();
+        let helper_id = module.function_by_name("helper").unwrap();
+        let profile = profile_program(&module, &nesting, main_id, &[]).unwrap();
+        let main_forest = &nesting.forests[&main_id];
+        let outer_key = (main_id, main_forest.top_level()[0]);
+        let helper_forest = &nesting.forests[&helper_id];
+        let helper_key = (helper_id, helper_forest.top_level()[0]);
+        // The helper's loop ran inside the outer loop.
+        assert!(profile.dynamic_edges.contains(&(outer_key, helper_key)));
+        // The outer loop is a dynamic root.
+        assert!(profile.dynamic_roots.contains(&outer_key));
+        // The helper loop is not a root.
+        assert!(!profile.dynamic_roots.contains(&helper_key));
+        // Helper loop ran 10 times (once per outer iteration), 3 iterations each.
+        let hp = profile.loop_profile(helper_key);
+        assert_eq!(hp.invocations, 10);
+        assert_eq!(hp.iterations, 30);
+    }
+
+    #[test]
+    fn callsite_cycles_are_attributed_to_the_caller() {
+        let (module, main_id, nesting) = profiled_module();
+        let profile = profile_program(&module, &nesting, main_id, &[]).unwrap();
+        let fp = &profile.functions[&main_id];
+        // Exactly one call site in main, and it accumulated inclusive callee cycles.
+        assert_eq!(fp.callsite_cycles.len(), 1);
+        let (&site, &cycles) = fp.callsite_cycles.iter().next().unwrap();
+        assert!(cycles > 0);
+        assert!(fp.inclusive_cycles_of(site) > fp.cycles_of(site));
+        // The helper function was invoked 10 times.
+        let helper_id = module.function_by_name("helper").unwrap();
+        assert_eq!(profile.functions[&helper_id].invocations, 10);
+        assert_eq!(profile.functions[&main_id].invocations, 1);
+    }
+
+    #[test]
+    fn instruction_counts_are_recorded() {
+        let (module, main_id, nesting) = profiled_module();
+        let profile = profile_program(&module, &nesting, main_id, &[]).unwrap();
+        let fp = &profile.functions[&main_id];
+        // The store into `s` inside the inner loop body ran 50 times.
+        let main_fn = module.function(main_id);
+        let add_count: u64 = main_fn
+            .instr_refs()
+            .filter(|(_, i)| matches!(i, Instr::Binary { op: BinOp::Add, .. }))
+            .map(|(r, _)| fp.count_of(r))
+            .max()
+            .unwrap();
+        assert!(add_count >= 50);
+        // Total cycles are the sum over functions of per-instruction cycles.
+        let summed: u64 = profile
+            .functions
+            .values()
+            .flat_map(|f| f.instrs.values())
+            .map(|p| p.cycles)
+            .sum();
+        assert_eq!(summed, profile.total_cycles);
+    }
+}

@@ -1,0 +1,20 @@
+//! # helix-runtime
+//!
+//! A real-thread executor for HELIX-parallelized loops, used to validate that the
+//! transformation preserves program semantics when iterations really do run concurrently.
+//!
+//! The execution model mirrors the paper's (Section 2, Figure 3): a pool of worker threads is
+//! bound to a ring of "cores"; successive iterations of the parallelized loop are assigned
+//! round-robin; iteration `i+1`'s prologue starts only after iteration `i`'s prologue has
+//! finished *and decided to continue*; `Wait(d)`/`Signal(d)` enforce iteration order for every
+//! synchronized sequential segment through per-dependence counters (the software equivalent of
+//! the paper's thread memory buffers); loop-boundary live variables travel through shared
+//! memory because the transformation demoted them (Step 7).
+//!
+//! Timing is *not* modeled here — that is `helix-simulator`'s job. This crate answers the
+//! correctness question: does the parallel execution produce the same result as the
+//! sequential one?
+
+pub mod executor;
+
+pub use executor::{ParallelExecutor, RuntimeError};

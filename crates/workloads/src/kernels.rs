@@ -1,0 +1,351 @@
+//! Reusable loop kernels, each emitted into a caller-provided [`FunctionBuilder`].
+//!
+//! Every kernel takes a `work` parameter that controls the amount of independent (parallel)
+//! computation per iteration, and most take a `carried` parameter that controls how many
+//! global read-modify-write chains — i.e. loop-carried memory dependences requiring
+//! sequential segments — the loop contains. Tuning these two knobs against each other is how
+//! the SPEC stand-ins approximate the published parallel-code fractions.
+
+use helix_ir::builder::{FunctionBuilder, ModuleBuilder};
+use helix_ir::{BinOp, FuncId, GlobalId, Operand, Pred, UnOp, VarId};
+
+/// Emits `rounds` of integer hash-style work on `seed`, returning the result register.
+///
+/// The chain has no memory accesses and no loop-carried state, so it is pure parallel code.
+pub fn emit_hash_work(fb: &mut FunctionBuilder, seed: VarId, rounds: usize) -> VarId {
+    let mut v = fb.binary_to_new(BinOp::Mul, Operand::Var(seed), Operand::int(2_654_435_761));
+    for round in 0..rounds {
+        let m = fb.binary_to_new(BinOp::Mul, Operand::Var(v), Operand::int(31 + round as i64));
+        let x = fb.binary_to_new(BinOp::Xor, Operand::Var(m), Operand::int(0x9e37_79b9));
+        v = fb.binary_to_new(BinOp::Add, Operand::Var(x), Operand::int(round as i64));
+    }
+    v
+}
+
+/// Emits `count` global read-modify-write chains combining `value` into the globals.
+///
+/// Each chain is a loop-carried memory dependence that HELIX must place in a sequential
+/// segment.
+pub fn emit_accumulators(
+    fb: &mut FunctionBuilder,
+    accumulators: &[GlobalId],
+    value: VarId,
+) {
+    for acc in accumulators {
+        let cur = fb.new_var();
+        fb.load(cur, Operand::Global(*acc), 0);
+        let next = fb.binary_to_new(BinOp::Add, Operand::Var(cur), Operand::Var(value));
+        fb.store(Operand::Global(*acc), 0, Operand::Var(next));
+    }
+}
+
+/// A DOALL-style element-wise array transform: `arr[i] = hash(i)`.
+///
+/// `work` hash rounds of parallel computation per element; `carried` accumulators of
+/// sequential work. Returns nothing; the caller continues at the loop exit.
+pub fn array_transform_loop(
+    fb: &mut FunctionBuilder,
+    arr: GlobalId,
+    elements: i64,
+    work: usize,
+    accumulators: &[GlobalId],
+) {
+    let lh = fb.counted_loop(Operand::int(0), Operand::int(elements), 1);
+    let addr = fb.binary_to_new(BinOp::Add, Operand::Global(arr), Operand::Var(lh.induction_var));
+    let v = emit_hash_work(fb, lh.induction_var, work);
+    fb.store(Operand::Var(addr), 0, Operand::Var(v));
+    emit_accumulators(fb, accumulators, v);
+    fb.br(lh.latch);
+    fb.switch_to(lh.exit);
+}
+
+/// A reduction loop: every iteration folds `arr[i]` (plus hash work) into one global.
+pub fn reduction_loop(
+    fb: &mut FunctionBuilder,
+    arr: GlobalId,
+    acc: GlobalId,
+    elements: i64,
+    work: usize,
+) {
+    let lh = fb.counted_loop(Operand::int(0), Operand::int(elements), 1);
+    let addr = fb.binary_to_new(BinOp::Add, Operand::Global(arr), Operand::Var(lh.induction_var));
+    let elt = fb.new_var();
+    fb.load(elt, Operand::Var(addr), 0);
+    let mixed = emit_hash_work(fb, elt, work);
+    emit_accumulators(fb, &[acc], mixed);
+    fb.br(lh.latch);
+    fb.switch_to(lh.exit);
+}
+
+/// A pointer-chasing loop over a linked list laid out in `nodes` (value word, next word).
+///
+/// The list pointer itself is a loop-carried register dependence and the traversal is
+/// irregular memory access; `work` rounds of hashing per node keep some parallel work.
+pub fn pointer_chase_loop(
+    fb: &mut FunctionBuilder,
+    head: GlobalId,
+    acc: GlobalId,
+    work: usize,
+) {
+    let p = fb.new_var();
+    fb.load(p, Operand::Global(head), 0);
+    let header = fb.new_block();
+    let body = fb.new_block();
+    let exit = fb.new_block();
+    fb.br(header);
+    fb.switch_to(header);
+    let done = fb.cmp_to_new(Pred::Eq, Operand::Var(p), Operand::int(0));
+    fb.cond_br(Operand::Var(done), exit, body);
+    fb.switch_to(body);
+    let value = fb.new_var();
+    fb.load(value, Operand::Var(p), 0);
+    let mixed = emit_hash_work(fb, value, work);
+    emit_accumulators(fb, &[acc], mixed);
+    fb.load(p, Operand::Var(p), 1);
+    fb.br(header);
+    fb.switch_to(exit);
+}
+
+/// A loop with data-dependent control flow: odd elements take a heavy path, even elements a
+/// light path, and a small fraction updates a shared global (irregular workloads like crafty
+/// and vortex).
+pub fn irregular_branch_loop(
+    fb: &mut FunctionBuilder,
+    arr: GlobalId,
+    acc: GlobalId,
+    elements: i64,
+    work: usize,
+) {
+    let lh = fb.counted_loop(Operand::int(0), Operand::int(elements), 1);
+    let addr = fb.binary_to_new(BinOp::Add, Operand::Global(arr), Operand::Var(lh.induction_var));
+    let elt = fb.new_var();
+    fb.load(elt, Operand::Var(addr), 0);
+    let heavy = fb.new_block();
+    let light = fb.new_block();
+    let rare = fb.new_block();
+    let join = fb.new_block();
+    let parity = fb.binary_to_new(BinOp::And, Operand::Var(elt), Operand::int(1));
+    let result = fb.new_var();
+    fb.cond_br(Operand::Var(parity), heavy, light);
+    fb.switch_to(heavy);
+    let hv = emit_hash_work(fb, elt, work);
+    fb.copy(result, Operand::Var(hv));
+    fb.br(join);
+    fb.switch_to(light);
+    let lv = emit_hash_work(fb, elt, work / 4 + 1);
+    fb.copy(result, Operand::Var(lv));
+    fb.br(join);
+    fb.switch_to(join);
+    fb.store(Operand::Var(addr), 0, Operand::Var(result));
+    // Roughly 1 in 16 iterations touches the shared global (rare sequential segment).
+    let low_bits = fb.binary_to_new(BinOp::And, Operand::Var(lh.induction_var), Operand::int(15));
+    let is_rare = fb.cmp_to_new(Pred::Eq, Operand::Var(low_bits), Operand::int(0));
+    fb.cond_br(Operand::Var(is_rare), rare, lh.latch);
+    fb.switch_to(rare);
+    emit_accumulators(fb, &[acc], result);
+    fb.br(lh.latch);
+    fb.switch_to(lh.exit);
+}
+
+/// A floating-point stencil: `out[i] = 0.3*(in[i-1] + in[i] + in[i+1])` plus hash work.
+pub fn stencil_loop(
+    fb: &mut FunctionBuilder,
+    input: GlobalId,
+    output: GlobalId,
+    elements: i64,
+    work: usize,
+) {
+    let lh = fb.counted_loop(Operand::int(1), Operand::int(elements - 1), 1);
+    let in_addr = fb.binary_to_new(BinOp::Add, Operand::Global(input), Operand::Var(lh.induction_var));
+    let left = fb.new_var();
+    let mid = fb.new_var();
+    let right = fb.new_var();
+    fb.load(left, Operand::Var(in_addr), -1);
+    fb.load(mid, Operand::Var(in_addr), 0);
+    fb.load(right, Operand::Var(in_addr), 1);
+    let lf = fb.new_var();
+    fb.unary(lf, UnOp::ToFloat, Operand::Var(left));
+    let mf = fb.new_var();
+    fb.unary(mf, UnOp::ToFloat, Operand::Var(mid));
+    let rf = fb.new_var();
+    fb.unary(rf, UnOp::ToFloat, Operand::Var(right));
+    let s1 = fb.binary_to_new(BinOp::Add, Operand::Var(lf), Operand::Var(mf));
+    let s2 = fb.binary_to_new(BinOp::Add, Operand::Var(s1), Operand::Var(rf));
+    let avg = fb.binary_to_new(BinOp::Mul, Operand::Var(s2), Operand::float(0.3));
+    let extra = emit_hash_work(fb, lh.induction_var, work);
+    let out_addr =
+        fb.binary_to_new(BinOp::Add, Operand::Global(output), Operand::Var(lh.induction_var));
+    fb.store(Operand::Var(out_addr), 0, Operand::Var(avg));
+    fb.store(Operand::Var(out_addr), 0, Operand::Var(avg));
+    let _ = extra;
+    fb.br(lh.latch);
+    fb.switch_to(lh.exit);
+}
+
+/// Declares and defines a helper function containing its own loop over `elements` array
+/// entries, and returns its id. Calling it from inside another loop creates the
+/// interprocedural nesting-graph shape of the paper's `179.art` example.
+pub fn make_loopy_helper(
+    mb: &mut ModuleBuilder,
+    name: &str,
+    arr: GlobalId,
+    elements: i64,
+    work: usize,
+) -> FuncId {
+    let id = mb.declare_function(name, 1);
+    let mut fb = FunctionBuilder::new(name, 1);
+    let bias = fb.param(0);
+    let acc = fb.new_var();
+    fb.const_int(acc, 0);
+    let lh = fb.counted_loop(Operand::int(0), Operand::int(elements), 1);
+    let addr = fb.binary_to_new(BinOp::Add, Operand::Global(arr), Operand::Var(lh.induction_var));
+    let seed = fb.binary_to_new(BinOp::Add, Operand::Var(lh.induction_var), Operand::Var(bias));
+    let v = emit_hash_work(&mut fb, seed, work);
+    fb.store(Operand::Var(addr), 0, Operand::Var(v));
+    fb.binary(acc, BinOp::Add, Operand::Var(acc), Operand::Var(v));
+    fb.br(lh.latch);
+    fb.switch_to(lh.exit);
+    fb.ret(Some(Operand::Var(acc)));
+    mb.define_function(id, fb.finish());
+    id
+}
+
+/// A loop whose body calls `helper` once per iteration (interprocedural nesting).
+pub fn helper_call_loop(
+    fb: &mut FunctionBuilder,
+    helper: FuncId,
+    iterations: i64,
+    acc: GlobalId,
+) {
+    let lh = fb.counted_loop(Operand::int(0), Operand::int(iterations), 1);
+    let r = fb.new_var();
+    fb.call(Some(r), helper, vec![Operand::Var(lh.induction_var)]);
+    emit_accumulators(fb, &[acc], r);
+    fb.br(lh.latch);
+    fb.switch_to(lh.exit);
+}
+
+/// Emits initialization of a linked list of `nodes` entries inside `storage`, writing the head
+/// address into the `head` global. Entry `k` stores value `k*7` and a pointer to entry `k+1`.
+pub fn emit_list_init(fb: &mut FunctionBuilder, storage: GlobalId, head: GlobalId, nodes: i64) {
+    // head = &storage
+    fb.store(Operand::Global(head), 0, Operand::Global(storage));
+    let lh = fb.counted_loop(Operand::int(0), Operand::int(nodes), 1);
+    let base = fb.binary_to_new(
+        BinOp::Mul,
+        Operand::Var(lh.induction_var),
+        Operand::int(2),
+    );
+    let addr = fb.binary_to_new(BinOp::Add, Operand::Global(storage), Operand::Var(base));
+    let value = fb.binary_to_new(BinOp::Mul, Operand::Var(lh.induction_var), Operand::int(7));
+    fb.store(Operand::Var(addr), 0, Operand::Var(value));
+    // next pointer: storage + 2*(i+1), or 0 for the last node.
+    let next_index = fb.binary_to_new(BinOp::Add, Operand::Var(lh.induction_var), Operand::int(1));
+    let is_last = fb.cmp_to_new(Pred::Ge, Operand::Var(next_index), Operand::int(nodes));
+    let next_off = fb.binary_to_new(BinOp::Mul, Operand::Var(next_index), Operand::int(2));
+    let next_addr = fb.binary_to_new(BinOp::Add, Operand::Global(storage), Operand::Var(next_off));
+    let next_ptr = fb.new_var();
+    fb.select(
+        next_ptr,
+        Operand::Var(is_last),
+        Operand::int(0),
+        Operand::Var(next_addr),
+    );
+    fb.store(Operand::Var(addr), 1, Operand::Var(next_ptr));
+    fb.br(lh.latch);
+    fb.switch_to(lh.exit);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helix_ir::{verify_module, Machine, Module, Value};
+
+    fn run(module: &Module, main: FuncId) -> Value {
+        verify_module(module).expect("kernel modules must verify");
+        let mut m = Machine::new(module);
+        m.call(main, &[]).unwrap().unwrap_or(Value::Int(0))
+    }
+
+    #[test]
+    fn array_transform_and_reduction_run() {
+        let mut mb = ModuleBuilder::new("k");
+        let arr = mb.add_global("arr", 256);
+        let acc = mb.add_global("acc", 1);
+        let mut fb = FunctionBuilder::new("main", 0);
+        array_transform_loop(&mut fb, arr, 128, 4, &[]);
+        reduction_loop(&mut fb, arr, acc, 128, 2);
+        let out = fb.new_var();
+        fb.load(out, Operand::Global(acc), 0);
+        fb.ret(Some(Operand::Var(out)));
+        let main = mb.add_function(fb.finish());
+        let module = mb.finish();
+        let v = run(&module, main);
+        assert_ne!(v.as_int(), 0, "the reduction must have accumulated something");
+    }
+
+    #[test]
+    fn pointer_chase_visits_all_nodes() {
+        let mut mb = ModuleBuilder::new("k");
+        let storage = mb.add_global("nodes", 128);
+        let head = mb.add_global("head", 1);
+        let acc = mb.add_global("acc", 1);
+        let mut fb = FunctionBuilder::new("main", 0);
+        emit_list_init(&mut fb, storage, head, 32);
+        pointer_chase_loop(&mut fb, head, acc, 0);
+        let out = fb.new_var();
+        fb.load(out, Operand::Global(acc), 0);
+        fb.ret(Some(Operand::Var(out)));
+        let main = mb.add_function(fb.finish());
+        let module = mb.finish();
+        let v = run(&module, main);
+        // With zero hash rounds the hash still mixes, so just check the traversal terminated
+        // with a non-trivial accumulated value.
+        assert_ne!(v.as_int(), 0);
+    }
+
+    #[test]
+    fn irregular_and_stencil_and_helper_kernels_run() {
+        let mut mb = ModuleBuilder::new("k");
+        let arr = mb.add_global("arr", 256);
+        let input = mb.add_global("in", 128);
+        let output = mb.add_global("out", 128);
+        let acc = mb.add_global("acc", 1);
+        let helper_arr = mb.add_global("helper_arr", 64);
+        let helper = make_loopy_helper(&mut mb, "reset_nodes", helper_arr, 32, 2);
+        let mut fb = FunctionBuilder::new("main", 0);
+        irregular_branch_loop(&mut fb, arr, acc, 128, 8);
+        stencil_loop(&mut fb, input, output, 64, 2);
+        helper_call_loop(&mut fb, helper, 8, acc);
+        let out = fb.new_var();
+        fb.load(out, Operand::Global(acc), 0);
+        fb.ret(Some(Operand::Var(out)));
+        let main = mb.add_function(fb.finish());
+        let module = mb.finish();
+        let v = run(&module, main);
+        assert_ne!(v.as_int(), 0);
+        // The helper really contains a loop.
+        let nesting = helix_analysis::LoopNestingGraph::new(&module);
+        assert!(nesting.forests[&helper].len() == 1);
+        // irregular + stencil + helper-call loop in main, plus the helper's own loop.
+        assert!(nesting.len() >= 4);
+    }
+
+    #[test]
+    fn hash_work_scales_with_rounds() {
+        let mut mb = ModuleBuilder::new("k");
+        let mut fb = FunctionBuilder::new("main", 1);
+        let p = fb.param(0);
+        let v = emit_hash_work(&mut fb, p, 10);
+        fb.ret(Some(Operand::Var(v)));
+        let main = mb.add_function(fb.finish());
+        let module = mb.finish();
+        let mut m = Machine::new(&module);
+        let a = m.call(main, &[Value::Int(1)]).unwrap().unwrap();
+        let b = m.call(main, &[Value::Int(2)]).unwrap().unwrap();
+        assert_ne!(a, b, "hash must depend on its seed");
+        // 10 rounds = 30 instructions of pure ALU work plus the seed multiply.
+        let f = module.function(main);
+        assert!(f.instr_count() > 30);
+    }
+}

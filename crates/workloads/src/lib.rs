@@ -1,0 +1,32 @@
+//! # helix-workloads
+//!
+//! Synthetic stand-ins for the paper's benchmark suite.
+//!
+//! The paper evaluates HELIX on 13 C benchmarks from SPEC CPU2000 (gzip, vpr, mesa, art, mcf,
+//! equake, crafty, ammp, parser, gap, vortex, bzip2, twolf). SPEC sources and inputs are
+//! proprietary and would require a full C front end, so this crate builds one synthetic IR
+//! program per benchmark whose *loop and dependence structure* approximates the published
+//! characteristics that drive HELIX's behaviour: the number of hot loops, their nesting,
+//! the fraction of loop-carried dependences, the weight of sequential segments relative to
+//! parallel code, irregular control flow and pointer-based memory access, and interprocedural
+//! loops (functions containing loops called from other loops).
+//!
+//! The kernels are deliberately heterogeneous:
+//!
+//! * [`kernels::array_transform_loop`] — DOALL-style element-wise work (art, equake, mesa);
+//! * [`kernels::reduction_loop`] — a global read-modify-write chain per iteration (gzip, mcf);
+//! * [`kernels::pointer_chase_loop`] — irregular linked-list traversal (mcf, parser, twolf);
+//! * [`kernels::irregular_branch_loop`] — data-dependent control flow inside the body
+//!   (crafty, vortex, gap);
+//! * [`kernels::helper_call_loop`] — a loop whose body calls a function that itself contains
+//!   loops, populating the interprocedural loop nesting graph (art's `reset_nodes` shape);
+//! * [`kernels::stencil_loop`] — floating-point neighbour averaging (equake, ammp).
+//!
+//! [`spec::all_benchmarks`] instantiates the 13 parameter sets and
+//! [`spec::SpecBenchmark::build`] produces a ready-to-run [`helix_ir::Module`] plus its entry
+//! function.
+
+pub mod kernels;
+pub mod spec;
+
+pub use spec::{all_benchmarks, BenchParams, SpecBenchmark};

@@ -1,0 +1,52 @@
+//! End-to-end run of the `art` SPEC stand-in — the paper's best case (4.12x on 6 cores):
+//! profile, analyze, simulate the speedup on 2/4/6 cores, and validate the transformation by
+//! executing the hottest selected loop with real threads.
+//!
+//! Run with `cargo run --release --example parallelize_art`.
+
+use helix::core::{transform, Helix, HelixConfig};
+use helix::analysis::LoopNestingGraph;
+use helix::ir::Machine;
+use helix::profiler::profile_program;
+use helix::runtime::ParallelExecutor;
+use helix::simulator::{simulate_program, SimConfig};
+
+fn main() {
+    let bench = helix::workloads::all_benchmarks()[3];
+    assert_eq!(bench.name, "art");
+    let (module, main) = bench.build();
+    let nesting = LoopNestingGraph::new(&module);
+    let profile = profile_program(&module, &nesting, main, &[]).expect("art runs");
+    let output = Helix::new(HelixConfig::i7_980x()).analyze(&module, &profile);
+    println!("art: {} candidate loops, {} selected", output.plans.len(), output.selection.len());
+
+    for cores in [2usize, 4, 6] {
+        let sim = simulate_program(&output, &profile, &SimConfig::helix_6_cores().with_cores(cores));
+        println!("simulated speedup on {cores} cores: {:.2}x (paper: 4.12x on 6 cores)", sim.speedup);
+    }
+
+    // Correctness check: run the hottest main-level selected loop with real threads.
+    let mut machine = Machine::new(&module);
+    let expected = machine.call(main, &[]).expect("sequential run").unwrap().as_int();
+    if let Some(plan) = output
+        .selected_plans()
+        .into_iter()
+        .filter(|p| p.func == main)
+        .max_by(|a, b| {
+            profile
+                .loop_profile((a.func, a.loop_id))
+                .cycles
+                .cmp(&profile.loop_profile((b.func, b.loop_id)).cycles)
+        })
+    {
+        let transformed = transform::apply(&module, plan);
+        let got = ParallelExecutor::new(6)
+            .run(&transformed, &[])
+            .expect("parallel run")
+            .unwrap()
+            .as_int();
+        println!("checksum sequential = {expected}, parallel (6 threads) = {got}");
+        assert_eq!(expected, got, "the transformation must preserve semantics");
+        println!("parallel execution matches sequential execution");
+    }
+}

@@ -1,0 +1,26 @@
+//! # helix
+//!
+//! Facade crate for the HELIX reproduction (Campanoni et al., "HELIX: Automatic
+//! Parallelization of Irregular Programs for Chip Multiprocessing", CGO 2012).
+//!
+//! This crate re-exports the individual subsystem crates under stable module names so that
+//! examples and downstream users can depend on a single crate:
+//!
+//! * [`ir`] — the compiler intermediate representation and sequential interpreter.
+//! * [`analysis`] — dominators, loops, data flow, pointer analysis and dependence graphs.
+//! * [`core`] — the HELIX transformation pipeline and loop selection algorithm.
+//! * [`simulator`] — the cycle-level chip-multiprocessor timing model.
+//! * [`runtime`] — the real-thread ring executor used for correctness validation.
+//! * [`profiler`] — the profiling interpreter feeding loop selection.
+//! * [`workloads`] — synthetic SPEC CPU2000 stand-in programs.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the system inventory and the
+//! experiment index mapping every figure and table of the paper to a reproducing harness.
+
+pub use helix_analysis as analysis;
+pub use helix_core as core;
+pub use helix_ir as ir;
+pub use helix_profiler as profiler;
+pub use helix_runtime as runtime;
+pub use helix_simulator as simulator;
+pub use helix_workloads as workloads;

