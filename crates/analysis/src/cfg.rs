@@ -155,7 +155,9 @@ mod tests {
     fn unreachable_block_detected() {
         let mut f = diamond();
         let dead = f.new_block();
-        f.block_mut(dead).instrs.push(helix_ir::Instr::Ret { value: None });
+        f.block_mut(dead)
+            .instrs
+            .push(helix_ir::Instr::Ret { value: None });
         let cfg = Cfg::new(&f);
         assert!(!cfg.is_reachable(dead));
     }

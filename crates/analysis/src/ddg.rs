@@ -107,9 +107,7 @@ impl LoopDdg {
                         .latches
                         .iter()
                         .any(|l| reaching.reaching_out(*l).contains(def_id))
-                        && Self::upward_exposed_from_header(
-                            cfg, function, natural, use_ref, var,
-                        );
+                        && Self::upward_exposed_from_header(cfg, function, natural, use_ref, var);
                     if !intra && !carried {
                         continue;
                     }
@@ -168,17 +166,34 @@ impl LoopDdg {
                 // in iteration i and the same store in iteration i+1 form a loop-carried
                 // output dependence.
                 let pairs = [
-                    (DepKind::Raw, &a.writes, &b.reads, a.write_operand, b.read_operand),
-                    (DepKind::War, &a.reads, &b.writes, a.read_operand, b.write_operand),
-                    (DepKind::Waw, &a.writes, &b.writes, a.write_operand, b.write_operand),
+                    (
+                        DepKind::Raw,
+                        &a.writes,
+                        &b.reads,
+                        a.write_operand,
+                        b.read_operand,
+                    ),
+                    (
+                        DepKind::War,
+                        &a.reads,
+                        &b.writes,
+                        a.read_operand,
+                        b.write_operand,
+                    ),
+                    (
+                        DepKind::Waw,
+                        &a.writes,
+                        &b.writes,
+                        a.write_operand,
+                        b.write_operand,
+                    ),
                 ];
                 for (kind, set_a, set_b, op_a, op_b) in pairs {
                     if a.at == b.at && kind != DepKind::Waw {
                         continue; // an instruction cannot depend on itself except output deps
                     }
-                    let alias = Self::may_touch_same_memory(
-                        pointers, func, set_a, set_b, op_a, op_b,
-                    );
+                    let alias =
+                        Self::may_touch_same_memory(pointers, func, set_a, set_b, op_a, op_b);
                     if !alias {
                         continue;
                     }
@@ -265,11 +280,9 @@ impl LoopDdg {
         header: BlockId,
         in_loop: &dyn Fn(BlockId) -> bool,
     ) -> bool {
-        if from.block == to.block {
-            if from.index < to.index {
-                return true;
-            }
-            // Same block, `to` earlier than `from`: only possible by going around the loop.
+        // Same block with `to` earlier than `from` is only possible by going around the loop.
+        if from.block == to.block && from.index < to.index {
+            return true;
         }
         let _ = function;
         if from.block == to.block && from.index >= to.index {
@@ -385,14 +398,7 @@ mod tests {
 
     fn ddg_of(b: &Built) -> LoopDdg {
         let pointers = PointerAnalysis::new(&b.module);
-        LoopDdg::compute(
-            &b.module,
-            b.func,
-            &b.cfg,
-            &b.forest,
-            b.loop_id,
-            &pointers,
-        )
+        LoopDdg::compute(&b.module, b.func, &b.cfg, &b.forest, b.loop_id, &pointers)
     }
 
     #[test]
@@ -404,7 +410,12 @@ mod tests {
             let s = fb.new_var();
             fb.const_int(s, 0);
             let lh = fb.counted_loop(Operand::int(0), Operand::Var(n), 1);
-            fb.binary(s, BinOp::Add, Operand::Var(s), Operand::Var(lh.induction_var));
+            fb.binary(
+                s,
+                BinOp::Add,
+                Operand::Var(s),
+                Operand::Var(lh.induction_var),
+            );
             fb.br(lh.latch);
             fb.switch_to(lh.exit);
             fb.ret(Some(Operand::Var(s)));
@@ -412,10 +423,8 @@ mod tests {
         });
         let ddg = ddg_of(&built);
         // The s = s + i accumulation must appear as a loop-carried register RAW dependence.
-        let carried_reg: Vec<&DataDependence> = ddg
-            .loop_carried()
-            .filter(|d| !d.via_memory)
-            .collect();
+        let carried_reg: Vec<&DataDependence> =
+            ddg.loop_carried().filter(|d| !d.via_memory).collect();
         assert!(
             carried_reg
                 .iter()
@@ -490,9 +499,7 @@ mod tests {
         let ddg = ddg_of(&built);
         // The pointer register p carries a loop-carried register dependence (p = load p+1 then
         // used next iteration).
-        assert!(ddg
-            .loop_carried()
-            .any(|d| !d.via_memory && d.var.is_some()));
+        assert!(ddg.loop_carried().any(|d| !d.via_memory && d.var.is_some()));
     }
 
     #[test]
@@ -515,8 +522,7 @@ mod tests {
         let ddg = ddg_of(&built);
         // The store→load pair inside one iteration is an intra-iteration dependence but not a
         // loop-carried one, because the buffer is freshly allocated every iteration.
-        let mem_deps: Vec<&DataDependence> =
-            ddg.deps.iter().filter(|d| d.via_memory).collect();
+        let mem_deps: Vec<&DataDependence> = ddg.deps.iter().filter(|d| d.via_memory).collect();
         assert!(!mem_deps.is_empty());
         assert!(mem_deps.iter().all(|d| !d.loop_carried));
         assert!(mem_deps.iter().any(|d| d.intra_iteration));
@@ -577,8 +583,6 @@ mod tests {
         let ddg = ddg_of(&built);
         // The call reads and writes the counter global, so it must carry a loop-carried
         // memory dependence on itself across iterations.
-        assert!(ddg
-            .loop_carried()
-            .any(|d| d.via_memory && d.src == d.dst));
+        assert!(ddg.loop_carried().any(|d| d.via_memory && d.src == d.dst));
     }
 }

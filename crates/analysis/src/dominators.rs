@@ -24,13 +24,9 @@ impl DomTree {
     pub fn new(function: &Function, cfg: &Cfg) -> Self {
         let order: Vec<BlockId> = cfg.rpo.clone();
         let index = |b: BlockId| cfg.rpo_index[b.index()];
-        Self::compute(
-            function.blocks.len(),
-            cfg.entry,
-            &order,
-            &index,
-            |b| cfg.preds(b).to_vec(),
-        )
+        Self::compute(function.blocks.len(), cfg.entry, &order, &index, |b| {
+            cfg.preds(b).to_vec()
+        })
     }
 
     fn compute(
@@ -166,6 +162,7 @@ impl PostDomTree {
         // Order: reverse postorder of the reversed CFG starting from the virtual exit.
         let mut rsucc: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
         let mut rpred: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
+        #[allow(clippy::needless_range_loop)] // `b` indexes both rsucc and rpred
         for b in 0..n {
             for &p in cfg.preds(BlockId::new(b as u32)) {
                 // Edge p -> b in CFG becomes b -> p in reverse graph.
@@ -206,7 +203,12 @@ impl PostDomTree {
             BlockId::new(virtual_exit as u32),
             &order,
             &idx_fn,
-            |b| rpred[b.index()].iter().map(|&i| BlockId::new(i as u32)).collect(),
+            |b| {
+                rpred[b.index()]
+                    .iter()
+                    .map(|&i| BlockId::new(i as u32))
+                    .collect()
+            },
         );
         Self {
             inner,

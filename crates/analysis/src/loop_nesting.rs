@@ -234,7 +234,12 @@ mod tests {
         let acc = reset.new_var();
         reset.const_int(acc, 0);
         let l1 = reset.counted_loop(Operand::int(0), Operand::Var(n), 1);
-        reset.binary(acc, BinOp::Add, Operand::Var(acc), Operand::Var(l1.induction_var));
+        reset.binary(
+            acc,
+            BinOp::Add,
+            Operand::Var(acc),
+            Operand::Var(l1.induction_var),
+        );
         reset.br(l1.latch);
         reset.switch_to(l1.exit);
         let l2 = reset.counted_loop(Operand::int(0), Operand::Var(n), 1);
@@ -284,13 +289,11 @@ mod tests {
         let (m, main_id, scan_id, reset_id) = art_like_module();
         let g = LoopNestingGraph::new(&m);
         // The loops of reset_nodes are children of both the main loop and the scan loop.
-        let reset_loops: Vec<&LoopNode> =
-            g.iter().filter(|n| n.func == reset_id).collect();
+        let reset_loops: Vec<&LoopNode> = g.iter().filter(|n| n.func == reset_id).collect();
         assert_eq!(reset_loops.len(), 2);
         for node in &reset_loops {
             assert_eq!(node.parents.len(), 2, "called from two different loops");
-            let parent_funcs: Vec<FuncId> =
-                node.parents.iter().map(|p| g.node(*p).func).collect();
+            let parent_funcs: Vec<FuncId> = node.parents.iter().map(|p| g.node(*p).func).collect();
             assert!(parent_funcs.contains(&main_id));
             assert!(parent_funcs.contains(&scan_id));
         }

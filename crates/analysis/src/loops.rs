@@ -292,7 +292,12 @@ mod tests {
         b.const_int(s, 0);
         let outer = b.counted_loop(Operand::int(0), Operand::Var(n), 1);
         let inner = b.counted_loop(Operand::int(0), Operand::Var(n), 1);
-        b.binary(s, BinOp::Add, Operand::Var(s), Operand::Var(inner.induction_var));
+        b.binary(
+            s,
+            BinOp::Add,
+            Operand::Var(s),
+            Operand::Var(inner.induction_var),
+        );
         b.br(inner.latch);
         b.switch_to(inner.exit);
         b.br(outer.latch);

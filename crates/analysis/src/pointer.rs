@@ -56,7 +56,10 @@ impl PointerAnalysis {
         let mut analysis = PointerAnalysis::default();
         // Seed every global object so empty sets still exist for queries.
         for g in &module.globals {
-            analysis.heap.entry(AbstractObject::Global(g.id)).or_default();
+            analysis
+                .heap
+                .entry(AbstractObject::Global(g.id))
+                .or_default();
         }
 
         // Iterate all constraints to a fixed point. The constraint graph is small for the
@@ -80,7 +83,9 @@ impl PointerAnalysis {
                         }
                         Instr::Const { dst, value }
                         | Instr::Copy { dst, src: value }
-                        | Instr::Unary { dst, src: value, .. } => {
+                        | Instr::Unary {
+                            dst, src: value, ..
+                        } => {
                             let set = analysis.operand_set(func, *value);
                             changed |= analysis.add_var_set(func, *dst, &set);
                         }
@@ -134,7 +139,8 @@ impl PointerAnalysis {
                                 changed |= analysis.add_var_set(func, *d, &ret);
                             }
                             // Mod/ref of the callee flows into the caller.
-                            let callee_reads = analysis.reads.get(callee).cloned().unwrap_or_default();
+                            let callee_reads =
+                                analysis.reads.get(callee).cloned().unwrap_or_default();
                             let callee_writes =
                                 analysis.writes.get(callee).cloned().unwrap_or_default();
                             changed |= analysis.add_read_set(func, &callee_reads);
@@ -176,7 +182,10 @@ impl PointerAnalysis {
     }
 
     fn add_var_object(&mut self, func: FuncId, var: VarId, obj: AbstractObject) -> bool {
-        self.var_points_to.entry((func, var)).or_default().insert(obj)
+        self.var_points_to
+            .entry((func, var))
+            .or_default()
+            .insert(obj)
     }
 
     fn add_var_set(&mut self, func: FuncId, var: VarId, set: &ObjectSet) -> bool {
@@ -314,36 +323,15 @@ mod tests {
             pa.points_to(fid, pb_var),
             [AbstractObject::Global(gb)].into_iter().collect()
         );
-        assert!(!pa.may_alias(
-            fid,
-            Operand::Var(pa_var),
-            0,
-            fid,
-            Operand::Var(pb_var),
-            0
-        ));
-        assert!(pa.may_alias(
-            fid,
-            Operand::Var(pa_var),
-            0,
-            fid,
-            Operand::Var(pa_var),
-            3
-        ));
+        assert!(!pa.may_alias(fid, Operand::Var(pa_var), 0, fid, Operand::Var(pb_var), 0));
+        assert!(pa.may_alias(fid, Operand::Var(pa_var), 0, fid, Operand::Var(pa_var), 3));
     }
 
     #[test]
     fn same_global_different_constant_offsets_disjoint() {
         let (m, fid, ga, _) = module_with_two_globals();
         let pa = PointerAnalysis::new(&m);
-        assert!(!pa.may_alias(
-            fid,
-            Operand::Global(ga),
-            0,
-            fid,
-            Operand::Global(ga),
-            1
-        ));
+        assert!(!pa.may_alias(fid, Operand::Global(ga), 0, fid, Operand::Global(ga), 1));
         assert!(pa.may_alias(fid, Operand::Global(ga), 2, fid, Operand::Global(ga), 2));
     }
 

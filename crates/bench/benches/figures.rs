@@ -12,7 +12,11 @@ fn bench_simulation(c: &mut Criterion) {
     group.sample_size(20);
     group.bench_function("simulate_art_6_cores", |b| {
         b.iter(|| {
-            let r = simulate_program(&analysis.output, &analysis.profile, &SimConfig::helix_6_cores());
+            let r = simulate_program(
+                &analysis.output,
+                &analysis.profile,
+                &SimConfig::helix_6_cores(),
+            );
             std::hint::black_box(r.speedup)
         })
     });

@@ -10,7 +10,10 @@ fn run(config: HelixConfig) -> Vec<(&'static str, f64)> {
         .iter()
         .map(|bench| {
             let analysis = analyze_benchmark(bench, config);
-            let sim = SimConfig { helix: config, mode: helix_core::PrefetchMode::Helix };
+            let sim = SimConfig {
+                helix: config,
+                mode: helix_core::PrefetchMode::Helix,
+            };
             let r = simulate_program(&analysis.output, &analysis.profile, &sim);
             (bench.name, r.speedup)
         })
@@ -21,14 +24,19 @@ fn main() {
     println!("Figure 10: ablation of HELIX steps 6 and 8 (six cores, Figure-6 balancing disabled)");
     let base = HelixConfig::i7_980x().without_prefetch_balancing();
     let configs = [
-        ("neither 6 nor 8", base.without_signal_minimization().without_helper_threads()),
+        (
+            "neither 6 nor 8",
+            base.without_signal_minimization().without_helper_threads(),
+        ),
         ("no step 8", base.without_helper_threads()),
         ("no step 6", base.without_signal_minimization()),
         ("HELIX (no balancing)", base),
         ("HELIX (full, Figure 9)", HelixConfig::i7_980x()),
     ];
-    let results: Vec<(&str, Vec<(&'static str, f64)>)> =
-        configs.iter().map(|(label, cfg)| (*label, run(*cfg))).collect();
+    let results: Vec<(&str, Vec<(&'static str, f64)>)> = configs
+        .iter()
+        .map(|(label, cfg)| (*label, run(*cfg)))
+        .collect();
     print!("{:<10}", "benchmark");
     for (label, _) in &results {
         print!(" {label:>22}");

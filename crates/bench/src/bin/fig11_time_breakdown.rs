@@ -17,13 +17,21 @@ fn main() {
             let b = analysis.output.time_breakdown(&loops);
             println!(
                 "  level {level}: {:>7} / {:>7} / {:>7} / {:>7}",
-                pct(b.parallel), pct(b.sequential_data), pct(b.sequential_control), pct(b.outside)
+                pct(b.parallel),
+                pct(b.sequential_data),
+                pct(b.sequential_control),
+                pct(b.outside)
             );
         }
-        let b = analysis.output.time_breakdown(&analysis.output.selection.selected);
+        let b = analysis
+            .output
+            .time_breakdown(&analysis.output.selection.selected);
         println!(
             "  HELIX  : {:>7} / {:>7} / {:>7} / {:>7}",
-            pct(b.parallel), pct(b.sequential_data), pct(b.sequential_control), pct(b.outside)
+            pct(b.parallel),
+            pct(b.sequential_data),
+            pct(b.sequential_control),
+            pct(b.outside)
         );
     }
     println!("\npaper reference: no single fixed nesting level maximizes parallel code across");

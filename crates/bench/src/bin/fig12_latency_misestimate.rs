@@ -7,17 +7,29 @@ use helix_core::HelixConfig;
 use helix_simulator::{simulate_program, SimConfig};
 
 fn main() {
-    println!("Figure 12: speedups with mis-estimated signal latency during loop selection (6 cores)");
-    println!("{:<10} {:>16} {:>16} {:>12}", "benchmark", "underestimated", "overestimated", "HELIX (4cy)");
+    println!(
+        "Figure 12: speedups with mis-estimated signal latency during loop selection (6 cores)"
+    );
+    println!(
+        "{:<10} {:>16} {:>16} {:>12}",
+        "benchmark", "underestimated", "overestimated", "HELIX (4cy)"
+    );
     for bench in helix_workloads::all_benchmarks() {
         let mut row = Vec::new();
         for latency in [0u64, 110, 4] {
             let config = HelixConfig::i7_980x().with_selection_latency(latency);
             let analysis = analyze_benchmark(&bench, config);
-            let r = simulate_program(&analysis.output, &analysis.profile, &SimConfig::helix_6_cores());
+            let r = simulate_program(
+                &analysis.output,
+                &analysis.profile,
+                &SimConfig::helix_6_cores(),
+            );
             row.push(r.speedup);
         }
-        println!("{:<10} {:>16.2} {:>16.2} {:>12.2}", bench.name, row[0], row[1], row[2]);
+        println!(
+            "{:<10} {:>16.2} {:>16.2} {:>12.2}",
+            bench.name, row[0], row[1], row[2]
+        );
     }
     println!("\npaper reference: a 0-cycle assumption picks deep loops whose communication");
     println!("penalty causes slowdown; a 110-cycle assumption avoids deep loops and leaves");

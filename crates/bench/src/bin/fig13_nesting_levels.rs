@@ -8,20 +8,43 @@ fn main() {
     println!("Figure 13: nesting-level distribution of parallelized loops vs. signal latency");
     for latency in [4u64, 110] {
         println!("\nclock cycles per signal: {latency}");
-        println!("{:<10} {:>8} {:>8} {:>8} {:>8}", "benchmark", "level 1", "level 2", "level 3", "level 4+");
+        println!(
+            "{:<10} {:>8} {:>8} {:>8} {:>8}",
+            "benchmark", "level 1", "level 2", "level 3", "level 4+"
+        );
         for bench in helix_workloads::all_benchmarks() {
             let config = HelixConfig::i7_980x().with_selection_latency(latency);
             let analysis = analyze_benchmark(&bench, config);
             let dist = analysis.output.selected_level_distribution();
             let total: usize = dist.values().sum();
             let share = |level: usize| -> f64 {
-                if total == 0 { 0.0 } else { *dist.get(&level).unwrap_or(&0) as f64 / total as f64 * 100.0 }
+                if total == 0 {
+                    0.0
+                } else {
+                    *dist.get(&level).unwrap_or(&0) as f64 / total as f64 * 100.0
+                }
             };
-            let deep: f64 = if total == 0 { 0.0 } else {
-                dist.iter().filter(|(l, _)| **l >= 4).map(|(_, c)| *c as f64).sum::<f64>() / total as f64 * 100.0
+            let deep: f64 = if total == 0 {
+                0.0
+            } else {
+                dist.iter()
+                    .filter(|(l, _)| **l >= 4)
+                    .map(|(_, c)| *c as f64)
+                    .sum::<f64>()
+                    / total as f64
+                    * 100.0
             };
-            println!("{:<10} {:>7.0}% {:>7.0}% {:>7.0}% {:>7.0}%", bench.name, share(1), share(2), share(3), deep);
+            println!(
+                "{:<10} {:>7.0}% {:>7.0}% {:>7.0}% {:>7.0}%",
+                bench.name,
+                share(1),
+                share(2),
+                share(3),
+                deep
+            );
         }
     }
-    println!("\npaper reference: as the assumed latency grows, selection shifts toward outermost loops.");
+    println!(
+        "\npaper reference: as the assumed latency grows, selection shifts toward outermost loops."
+    );
 }

@@ -7,7 +7,10 @@ use helix_simulator::{simulate_program, SimConfig};
 
 fn main() {
     println!("Figure 9: measured speedups (sequential execution = 1)");
-    println!("{:<10} {:>8} {:>8} {:>8} {:>14}", "benchmark", "2 cores", "4 cores", "6 cores", "paper (6c)");
+    println!(
+        "{:<10} {:>8} {:>8} {:>8} {:>14}",
+        "benchmark", "2 cores", "4 cores", "6 cores", "paper (6c)"
+    );
     let mut six_core = Vec::new();
     let mut paper = Vec::new();
     for bench in helix_workloads::all_benchmarks() {
@@ -27,7 +30,11 @@ fn main() {
     }
     println!(
         "{:<10} {:>8} {:>8} {:>8.2} {:>14.2}",
-        "geoMean", "", "", geomean(&six_core), geomean(&paper)
+        "geoMean",
+        "",
+        "",
+        geomean(&six_core),
+        geomean(&paper)
     );
     println!("\npaper reference: geomean 2.25x, maximum 4.12x (art) on six cores");
 }

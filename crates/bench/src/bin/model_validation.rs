@@ -7,15 +7,31 @@ use helix_simulator::{simulate_program, SimConfig};
 
 fn main() {
     println!("Section 3.4: speedup-model validation (six cores)");
-    println!("{:<10} {:>10} {:>10} {:>9}", "benchmark", "model", "simulated", "error");
+    println!(
+        "{:<10} {:>10} {:>10} {:>9}",
+        "benchmark", "model", "simulated", "error"
+    );
     let mut worst: f64 = 0.0;
     for bench in helix_workloads::all_benchmarks() {
         let analysis = analyze_benchmark(&bench, HelixConfig::i7_980x());
         let model = analysis.output.estimated_speedup(PrefetchMode::Helix);
-        let sim = simulate_program(&analysis.output, &analysis.profile, &SimConfig::helix_6_cores());
+        let sim = simulate_program(
+            &analysis.output,
+            &analysis.profile,
+            &SimConfig::helix_6_cores(),
+        );
         let err = (model - sim.speedup).abs() / sim.speedup;
         worst = worst.max(err);
-        println!("{:<10} {:>10.2} {:>10.2} {:>8.1}%", bench.name, model, sim.speedup, err * 100.0);
+        println!(
+            "{:<10} {:>10.2} {:>10.2} {:>8.1}%",
+            bench.name,
+            model,
+            sim.speedup,
+            err * 100.0
+        );
     }
-    println!("\nworst-case relative error: {:.1}% (paper: < 4% against real hardware)", worst * 100.0);
+    println!(
+        "\nworst-case relative error: {:.1}% (paper: < 4% against real hardware)",
+        worst * 100.0
+    );
 }

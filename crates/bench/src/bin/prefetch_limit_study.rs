@@ -7,24 +7,44 @@ use helix_simulator::{simulate_program, SimConfig};
 
 fn main() {
     println!("Section 3.3: signal prefetching limit study (six cores)");
-    println!("{:<10} {:>8} {:>10} {:>8} {:>8}", "benchmark", "none", "matched", "HELIX", "ideal");
+    println!(
+        "{:<10} {:>8} {:>10} {:>8} {:>8}",
+        "benchmark", "none", "matched", "HELIX", "ideal"
+    );
     let mut columns: Vec<Vec<f64>> = vec![Vec::new(); 4];
     for bench in helix_workloads::all_benchmarks() {
         let analysis = analyze_benchmark(&bench, HelixConfig::i7_980x());
         let mut row = Vec::new();
-        for (i, mode) in [PrefetchMode::None, PrefetchMode::Matched, PrefetchMode::Helix, PrefetchMode::Ideal]
-            .into_iter()
-            .enumerate()
+        for (i, mode) in [
+            PrefetchMode::None,
+            PrefetchMode::Matched,
+            PrefetchMode::Helix,
+            PrefetchMode::Ideal,
+        ]
+        .into_iter()
+        .enumerate()
         {
-            let cfg = SimConfig { helix: HelixConfig::i7_980x(), mode };
+            let cfg = SimConfig {
+                helix: HelixConfig::i7_980x(),
+                mode,
+            };
             let r = simulate_program(&analysis.output, &analysis.profile, &cfg);
             row.push(r.speedup);
             columns[i].push(r.speedup);
         }
-        println!("{:<10} {:>8.2} {:>10.2} {:>8.2} {:>8.2}", bench.name, row[0], row[1], row[2], row[3]);
+        println!(
+            "{:<10} {:>8.2} {:>10.2} {:>8.2} {:>8.2}",
+            bench.name, row[0], row[1], row[2], row[3]
+        );
     }
     let geo: Vec<f64> = columns.iter().map(|c| geomean(c)).collect();
-    println!("{:<10} {:>8.2} {:>10.2} {:>8.2} {:>8.2}", "geoMean", geo[0], geo[1], geo[2], geo[3]);
-    println!("\nHELIX - matched gap: {:.2} (paper: 0.1); ideal - matched gap: {:.2} (paper: 0.4)",
-        geo[2] - geo[1], geo[3] - geo[1]);
+    println!(
+        "{:<10} {:>8.2} {:>10.2} {:>8.2} {:>8.2}",
+        "geoMean", geo[0], geo[1], geo[2], geo[3]
+    );
+    println!(
+        "\nHELIX - matched gap: {:.2} (paper: 0.1); ideal - matched gap: {:.2} (paper: 0.4)",
+        geo[2] - geo[1],
+        geo[3] - geo[1]
+    );
 }

@@ -7,7 +7,13 @@ fn main() {
     println!("Table 1: characteristics of parallelized loops");
     println!(
         "{:<10} {:>12} {:>11} {:>14} {:>16} {:>15} {:>14}",
-        "benchmark", "parallelized", "candidates", "loop-carried", "signals removed", "data transfers", "max code (KB)"
+        "benchmark",
+        "parallelized",
+        "candidates",
+        "loop-carried",
+        "signals removed",
+        "data transfers",
+        "max code (KB)"
     );
     for bench in helix_workloads::all_benchmarks() {
         let analysis = analyze_benchmark(&bench, HelixConfig::i7_980x());

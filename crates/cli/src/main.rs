@@ -1,0 +1,675 @@
+//! The `helix` command-line driver.
+//!
+//! Loads textual HIR programs (`.hir`, see `docs/hir-grammar.md`) through `helix-frontend`
+//! and drives the full reproduction pipeline on them:
+//!
+//! * `helix parse` — parse + verify, report module shape (or re-print the canonical form),
+//! * `helix run` — execute sequentially, or in parallel after the HELIX transformation,
+//! * `helix profile` — run the profiling interpreter and report per-loop costs,
+//! * `helix parallelize` — run the HELIX analysis (Steps 1–8 + loop selection),
+//! * `helix simulate` — the Figure 9 flow: profile, analyze, simulate, report speedup,
+//! * `helix dump-workload` — export a built-in synthetic SPEC stand-in as `.hir`.
+//!
+//! Every report is available as human-readable text (default) or JSON (`--json`).
+
+mod json;
+
+use helix_analysis::LoopNestingGraph;
+use helix_core::{transform, Helix, HelixConfig, HelixOutput, PrefetchMode};
+use helix_frontend::parse_file;
+use helix_ir::{printer, Machine, Module, Value};
+use helix_profiler::{Profiler, ProgramProfile};
+use helix_runtime::ParallelExecutor;
+use helix_simulator::{simulate_program, SimConfig};
+use json::Json;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+helix — the HELIX (CGO 2012) reproduction driver
+
+USAGE:
+    helix <command> [options] <file.hir>
+
+COMMANDS:
+    parse          Parse and verify a .hir file, report its shape
+    run            Execute a program (sequentially, or --parallel after HELIX)
+    profile        Profile a program and report per-loop cycle counts
+    parallelize    Run the HELIX analysis and report plans + selection
+    simulate       Profile, analyze and simulate: the end-to-end speedup report
+    dump-workload  Print a built-in synthetic workload as canonical .hir
+
+COMMON OPTIONS:
+    --json           Emit the report as JSON on stdout
+    --entry <name>   Entry function (default: main)
+    --cores <n>      Core count for parallelize/simulate (default: 6)
+    --mode <m>       Prefetching mode: helix|none|matched|ideal (default: helix)
+    --arg <int>      Append an integer argument for the entry function (repeatable)
+    --fuel <n>       Interpreter fuel limit for any interpreted run (default: 2000000000)
+    --print          (parse) Re-print the parsed module in canonical form
+    --parallel       (run) Transform the hottest selected loop, run on real threads
+    --threads <n>    (run --parallel) Worker thread count (default: 4)
+
+EXAMPLES:
+    helix parse corpus/pointer_chase.hir
+    helix simulate corpus/stencil.hir --cores 6 --json
+    helix run corpus/sum_reduction.hir --parallel
+    helix dump-workload art > /tmp/art.hir
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run_cli(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(CliError::Usage(msg)) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+        Err(CliError::Failed(msg)) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+enum CliError {
+    /// Bad invocation: print usage, exit 2.
+    Usage(String),
+    /// The operation itself failed: exit 1.
+    Failed(String),
+}
+
+impl CliError {
+    fn failed(msg: impl Into<String>) -> CliError {
+        CliError::Failed(msg.into())
+    }
+}
+
+/// Options shared by the pipeline commands, parsed from the flag list.
+struct Options {
+    file: Option<String>,
+    json: bool,
+    print: bool,
+    parallel: bool,
+    entry: String,
+    cores: usize,
+    threads: usize,
+    fuel: u64,
+    mode: PrefetchMode,
+    args: Vec<Value>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            file: None,
+            json: false,
+            print: false,
+            parallel: false,
+            entry: "main".to_string(),
+            cores: 6,
+            threads: 4,
+            fuel: 2_000_000_000,
+            mode: PrefetchMode::Helix,
+            args: Vec::new(),
+        }
+    }
+}
+
+fn parse_options(args: &[String]) -> Result<Options, CliError> {
+    let mut opts = Options::default();
+    let mut it = args.iter();
+    fn value_of(flag: &str, it: &mut std::slice::Iter<'_, String>) -> Result<String, CliError> {
+        it.next()
+            .cloned()
+            .ok_or_else(|| CliError::Usage(format!("{flag} requires a value")))
+    }
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--print" => opts.print = true,
+            "--parallel" => opts.parallel = true,
+            "--entry" => opts.entry = value_of("--entry", &mut it)?,
+            "--cores" => {
+                opts.cores = value_of("--cores", &mut it)?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--cores expects a positive integer".into()))?;
+                if opts.cores == 0 {
+                    return Err(CliError::Usage("--cores must be at least 1".into()));
+                }
+            }
+            "--threads" => {
+                opts.threads = value_of("--threads", &mut it)?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--threads expects a positive integer".into()))?;
+                if opts.threads == 0 {
+                    return Err(CliError::Usage("--threads must be at least 1".into()));
+                }
+            }
+            "--fuel" => {
+                opts.fuel = value_of("--fuel", &mut it)?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--fuel expects an integer".into()))?;
+            }
+            "--arg" => {
+                let v: i64 = value_of("--arg", &mut it)?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--arg expects an integer".into()))?;
+                opts.args.push(Value::Int(v));
+            }
+            "--mode" => {
+                opts.mode = match value_of("--mode", &mut it)?.as_str() {
+                    "helix" => PrefetchMode::Helix,
+                    "none" => PrefetchMode::None,
+                    "matched" => PrefetchMode::Matched,
+                    "ideal" => PrefetchMode::Ideal,
+                    other => {
+                        return Err(CliError::Usage(format!(
+                            "unknown --mode `{other}` (expected helix|none|matched|ideal)"
+                        )))
+                    }
+                };
+            }
+            flag if flag.starts_with("--") => {
+                return Err(CliError::Usage(format!("unknown option `{flag}`")));
+            }
+            positional => {
+                if opts.file.is_some() {
+                    return Err(CliError::Usage(format!(
+                        "unexpected extra argument `{positional}`"
+                    )));
+                }
+                opts.file = Some(positional.to_string());
+            }
+        }
+    }
+    Ok(opts)
+}
+
+fn run_cli(args: &[String]) -> Result<(), CliError> {
+    let Some(command) = args.first() else {
+        return Err(CliError::Usage("missing command".into()));
+    };
+    match command.as_str() {
+        "-h" | "--help" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        "parse" => cmd_parse(&parse_options(&args[1..])?),
+        "run" => cmd_run(&parse_options(&args[1..])?),
+        "profile" => cmd_profile(&parse_options(&args[1..])?),
+        "parallelize" => cmd_parallelize(&parse_options(&args[1..])?),
+        "simulate" => cmd_simulate(&parse_options(&args[1..])?),
+        "dump-workload" => cmd_dump_workload(&args[1..]),
+        other => Err(CliError::Usage(format!("unknown command `{other}`"))),
+    }
+}
+
+/// Loads and verifies the `.hir` file named by the options.
+fn load(opts: &Options) -> Result<Module, CliError> {
+    let Some(file) = &opts.file else {
+        return Err(CliError::Usage("missing input file".into()));
+    };
+    parse_file(file).map_err(|e| CliError::failed(format!("{file}: {e}")))
+}
+
+/// Resolves the entry function.
+fn entry_of(module: &Module, opts: &Options) -> Result<helix_ir::FuncId, CliError> {
+    module.function_by_name(&opts.entry).ok_or_else(|| {
+        let names: Vec<&str> = module.functions.iter().map(|f| f.name.as_str()).collect();
+        CliError::failed(format!(
+            "no function named `{}` (module has: {})",
+            opts.entry,
+            names.join(", ")
+        ))
+    })
+}
+
+/// Profiles the program (shared by profile/parallelize/simulate/run --parallel), honouring
+/// the `--fuel` limit like every other interpreter run the CLI performs.
+fn profiled(
+    module: &Module,
+    opts: &Options,
+) -> Result<(LoopNestingGraph, ProgramProfile, helix_ir::FuncId), CliError> {
+    let entry = entry_of(module, opts)?;
+    let nesting = LoopNestingGraph::new(module);
+    let mut machine = Machine::new(module);
+    machine.set_fuel(opts.fuel);
+    let mut profiler = Profiler::new(module, &nesting);
+    machine
+        .call_observed(entry, &opts.args, &mut profiler)
+        .map_err(|e| CliError::failed(format!("profiling run failed: {e}")))?;
+    Ok((nesting, profiler.finish(), entry))
+}
+
+fn config_of(opts: &Options) -> HelixConfig {
+    HelixConfig::i7_980x().with_cores(opts.cores)
+}
+
+fn cmd_parse(opts: &Options) -> Result<(), CliError> {
+    let module = load(opts)?;
+    if opts.print {
+        print!("{}", printer::format_module(&module));
+        return Ok(());
+    }
+    let blocks: usize = module.functions.iter().map(|f| f.blocks.len()).sum();
+    if opts.json {
+        let functions = module.functions.iter().map(|f| {
+            Json::object([
+                ("name", Json::str(&f.name)),
+                ("params", Json::uint(f.num_params as u64)),
+                ("vars", Json::uint(f.num_vars as u64)),
+                ("blocks", Json::uint(f.blocks.len() as u64)),
+                ("instrs", Json::uint(f.instr_count() as u64)),
+            ])
+        });
+        let doc = Json::object([
+            ("module", Json::str(&module.name)),
+            ("functions", Json::array(functions)),
+            ("globals", Json::uint(module.globals.len() as u64)),
+            (
+                "global_words",
+                Json::uint(module.global_memory_words() as u64),
+            ),
+            ("instrs", Json::uint(module.instr_count() as u64)),
+            ("verified", Json::bool(true)),
+        ]);
+        println!("{}", doc.into_string());
+    } else {
+        println!("module `{}`: OK", module.name);
+        println!(
+            "  {} functions, {} blocks, {} instructions",
+            module.functions.len(),
+            blocks,
+            module.instr_count()
+        );
+        println!(
+            "  {} globals totalling {} words",
+            module.globals.len(),
+            module.global_memory_words()
+        );
+        for f in &module.functions {
+            println!(
+                "  func {}: {} params, {} vars, {} blocks, {} instrs",
+                f.name,
+                f.num_params,
+                f.num_vars,
+                f.blocks.len(),
+                f.instr_count()
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_run(opts: &Options) -> Result<(), CliError> {
+    let module = load(opts)?;
+    if opts.parallel {
+        return run_parallel(&module, opts);
+    }
+    let entry = entry_of(&module, opts)?;
+    let mut machine = Machine::new(&module);
+    machine.set_fuel(opts.fuel);
+    let result = machine
+        .call(entry, &opts.args)
+        .map_err(|e| CliError::failed(format!("execution failed: {e}")))?;
+    let stats = machine.stats();
+    if opts.json {
+        let doc = Json::object([
+            ("module", Json::str(&module.name)),
+            ("entry", Json::str(&opts.entry)),
+            (
+                "result",
+                match result {
+                    Some(Value::Int(i)) => Json::int(i),
+                    Some(Value::Float(x)) => Json::float(x),
+                    None => Json::str("void"),
+                },
+            ),
+            ("instrs", Json::uint(stats.instrs)),
+            ("cycles", Json::uint(stats.cycles)),
+            ("loads", Json::uint(stats.loads)),
+            ("stores", Json::uint(stats.stores)),
+            ("calls", Json::uint(stats.calls)),
+        ]);
+        println!("{}", doc.into_string());
+    } else {
+        match result {
+            Some(v) => println!("result: {v}"),
+            None => println!("result: (void)"),
+        }
+        println!(
+            "executed {} instructions in {} model cycles ({} loads, {} stores, {} calls)",
+            stats.instrs, stats.cycles, stats.loads, stats.stores, stats.calls
+        );
+    }
+    Ok(())
+}
+
+/// `run --parallel`: transform the hottest selected loop of the entry function and execute it
+/// on real threads, validating against the sequential result.
+fn run_parallel(module: &Module, opts: &Options) -> Result<(), CliError> {
+    let (_nesting, profile, entry) = profiled(module, opts)?;
+    let output = Helix::new(config_of(opts)).analyze(module, &profile);
+    let plan = output
+        .selected_plans()
+        .into_iter()
+        .filter(|p| p.func == entry)
+        .max_by_key(|p| profile.loop_profile((p.func, p.loop_id)).cycles)
+        .ok_or_else(|| {
+            CliError::failed("no loop of the entry function was selected for parallelization")
+        })?;
+    let transformed = transform::apply(module, plan);
+    let mut machine = Machine::new(module);
+    machine.set_fuel(opts.fuel);
+    let sequential = machine
+        .call(entry, &opts.args)
+        .map_err(|e| CliError::failed(format!("sequential execution failed: {e}")))?;
+    let parallel = ParallelExecutor::new(opts.threads)
+        .run(&transformed, &opts.args)
+        .map_err(|e| CliError::failed(format!("parallel execution failed: {e}")))?;
+    let matches = sequential == parallel;
+    if opts.json {
+        let render = |v: &Option<Value>| match v {
+            Some(Value::Int(i)) => Json::int(*i),
+            Some(Value::Float(x)) => Json::float(*x),
+            None => Json::str("void"),
+        };
+        let doc = Json::object([
+            ("module", Json::str(&module.name)),
+            ("loop", Json::str(&format!("{}", plan.loop_id))),
+            ("threads", Json::uint(opts.threads as u64)),
+            ("sequential_result", render(&sequential)),
+            ("parallel_result", render(&parallel)),
+            ("results_match", Json::bool(matches)),
+            ("waits", Json::uint(transformed.wait_instr_count() as u64)),
+            (
+                "signals",
+                Json::uint(transformed.signal_instr_count() as u64),
+            ),
+        ]);
+        println!("{}", doc.into_string());
+    } else {
+        println!(
+            "parallelized loop {} of `{}` on {} threads ({} waits, {} signals inserted)",
+            plan.loop_id,
+            opts.entry,
+            opts.threads,
+            transformed.wait_instr_count(),
+            transformed.signal_instr_count()
+        );
+        let show = |v: &Option<Value>| match v {
+            Some(v) => v.to_string(),
+            None => "(void)".to_string(),
+        };
+        println!("sequential result: {}", show(&sequential));
+        println!("parallel result:   {}", show(&parallel));
+        println!(
+            "results {}",
+            if matches { "MATCH" } else { "DIFFER (bug!)" }
+        );
+    }
+    if matches {
+        Ok(())
+    } else {
+        Err(CliError::failed(
+            "parallel execution diverged from sequential execution",
+        ))
+    }
+}
+
+fn cmd_profile(opts: &Options) -> Result<(), CliError> {
+    let module = load(opts)?;
+    let (nesting, profile, _entry) = profiled(&module, opts)?;
+    let mut loops: Vec<_> = profile.loops.iter().collect();
+    loops.sort_by_key(|(key, lp)| (std::cmp::Reverse(lp.cycles), **key));
+    if opts.json {
+        let loop_docs = loops.iter().map(|((func, loop_id), lp)| {
+            Json::object([
+                ("function", Json::str(&module.function(*func).name)),
+                ("loop", Json::str(&loop_id.to_string())),
+                ("invocations", Json::uint(lp.invocations)),
+                ("iterations", Json::uint(lp.iterations)),
+                ("cycles", Json::uint(lp.cycles)),
+                (
+                    "time_fraction",
+                    Json::float(profile.loop_time_fraction((*func, *loop_id))),
+                ),
+            ])
+        });
+        let doc = Json::object([
+            ("module", Json::str(&module.name)),
+            ("total_cycles", Json::uint(profile.total_cycles)),
+            (
+                "cycles_outside_loops",
+                Json::uint(profile.cycles_outside_loops),
+            ),
+            ("candidate_loops", Json::uint(nesting.len() as u64)),
+            ("loops", Json::array(loop_docs)),
+        ]);
+        println!("{}", doc.into_string());
+    } else {
+        println!(
+            "profiled `{}`: {} total cycles, {} outside loops, {} candidate loops",
+            module.name,
+            profile.total_cycles,
+            profile.cycles_outside_loops,
+            nesting.len()
+        );
+        println!(
+            "{:<24} {:>12} {:>12} {:>14} {:>8}",
+            "loop", "invocations", "iterations", "cycles", "time"
+        );
+        for ((func, loop_id), lp) in loops {
+            println!(
+                "{:<24} {:>12} {:>12} {:>14} {:>7.1}%",
+                format!("{}/{}", module.function(*func).name, loop_id),
+                lp.invocations,
+                lp.iterations,
+                lp.cycles,
+                profile.loop_time_fraction((*func, *loop_id)) * 100.0
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Runs profile + HELIX analysis (shared by `parallelize` and `simulate`).
+fn analysis_of(module: &Module, opts: &Options) -> Result<(ProgramProfile, HelixOutput), CliError> {
+    let (_nesting, profile, _entry) = profiled(module, opts)?;
+    let output = Helix::new(config_of(opts)).analyze(module, &profile);
+    Ok((profile, output))
+}
+
+fn cmd_parallelize(opts: &Options) -> Result<(), CliError> {
+    let module = load(opts)?;
+    let (profile, output) = analysis_of(&module, opts)?;
+    let stats = output.statistics();
+    if opts.json {
+        let plans = output.plans.iter().map(|(key, plan)| {
+            Json::object([
+                ("function", Json::str(&module.function(key.0).name)),
+                ("loop", Json::str(&key.1.to_string())),
+                ("selected", Json::bool(output.selection.is_selected(*key))),
+                ("segments", Json::uint(plan.segments.len() as u64)),
+                (
+                    "synchronized_segments",
+                    Json::uint(plan.synchronized_segments() as u64),
+                ),
+                ("cycles_per_iter", Json::float(plan.total_cycles_per_iter)),
+                (
+                    "sequential_fraction",
+                    Json::float(plan.sequential_fraction()),
+                ),
+                (
+                    "signals_before",
+                    Json::uint(plan.signals_before_minimization),
+                ),
+                ("signals_after", Json::uint(plan.signals_after_minimization)),
+                (
+                    "loop_carried_fraction",
+                    Json::float(
+                        output
+                            .loop_carried_fraction
+                            .get(key)
+                            .copied()
+                            .unwrap_or(0.0),
+                    ),
+                ),
+                (
+                    "nesting_depth",
+                    Json::uint(output.nesting_depth.get(key).copied().unwrap_or(0) as u64),
+                ),
+            ])
+        });
+        let doc = Json::object([
+            ("module", Json::str(&module.name)),
+            ("cores", Json::uint(opts.cores as u64)),
+            ("candidate_loops", Json::uint(output.plans.len() as u64)),
+            ("selected_loops", Json::uint(output.selection.len() as u64)),
+            (
+                "estimated_speedup",
+                Json::float(output.estimated_speedup(opts.mode)),
+            ),
+            ("program_cycles", Json::uint(profile.total_cycles)),
+            (
+                "loop_carried_dep_fraction",
+                Json::float(stats.loop_carried_dep_fraction),
+            ),
+            (
+                "signals_removed_fraction",
+                Json::float(stats.signals_removed_fraction),
+            ),
+            ("max_code_kb", Json::float(stats.max_code_kb)),
+            ("plans", Json::array(plans)),
+        ]);
+        println!("{}", doc.into_string());
+    } else {
+        println!(
+            "HELIX analysis of `{}` on {} cores: {} candidate loops, {} selected",
+            module.name,
+            opts.cores,
+            output.plans.len(),
+            output.selection.len()
+        );
+        for (key, plan) in &output.plans {
+            let marker = if output.selection.is_selected(*key) {
+                "*"
+            } else {
+                " "
+            };
+            println!(
+                " {marker} {}/{}: {} segments ({} synchronized), {:.0} cycles/iter, {:.0}% sequential, signals {} -> {}",
+                module.function(key.0).name,
+                key.1,
+                plan.segments.len(),
+                plan.synchronized_segments(),
+                plan.total_cycles_per_iter,
+                plan.sequential_fraction() * 100.0,
+                plan.signals_before_minimization,
+                plan.signals_after_minimization,
+            );
+        }
+        println!("(* = selected by the Section 2.2 algorithm)");
+        println!(
+            "estimated whole-program speedup: {:.2}x",
+            output.estimated_speedup(opts.mode)
+        );
+    }
+    Ok(())
+}
+
+fn cmd_simulate(opts: &Options) -> Result<(), CliError> {
+    let module = load(opts)?;
+    let (profile, output) = analysis_of(&module, opts)?;
+    let sim_config = SimConfig {
+        helix: config_of(opts),
+        mode: opts.mode,
+    };
+    let sim = simulate_program(&output, &profile, &sim_config);
+    if opts.json {
+        let loops = sim.loops.iter().map(|(key, r)| {
+            Json::object([
+                ("function", Json::str(&module.function(key.0).name)),
+                ("loop", Json::str(&key.1.to_string())),
+                ("sequential_cycles", Json::float(r.sequential_cycles)),
+                ("parallel_cycles", Json::float(r.parallel_cycles)),
+                ("speedup", Json::float(r.speedup)),
+                ("signals_sent", Json::float(r.signals_sent)),
+                ("words_transferred", Json::float(r.words_transferred)),
+            ])
+        });
+        let doc = Json::object([
+            ("module", Json::str(&module.name)),
+            ("cores", Json::uint(opts.cores as u64)),
+            (
+                "mode",
+                Json::str(&format!("{:?}", opts.mode).to_lowercase()),
+            ),
+            ("sequential_cycles", Json::float(sim.sequential_cycles)),
+            ("parallel_cycles", Json::float(sim.parallel_cycles)),
+            ("speedup", Json::float(sim.speedup)),
+            (
+                "model_speedup",
+                Json::float(output.estimated_speedup(opts.mode)),
+            ),
+            ("selected_loops", Json::uint(output.selection.len() as u64)),
+            ("loops", Json::array(loops)),
+        ]);
+        println!("{}", doc.into_string());
+    } else {
+        println!(
+            "simulated `{}` on {} cores ({:?} prefetching):",
+            module.name, opts.cores, opts.mode
+        );
+        println!(
+            "  sequential: {:>14.0} cycles\n  parallel:   {:>14.0} cycles",
+            sim.sequential_cycles, sim.parallel_cycles
+        );
+        println!(
+            "  speedup:    {:>14.2}x   (analytic model estimate: {:.2}x)",
+            sim.speedup,
+            output.estimated_speedup(opts.mode)
+        );
+        for (key, r) in &sim.loops {
+            println!(
+                "    loop {}/{}: {:.2}x ({:.0} -> {:.0} cycles, {:.0} signals, {:.0} words moved)",
+                module.function(key.0).name,
+                key.1,
+                r.speedup,
+                r.sequential_cycles,
+                r.parallel_cycles,
+                r.signals_sent,
+                r.words_transferred
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_dump_workload(args: &[String]) -> Result<(), CliError> {
+    let available = || {
+        helix_workloads::all_benchmarks()
+            .iter()
+            .map(|b| b.name)
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let Some(name) = args.first() else {
+        return Err(CliError::Usage(format!(
+            "dump-workload requires a name (available: {})",
+            available()
+        )));
+    };
+    let bench = helix_workloads::all_benchmarks()
+        .into_iter()
+        .find(|b| b.name == *name)
+        .ok_or_else(|| {
+            CliError::failed(format!(
+                "unknown workload `{name}` (available: {})",
+                available()
+            ))
+        })?;
+    let (module, _main) = bench.build();
+    print!("{}", printer::format_module(&module));
+    Ok(())
+}

@@ -66,7 +66,10 @@ impl LoopModelInput {
         let avg_prefetch = if synchronized.is_empty() {
             0.0
         } else {
-            synchronized.iter().map(|s| s.prefetched_fraction).sum::<f64>()
+            synchronized
+                .iter()
+                .map(|s| s.prefetched_fraction)
+                .sum::<f64>()
                 / synchronized.len() as f64
         };
         Self {

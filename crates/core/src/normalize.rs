@@ -140,7 +140,12 @@ mod tests {
         let s = b.new_var();
         b.const_int(s, 0);
         let lh = b.counted_loop(Operand::int(0), Operand::Var(n), 1);
-        b.binary(s, BinOp::Add, Operand::Var(s), Operand::Var(lh.induction_var));
+        b.binary(
+            s,
+            BinOp::Add,
+            Operand::Var(s),
+            Operand::Var(lh.induction_var),
+        );
         b.br(lh.latch);
         b.switch_to(lh.exit);
         b.ret(Some(Operand::Var(s)));

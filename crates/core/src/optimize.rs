@@ -343,7 +343,11 @@ mod tests {
         // store (arr[i] = i*i feeds neither accumulator) so Step 5 has something to move.
         let c1 = fb.new_var();
         fb.load(c1, Operand::Global(acc1), 0);
-        let addr = fb.binary_to_new(BinOp::Add, Operand::Global(arr), Operand::Var(lh.induction_var));
+        let addr = fb.binary_to_new(
+            BinOp::Add,
+            Operand::Global(arr),
+            Operand::Var(lh.induction_var),
+        );
         let sq = fb.binary_to_new(
             BinOp::Mul,
             Operand::Var(lh.induction_var),
@@ -373,7 +377,10 @@ mod tests {
         let stats = minimize_segments(function, &mut segments, &CostModel::default());
         let after: usize = segments.iter().map(|x| x.instrs.len()).sum();
         let after_cycles: f64 = segments.iter().map(|x| x.cycles_per_iteration).sum();
-        assert!(stats.instrs_moved_out > 0, "independent work must leave the segments");
+        assert!(
+            stats.instrs_moved_out > 0,
+            "independent work must leave the segments"
+        );
         assert!(after < before);
         assert!(after_cycles < before_cycles);
         // Endpoints always remain inside.
@@ -397,7 +404,10 @@ mod tests {
         let synchronized_after = segments.iter().filter(|x| x.synchronized).count();
         assert!(waits_after <= waits_before);
         assert!(synchronized_after <= synchronized_before);
-        assert!(synchronized_after >= 1, "at least one dependence must stay synchronized");
+        assert!(
+            synchronized_after >= 1,
+            "at least one dependence must stay synchronized"
+        );
         // The stats record the dependences whose synchronization was dropped.
         assert_eq!(
             stats.dependences_covered,

@@ -9,9 +9,7 @@ use crate::plan::ParallelizedLoop;
 use crate::schedule::schedule_prefetching;
 use crate::segments::build_segments;
 use crate::selection::{DynamicLoopGraph, LoopSelection};
-use helix_analysis::{
-    Cfg, InductionInfo, Liveness, LoopDdg, LoopNestingGraph, PointerAnalysis,
-};
+use helix_analysis::{Cfg, InductionInfo, Liveness, LoopDdg, LoopNestingGraph, PointerAnalysis};
 use helix_ir::{CostModel, Instr, Module, VarId};
 use helix_profiler::{LoopKey, ProgramProfile};
 use serde::{Deserialize, Serialize};
@@ -320,32 +318,27 @@ impl HelixOutput {
     pub fn statistics(&self) -> LoopStatistics {
         let selected = &self.selection.selected;
         let plans: Vec<&ParallelizedLoop> = self.selected_plans();
-        let avg =
-            |values: Vec<f64>| -> f64 {
-                if values.is_empty() {
-                    0.0
-                } else {
-                    values.iter().sum::<f64>() / values.len() as f64
-                }
-            };
-        let loop_carried = avg(
-            selected
-                .iter()
-                .filter_map(|k| self.loop_carried_fraction.get(k).copied())
-                .collect(),
-        );
+        let avg = |values: Vec<f64>| -> f64 {
+            if values.is_empty() {
+                0.0
+            } else {
+                values.iter().sum::<f64>() / values.len() as f64
+            }
+        };
+        let loop_carried = avg(selected
+            .iter()
+            .filter_map(|k| self.loop_carried_fraction.get(k).copied())
+            .collect());
         let signals_removed = avg(plans.iter().map(|p| p.signals_removed_fraction()).collect());
-        let data_transfers = avg(
-            plans
-                .iter()
-                .map(|p| {
-                    let key = (p.func, p.loop_id);
-                    let loads = self.loads_per_iteration.get(&key).copied().unwrap_or(0.0);
-                    let consumed_bytes = (loads * self.config.word_bytes as f64).max(1.0);
-                    (p.bytes_per_iteration / consumed_bytes).min(1.0)
-                })
-                .collect(),
-        );
+        let data_transfers = avg(plans
+            .iter()
+            .map(|p| {
+                let key = (p.func, p.loop_id);
+                let loads = self.loads_per_iteration.get(&key).copied().unwrap_or(0.0);
+                let consumed_bytes = (loads * self.config.word_bytes as f64).max(1.0);
+                (p.bytes_per_iteration / consumed_bytes).min(1.0)
+            })
+            .collect());
         let max_code_kb = plans
             .iter()
             .map(|p| p.code_size_bytes as f64 / 1024.0)
@@ -440,8 +433,16 @@ mod tests {
         // multiply/xor rounds — plenty of independent work per iteration, the only loop
         // carried dependence is the field-insensitive output dependence of the store.
         let hot = fb.counted_loop(Operand::int(0), Operand::int(1024), 1);
-        let addr = fb.binary_to_new(BinOp::Add, Operand::Global(arr), Operand::Var(hot.induction_var));
-        let mut v = fb.binary_to_new(BinOp::Mul, Operand::Var(hot.induction_var), Operand::int(2654435761));
+        let addr = fb.binary_to_new(
+            BinOp::Add,
+            Operand::Global(arr),
+            Operand::Var(hot.induction_var),
+        );
+        let mut v = fb.binary_to_new(
+            BinOp::Mul,
+            Operand::Var(hot.induction_var),
+            Operand::int(2654435761),
+        );
         for round in 0..40 {
             let m = fb.binary_to_new(BinOp::Mul, Operand::Var(v), Operand::int(31 + round));
             v = fb.binary_to_new(BinOp::Xor, Operand::Var(m), Operand::int(0x9e37));
@@ -521,7 +522,10 @@ mod tests {
         let output = analyzed(HelixConfig::default());
         let b = output.time_breakdown(&output.selection.selected);
         let sum = b.parallel + b.sequential_data + b.sequential_control + b.outside;
-        assert!((sum - 1.0).abs() < 1e-6, "breakdown must sum to 1, got {sum}");
+        assert!(
+            (sum - 1.0).abs() < 1e-6,
+            "breakdown must sum to 1, got {sum}"
+        );
         assert!(b.parallel > 0.0);
         // Level-1 loops exist in this flat program.
         assert!(!output.loops_at_level(1).is_empty());

@@ -105,7 +105,9 @@ impl ParallelizedLoop {
     /// Cycles per iteration that can run in parallel (body time outside sequential segments
     /// and outside the prologue).
     pub fn parallel_cycles_per_iter(&self) -> f64 {
-        (self.total_cycles_per_iter - self.sequential_cycles_per_iter - self.prologue_cycles_per_iter)
+        (self.total_cycles_per_iter
+            - self.sequential_cycles_per_iter
+            - self.prologue_cycles_per_iter)
             .max(0.0)
     }
 

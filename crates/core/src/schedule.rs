@@ -140,8 +140,9 @@ pub fn schedule_prefetching(
     }
     let refs: Vec<&SequentialSegment> = synchronized.iter().map(|&i| &segments[i]).collect();
     let gaps0 = initial_gaps(&refs, parallel_cycles);
-    let delta =
-        config.signal_latency_unprefetched.saturating_sub(config.signal_latency_prefetched) as f64;
+    let delta = config
+        .signal_latency_unprefetched
+        .saturating_sub(config.signal_latency_prefetched) as f64;
     let (gaps, iterations) = if config.enable_prefetch_balancing {
         balance_gaps(&gaps0, delta)
     } else {
@@ -149,7 +150,13 @@ pub fn schedule_prefetching(
     };
     let fractions: Vec<f64> = gaps
         .iter()
-        .map(|g| if delta <= 0.0 { 1.0 } else { (g / delta).clamp(0.0, 1.0) })
+        .map(|g| {
+            if delta <= 0.0 {
+                1.0
+            } else {
+                (g / delta).clamp(0.0, 1.0)
+            }
+        })
         .collect();
     for (k, &i) in synchronized.iter().enumerate() {
         segments[i].prefetched_fraction = fractions[k];
@@ -188,7 +195,10 @@ mod tests {
         let (balanced, iters) = balance_gaps(&gaps, 106.0);
         let total_before: f64 = gaps.iter().sum();
         let total_after: f64 = balanced.iter().sum();
-        assert!((total_before - total_after).abs() < 1e-6, "Figure 7: A+B+C is constant");
+        assert!(
+            (total_before - total_after).abs() < 1e-6,
+            "Figure 7: A+B+C is constant"
+        );
         assert!(iters > 0);
         // The smallest gap grew and the largest shrank.
         let min_after = balanced.iter().cloned().fold(f64::INFINITY, f64::min);

@@ -86,15 +86,12 @@ pub fn build_segments(
         for &block in &natural.blocks {
             let reaches_endpoint = endpoint_blocks.iter().any(|&eb| {
                 block == eb
-                    || cfg
-                        .succs(block)
-                        .iter()
-                        .any(|&s| {
-                            s != natural.header
-                                && in_loop(s)
-                                && (s == eb
-                                    || cfg.reaches_within(s, eb, &in_loop, Some(natural.header)))
-                        })
+                    || cfg.succs(block).iter().any(|&s| {
+                        s != natural.header
+                            && in_loop(s)
+                            && (s == eb
+                                || cfg.reaches_within(s, eb, &in_loop, Some(natural.header)))
+                    })
             });
             clear.insert(block, !reaches_endpoint);
         }
@@ -121,10 +118,7 @@ pub fn build_segments(
             if !clear[&block] || endpoint_blocks.contains(&block) {
                 continue;
             }
-            let frontier = cfg
-                .preds(block)
-                .iter()
-                .any(|&p| in_loop(p) && !clear[&p]);
+            let frontier = cfg.preds(block).iter().any(|&p| in_loop(p) && !clear[&p]);
             if frontier {
                 signal_points.push(InstrRef::new(block, 0));
             }
@@ -178,14 +172,11 @@ pub fn build_segments(
 
         // Static per-iteration cost of the segment (profile-weighted costs are recomputed by
         // the pipeline when a profile is available).
-        let cycles: u64 = instrs
-            .iter()
-            .map(|r| cost.cost(function.instr(*r)))
-            .sum();
+        let cycles: u64 = instrs.iter().map(|r| cost.cost(function.instr(*r))).sum();
 
-        let transfers_data = dependences.iter().any(|d| {
-            d.kind == DepKind::Raw && (d.via_memory || d.var.is_some())
-        });
+        let transfers_data = dependences
+            .iter()
+            .any(|d| d.kind == DepKind::Raw && (d.via_memory || d.var.is_some()));
 
         let _ = norm;
         segments.push(SequentialSegment {
@@ -261,7 +252,11 @@ mod tests {
         let mut fb = FunctionBuilder::new("f", 1);
         let n = fb.param(0);
         let lh = fb.counted_loop(Operand::int(0), Operand::Var(n), 1);
-        let addr = fb.binary_to_new(BinOp::Add, Operand::Global(arr), Operand::Var(lh.induction_var));
+        let addr = fb.binary_to_new(
+            BinOp::Add,
+            Operand::Global(arr),
+            Operand::Var(lh.induction_var),
+        );
         let elt = fb.new_var();
         fb.load(elt, Operand::Var(addr), 0);
         let cur = fb.new_var();
@@ -297,7 +292,10 @@ mod tests {
         assert!(!segments.is_empty());
         for seg in &segments {
             assert!(!seg.wait_points.is_empty(), "segment must wait somewhere");
-            assert!(!seg.signal_points.is_empty(), "segment must signal somewhere");
+            assert!(
+                !seg.signal_points.is_empty(),
+                "segment must signal somewhere"
+            );
             assert!(seg.cycles_per_iteration > 0.0);
             assert!(seg.synchronized);
         }
@@ -336,8 +334,11 @@ mod tests {
             let mut fb = FunctionBuilder::new("f", 1);
             let n = fb.param(0);
             let lh = fb.counted_loop(Operand::int(0), Operand::Var(n), 1);
-            let addr =
-                fb.binary_to_new(BinOp::Add, Operand::Global(arr), Operand::Var(lh.induction_var));
+            let addr = fb.binary_to_new(
+                BinOp::Add,
+                Operand::Global(arr),
+                Operand::Var(lh.induction_var),
+            );
             let v = fb.binary_to_new(BinOp::Mul, Operand::Var(lh.induction_var), Operand::int(2));
             fb.store(Operand::Var(addr), 0, Operand::Var(v));
             fb.br(lh.latch);
@@ -348,7 +349,10 @@ mod tests {
         let segments = segments_of(&s);
         for seg in &segments {
             for dep in &seg.dependences {
-                assert!(dep.via_memory, "only memory dependences may be synchronized");
+                assert!(
+                    dep.via_memory,
+                    "only memory dependences may be synchronized"
+                );
             }
         }
     }

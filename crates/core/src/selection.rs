@@ -160,11 +160,7 @@ impl DynamicLoopGraph {
         }
         LoopSelection {
             selected,
-            saved_time: self
-                .nodes
-                .iter()
-                .map(|(k, n)| (*k, n.saved_time))
-                .collect(),
+            saved_time: self.nodes.iter().map(|(k, n)| (*k, n.saved_time)).collect(),
             max_saved_time: self
                 .nodes
                 .iter()
@@ -247,8 +243,7 @@ mod tests {
     #[test]
     fn descends_when_children_save_more_combined() {
         // L0 saves 10, children L1 and L2 save 40 + 30 = 70 > 10 → select the children.
-        let mut g =
-            graph_from_edges(&[(0, 10.0), (1, 40.0), (2, 30.0)], &[(0, 1), (0, 2)], &[0]);
+        let mut g = graph_from_edges(&[(0, 10.0), (1, 40.0), (2, 30.0)], &[(0, 1), (0, 2)], &[0]);
         g.propagate_max_saved_time();
         assert!((g.nodes[&key(0)].max_saved_time - 70.0).abs() < 1e-9);
         let sel = g.select();
@@ -289,11 +284,7 @@ mod tests {
     #[test]
     fn multiple_parents_select_node_once() {
         // Two roots both call into loop 2 (the paper's reset_nodes case).
-        let mut g = graph_from_edges(
-            &[(0, 5.0), (1, 5.0), (2, 80.0)],
-            &[(0, 2), (1, 2)],
-            &[0, 1],
-        );
+        let mut g = graph_from_edges(&[(0, 5.0), (1, 5.0), (2, 80.0)], &[(0, 2), (1, 2)], &[0, 1]);
         g.propagate_max_saved_time();
         let sel = g.select();
         assert!(sel.is_selected(key(2)));

@@ -11,9 +11,7 @@
 //! it when another parallel loop is already running; the parallel version is a clone.
 
 use crate::plan::ParallelizedLoop;
-use helix_ir::{
-    Function, FuncId, GlobalId, Instr, InstrRef, Module, Operand, VarId,
-};
+use helix_ir::{FuncId, Function, GlobalId, Instr, InstrRef, Module, Operand, VarId};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -48,7 +46,11 @@ pub fn apply(module: &Module, plan: &ParallelizedLoop) -> TransformedProgram {
     let boundary: Vec<VarId> = plan.boundary_live_vars.iter().copied().collect();
     let frame_words = boundary.len().max(1);
     let frame_global = out.add_global(
-        format!("{}__helix_frame_l{}", original_fn.name, plan.loop_id.index()),
+        format!(
+            "{}__helix_frame_l{}",
+            original_fn.name,
+            plan.loop_id.index()
+        ),
         frame_words,
     );
     let slot_of: BTreeMap<VarId, i64> = boundary
@@ -67,16 +69,21 @@ pub fn apply(module: &Module, plan: &ParallelizedLoop) -> TransformedProgram {
     let mut signals_at: BTreeMap<(u32, usize), Vec<helix_ir::DepId>> = BTreeMap::new();
     for seg in plan.segments.iter().filter(|s| s.synchronized) {
         for w in &seg.wait_points {
-            waits_at.entry((w.block.0, w.index)).or_default().push(seg.dep);
+            waits_at
+                .entry((w.block.0, w.index))
+                .or_default()
+                .push(seg.dep);
         }
         for s in &seg.signal_points {
-            signals_at.entry((s.block.0, s.index)).or_default().push(seg.dep);
+            signals_at
+                .entry((s.block.0, s.index))
+                .or_default()
+                .push(seg.dep);
         }
     }
 
-    let in_loop = |b: helix_ir::BlockId| {
-        plan.prologue_blocks.contains(&b) || plan.body_blocks.contains(&b)
-    };
+    let in_loop =
+        |b: helix_ir::BlockId| plan.prologue_blocks.contains(&b) || plan.body_blocks.contains(&b);
 
     // Rewrite every block of the clone: demote boundary variables everywhere in the function,
     // insert Wait/Signal at the recorded (original) indices inside loop blocks.
@@ -220,14 +227,26 @@ mod tests {
         let n = fb.param(0);
         // Seed the array with i*3.
         let init = fb.counted_loop(Operand::int(0), Operand::Var(n), 1);
-        let a0 = fb.binary_to_new(BinOp::Add, Operand::Global(arr), Operand::Var(init.induction_var));
-        let v0 = fb.binary_to_new(BinOp::Mul, Operand::Var(init.induction_var), Operand::int(3));
+        let a0 = fb.binary_to_new(
+            BinOp::Add,
+            Operand::Global(arr),
+            Operand::Var(init.induction_var),
+        );
+        let v0 = fb.binary_to_new(
+            BinOp::Mul,
+            Operand::Var(init.induction_var),
+            Operand::int(3),
+        );
         fb.store(Operand::Var(a0), 0, Operand::Var(v0));
         fb.br(init.latch);
         fb.switch_to(init.exit);
         // Accumulate.
         let lh = fb.counted_loop(Operand::int(0), Operand::Var(n), 1);
-        let addr = fb.binary_to_new(BinOp::Add, Operand::Global(arr), Operand::Var(lh.induction_var));
+        let addr = fb.binary_to_new(
+            BinOp::Add,
+            Operand::Global(arr),
+            Operand::Var(lh.induction_var),
+        );
         let elt = fb.new_var();
         fb.load(elt, Operand::Var(addr), 0);
         let cur = fb.new_var();
@@ -250,7 +269,11 @@ mod tests {
         let plan = output
             .plans
             .values()
-            .find(|p| p.segments.iter().any(|s| s.transfers_data && s.synchronized))
+            .find(|p| {
+                p.segments
+                    .iter()
+                    .any(|s| s.transfers_data && s.synchronized)
+            })
             .expect("the accumulator loop must have a synchronized segment")
             .clone();
         let t = apply(&module, &plan);

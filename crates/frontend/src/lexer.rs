@@ -1,0 +1,478 @@
+//! The `.hir` lexer: source text to a span-carrying token stream.
+//!
+//! The token set mirrors what `helix_ir::printer` emits (the canonical grammar) plus two
+//! conveniences the printer never produces but hand-written corpus files want: `#` and `;`
+//! line comments. All spans are 1-based line/column positions pointing at the first
+//! character of the token.
+
+use std::fmt;
+
+/// A 1-based source position.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// Line number, starting at 1.
+    pub line: u32,
+    /// Column number, starting at 1.
+    pub col: u32,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// One lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokenKind {
+    /// A bare identifier or keyword: `module`, `func`, opcodes, `bb0`, `fn1`, `dep0`, ...
+    Ident(String),
+    /// A virtual register `%vN`.
+    Var(u32),
+    /// A global reference `@gN`.
+    GlobalRef(u32),
+    /// A signed integer literal.
+    Int(i64),
+    /// A float literal (`2.5f`, `-3f`, `inff`, `nanf`).
+    Float(f64),
+    /// A quoted string with `\\`, `\"` and `\n` escapes.
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `=`
+    Eq,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `+`
+    Plus,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Human-readable rendering used in diagnostics ("found `X`").
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("`{s}`"),
+            TokenKind::Var(v) => format!("`%v{v}`"),
+            TokenKind::GlobalRef(g) => format!("`@g{g}`"),
+            TokenKind::Int(i) => format!("`{i}`"),
+            TokenKind::Float(x) => format!("`{x}f`"),
+            TokenKind::Str(s) => format!("string \"{s}\""),
+            TokenKind::LParen => "`(`".to_string(),
+            TokenKind::RParen => "`)`".to_string(),
+            TokenKind::LBrace => "`{`".to_string(),
+            TokenKind::RBrace => "`}`".to_string(),
+            TokenKind::LBracket => "`[`".to_string(),
+            TokenKind::RBracket => "`]`".to_string(),
+            TokenKind::Eq => "`=`".to_string(),
+            TokenKind::Comma => "`,`".to_string(),
+            TokenKind::Colon => "`:`".to_string(),
+            TokenKind::Plus => "`+`".to_string(),
+            TokenKind::Eof => "end of input".to_string(),
+        }
+    }
+}
+
+/// A token plus the span of its first character.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Where it starts.
+    pub span: Span,
+}
+
+/// A lexical error with its position.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LexError {
+    /// Where the offending character sits.
+    pub span: Span,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Lexes `src` into tokens, ending with a single [`TokenKind::Eof`].
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'s> {
+    chars: std::iter::Peekable<std::str::Chars<'s>>,
+    line: u32,
+    col: u32,
+}
+
+impl<'s> Lexer<'s> {
+    fn new(src: &'s str) -> Self {
+        Self {
+            chars: src.chars().peekable(),
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn span(&self) -> Span {
+        Span {
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn error(&self, span: Span, message: impl Into<String>) -> LexError {
+        LexError {
+            span,
+            message: message.into(),
+        }
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, LexError> {
+        let mut tokens = Vec::new();
+        while let Some(&c) = self.chars.peek() {
+            let span = self.span();
+            match c {
+                ' ' | '\t' | '\r' | '\n' => {
+                    self.bump();
+                }
+                '#' | ';' => {
+                    while let Some(&c) = self.chars.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                '(' | ')' | '{' | '}' | '[' | ']' | '=' | ',' | ':' | '+' => {
+                    self.bump();
+                    let kind = match c {
+                        '(' => TokenKind::LParen,
+                        ')' => TokenKind::RParen,
+                        '{' => TokenKind::LBrace,
+                        '}' => TokenKind::RBrace,
+                        '[' => TokenKind::LBracket,
+                        ']' => TokenKind::RBracket,
+                        '=' => TokenKind::Eq,
+                        ',' => TokenKind::Comma,
+                        ':' => TokenKind::Colon,
+                        _ => TokenKind::Plus,
+                    };
+                    tokens.push(Token { kind, span });
+                }
+                '%' => {
+                    self.bump();
+                    if self.chars.peek() != Some(&'v') {
+                        return Err(self.error(span, "expected `v` after `%` in a register name"));
+                    }
+                    self.bump();
+                    let index = self.lex_index(span, "register")?;
+                    tokens.push(Token {
+                        kind: TokenKind::Var(index),
+                        span,
+                    });
+                }
+                '@' => {
+                    self.bump();
+                    if self.chars.peek() != Some(&'g') {
+                        return Err(self.error(span, "expected `g` after `@` in a global name"));
+                    }
+                    self.bump();
+                    let index = self.lex_index(span, "global")?;
+                    tokens.push(Token {
+                        kind: TokenKind::GlobalRef(index),
+                        span,
+                    });
+                }
+                '"' => {
+                    self.bump();
+                    let mut s = String::new();
+                    loop {
+                        match self.bump() {
+                            None => return Err(self.error(span, "unterminated string literal")),
+                            Some('"') => break,
+                            Some('\\') => match self.bump() {
+                                Some('"') => s.push('"'),
+                                Some('\\') => s.push('\\'),
+                                Some('n') => s.push('\n'),
+                                other => {
+                                    return Err(self.error(
+                                        span,
+                                        format!(
+                                            "invalid escape `\\{}` in string literal",
+                                            other.map(String::from).unwrap_or_default()
+                                        ),
+                                    ))
+                                }
+                            },
+                            Some(c) => s.push(c),
+                        }
+                    }
+                    tokens.push(Token {
+                        kind: TokenKind::Str(s),
+                        span,
+                    });
+                }
+                '-' => {
+                    self.bump();
+                    match self.chars.peek() {
+                        Some(c) if c.is_ascii_digit() => {
+                            tokens.push(self.lex_number(span, true)?);
+                        }
+                        Some('i') => {
+                            // The only word the printer emits after `-` is `inff`.
+                            let word = self.lex_word();
+                            if word == "inff" {
+                                tokens.push(Token {
+                                    kind: TokenKind::Float(f64::NEG_INFINITY),
+                                    span,
+                                });
+                            } else {
+                                return Err(self.error(
+                                    span,
+                                    format!("expected a number after `-`, found `-{word}`"),
+                                ));
+                            }
+                        }
+                        _ => return Err(self.error(span, "expected a number after `-`")),
+                    }
+                }
+                c if c.is_ascii_digit() => {
+                    let token = self.lex_number(span, false)?;
+                    tokens.push(token);
+                }
+                c if c.is_ascii_alphabetic() || c == '_' => {
+                    let word = self.lex_word();
+                    let kind = match word.as_str() {
+                        // Non-finite float keywords from `printer::format_float`; classified
+                        // here so identifiers never start an operand.
+                        "inff" => TokenKind::Float(f64::INFINITY),
+                        "nanf" => TokenKind::Float(f64::NAN),
+                        _ => TokenKind::Ident(word),
+                    };
+                    tokens.push(Token { kind, span });
+                }
+                other => {
+                    return Err(self.error(span, format!("unexpected character `{other}`")));
+                }
+            }
+        }
+        tokens.push(Token {
+            kind: TokenKind::Eof,
+            span: self.span(),
+        });
+        Ok(tokens)
+    }
+
+    /// Lexes the digits of `%vN` / `@gN`.
+    fn lex_index(&mut self, span: Span, what: &str) -> Result<u32, LexError> {
+        let mut digits = String::new();
+        while let Some(&c) = self.chars.peek() {
+            if c.is_ascii_digit() {
+                digits.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if digits.is_empty() {
+            return Err(self.error(span, format!("expected digits in {what} name")));
+        }
+        digits
+            .parse()
+            .map_err(|_| self.error(span, format!("{what} index out of range: {digits}")))
+    }
+
+    /// Lexes an identifier-shaped word (letters, digits, `_`, `.`).
+    fn lex_word(&mut self) -> String {
+        let mut word = String::new();
+        while let Some(&c) = self.chars.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' || c == '.' {
+                word.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        word
+    }
+
+    /// Lexes an integer or float literal starting at the current digit.
+    fn lex_number(&mut self, span: Span, negative: bool) -> Result<Token, LexError> {
+        let mut text = String::new();
+        if negative {
+            text.push('-');
+        }
+        let mut is_float = false;
+        let mut saw_suffix = false;
+        while let Some(&c) = self.chars.peek() {
+            match c {
+                '0'..='9' => {
+                    text.push(c);
+                    self.bump();
+                }
+                '.' | 'e' | 'E' => {
+                    is_float = true;
+                    text.push(c);
+                    self.bump();
+                    // Allow a sign right after the exponent marker.
+                    if (c == 'e' || c == 'E') && matches!(self.chars.peek(), Some('-' | '+')) {
+                        text.push(*self.chars.peek().unwrap());
+                        self.bump();
+                    }
+                }
+                'f' => {
+                    self.bump();
+                    is_float = true;
+                    saw_suffix = true;
+                    break;
+                }
+                c if c.is_ascii_alphanumeric() || c == '_' => {
+                    return Err(self.error(span, format!("malformed number `{text}{c}...`")));
+                }
+                _ => break,
+            }
+        }
+        if is_float && !saw_suffix {
+            return Err(self.error(
+                span,
+                format!("float literal `{text}` is missing its `f` suffix"),
+            ));
+        }
+        if is_float {
+            let value: f64 = text
+                .parse()
+                .map_err(|_| self.error(span, format!("malformed float literal `{text}f`")))?;
+            Ok(Token {
+                kind: TokenKind::Float(value),
+                span,
+            })
+        } else {
+            let value: i64 = text.parse().map_err(|_| {
+                self.error(
+                    span,
+                    format!("integer literal `{text}` out of 64-bit range"),
+                )
+            })?;
+            Ok(Token {
+                kind: TokenKind::Int(value),
+                span,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_the_canonical_header() {
+        let toks = kinds("module prog\nglobal @g0 \"buf\" [32 words]");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Ident("module".into()),
+                TokenKind::Ident("prog".into()),
+                TokenKind::Ident("global".into()),
+                TokenKind::GlobalRef(0),
+                TokenKind::Str("buf".into()),
+                TokenKind::LBracket,
+                TokenKind::Int(32),
+                TokenKind::Ident("words".into()),
+                TokenKind::RBracket,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_instructions_with_registers_and_immediates() {
+        let toks = kinds("  %v1 = add %v0, -7\n  store [%v2 + -1], 2.5f");
+        assert!(toks.contains(&TokenKind::Var(1)));
+        assert!(toks.contains(&TokenKind::Int(-7)));
+        assert!(toks.contains(&TokenKind::Int(-1)));
+        assert!(toks.contains(&TokenKind::Float(2.5)));
+    }
+
+    #[test]
+    fn lexes_float_keywords_and_suffixes() {
+        assert_eq!(kinds("2f")[0], TokenKind::Float(2.0));
+        assert_eq!(kinds("inff")[0], TokenKind::Float(f64::INFINITY));
+        assert_eq!(kinds("-inff")[0], TokenKind::Float(f64::NEG_INFINITY));
+        match kinds("nanf")[0] {
+            TokenKind::Float(x) => assert!(x.is_nan()),
+            ref other => panic!("expected float, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = kinds("# a comment\nmodule m ; trailing\nfunc");
+        assert_eq!(toks.len(), 4);
+        assert_eq!(toks[0], TokenKind::Ident("module".into()));
+        assert_eq!(toks[2], TokenKind::Ident("func".into()));
+    }
+
+    #[test]
+    fn spans_are_one_based_line_and_column() {
+        let toks = lex("module m\n  %v0 = const 1").unwrap();
+        assert_eq!(toks[0].span, Span { line: 1, col: 1 });
+        assert_eq!(toks[1].span, Span { line: 1, col: 8 });
+        assert_eq!(toks[2].span, Span { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let toks = kinds(r#""a\"b\\c\n""#);
+        assert_eq!(toks[0], TokenKind::Str("a\"b\\c\n".into()));
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let e = lex("module m\n  ^bad").unwrap_err();
+        assert_eq!(e.span, Span { line: 2, col: 3 });
+        assert!(e.message.contains("unexpected character"));
+        let e = lex("%x1").unwrap_err();
+        assert!(e.message.contains("expected `v`"));
+        let e = lex("1.5").unwrap_err();
+        assert!(e.message.contains("missing its `f` suffix"));
+        let e = lex("99999999999999999999").unwrap_err();
+        assert!(e.message.contains("out of 64-bit range"));
+        let e = lex("\"unterminated").unwrap_err();
+        assert!(e.message.contains("unterminated"));
+    }
+}

@@ -1,0 +1,94 @@
+//! # helix-frontend
+//!
+//! The textual frontend of the HELIX reproduction: a lexer and recursive-descent parser for
+//! the `.hir` format, the canonical textual form of [`helix_ir`] modules.
+//!
+//! The grammar is *defined* as whatever [`helix_ir::printer`] emits: for every module `m`,
+//! `parse(print(m)) == m`. This makes the format trivially dumpable from any stage of the
+//! pipeline and is enforced by round-trip tests over the whole synthetic workload suite. On
+//! top of the printed subset, the lexer also accepts `#` and `;` line comments so the
+//! checked-in corpus under `corpus/` can be annotated.
+//!
+//! Diagnostics carry 1-based line/column spans and "expected X, found Y" messages; see
+//! [`parser::ParseError`].
+//!
+//! ## Quick example
+//!
+//! ```
+//! let src = r#"
+//! module example
+//! func main(0 params, 1 vars) {
+//! bb0: (entry)
+//!   %v0 = const 42
+//!   ret %v0
+//! }
+//! "#;
+//! let module = helix_frontend::parse_and_verify(src).unwrap();
+//! let main = module.function_by_name("main").unwrap();
+//! let mut machine = helix_ir::Machine::new(&module);
+//! assert_eq!(machine.call(main, &[]).unwrap().unwrap().as_int(), 42);
+//! ```
+
+use helix_ir::{verify_module, Module, VerifyError};
+use std::fmt;
+use std::path::Path;
+
+pub mod lexer;
+pub mod parser;
+
+pub use lexer::{lex, LexError, Span, Token, TokenKind};
+pub use parser::{parse_module, ParseError};
+
+/// Any error produced while loading a textual module.
+#[derive(Debug)]
+pub enum FrontendError {
+    /// The file could not be read.
+    Io(std::io::Error),
+    /// The text does not conform to the grammar.
+    Parse(ParseError),
+    /// The text parsed but the module violates an IR invariant.
+    Verify(VerifyError),
+}
+
+impl fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrontendError::Io(e) => write!(f, "io error: {e}"),
+            FrontendError::Parse(e) => write!(f, "parse error: {e}"),
+            FrontendError::Verify(e) => write!(f, "verify error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrontendError {}
+
+impl From<ParseError> for FrontendError {
+    fn from(e: ParseError) -> Self {
+        FrontendError::Parse(e)
+    }
+}
+
+impl From<VerifyError> for FrontendError {
+    fn from(e: VerifyError) -> Self {
+        FrontendError::Verify(e)
+    }
+}
+
+impl From<std::io::Error> for FrontendError {
+    fn from(e: std::io::Error) -> Self {
+        FrontendError::Io(e)
+    }
+}
+
+/// Parses `src` and runs the IR verifier on the result.
+pub fn parse_and_verify(src: &str) -> Result<Module, FrontendError> {
+    let module = parse_module(src)?;
+    verify_module(&module)?;
+    Ok(module)
+}
+
+/// Reads, parses and verifies a `.hir` file.
+pub fn parse_file(path: impl AsRef<Path>) -> Result<Module, FrontendError> {
+    let src = std::fs::read_to_string(path)?;
+    parse_and_verify(&src)
+}

@@ -1,0 +1,756 @@
+//! Recursive-descent parser for the textual HIR format.
+//!
+//! The grammar is exactly what [`helix_ir::printer`] emits (see `docs/hir-grammar.md` for the
+//! EBNF). The parser builds a [`Module`] directly and performs the structural checks the
+//! printer guarantees by construction — globals and blocks declared in id order, exactly one
+//! `(entry)` block per function, registers below the declared `vars` count, branch targets
+//! and callees in range — each reported with the 1-based line/column of the offending token.
+//! Deeper semantic invariants (terminator placement, dominance of definitions) are left to
+//! [`helix_ir::verify`], which [`crate::parse_and_verify`] runs on the parsed result.
+
+use crate::lexer::{lex, Span, Token, TokenKind};
+use helix_ir::printer::{binop_mnemonic, pred_mnemonic, unop_mnemonic};
+use helix_ir::{
+    BasicBlock, BinOp, BlockId, DepId, FuncId, Function, GlobalId, Instr, Module, Operand, Pred,
+    UnOp, Value, VarId,
+};
+use std::fmt;
+
+/// A parse (or lex) error with its source position.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError {
+    /// Where the offending token starts.
+    pub span: Span,
+    /// What went wrong, phrased as "expected X, found Y" where possible.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses `src` into a [`Module`] without running the IR verifier.
+pub fn parse_module(src: &str) -> Result<Module, ParseError> {
+    let tokens = lex(src).map_err(|e| ParseError {
+        span: e.span,
+        message: e.message,
+    })?;
+    Parser::new(tokens).module()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Self {
+        Self { tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn next(&mut self) -> Token {
+        let t = self.peek().clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, span: Span, message: impl Into<String>) -> ParseError {
+        ParseError {
+            span,
+            message: message.into(),
+        }
+    }
+
+    fn error_here(&self, expected: &str) -> ParseError {
+        let t = self.peek();
+        self.error(
+            t.span,
+            format!("expected {expected}, found {}", t.kind.describe()),
+        )
+    }
+
+    fn expect(&mut self, kind: TokenKind, expected: &str) -> Result<Span, ParseError> {
+        if self.peek().kind == kind {
+            Ok(self.next().span)
+        } else {
+            Err(self.error_here(expected))
+        }
+    }
+
+    fn expect_keyword(&mut self, word: &str) -> Result<Span, ParseError> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) if s == word => Ok(self.next().span),
+            _ => Err(self.error_here(&format!("keyword `{word}`"))),
+        }
+    }
+
+    fn expect_int(&mut self, expected: &str) -> Result<(i64, Span), ParseError> {
+        match self.peek().kind {
+            TokenKind::Int(i) => {
+                let span = self.next().span;
+                Ok((i, span))
+            }
+            _ => Err(self.error_here(expected)),
+        }
+    }
+
+    /// Parses a module or function name: a bare identifier or a quoted string.
+    fn name(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.peek().kind.clone() {
+            TokenKind::Ident(s) => {
+                self.next();
+                Ok(s)
+            }
+            TokenKind::Str(s) => {
+                self.next();
+                Ok(s)
+            }
+            _ => Err(self.error_here(&format!("{what} name (identifier or string)"))),
+        }
+    }
+
+    /// Parses an identifier of the form `<prefix><digits>` (e.g. `bb3`, `fn0`, `dep2`).
+    fn prefixed_id(&mut self, prefix: &str, what: &str) -> Result<(u32, Span), ParseError> {
+        match self.peek().kind.clone() {
+            TokenKind::Ident(s) if s.starts_with(prefix) => {
+                if let Ok(n) = s[prefix.len()..].parse::<u32>() {
+                    let span = self.next().span;
+                    return Ok((n, span));
+                }
+                Err(self.error_here(&format!("{what} (`{prefix}N`)")))
+            }
+            _ => Err(self.error_here(&format!("{what} (`{prefix}N`)"))),
+        }
+    }
+
+    fn module(&mut self) -> Result<Module, ParseError> {
+        self.expect_keyword("module")?;
+        let name = self.name("module")?;
+        let mut module = Module::new(name);
+        // Call sites referencing functions, checked once the whole module is known.
+        let mut call_sites: Vec<(Span, FuncId)> = Vec::new();
+
+        loop {
+            match self.peek().kind.clone() {
+                TokenKind::Ident(ref s) if s == "global" => {
+                    self.global(&mut module)?;
+                }
+                TokenKind::Ident(ref s) if s == "func" => {
+                    let f = self.function(&mut call_sites)?;
+                    module.functions.push(f);
+                }
+                TokenKind::Eof => break,
+                _ => return Err(self.error_here("`global`, `func` or end of input")),
+            }
+        }
+
+        for (span, callee) in call_sites {
+            if callee.index() >= module.functions.len() {
+                return Err(self.error(
+                    span,
+                    format!(
+                        "call target {callee} does not exist (module has {} functions)",
+                        module.functions.len()
+                    ),
+                ));
+            }
+        }
+        Ok(module)
+    }
+
+    fn global(&mut self, module: &mut Module) -> Result<(), ParseError> {
+        self.expect_keyword("global")?;
+        let (id, id_span) = match self.peek().kind {
+            TokenKind::GlobalRef(g) => {
+                let span = self.next().span;
+                (g, span)
+            }
+            _ => return Err(self.error_here("a global id (`@gN`)")),
+        };
+        if id as usize != module.globals.len() {
+            return Err(self.error(
+                id_span,
+                format!(
+                    "global ids must be declared in order: expected `@g{}`, found `@g{id}`",
+                    module.globals.len()
+                ),
+            ));
+        }
+        let name = match self.peek().kind.clone() {
+            TokenKind::Str(s) => {
+                self.next();
+                s
+            }
+            _ => return Err(self.error_here("the global's quoted name")),
+        };
+        self.expect(TokenKind::LBracket, "`[`")?;
+        let (words, words_span) = self.expect_int("the global's size in words")?;
+        if words < 0 {
+            return Err(self.error(words_span, "global size cannot be negative"));
+        }
+        self.expect_keyword("words")?;
+        self.expect(TokenKind::RBracket, "`]`")?;
+
+        let mut init = Vec::new();
+        if self.peek().kind == TokenKind::Eq {
+            self.next();
+            self.expect(TokenKind::LBracket, "`[`")?;
+            loop {
+                match self.peek().kind {
+                    TokenKind::Int(i) => {
+                        self.next();
+                        init.push(Value::Int(i));
+                    }
+                    TokenKind::Float(x) => {
+                        self.next();
+                        init.push(Value::Float(x));
+                    }
+                    _ => return Err(self.error_here("an initializer value")),
+                }
+                match self.peek().kind {
+                    TokenKind::Comma => {
+                        self.next();
+                    }
+                    TokenKind::RBracket => break,
+                    _ => return Err(self.error_here("`,` or `]`")),
+                }
+            }
+            let close = self.expect(TokenKind::RBracket, "`]`")?;
+            if init.len() > words as usize {
+                return Err(self.error(
+                    close,
+                    format!(
+                        "initializer has {} values but the global only holds {words} words",
+                        init.len()
+                    ),
+                ));
+            }
+        }
+
+        module.globals.push(helix_ir::Global {
+            id: GlobalId::new(id),
+            name,
+            words: words as usize,
+            init,
+        });
+        Ok(())
+    }
+
+    fn function(&mut self, call_sites: &mut Vec<(Span, FuncId)>) -> Result<Function, ParseError> {
+        self.expect_keyword("func")?;
+        let name = self.name("function")?;
+        self.expect(TokenKind::LParen, "`(`")?;
+        let (num_params, params_span) = self.expect_int("the parameter count")?;
+        if num_params < 0 {
+            return Err(self.error(params_span, "parameter count cannot be negative"));
+        }
+        self.expect_keyword("params")?;
+        self.expect(TokenKind::Comma, "`,`")?;
+        let (num_vars, vars_span) = self.expect_int("the register count")?;
+        self.expect_keyword("vars")?;
+        self.expect(TokenKind::RParen, "`)`")?;
+        if num_vars < num_params {
+            return Err(self.error(
+                vars_span,
+                format!(
+                    "register count ({num_vars}) must cover the {num_params} parameter registers"
+                ),
+            ));
+        }
+        self.expect(TokenKind::LBrace, "`{`")?;
+
+        let mut blocks: Vec<BasicBlock> = Vec::new();
+        let mut entry: Option<(BlockId, Span)> = None;
+        // Branch targets referencing blocks, checked once the function is complete.
+        let mut branch_targets: Vec<(Span, BlockId)> = Vec::new();
+
+        while self.peek().kind != TokenKind::RBrace {
+            let (id, id_span) = self.prefixed_id("bb", "a block label")?;
+            if id as usize != blocks.len() {
+                return Err(self.error(
+                    id_span,
+                    format!(
+                        "block ids must appear in order: expected `bb{}`, found `bb{id}`",
+                        blocks.len()
+                    ),
+                ));
+            }
+            self.expect(TokenKind::Colon, "`:` after the block label")?;
+            let block_id = BlockId::new(id);
+            if self.peek().kind == TokenKind::LParen {
+                let span = self.next().span;
+                self.expect_keyword("entry")?;
+                self.expect(TokenKind::RParen, "`)`")?;
+                if let Some((first, _)) = entry {
+                    return Err(self.error(
+                        span,
+                        format!("duplicate `(entry)` marker: {first} is already the entry block"),
+                    ));
+                }
+                entry = Some((block_id, span));
+            }
+
+            let mut block = BasicBlock::new(block_id);
+            loop {
+                match self.peek().kind.clone() {
+                    TokenKind::RBrace => break,
+                    TokenKind::Ident(ref s) if self.is_block_label(s) => break,
+                    _ => {}
+                }
+                let instr = self.instruction(num_vars as usize, call_sites, &mut branch_targets)?;
+                block.instrs.push(instr);
+            }
+            blocks.push(block);
+        }
+        let close = self.expect(TokenKind::RBrace, "`}`")?;
+
+        if blocks.is_empty() {
+            return Err(self.error(close, format!("function `{name}` has no blocks")));
+        }
+        let Some((entry, _)) = entry else {
+            return Err(self.error(
+                close,
+                format!("function `{name}` has no block marked `(entry)`"),
+            ));
+        };
+        for (span, target) in branch_targets {
+            if target.index() >= blocks.len() {
+                return Err(self.error(
+                    span,
+                    format!(
+                        "branch target {target} does not exist (function has {} blocks)",
+                        blocks.len()
+                    ),
+                ));
+            }
+        }
+
+        Ok(Function {
+            name,
+            num_params: num_params as usize,
+            num_vars: num_vars as usize,
+            blocks,
+            entry,
+        })
+    }
+
+    /// Is the identifier at the lookahead a `bbN` label followed by `:`?
+    fn is_block_label(&self, word: &str) -> bool {
+        word.starts_with("bb")
+            && word[2..].parse::<u32>().is_ok()
+            && self
+                .tokens
+                .get(self.pos + 1)
+                .is_some_and(|t| t.kind == TokenKind::Colon)
+    }
+
+    fn instruction(
+        &mut self,
+        num_vars: usize,
+        call_sites: &mut Vec<(Span, FuncId)>,
+        branch_targets: &mut Vec<(Span, BlockId)>,
+    ) -> Result<Instr, ParseError> {
+        match self.peek().kind.clone() {
+            TokenKind::Var(_) => {
+                let dst = self.register(num_vars)?;
+                self.expect(TokenKind::Eq, "`=`")?;
+                self.instruction_with_dst(dst, num_vars, call_sites)
+            }
+            TokenKind::Ident(op) => match op.as_str() {
+                "store" => {
+                    self.next();
+                    let (addr, offset) = self.address(num_vars)?;
+                    self.expect(TokenKind::Comma, "`,`")?;
+                    let value = self.operand(num_vars)?;
+                    Ok(Instr::Store {
+                        addr,
+                        offset,
+                        value,
+                    })
+                }
+                "call" => {
+                    self.next();
+                    let (callee, args) = self.call_tail(num_vars, call_sites)?;
+                    Ok(Instr::Call {
+                        dst: None,
+                        callee,
+                        args,
+                    })
+                }
+                "wait" => {
+                    self.next();
+                    let (dep, _) = self.prefixed_id("dep", "a dependence id")?;
+                    Ok(Instr::Wait {
+                        dep: DepId::new(dep),
+                    })
+                }
+                "signal" => {
+                    self.next();
+                    let (dep, _) = self.prefixed_id("dep", "a dependence id")?;
+                    Ok(Instr::Signal {
+                        dep: DepId::new(dep),
+                    })
+                }
+                "br" => {
+                    self.next();
+                    let (target, span) = self.prefixed_id("bb", "a block id")?;
+                    let target = BlockId::new(target);
+                    branch_targets.push((span, target));
+                    Ok(Instr::Br { target })
+                }
+                "condbr" => {
+                    self.next();
+                    let cond = self.operand(num_vars)?;
+                    self.expect(TokenKind::Comma, "`,`")?;
+                    let (then_bb, then_span) = self.prefixed_id("bb", "a block id")?;
+                    self.expect(TokenKind::Comma, "`,`")?;
+                    let (else_bb, else_span) = self.prefixed_id("bb", "a block id")?;
+                    let (then_bb, else_bb) = (BlockId::new(then_bb), BlockId::new(else_bb));
+                    branch_targets.push((then_span, then_bb));
+                    branch_targets.push((else_span, else_bb));
+                    Ok(Instr::CondBr {
+                        cond,
+                        then_bb,
+                        else_bb,
+                    })
+                }
+                "ret" => {
+                    self.next();
+                    let value = if self.starts_operand() {
+                        Some(self.operand(num_vars)?)
+                    } else {
+                        None
+                    };
+                    Ok(Instr::Ret { value })
+                }
+                _ => Err(self.error_here("an instruction")),
+            },
+            _ => Err(self.error_here("an instruction")),
+        }
+    }
+
+    fn instruction_with_dst(
+        &mut self,
+        dst: VarId,
+        num_vars: usize,
+        call_sites: &mut Vec<(Span, FuncId)>,
+    ) -> Result<Instr, ParseError> {
+        let TokenKind::Ident(op) = self.peek().kind.clone() else {
+            return Err(self.error_here("an opcode after `=`"));
+        };
+        if let Some(pred) = op.strip_prefix("cmp.") {
+            let Some(pred) = Pred::ALL.into_iter().find(|p| pred_mnemonic(*p) == pred) else {
+                return Err(self.error_here("a comparison predicate (`cmp.eq`, `cmp.lt`, ...)"));
+            };
+            self.next();
+            let lhs = self.operand(num_vars)?;
+            self.expect(TokenKind::Comma, "`,`")?;
+            let rhs = self.operand(num_vars)?;
+            return Ok(Instr::Cmp {
+                dst,
+                pred,
+                lhs,
+                rhs,
+            });
+        }
+        if let Some(binop) = BinOp::ALL.into_iter().find(|b| binop_mnemonic(*b) == op) {
+            self.next();
+            let lhs = self.operand(num_vars)?;
+            self.expect(TokenKind::Comma, "`,`")?;
+            let rhs = self.operand(num_vars)?;
+            return Ok(Instr::Binary {
+                dst,
+                op: binop,
+                lhs,
+                rhs,
+            });
+        }
+        if let Some(unop) = UnOp::ALL.into_iter().find(|u| unop_mnemonic(*u) == op) {
+            self.next();
+            let src = self.operand(num_vars)?;
+            return Ok(Instr::Unary { dst, op: unop, src });
+        }
+        match op.as_str() {
+            "const" => {
+                self.next();
+                let value = self.operand(num_vars)?;
+                Ok(Instr::Const { dst, value })
+            }
+            "copy" => {
+                self.next();
+                let src = self.operand(num_vars)?;
+                Ok(Instr::Copy { dst, src })
+            }
+            "select" => {
+                self.next();
+                let cond = self.operand(num_vars)?;
+                self.expect(TokenKind::Comma, "`,`")?;
+                let on_true = self.operand(num_vars)?;
+                self.expect(TokenKind::Comma, "`,`")?;
+                let on_false = self.operand(num_vars)?;
+                Ok(Instr::Select {
+                    dst,
+                    cond,
+                    on_true,
+                    on_false,
+                })
+            }
+            "load" => {
+                self.next();
+                let (addr, offset) = self.address(num_vars)?;
+                Ok(Instr::Load { dst, addr, offset })
+            }
+            "alloc" => {
+                self.next();
+                let words = self.operand(num_vars)?;
+                Ok(Instr::Alloc { dst, words })
+            }
+            "call" => {
+                self.next();
+                let (callee, args) = self.call_tail(num_vars, call_sites)?;
+                Ok(Instr::Call {
+                    dst: Some(dst),
+                    callee,
+                    args,
+                })
+            }
+            _ => Err(self.error(self.peek().span, format!("unknown opcode `{op}`"))),
+        }
+    }
+
+    /// Parses `fnN(arg, ...)`.
+    fn call_tail(
+        &mut self,
+        num_vars: usize,
+        call_sites: &mut Vec<(Span, FuncId)>,
+    ) -> Result<(FuncId, Vec<Operand>), ParseError> {
+        let (callee, span) = self.prefixed_id("fn", "a function id")?;
+        let callee = FuncId::new(callee);
+        call_sites.push((span, callee));
+        self.expect(TokenKind::LParen, "`(`")?;
+        let mut args = Vec::new();
+        if self.peek().kind != TokenKind::RParen {
+            loop {
+                args.push(self.operand(num_vars)?);
+                match self.peek().kind {
+                    TokenKind::Comma => {
+                        self.next();
+                    }
+                    TokenKind::RParen => break,
+                    _ => return Err(self.error_here("`,` or `)`")),
+                }
+            }
+        }
+        self.expect(TokenKind::RParen, "`)`")?;
+        Ok((callee, args))
+    }
+
+    /// Parses `[<operand> + <offset>]`.
+    fn address(&mut self, num_vars: usize) -> Result<(Operand, i64), ParseError> {
+        self.expect(TokenKind::LBracket, "`[`")?;
+        let addr = self.operand(num_vars)?;
+        self.expect(TokenKind::Plus, "`+`")?;
+        let (offset, _) = self.expect_int("a word offset")?;
+        self.expect(TokenKind::RBracket, "`]`")?;
+        Ok((addr, offset))
+    }
+
+    fn starts_operand(&self) -> bool {
+        matches!(
+            self.peek().kind,
+            TokenKind::Var(_) | TokenKind::Int(_) | TokenKind::Float(_) | TokenKind::GlobalRef(_)
+        )
+    }
+
+    fn register(&mut self, num_vars: usize) -> Result<VarId, ParseError> {
+        match self.peek().kind {
+            TokenKind::Var(v) => {
+                let span = self.next().span;
+                if v as usize >= num_vars {
+                    return Err(self.error(
+                        span,
+                        format!(
+                            "register `%v{v}` is out of range: the function declares {num_vars} vars"
+                        ),
+                    ));
+                }
+                Ok(VarId::new(v))
+            }
+            _ => Err(self.error_here("a register (`%vN`)")),
+        }
+    }
+
+    fn operand(&mut self, num_vars: usize) -> Result<Operand, ParseError> {
+        match self.peek().kind {
+            TokenKind::Var(_) => Ok(Operand::Var(self.register(num_vars)?)),
+            TokenKind::Int(i) => {
+                self.next();
+                Ok(Operand::ConstInt(i))
+            }
+            TokenKind::Float(x) => {
+                self.next();
+                Ok(Operand::ConstFloat(x))
+            }
+            TokenKind::GlobalRef(g) => {
+                self.next();
+                Ok(Operand::Global(GlobalId::new(g)))
+            }
+            _ => Err(self.error_here("an operand (register, immediate or `@gN`)")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helix_ir::printer::format_module;
+
+    const SMALL: &str = r#"
+module demo
+global @g0 "acc" [1 words]
+func main(0 params, 3 vars) {
+bb0: (entry)
+  %v0 = const 0
+  %v1 = const 10
+  br bb1
+bb1:
+  %v2 = cmp.lt %v0, %v1
+  condbr %v2, bb2, bb3
+bb2:
+  %v0 = add %v0, 1
+  store [@g0 + 0], %v0
+  br bb1
+bb3:
+  ret %v0
+}
+"#;
+
+    #[test]
+    fn parses_a_small_module() {
+        let m = parse_module(SMALL).unwrap();
+        assert_eq!(m.name, "demo");
+        assert_eq!(m.globals.len(), 1);
+        assert_eq!(m.functions.len(), 1);
+        let f = &m.functions[0];
+        assert_eq!(f.blocks.len(), 4);
+        assert_eq!(f.entry, BlockId::new(0));
+        helix_ir::verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn parsed_module_round_trips_through_the_printer() {
+        let m = parse_module(SMALL).unwrap();
+        let printed = format_module(&m);
+        let again = parse_module(&printed).unwrap();
+        assert_eq!(m, again);
+        assert_eq!(printed, format_module(&again));
+    }
+
+    #[test]
+    fn runs_after_parsing() {
+        let m = parse_module(SMALL).unwrap();
+        let main = m.function_by_name("main").unwrap();
+        let mut machine = helix_ir::Machine::new(&m);
+        let out = machine.call(main, &[]).unwrap().unwrap();
+        assert_eq!(out.as_int(), 10);
+    }
+
+    #[test]
+    fn parses_global_initializers_and_floats() {
+        let src = "module m\nglobal @g0 \"t\" [4 words] = [1, -2, 2.5f, nanf]\n";
+        let m = parse_module(src).unwrap();
+        let g = &m.globals[0];
+        assert_eq!(g.init[0], Value::Int(1));
+        assert_eq!(g.init[1], Value::Int(-2));
+        assert_eq!(g.init[2], Value::Float(2.5));
+        assert!(matches!(g.init[3], Value::Float(x) if x.is_nan()));
+    }
+
+    #[test]
+    fn parses_calls_with_forward_references() {
+        let src = r#"
+module m
+func main(0 params, 1 vars) {
+bb0: (entry)
+  %v0 = call fn1(41)
+  ret %v0
+}
+func helper(1 params, 2 vars) {
+bb0: (entry)
+  %v1 = add %v0, 1
+  ret %v1
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let main = m.function_by_name("main").unwrap();
+        let mut machine = helix_ir::Machine::new(&m);
+        assert_eq!(machine.call(main, &[]).unwrap().unwrap().as_int(), 42);
+    }
+
+    fn err(src: &str) -> ParseError {
+        parse_module(src).unwrap_err()
+    }
+
+    #[test]
+    fn reports_positions_and_expectations() {
+        let e = err("func main");
+        assert_eq!((e.span.line, e.span.col), (1, 1));
+        assert!(e.message.contains("keyword `module`"), "{e}");
+
+        let e = err("module m\nfunc main(0 params 0 vars) {\nbb0: (entry)\n  ret\n}\n");
+        assert_eq!((e.span.line, e.span.col), (2, 20));
+        assert!(e.message.contains("expected `,`"), "{e}");
+
+        let e = err(
+            "module m\nfunc main(0 params, 1 vars) {\nbb0: (entry)\n  %v4 = const 1\n  ret\n}\n",
+        );
+        assert!(e.message.contains("out of range"), "{e}");
+        assert_eq!((e.span.line, e.span.col), (4, 3));
+
+        let e = err("module m\nfunc main(0 params, 0 vars) {\nbb0: (entry)\n  br bb7\n}\n");
+        assert!(
+            e.message.contains("branch target bb7 does not exist"),
+            "{e}"
+        );
+
+        let e = err("module m\nfunc main(0 params, 0 vars) {\nbb0:\n  ret\n}\n");
+        assert!(e.message.contains("no block marked `(entry)`"), "{e}");
+
+        let e = err("module m\nfunc main(0 params, 1 vars) {\nbb0: (entry)\n  %v0 = frobnicate 1\n  ret\n}\n");
+        assert!(e.message.contains("unknown opcode `frobnicate`"), "{e}");
+
+        let e =
+            err("module m\nfunc main(0 params, 0 vars) {\nbb0: (entry)\n  call fn3()\n  ret\n}\n");
+        assert!(e.message.contains("call target fn3 does not exist"), "{e}");
+
+        let e = err("module m\nglobal @g1 \"x\" [1 words]\n");
+        assert!(e.message.contains("declared in order"), "{e}");
+
+        let e = err("module m\nglobal @g0 \"x\" [1 words] = [1, 2]\n");
+        assert!(e.message.contains("only holds 1 words"), "{e}");
+    }
+
+    #[test]
+    fn block_order_is_enforced() {
+        let e = err("module m\nfunc main(0 params, 0 vars) {\nbb1: (entry)\n  ret\n}\n");
+        assert!(e.message.contains("expected `bb0`, found `bb1`"), "{e}");
+    }
+
+    #[test]
+    fn duplicate_entry_is_rejected() {
+        let e = err(
+            "module m\nfunc main(0 params, 0 vars) {\nbb0: (entry)\n  ret\nbb1: (entry)\n  ret\n}\n",
+        );
+        assert!(e.message.contains("duplicate `(entry)`"), "{e}");
+    }
+}

@@ -173,10 +173,7 @@ impl Function {
 
     /// Computes the successor map of the control flow graph.
     pub fn successors(&self) -> HashMap<BlockId, Vec<BlockId>> {
-        self.blocks
-            .iter()
-            .map(|b| (b.id, b.successors()))
-            .collect()
+        self.blocks.iter().map(|b| (b.id, b.successors())).collect()
     }
 
     /// Returns the blocks reachable from the entry, in reverse postorder.

@@ -73,6 +73,11 @@ pub enum UnOp {
     ToInt,
 }
 
+impl UnOp {
+    /// All unary operators, useful for randomized workload generation and property tests.
+    pub const ALL: [UnOp; 4] = [UnOp::Neg, UnOp::Not, UnOp::ToFloat, UnOp::ToInt];
+}
+
 /// Comparison predicates for [`Instr::Cmp`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Pred {
@@ -156,7 +161,7 @@ impl fmt::Display for Operand {
         match self {
             Operand::Var(v) => write!(f, "{v}"),
             Operand::ConstInt(i) => write!(f, "{i}"),
-            Operand::ConstFloat(x) => write!(f, "{x}f"),
+            Operand::ConstFloat(x) => f.write_str(&crate::printer::format_float(*x)),
             Operand::Global(g) => write!(f, "{g}"),
         }
     }

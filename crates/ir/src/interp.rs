@@ -353,10 +353,8 @@ impl<'m> Evaluator<'m> {
                         regs[dst.index()] = Value::Int(ctx.alloc(n)?);
                     }
                     Instr::Call { dst, callee, args } => {
-                        let actuals: Vec<Value> = args
-                            .iter()
-                            .map(|a| self.eval_operand(&regs, *a))
-                            .collect();
+                        let actuals: Vec<Value> =
+                            args.iter().map(|a| self.eval_operand(&regs, *a)).collect();
                         self.stats.calls += 1;
                         obs.on_call(func, InstrRef::new(block, idx), *callee);
                         let ret = self.exec_function(*callee, &actuals, ctx, obs, depth + 1)?;
@@ -611,7 +609,10 @@ mod tests {
         let (module, fid) = fib_module();
         let mut m = Machine::new(&module);
         m.set_fuel(10);
-        assert_eq!(m.call(fid, &[Value::Int(20)]), Err(ExecError::FuelExhausted));
+        assert_eq!(
+            m.call(fid, &[Value::Int(20)]),
+            Err(ExecError::FuelExhausted)
+        );
     }
 
     #[test]

@@ -1,26 +1,142 @@
-//! Textual printing of IR for debugging and golden tests.
+//! Textual printing of IR.
+//!
+//! The printed form is the *canonical grammar* of the textual HIR format: everything this
+//! module emits can be re-parsed by `helix-frontend` into an equal [`Module`]
+//! (`parse(print(m)) == m`). `docs/hir-grammar.md` documents the grammar; the frontend's
+//! round-trip tests enforce the symmetry. That round-trip contract is why the printer
+//! spells out global initializers, the register count in function headers, lowercase
+//! operator mnemonics and re-parseable float literals rather than a purely cosmetic dump.
 
 use crate::function::Function;
-use crate::instr::Instr;
-use crate::module::Module;
+use crate::instr::{BinOp, Instr, Pred, UnOp};
+use crate::module::{Global, Module};
+use crate::value::Value;
 use std::fmt;
 use std::fmt::Write as _;
+
+/// The lowercase mnemonic of a binary operator, as printed and parsed.
+pub fn binop_mnemonic(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "add",
+        BinOp::Sub => "sub",
+        BinOp::Mul => "mul",
+        BinOp::Div => "div",
+        BinOp::Rem => "rem",
+        BinOp::And => "and",
+        BinOp::Or => "or",
+        BinOp::Xor => "xor",
+        BinOp::Shl => "shl",
+        BinOp::Shr => "shr",
+        BinOp::Min => "min",
+        BinOp::Max => "max",
+    }
+}
+
+/// The lowercase mnemonic of a unary operator, as printed and parsed.
+pub fn unop_mnemonic(op: UnOp) -> &'static str {
+    match op {
+        UnOp::Neg => "neg",
+        UnOp::Not => "not",
+        UnOp::ToFloat => "tofloat",
+        UnOp::ToInt => "toint",
+    }
+}
+
+/// The lowercase mnemonic of a comparison predicate, as printed after `cmp.`.
+pub fn pred_mnemonic(pred: Pred) -> &'static str {
+    match pred {
+        Pred::Eq => "eq",
+        Pred::Ne => "ne",
+        Pred::Lt => "lt",
+        Pred::Le => "le",
+        Pred::Gt => "gt",
+        Pred::Ge => "ge",
+    }
+}
+
+/// Formats a float immediate so the parser can read it back.
+///
+/// Finite values use Rust's shortest round-trip decimal representation followed by the `f`
+/// suffix; the non-finite values get the keywords `inff`, `-inff` and `nanf` (Rust's own
+/// `Display` for them — `inf`, `NaN` — would collide with identifiers).
+pub fn format_float(x: f64) -> String {
+    if x.is_nan() {
+        "nanf".to_string()
+    } else if x.is_infinite() {
+        if x > 0.0 {
+            "inff".to_string()
+        } else {
+            "-inff".to_string()
+        }
+    } else {
+        format!("{x}f")
+    }
+}
+
+/// Formats a [`Value`] as it appears inside global initializer lists.
+pub fn format_value(v: &Value) -> String {
+    match v {
+        Value::Int(i) => i.to_string(),
+        Value::Float(x) => format_float(*x),
+    }
+}
+
+/// Returns `true` if `name` can be printed bare (without quotes) in the textual format.
+///
+/// The float keywords `inff`/`nanf` lex as float literals, not identifiers, so names that
+/// collide with them must be quoted.
+pub fn is_bare_name(name: &str) -> bool {
+    if name == "inff" || name == "nanf" {
+        return false;
+    }
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+}
+
+/// Formats a module or function name: bare when identifier-shaped, quoted otherwise.
+pub fn format_name(name: &str) -> String {
+    if is_bare_name(name) {
+        name.to_string()
+    } else {
+        format_quoted(name)
+    }
+}
+
+/// Formats a string literal with `\\` and `\"` escapes (used for global names).
+pub fn format_quoted(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
 
 /// Formats a single instruction.
 pub fn format_instr(instr: &Instr) -> String {
     match instr {
         Instr::Const { dst, value } => format!("{dst} = const {value}"),
         Instr::Copy { dst, src } => format!("{dst} = copy {src}"),
-        Instr::Unary { dst, op, src } => format!("{dst} = {op:?} {src}").to_lowercase(),
+        Instr::Unary { dst, op, src } => format!("{dst} = {} {src}", unop_mnemonic(*op)),
         Instr::Binary { dst, op, lhs, rhs } => {
-            format!("{dst} = {op:?} {lhs}, {rhs}").to_lowercase()
+            format!("{dst} = {} {lhs}, {rhs}", binop_mnemonic(*op))
         }
         Instr::Cmp {
             dst,
             pred,
             lhs,
             rhs,
-        } => format!("{dst} = cmp.{pred:?} {lhs}, {rhs}").to_lowercase(),
+        } => format!("{dst} = cmp.{} {lhs}, {rhs}", pred_mnemonic(*pred)),
         Instr::Select {
             dst,
             cond,
@@ -59,7 +175,13 @@ pub fn format_instr(instr: &Instr) -> String {
 /// Formats a whole function.
 pub fn format_function(f: &Function) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "func {}({} params) {{", f.name, f.num_params);
+    let _ = writeln!(
+        out,
+        "func {}({} params, {} vars) {{",
+        format_name(&f.name),
+        f.num_params,
+        f.num_vars
+    );
     for block in &f.blocks {
         let marker = if block.id == f.entry { " (entry)" } else { "" };
         let _ = writeln!(out, "{}:{marker}", block.id);
@@ -71,12 +193,27 @@ pub fn format_function(f: &Function) -> String {
     out
 }
 
+/// Formats one global declaration.
+pub fn format_global(g: &Global) -> String {
+    let mut out = format!(
+        "global {} {} [{} words]",
+        g.id,
+        format_quoted(&g.name),
+        g.words
+    );
+    if !g.init.is_empty() {
+        let values: Vec<String> = g.init.iter().map(format_value).collect();
+        let _ = write!(out, " = [{}]", values.join(", "));
+    }
+    out
+}
+
 /// Formats a whole module.
 pub fn format_module(m: &Module) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "module {}", m.name);
+    let _ = writeln!(out, "module {}", format_name(&m.name));
     for g in &m.globals {
-        let _ = writeln!(out, "global {} \"{}\" [{} words]", g.id, g.name, g.words);
+        let _ = writeln!(out, "{}", format_global(g));
     }
     for f in &m.functions {
         out.push_str(&format_function(f));
@@ -142,5 +279,53 @@ mod tests {
         assert!(text.contains("global @g0 \"buf\" [32 words]"));
         assert!(text.contains("func main"));
         assert_eq!(text, m.to_string());
+    }
+
+    #[test]
+    fn global_initializers_are_printed() {
+        let mut m = Module::new("prog");
+        m.add_global_init("table", 4, vec![Value::Int(-3), Value::Float(2.5)]);
+        let text = format_module(&m);
+        assert!(
+            text.contains("global @g0 \"table\" [4 words] = [-3, 2.5f]"),
+            "got: {text}"
+        );
+    }
+
+    #[test]
+    fn function_header_carries_register_count() {
+        let mut b = FunctionBuilder::new("regs", 2);
+        let _ = b.new_var();
+        b.ret(None);
+        let text = format_function(&b.finish());
+        assert!(
+            text.contains("func regs(2 params, 3 vars) {"),
+            "got: {text}"
+        );
+    }
+
+    #[test]
+    fn floats_are_reparseable() {
+        assert_eq!(format_float(2.5), "2.5f");
+        assert_eq!(format_float(2.0), "2f");
+        assert_eq!(format_float(-0.125), "-0.125f");
+        assert_eq!(format_float(f64::NAN), "nanf");
+        assert_eq!(format_float(f64::INFINITY), "inff");
+        assert_eq!(format_float(f64::NEG_INFINITY), "-inff");
+        assert_eq!(Operand::float(1.5).to_string(), "1.5f");
+    }
+
+    #[test]
+    fn names_are_quoted_only_when_needed() {
+        assert_eq!(format_name("main"), "main");
+        assert_eq!(format_name("art_reset.nodes"), "art_reset.nodes");
+        assert_eq!(format_name("my prog"), "\"my prog\"");
+        assert_eq!(format_name("0start"), "\"0start\"");
+        // Names colliding with float keywords must be quoted to stay re-parseable.
+        assert_eq!(format_name("inff"), "\"inff\"");
+        assert_eq!(format_name("nanf"), "\"nanf\"");
+        assert_eq!(format_name("inffx"), "inffx");
+        assert_eq!(format_name(""), "\"\"");
+        assert_eq!(format_quoted("a\"b\\c"), "\"a\\\"b\\\\c\"");
     }
 }

@@ -166,14 +166,12 @@ pub fn verify_function(function: &Function, globals: &[Global]) -> Result<(), Ve
             for op in instr.operands() {
                 match op {
                     Operand::Var(v) => regs_ok &= v.index() < function.num_vars,
-                    Operand::Global(g) => {
-                        if g.index() >= globals.len() {
-                            return Err(VerifyError::BadGlobal {
-                                function: name,
-                                block: block.id,
-                                index,
-                            });
-                        }
+                    Operand::Global(g) if g.index() >= globals.len() => {
+                        return Err(VerifyError::BadGlobal {
+                            function: name,
+                            block: block.id,
+                            index,
+                        });
                     }
                     _ => {}
                 }

@@ -136,7 +136,13 @@ mod tests {
     fn function_profile_inclusive_cycles() {
         let mut fp = FunctionProfile::default();
         let at = InstrRef::new(BlockId::new(0), 3);
-        fp.instrs.insert(at, InstrProfile { count: 2, cycles: 20 });
+        fp.instrs.insert(
+            at,
+            InstrProfile {
+                count: 2,
+                cycles: 20,
+            },
+        );
         fp.callsite_cycles.insert(at, 100);
         assert_eq!(fp.cycles_of(at), 20);
         assert_eq!(fp.count_of(at), 2);

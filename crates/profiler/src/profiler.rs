@@ -227,7 +227,12 @@ mod tests {
         let acc = helper.new_var();
         helper.const_int(acc, 0);
         let hl = helper.counted_loop(Operand::int(0), Operand::Var(hn), 1);
-        helper.binary(acc, BinOp::Add, Operand::Var(acc), Operand::Var(hl.induction_var));
+        helper.binary(
+            acc,
+            BinOp::Add,
+            Operand::Var(acc),
+            Operand::Var(hl.induction_var),
+        );
         helper.br(hl.latch);
         helper.switch_to(hl.exit);
         helper.ret(Some(Operand::Var(acc)));
@@ -238,7 +243,12 @@ mod tests {
         main.const_int(s, 0);
         let outer = main.counted_loop(Operand::int(0), Operand::int(10), 1);
         let inner = main.counted_loop(Operand::int(0), Operand::int(5), 1);
-        main.binary(s, BinOp::Add, Operand::Var(s), Operand::Var(inner.induction_var));
+        main.binary(
+            s,
+            BinOp::Add,
+            Operand::Var(s),
+            Operand::Var(inner.induction_var),
+        );
         main.br(inner.latch);
         main.switch_to(inner.exit);
         let h = main.new_var();

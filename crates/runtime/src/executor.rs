@@ -156,7 +156,12 @@ fn exec_block(
             Instr::Binary { dst, op, lhs, rhs } => {
                 regs[dst.index()] = eval_binop(*op, eval(regs, *lhs), eval(regs, *rhs));
             }
-            Instr::Cmp { dst, pred, lhs, rhs } => {
+            Instr::Cmp {
+                dst,
+                pred,
+                lhs,
+                rhs,
+            } => {
                 regs[dst.index()] =
                     Value::from_bool(eval_pred(*pred, eval(regs, *lhs), eval(regs, *rhs)));
             }
@@ -314,8 +319,7 @@ impl ParallelExecutor {
                     loop {
                         let iteration = next_iteration.fetch_add(1, Ordering::SeqCst);
                         if iteration > max_iterations {
-                            *worker_error.lock() =
-                                Some(RuntimeError::IterationBudgetExceeded);
+                            *worker_error.lock() = Some(RuntimeError::IterationBudgetExceeded);
                             return;
                         }
                         // Wait for permission: the previous iteration's prologue must have
@@ -355,7 +359,13 @@ impl ParallelExecutor {
                                 sync.control.fetch_max(iteration + 1, Ordering::Release);
                                 prologue_done = true;
                             }
-                            match exec_block(module, function, current, &mut iter_regs, &mut worker_ctx) {
+                            match exec_block(
+                                module,
+                                function,
+                                current,
+                                &mut iter_regs,
+                                &mut worker_ctx,
+                            ) {
                                 Ok(BlockOutcome::Jump(next)) => {
                                     if next == plan.header {
                                         // Back edge: the iteration is complete.
@@ -367,8 +377,7 @@ impl ParallelExecutor {
                                     }
                                     if !loop_blocks.contains(&next) {
                                         // Loop exit: record it and stop dispatching.
-                                        sync.exited_at
-                                            .fetch_min(iteration, Ordering::AcqRel);
+                                        sync.exited_at.fetch_min(iteration, Ordering::AcqRel);
                                         let mut slot = sync.exit_state.lock();
                                         if slot.is_none() {
                                             *slot = Some((next, iter_regs.clone()));
@@ -434,15 +443,27 @@ mod tests {
         let mut fb = FunctionBuilder::new("main", 0);
         // Fill the array with i*5 + 1.
         let init = fb.counted_loop(Operand::int(0), Operand::int(n), 1);
-        let a = fb.binary_to_new(BinOp::Add, Operand::Global(arr), Operand::Var(init.induction_var));
-        let v = fb.binary_to_new(BinOp::Mul, Operand::Var(init.induction_var), Operand::int(5));
+        let a = fb.binary_to_new(
+            BinOp::Add,
+            Operand::Global(arr),
+            Operand::Var(init.induction_var),
+        );
+        let v = fb.binary_to_new(
+            BinOp::Mul,
+            Operand::Var(init.induction_var),
+            Operand::int(5),
+        );
         let v1 = fb.binary_to_new(BinOp::Add, Operand::Var(v), Operand::int(1));
         fb.store(Operand::Var(a), 0, Operand::Var(v1));
         fb.br(init.latch);
         fb.switch_to(init.exit);
         // Accumulate with extra per-iteration work.
         let lh = fb.counted_loop(Operand::int(0), Operand::int(n), 1);
-        let addr = fb.binary_to_new(BinOp::Add, Operand::Global(arr), Operand::Var(lh.induction_var));
+        let addr = fb.binary_to_new(
+            BinOp::Add,
+            Operand::Global(arr),
+            Operand::Var(lh.induction_var),
+        );
         let elt = fb.new_var();
         fb.load(elt, Operand::Var(addr), 0);
         let mixed = fb.binary_to_new(BinOp::Mul, Operand::Var(elt), Operand::int(3));
@@ -465,7 +486,11 @@ mod tests {
         let plan = output
             .plans
             .values()
-            .find(|p| p.segments.iter().any(|s| s.transfers_data && s.synchronized))
+            .find(|p| {
+                p.segments
+                    .iter()
+                    .any(|s| s.transfers_data && s.synchronized)
+            })
             .expect("accumulator plan")
             .clone();
         let transformed = transform::apply(&module, &plan);

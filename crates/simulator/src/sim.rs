@@ -65,10 +65,7 @@ pub struct ProgramSimResult {
 }
 
 /// Per-signal latency for a segment under a prefetching mode.
-fn segment_signal_latency(
-    config: &SimConfig,
-    prefetched_fraction: f64,
-) -> f64 {
+fn segment_signal_latency(config: &SimConfig, prefetched_fraction: f64) -> f64 {
     let hi = config.helix.signal_latency_unprefetched as f64;
     let lo = config.helix.signal_latency_prefetched as f64;
     let frac = match config.mode {
@@ -124,8 +121,7 @@ pub fn simulate_loop(
         })
         .collect();
     let seg_cycles: f64 = segments.iter().map(|(c, _)| *c).sum();
-    let parallel_per_iter =
-        (plan.total_cycles_per_iter - prologue - seg_cycles).max(0.0);
+    let parallel_per_iter = (plan.total_cycles_per_iter - prologue - seg_cycles).max(0.0);
     // Parallel code is split evenly into the gaps before each segment plus a trailing chunk.
     let chunks = segments.len() + 1;
     let gap = parallel_per_iter / chunks as f64;
@@ -262,7 +258,11 @@ mod tests {
         let s2 = simulate_program(&output, &profile, &SimConfig::helix_6_cores().with_cores(2));
         let s4 = simulate_program(&output, &profile, &SimConfig::helix_6_cores().with_cores(4));
         let s6 = simulate_program(&output, &profile, &SimConfig::helix_6_cores());
-        assert!(s6.speedup > 1.2, "art must speed up on 6 cores, got {}", s6.speedup);
+        assert!(
+            s6.speedup > 1.2,
+            "art must speed up on 6 cores, got {}",
+            s6.speedup
+        );
         assert!(s6.speedup >= s4.speedup);
         assert!(s4.speedup >= s2.speedup);
         assert!(s6.speedup <= 6.0, "cannot exceed the core count");
@@ -274,12 +274,31 @@ mod tests {
     fn prefetching_modes_are_ordered() {
         let (_m, output, profile) = analyze_art();
         let base = SimConfig::helix_6_cores();
-        let none = simulate_program(&output, &profile, &SimConfig { mode: PrefetchMode::None, ..base });
-        let matched =
-            simulate_program(&output, &profile, &SimConfig { mode: PrefetchMode::Matched, ..base });
+        let none = simulate_program(
+            &output,
+            &profile,
+            &SimConfig {
+                mode: PrefetchMode::None,
+                ..base
+            },
+        );
+        let matched = simulate_program(
+            &output,
+            &profile,
+            &SimConfig {
+                mode: PrefetchMode::Matched,
+                ..base
+            },
+        );
         let helix = simulate_program(&output, &profile, &base);
-        let ideal =
-            simulate_program(&output, &profile, &SimConfig { mode: PrefetchMode::Ideal, ..base });
+        let ideal = simulate_program(
+            &output,
+            &profile,
+            &SimConfig {
+                mode: PrefetchMode::Ideal,
+                ..base
+            },
+        );
         assert!(helix.speedup >= none.speedup, "prefetching must not hurt");
         assert!(ideal.speedup >= helix.speedup);
         assert!(helix.speedup >= matched.speedup - 1e-9);

@@ -1,0 +1,130 @@
+//! Loader for the checked-in `.hir` corpus.
+//!
+//! The `corpus/` directory at the repository root holds textual HIR programs — ports of the
+//! synthetic kernels plus irregular-control and pointer-chasing scenarios — that enter the
+//! system through `helix-frontend` rather than the Rust builders. Loading them here means
+//! every downstream consumer (tests, examples, the `helix` CLI, future batch jobs) exercises
+//! the parser as the real program source.
+
+use helix_frontend::{parse_file, FrontendError};
+use helix_ir::{FuncId, Module};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Errors raised while loading a corpus program.
+#[derive(Debug)]
+pub enum CorpusError {
+    /// The file failed to read, parse or verify.
+    Frontend(PathBuf, FrontendError),
+    /// The module parsed but has no `main` function to drive.
+    NoEntry(PathBuf),
+}
+
+impl fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorpusError::Frontend(path, e) => write!(f, "{}: {e}", path.display()),
+            CorpusError::NoEntry(path) => {
+                write!(f, "{}: no `main` function", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for CorpusError {}
+
+/// The repository's `corpus/` directory.
+pub fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../corpus")
+}
+
+/// All `.hir` files of the corpus, sorted by name.
+pub fn corpus_paths() -> Vec<PathBuf> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(corpus_dir())
+        .map(|entries| {
+            entries
+                .filter_map(Result::ok)
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|ext| ext == "hir"))
+                .collect()
+        })
+        .unwrap_or_default();
+    paths.sort();
+    paths
+}
+
+/// Loads one corpus program through the frontend and resolves its `main` function.
+pub fn load_path(path: impl AsRef<Path>) -> Result<(Module, FuncId), CorpusError> {
+    let path = path.as_ref();
+    let module = parse_file(path).map_err(|e| CorpusError::Frontend(path.to_path_buf(), e))?;
+    let main = module
+        .function_by_name("main")
+        .ok_or_else(|| CorpusError::NoEntry(path.to_path_buf()))?;
+    Ok((module, main))
+}
+
+/// Loads the corpus program with the given stem (e.g. `"pointer_chase"`).
+pub fn load(name: &str) -> Result<(Module, FuncId), CorpusError> {
+    load_path(corpus_dir().join(format!("{name}.hir")))
+}
+
+/// Loads every corpus program, sorted by file name.
+pub fn load_all() -> Result<Vec<(String, Module, FuncId)>, CorpusError> {
+    corpus_paths()
+        .into_iter()
+        .map(|path| {
+            let name = path
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            load_path(&path).map(|(module, main)| (name, module, main))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helix_ir::Machine;
+
+    #[test]
+    fn corpus_has_at_least_six_programs() {
+        let paths = corpus_paths();
+        assert!(
+            paths.len() >= 6,
+            "expected at least 6 corpus programs, found {}",
+            paths.len()
+        );
+    }
+
+    #[test]
+    fn every_corpus_program_parses_verifies_and_runs() {
+        let programs = load_all().expect("corpus loads");
+        assert!(!programs.is_empty());
+        for (name, module, main) in programs {
+            let mut machine = Machine::new(&module);
+            machine.set_fuel(500_000_000);
+            let result = machine
+                .call(main, &[])
+                .unwrap_or_else(|e| panic!("{name} failed to run: {e}"));
+            assert!(result.is_some(), "{name} must return a checksum");
+            assert!(
+                machine.stats().instrs > 500,
+                "{name} is too trivial to exercise the pipeline"
+            );
+        }
+    }
+
+    #[test]
+    fn corpus_programs_are_deterministic() {
+        let (module, main) = load("pointer_chase").expect("loads");
+        let r1 = Machine::new(&module).call(main, &[]).unwrap().unwrap();
+        let r2 = Machine::new(&module).call(main, &[]).unwrap().unwrap();
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn named_load_reports_missing_files() {
+        assert!(load("does_not_exist").is_err());
+    }
+}

@@ -26,11 +26,7 @@ pub fn emit_hash_work(fb: &mut FunctionBuilder, seed: VarId, rounds: usize) -> V
 ///
 /// Each chain is a loop-carried memory dependence that HELIX must place in a sequential
 /// segment.
-pub fn emit_accumulators(
-    fb: &mut FunctionBuilder,
-    accumulators: &[GlobalId],
-    value: VarId,
-) {
+pub fn emit_accumulators(fb: &mut FunctionBuilder, accumulators: &[GlobalId], value: VarId) {
     for acc in accumulators {
         let cur = fb.new_var();
         fb.load(cur, Operand::Global(*acc), 0);
@@ -51,7 +47,11 @@ pub fn array_transform_loop(
     accumulators: &[GlobalId],
 ) {
     let lh = fb.counted_loop(Operand::int(0), Operand::int(elements), 1);
-    let addr = fb.binary_to_new(BinOp::Add, Operand::Global(arr), Operand::Var(lh.induction_var));
+    let addr = fb.binary_to_new(
+        BinOp::Add,
+        Operand::Global(arr),
+        Operand::Var(lh.induction_var),
+    );
     let v = emit_hash_work(fb, lh.induction_var, work);
     fb.store(Operand::Var(addr), 0, Operand::Var(v));
     emit_accumulators(fb, accumulators, v);
@@ -68,7 +68,11 @@ pub fn reduction_loop(
     work: usize,
 ) {
     let lh = fb.counted_loop(Operand::int(0), Operand::int(elements), 1);
-    let addr = fb.binary_to_new(BinOp::Add, Operand::Global(arr), Operand::Var(lh.induction_var));
+    let addr = fb.binary_to_new(
+        BinOp::Add,
+        Operand::Global(arr),
+        Operand::Var(lh.induction_var),
+    );
     let elt = fb.new_var();
     fb.load(elt, Operand::Var(addr), 0);
     let mixed = emit_hash_work(fb, elt, work);
@@ -81,12 +85,7 @@ pub fn reduction_loop(
 ///
 /// The list pointer itself is a loop-carried register dependence and the traversal is
 /// irregular memory access; `work` rounds of hashing per node keep some parallel work.
-pub fn pointer_chase_loop(
-    fb: &mut FunctionBuilder,
-    head: GlobalId,
-    acc: GlobalId,
-    work: usize,
-) {
+pub fn pointer_chase_loop(fb: &mut FunctionBuilder, head: GlobalId, acc: GlobalId, work: usize) {
     let p = fb.new_var();
     fb.load(p, Operand::Global(head), 0);
     let header = fb.new_block();
@@ -117,7 +116,11 @@ pub fn irregular_branch_loop(
     work: usize,
 ) {
     let lh = fb.counted_loop(Operand::int(0), Operand::int(elements), 1);
-    let addr = fb.binary_to_new(BinOp::Add, Operand::Global(arr), Operand::Var(lh.induction_var));
+    let addr = fb.binary_to_new(
+        BinOp::Add,
+        Operand::Global(arr),
+        Operand::Var(lh.induction_var),
+    );
     let elt = fb.new_var();
     fb.load(elt, Operand::Var(addr), 0);
     let heavy = fb.new_block();
@@ -156,7 +159,11 @@ pub fn stencil_loop(
     work: usize,
 ) {
     let lh = fb.counted_loop(Operand::int(1), Operand::int(elements - 1), 1);
-    let in_addr = fb.binary_to_new(BinOp::Add, Operand::Global(input), Operand::Var(lh.induction_var));
+    let in_addr = fb.binary_to_new(
+        BinOp::Add,
+        Operand::Global(input),
+        Operand::Var(lh.induction_var),
+    );
     let left = fb.new_var();
     let mid = fb.new_var();
     let right = fb.new_var();
@@ -173,8 +180,11 @@ pub fn stencil_loop(
     let s2 = fb.binary_to_new(BinOp::Add, Operand::Var(s1), Operand::Var(rf));
     let avg = fb.binary_to_new(BinOp::Mul, Operand::Var(s2), Operand::float(0.3));
     let extra = emit_hash_work(fb, lh.induction_var, work);
-    let out_addr =
-        fb.binary_to_new(BinOp::Add, Operand::Global(output), Operand::Var(lh.induction_var));
+    let out_addr = fb.binary_to_new(
+        BinOp::Add,
+        Operand::Global(output),
+        Operand::Var(lh.induction_var),
+    );
     fb.store(Operand::Var(out_addr), 0, Operand::Var(avg));
     fb.store(Operand::Var(out_addr), 0, Operand::Var(avg));
     let _ = extra;
@@ -198,8 +208,16 @@ pub fn make_loopy_helper(
     let acc = fb.new_var();
     fb.const_int(acc, 0);
     let lh = fb.counted_loop(Operand::int(0), Operand::int(elements), 1);
-    let addr = fb.binary_to_new(BinOp::Add, Operand::Global(arr), Operand::Var(lh.induction_var));
-    let seed = fb.binary_to_new(BinOp::Add, Operand::Var(lh.induction_var), Operand::Var(bias));
+    let addr = fb.binary_to_new(
+        BinOp::Add,
+        Operand::Global(arr),
+        Operand::Var(lh.induction_var),
+    );
+    let seed = fb.binary_to_new(
+        BinOp::Add,
+        Operand::Var(lh.induction_var),
+        Operand::Var(bias),
+    );
     let v = emit_hash_work(&mut fb, seed, work);
     fb.store(Operand::Var(addr), 0, Operand::Var(v));
     fb.binary(acc, BinOp::Add, Operand::Var(acc), Operand::Var(v));
@@ -211,12 +229,7 @@ pub fn make_loopy_helper(
 }
 
 /// A loop whose body calls `helper` once per iteration (interprocedural nesting).
-pub fn helper_call_loop(
-    fb: &mut FunctionBuilder,
-    helper: FuncId,
-    iterations: i64,
-    acc: GlobalId,
-) {
+pub fn helper_call_loop(fb: &mut FunctionBuilder, helper: FuncId, iterations: i64, acc: GlobalId) {
     let lh = fb.counted_loop(Operand::int(0), Operand::int(iterations), 1);
     let r = fb.new_var();
     fb.call(Some(r), helper, vec![Operand::Var(lh.induction_var)]);
@@ -231,11 +244,7 @@ pub fn emit_list_init(fb: &mut FunctionBuilder, storage: GlobalId, head: GlobalI
     // head = &storage
     fb.store(Operand::Global(head), 0, Operand::Global(storage));
     let lh = fb.counted_loop(Operand::int(0), Operand::int(nodes), 1);
-    let base = fb.binary_to_new(
-        BinOp::Mul,
-        Operand::Var(lh.induction_var),
-        Operand::int(2),
-    );
+    let base = fb.binary_to_new(BinOp::Mul, Operand::Var(lh.induction_var), Operand::int(2));
     let addr = fb.binary_to_new(BinOp::Add, Operand::Global(storage), Operand::Var(base));
     let value = fb.binary_to_new(BinOp::Mul, Operand::Var(lh.induction_var), Operand::int(7));
     fb.store(Operand::Var(addr), 0, Operand::Var(value));
@@ -281,7 +290,11 @@ mod tests {
         let main = mb.add_function(fb.finish());
         let module = mb.finish();
         let v = run(&module, main);
-        assert_ne!(v.as_int(), 0, "the reduction must have accumulated something");
+        assert_ne!(
+            v.as_int(),
+            0,
+            "the reduction must have accumulated something"
+        );
     }
 
     #[test]

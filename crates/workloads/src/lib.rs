@@ -25,8 +25,14 @@
 //! [`spec::all_benchmarks`] instantiates the 13 parameter sets and
 //! [`spec::SpecBenchmark::build`] produces a ready-to-run [`helix_ir::Module`] plus its entry
 //! function.
+//!
+//! The [`corpus`] module loads the repository's checked-in textual `.hir` programs through
+//! `helix-frontend`, so file-based scenarios flow through the same pipeline as the built-in
+//! synthetic benchmarks.
 
+pub mod corpus;
 pub mod kernels;
 pub mod spec;
 
+pub use corpus::{corpus_dir, corpus_paths, load_all as load_corpus, CorpusError};
 pub use spec::{all_benchmarks, BenchParams, SpecBenchmark};

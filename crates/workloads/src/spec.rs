@@ -62,8 +62,14 @@ impl SpecBenchmark {
         let p = &self.params;
         let mut mb = ModuleBuilder::new(self.name);
         let arr = mb.add_global("work_array", (p.transform_elements.max(64) as usize) + 8);
-        let red_arr = mb.add_global("reduction_array", (p.reduction_elements.max(64) as usize) + 8);
-        let irr_arr = mb.add_global("irregular_array", (p.irregular_elements.max(64) as usize) + 8);
+        let red_arr = mb.add_global(
+            "reduction_array",
+            (p.reduction_elements.max(64) as usize) + 8,
+        );
+        let irr_arr = mb.add_global(
+            "irregular_array",
+            (p.irregular_elements.max(64) as usize) + 8,
+        );
         let sten_in = mb.add_global("stencil_in", (p.stencil_elements.max(64) as usize) + 8);
         let sten_out = mb.add_global("stencil_out", (p.stencil_elements.max(64) as usize) + 8);
         let list_storage = mb.add_global("list_nodes", (p.list_nodes.max(8) as usize) * 2 + 8);
@@ -99,19 +105,43 @@ impl SpecBenchmark {
                 .into_iter()
                 .take(p.transform_accumulators)
                 .collect();
-            kernels::array_transform_loop(&mut fb, arr, p.transform_elements, p.transform_work, &accs);
+            kernels::array_transform_loop(
+                &mut fb,
+                arr,
+                p.transform_elements,
+                p.transform_work,
+                &accs,
+            );
         }
         if p.reduction_elements > 0 {
-            kernels::reduction_loop(&mut fb, red_arr, acc, p.reduction_elements, p.reduction_work);
+            kernels::reduction_loop(
+                &mut fb,
+                red_arr,
+                acc,
+                p.reduction_elements,
+                p.reduction_work,
+            );
         }
         if p.list_nodes > 0 {
             kernels::pointer_chase_loop(&mut fb, list_head, acc2, p.list_work);
         }
         if p.irregular_elements > 0 {
-            kernels::irregular_branch_loop(&mut fb, irr_arr, acc, p.irregular_elements, p.irregular_work);
+            kernels::irregular_branch_loop(
+                &mut fb,
+                irr_arr,
+                acc,
+                p.irregular_elements,
+                p.irregular_work,
+            );
         }
         if p.stencil_elements > 0 {
-            kernels::stencil_loop(&mut fb, sten_in, sten_out, p.stencil_elements, p.stencil_work);
+            kernels::stencil_loop(
+                &mut fb,
+                sten_in,
+                sten_out,
+                p.stencil_elements,
+                p.stencil_work,
+            );
         }
         if let Some(helper) = helper {
             kernels::helper_call_loop(&mut fb, helper, p.helper_calls, acc);
@@ -359,7 +389,11 @@ mod tests {
                 .call(main, &[])
                 .unwrap_or_else(|e| panic!("{} failed to run: {e}", bench.name));
             assert!(result.is_some(), "{} must return a checksum", bench.name);
-            assert!(machine.stats().instrs > 1_000, "{} is too trivial", bench.name);
+            assert!(
+                machine.stats().instrs > 1_000,
+                "{} is too trivial",
+                bench.name
+            );
         }
     }
 

@@ -15,15 +15,37 @@ fn main() {
     let profile = profile_program(&module, &nesting, main, &[]).expect("benchmark runs");
 
     let configs = [
-        ("neither step 6 nor step 8", HelixConfig::i7_980x().without_signal_minimization().without_helper_threads()),
-        ("no step 8 (no helper threads)", HelixConfig::i7_980x().without_helper_threads()),
-        ("no step 6 (no signal minimization)", HelixConfig::i7_980x().without_signal_minimization()),
+        (
+            "neither step 6 nor step 8",
+            HelixConfig::i7_980x()
+                .without_signal_minimization()
+                .without_helper_threads(),
+        ),
+        (
+            "no step 8 (no helper threads)",
+            HelixConfig::i7_980x().without_helper_threads(),
+        ),
+        (
+            "no step 6 (no signal minimization)",
+            HelixConfig::i7_980x().without_signal_minimization(),
+        ),
         ("full HELIX", HelixConfig::i7_980x()),
     ];
     println!("{} ablation on six cores:", bench.name);
     for (label, config) in configs {
         let output = Helix::new(config).analyze(&module, &profile);
-        let sim = simulate_program(&output, &profile, &SimConfig { helix: config, mode: PrefetchMode::Helix });
-        println!("  {label:<36} speedup {:.2}x ({} loops selected)", sim.speedup, output.selection.len());
+        let sim = simulate_program(
+            &output,
+            &profile,
+            &SimConfig {
+                helix: config,
+                mode: PrefetchMode::Helix,
+            },
+        );
+        println!(
+            "  {label:<36} speedup {:.2}x ({} loops selected)",
+            sim.speedup,
+            output.selection.len()
+        );
     }
 }

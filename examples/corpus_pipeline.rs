@@ -1,0 +1,58 @@
+//! Load a textual `.hir` program through the frontend and push it through the whole HELIX
+//! pipeline: profile, analyze, select, and simulate.
+//!
+//! Run with `cargo run --example corpus_pipeline [corpus/stencil.hir]`.
+
+use helix::analysis::LoopNestingGraph;
+use helix::core::{Helix, HelixConfig, PrefetchMode};
+use helix::frontend::parse_file;
+use helix::profiler::profile_program;
+use helix::simulator::{simulate_program, SimConfig};
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "corpus/stencil.hir".to_string());
+
+    // 1. The program comes from a file, not a builder: the frontend parses and verifies it.
+    let module = parse_file(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    let main = module
+        .function_by_name("main")
+        .expect("corpus programs define main");
+    println!(
+        "parsed `{}` from {path}: {} functions, {} instructions",
+        module.name,
+        module.functions.len(),
+        module.instr_count()
+    );
+
+    // 2. Profile with the sequential interpreter.
+    let nesting = LoopNestingGraph::new(&module);
+    let profile = profile_program(&module, &nesting, main, &[]).expect("program runs");
+    println!(
+        "profiled {} cycles over {} candidate loops",
+        profile.total_cycles,
+        nesting.len()
+    );
+
+    // 3. HELIX analysis and loop selection.
+    let output = Helix::new(HelixConfig::i7_980x()).analyze(&module, &profile);
+    for (key, plan) in &output.plans {
+        println!(
+            "loop {}/{}: {} synchronized segments, {:.0} cycles/iteration, selected = {}",
+            module.function(key.0).name,
+            key.1,
+            plan.synchronized_segments(),
+            plan.total_cycles_per_iter,
+            output.selection.is_selected(*key)
+        );
+    }
+
+    // 4. Simulate the parallelized program on the paper's six-core platform.
+    let sim = simulate_program(&output, &profile, &SimConfig::helix_6_cores());
+    println!(
+        "simulated speedup on 6 cores: {:.2}x (model estimate {:.2}x)",
+        sim.speedup,
+        output.estimated_speedup(PrefetchMode::Helix)
+    );
+}

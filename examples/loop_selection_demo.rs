@@ -14,7 +14,11 @@ fn main() {
     let nesting = LoopNestingGraph::new(&module);
     let profile = profile_program(&module, &nesting, main, &[]).expect("benchmark runs");
 
-    println!("static loop nesting graph: {} loops, {} roots", nesting.len(), nesting.roots().len());
+    println!(
+        "static loop nesting graph: {} loops, {} roots",
+        nesting.len(),
+        nesting.roots().len()
+    );
     for node in nesting.iter() {
         println!(
             "  loop {:?} in {} at depth {} ({} parents, {} children)",
@@ -30,7 +34,10 @@ fn main() {
         let config = HelixConfig::i7_980x().with_selection_latency(latency);
         let output = Helix::new(config).analyze(&module, &profile);
         let dist = output.selected_level_distribution();
-        println!("\nassumed signal latency {latency} cycles: {} loops selected, by nesting level: {:?}",
-            output.selection.len(), dist);
+        println!(
+            "\nassumed signal latency {latency} cycles: {} loops selected, by nesting level: {:?}",
+            output.selection.len(),
+            dist
+        );
     }
 }

@@ -4,8 +4,8 @@
 //!
 //! Run with `cargo run --release --example parallelize_art`.
 
-use helix::core::{transform, Helix, HelixConfig};
 use helix::analysis::LoopNestingGraph;
+use helix::core::{transform, Helix, HelixConfig};
 use helix::ir::Machine;
 use helix::profiler::profile_program;
 use helix::runtime::ParallelExecutor;
@@ -18,16 +18,31 @@ fn main() {
     let nesting = LoopNestingGraph::new(&module);
     let profile = profile_program(&module, &nesting, main, &[]).expect("art runs");
     let output = Helix::new(HelixConfig::i7_980x()).analyze(&module, &profile);
-    println!("art: {} candidate loops, {} selected", output.plans.len(), output.selection.len());
+    println!(
+        "art: {} candidate loops, {} selected",
+        output.plans.len(),
+        output.selection.len()
+    );
 
     for cores in [2usize, 4, 6] {
-        let sim = simulate_program(&output, &profile, &SimConfig::helix_6_cores().with_cores(cores));
-        println!("simulated speedup on {cores} cores: {:.2}x (paper: 4.12x on 6 cores)", sim.speedup);
+        let sim = simulate_program(
+            &output,
+            &profile,
+            &SimConfig::helix_6_cores().with_cores(cores),
+        );
+        println!(
+            "simulated speedup on {cores} cores: {:.2}x (paper: 4.12x on 6 cores)",
+            sim.speedup
+        );
     }
 
     // Correctness check: run the hottest main-level selected loop with real threads.
     let mut machine = Machine::new(&module);
-    let expected = machine.call(main, &[]).expect("sequential run").unwrap().as_int();
+    let expected = machine
+        .call(main, &[])
+        .expect("sequential run")
+        .unwrap()
+        .as_int();
     if let Some(plan) = output
         .selected_plans()
         .into_iter()

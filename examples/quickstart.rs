@@ -15,8 +15,16 @@ fn main() {
     let arr = mb.add_global("arr", 2048);
     let mut fb = FunctionBuilder::new("main", 0);
     let lh = fb.counted_loop(Operand::int(0), Operand::int(1024), 1);
-    let addr = fb.binary_to_new(BinOp::Add, Operand::Global(arr), Operand::Var(lh.induction_var));
-    let mut v = fb.binary_to_new(BinOp::Mul, Operand::Var(lh.induction_var), Operand::int(2654435761));
+    let addr = fb.binary_to_new(
+        BinOp::Add,
+        Operand::Global(arr),
+        Operand::Var(lh.induction_var),
+    );
+    let mut v = fb.binary_to_new(
+        BinOp::Mul,
+        Operand::Var(lh.induction_var),
+        Operand::int(2654435761),
+    );
     for round in 0..32 {
         let m = fb.binary_to_new(BinOp::Mul, Operand::Var(v), Operand::int(31 + round));
         v = fb.binary_to_new(BinOp::Xor, Operand::Var(m), Operand::int(0x9e3779b9));
@@ -31,7 +39,11 @@ fn main() {
     // 2. Profile it with the training input (the sequential interpreter).
     let nesting = LoopNestingGraph::new(&module);
     let profile = profile_program(&module, &nesting, main_fn, &[]).expect("program runs");
-    println!("profiled {} cycles, {} candidate loops", profile.total_cycles, nesting.len());
+    println!(
+        "profiled {} cycles, {} candidate loops",
+        profile.total_cycles,
+        nesting.len()
+    );
 
     // 3. Run the HELIX analysis and selection.
     let output = Helix::new(HelixConfig::i7_980x()).analyze(&module, &profile);

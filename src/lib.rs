@@ -7,6 +7,7 @@
 //! examples and downstream users can depend on a single crate:
 //!
 //! * [`ir`] — the compiler intermediate representation and sequential interpreter.
+//! * [`frontend`] — the lexer/parser for the textual `.hir` format.
 //! * [`analysis`] — dominators, loops, data flow, pointer analysis and dependence graphs.
 //! * [`core`] — the HELIX transformation pipeline and loop selection algorithm.
 //! * [`simulator`] — the cycle-level chip-multiprocessor timing model.
@@ -19,6 +20,7 @@
 
 pub use helix_analysis as analysis;
 pub use helix_core as core;
+pub use helix_frontend as frontend;
 pub use helix_ir as ir;
 pub use helix_profiler as profiler;
 pub use helix_runtime as runtime;

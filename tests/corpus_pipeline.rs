@@ -1,0 +1,92 @@
+//! End-to-end pipeline tests over the checked-in `.hir` corpus: every file enters through
+//! the frontend and flows through profiling, HELIX analysis, timing simulation, and (for a
+//! representative program) the transformation + real-thread parallel executor.
+
+use helix::analysis::LoopNestingGraph;
+use helix::core::{transform, Helix, HelixConfig};
+use helix::ir::Machine;
+use helix::profiler::profile_program;
+use helix::runtime::ParallelExecutor;
+use helix::simulator::{simulate_program, SimConfig};
+
+#[test]
+fn every_corpus_program_flows_through_the_whole_pipeline() {
+    let programs = helix::workloads::load_corpus().expect("corpus loads");
+    assert!(programs.len() >= 6);
+    for (name, module, main) in programs {
+        let nesting = LoopNestingGraph::new(&module);
+        let profile = profile_program(&module, &nesting, main, &[])
+            .unwrap_or_else(|e| panic!("{name} fails to profile: {e}"));
+        assert!(profile.total_cycles > 0, "{name}: empty profile");
+        let output = Helix::new(HelixConfig::i7_980x()).analyze(&module, &profile);
+        assert!(
+            !output.plans.is_empty(),
+            "{name}: no candidate loops reached the analysis"
+        );
+        let sim = simulate_program(&output, &profile, &SimConfig::helix_6_cores());
+        assert!(sim.speedup > 0.0, "{name}: nonsensical speedup");
+        assert!(
+            sim.speedup <= 6.0 + 1e-9,
+            "{name}: speedup {} beyond the core count",
+            sim.speedup
+        );
+    }
+}
+
+#[test]
+fn corpus_wins_and_losses_match_their_design() {
+    let speedup_of = |name: &str| {
+        let (module, main) = helix::workloads::corpus::load(name).expect("loads");
+        let nesting = LoopNestingGraph::new(&module);
+        let profile = profile_program(&module, &nesting, main, &[]).expect("runs");
+        let output = Helix::new(HelixConfig::i7_980x()).analyze(&module, &profile);
+        simulate_program(&output, &profile, &SimConfig::helix_6_cores()).speedup
+    };
+    // The DOALL-heavy scenarios must profit from HELIX...
+    assert!(speedup_of("sum_reduction") > 1.5);
+    assert!(speedup_of("stencil") > 1.5);
+    assert!(speedup_of("array_transform") > 1.2);
+    // ...while the hostile irregular-branch scenario demonstrates the Figure 12
+    // mis-selection phenomenon (documented in the corpus file itself).
+    assert!(speedup_of("irregular_branch") < 1.0);
+}
+
+#[test]
+fn transformed_corpus_reduction_runs_correctly_in_parallel() {
+    let (module, main) = helix::workloads::corpus::load("sum_reduction").expect("loads");
+    let nesting = LoopNestingGraph::new(&module);
+    let profile = profile_program(&module, &nesting, main, &[]).expect("runs");
+    let output = Helix::new(HelixConfig::i7_980x()).analyze(&module, &profile);
+    let mut machine = Machine::new(&module);
+    let expected = machine.call(main, &[]).unwrap().unwrap().as_int();
+    let plan = output
+        .selected_plans()
+        .into_iter()
+        .filter(|p| p.func == main)
+        .max_by_key(|p| profile.loop_profile((p.func, p.loop_id)).cycles)
+        .expect("the reduction loop is selected");
+    let transformed = transform::apply(&module, plan);
+    helix::ir::verify_module(&transformed.module).expect("transformed module verifies");
+    let got = ParallelExecutor::new(4)
+        .run(&transformed, &[])
+        .expect("parallel execution succeeds")
+        .unwrap()
+        .as_int();
+    assert_eq!(expected, got, "parallel execution diverged");
+}
+
+#[test]
+fn interprocedural_corpus_program_populates_the_nesting_graph() {
+    let (module, main) = helix::workloads::corpus::load("nested_helper").expect("loads");
+    let nesting = LoopNestingGraph::new(&module);
+    assert!(
+        nesting.len() >= 2,
+        "caller and callee loops must both be candidates"
+    );
+    let profile = profile_program(&module, &nesting, main, &[]).expect("runs");
+    // The helper's inner loop must have executed under the outer loop.
+    assert!(
+        !profile.dynamic_edges.is_empty(),
+        "the dynamic nesting graph must connect caller loop to callee loop"
+    );
+}

@@ -16,10 +16,18 @@ fn every_benchmark_flows_through_the_whole_pipeline() {
         let nesting = LoopNestingGraph::new(&module);
         let profile = profile_program(&module, &nesting, main, &[]).expect("workload runs");
         let output = Helix::new(HelixConfig::i7_980x()).analyze(&module, &profile);
-        assert!(!output.plans.is_empty(), "{}: no candidate loops", bench.name);
+        assert!(
+            !output.plans.is_empty(),
+            "{}: no candidate loops",
+            bench.name
+        );
         let sim = simulate_program(&output, &profile, &SimConfig::helix_6_cores());
         assert!(sim.speedup > 0.0);
-        assert!(sim.speedup <= 6.0 + 1e-9, "{}: speedup beyond core count", bench.name);
+        assert!(
+            sim.speedup <= 6.0 + 1e-9,
+            "{}: speedup beyond core count",
+            bench.name
+        );
         // The transformation of every selected plan must produce a verifying module whose
         // sequential semantics are unchanged.
         for plan in output.selected_plans().into_iter().take(1) {
@@ -65,18 +73,21 @@ fn headline_results_have_the_papers_shape() {
         let profile = profile_program(&module, &nesting, main, &[]).unwrap();
         let output = Helix::new(HelixConfig::i7_980x()).analyze(&module, &profile);
         let s6 = simulate_program(&output, &profile, &SimConfig::helix_6_cores()).speedup;
-        let s2 = simulate_program(&output, &profile, &SimConfig::helix_6_cores().with_cores(2)).speedup;
+        let s2 =
+            simulate_program(&output, &profile, &SimConfig::helix_6_cores().with_cores(2)).speedup;
         assert!(s6 + 1e-9 >= s2, "{}: 6 cores slower than 2", bench.name);
         if bench.name == "art" {
             art = s6;
         }
         speedups.push(s6);
     }
-    let geomean =
-        (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
+    let geomean = (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
     assert!(geomean > 1.3, "geometric mean too low: {geomean:.2}");
     let max = speedups.iter().cloned().fold(0.0, f64::max);
-    assert!(art >= max - 0.3, "art should be at or near the top (art={art:.2}, max={max:.2})");
+    assert!(
+        art >= max - 0.3,
+        "art should be at or near the top (art={art:.2}, max={max:.2})"
+    );
 }
 
 #[test]
@@ -87,12 +98,25 @@ fn ablations_order_as_in_figure_10() {
     let profile = profile_program(&module, &nesting, main, &[]).unwrap();
     let speedup_for = |config: HelixConfig, mode: PrefetchMode| {
         let output = Helix::new(config).analyze(&module, &profile);
-        simulate_program(&output, &profile, &SimConfig { helix: config, mode }).speedup
+        simulate_program(
+            &output,
+            &profile,
+            &SimConfig {
+                helix: config,
+                mode,
+            },
+        )
+        .speedup
     };
     let full = speedup_for(HelixConfig::i7_980x(), PrefetchMode::Helix);
-    let no_helpers = speedup_for(HelixConfig::i7_980x().without_helper_threads(), PrefetchMode::None);
+    let no_helpers = speedup_for(
+        HelixConfig::i7_980x().without_helper_threads(),
+        PrefetchMode::None,
+    );
     let neither = speedup_for(
-        HelixConfig::i7_980x().without_helper_threads().without_signal_minimization(),
+        HelixConfig::i7_980x()
+            .without_helper_threads()
+            .without_signal_minimization(),
         PrefetchMode::None,
     );
     assert!(full + 1e-9 >= no_helpers, "helper threads must not hurt");

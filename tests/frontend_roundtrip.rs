@@ -1,0 +1,214 @@
+//! Round-trip tests pinning the printer/parser symmetry: the text `helix_ir::printer` emits
+//! is the canonical grammar, so `parse(print(m)) == m` must hold for every module the system
+//! can produce — the full synthetic workload suite, the checked-in corpus, and randomized
+//! builder output.
+
+use helix::frontend::{parse_and_verify, parse_module};
+use helix::ir::builder::{FunctionBuilder, ModuleBuilder};
+use helix::ir::printer::format_module;
+use helix::ir::{BinOp, DepId, Machine, Module, Operand, Pred, UnOp, Value};
+use proptest::prelude::*;
+
+#[test]
+fn every_workload_round_trips_through_the_frontend() {
+    for bench in helix::workloads::all_benchmarks() {
+        let (module, _main) = bench.build();
+        let printed = format_module(&module);
+        let parsed = parse_and_verify(&printed)
+            .unwrap_or_else(|e| panic!("{} does not re-parse: {e}", bench.name));
+        assert_eq!(module, parsed, "{}: parse(print(m)) != m", bench.name);
+        assert_eq!(
+            printed,
+            format_module(&parsed),
+            "{}: printing is not a fixpoint",
+            bench.name
+        );
+    }
+}
+
+#[test]
+fn every_corpus_file_round_trips_and_runs() {
+    let programs = helix::workloads::load_corpus().expect("corpus loads");
+    assert!(programs.len() >= 6, "corpus must hold at least 6 programs");
+    for (name, module, main) in programs {
+        // Canonical fixpoint: printing then re-parsing reproduces the module exactly.
+        let printed = format_module(&module);
+        let parsed = parse_and_verify(&printed)
+            .unwrap_or_else(|e| panic!("{name}: printed form does not re-parse: {e}"));
+        assert_eq!(module, parsed, "{name}: parse(print(m)) != m");
+        // And the parsed copy still runs to the same checksum.
+        let mut m1 = Machine::new(&module);
+        m1.set_fuel(500_000_000);
+        let mut m2 = Machine::new(&parsed);
+        m2.set_fuel(500_000_000);
+        let r1 = m1.call(main, &[]).unwrap();
+        let r2 = m2.call(main, &[]).unwrap();
+        assert_eq!(
+            r1, r2,
+            "{name}: reparsed module computes a different result"
+        );
+    }
+}
+
+#[test]
+fn exotic_names_and_values_round_trip() {
+    let mut mb = ModuleBuilder::new("weird name \"quoted\"");
+    mb.add_global_init(
+        "init\\escapes\n",
+        6,
+        vec![
+            Value::Int(i64::MIN),
+            Value::Int(i64::MAX),
+            Value::Float(2.5),
+            Value::Float(f64::INFINITY),
+            Value::Float(f64::NEG_INFINITY),
+            Value::Float(1e-300),
+        ],
+    );
+    let mut fb = FunctionBuilder::new("0numeric name", 1);
+    let p = fb.param(0);
+    let f = fb.new_var();
+    fb.const_float(f, -0.0);
+    let u = fb.new_var();
+    fb.unary(u, UnOp::ToFloat, Operand::Var(p));
+    fb.ret(Some(Operand::Var(u)));
+    mb.add_function(fb.finish());
+    let module = mb.finish();
+    let printed = format_module(&module);
+    let parsed = parse_module(&printed).expect("exotic module parses");
+    assert_eq!(module, parsed);
+}
+
+/// Builds a randomized module exercising every instruction kind the printer can emit.
+fn random_module(
+    functions: usize,
+    blocks_per_fn: usize,
+    instrs_per_block: usize,
+    seed: u64,
+) -> Module {
+    let mut state = seed.max(1);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut mb = ModuleBuilder::new(format!("rand{seed}"));
+    let g = mb.add_global("buf", 64);
+    let g2 = mb.add_global_init("tab", 4, vec![Value::Int(7), Value::Float(0.5)]);
+    // Declare all functions first so calls can target any of them.
+    let ids: Vec<_> = (0..functions)
+        .map(|i| mb.declare_function(format!("f{i}"), 1))
+        .collect();
+    for (fi, id) in ids.iter().enumerate() {
+        let mut fb = FunctionBuilder::new(format!("f{fi}"), 1);
+        let p = fb.param(0);
+        let mut last = p;
+        // A chain of blocks starting at the entry; each is terminated into the next.
+        let mut blocks = vec![fb.current_block()];
+        blocks.extend((1..blocks_per_fn).map(|_| fb.new_block()));
+        for bi in 0..blocks.len() {
+            fb.switch_to(blocks[bi]);
+            for _ in 0..instrs_per_block {
+                match next() % 12 {
+                    0 => {
+                        let d = fb.new_var();
+                        fb.const_int(d, next() as i64);
+                        last = d;
+                    }
+                    1 => {
+                        let d = fb.new_var();
+                        fb.const_float(d, (next() % 1000) as f64 / 8.0);
+                        last = d;
+                    }
+                    2 => {
+                        let ops = BinOp::ALL;
+                        let op = ops[(next() % ops.len() as u64) as usize];
+                        last = fb.binary_to_new(op, Operand::Var(last), Operand::int(3));
+                    }
+                    3 => {
+                        let ops = UnOp::ALL;
+                        let op = ops[(next() % ops.len() as u64) as usize];
+                        let d = fb.new_var();
+                        fb.unary(d, op, Operand::Var(last));
+                        last = d;
+                    }
+                    4 => {
+                        let preds = Pred::ALL;
+                        let pr = preds[(next() % preds.len() as u64) as usize];
+                        last = fb.cmp_to_new(pr, Operand::Var(last), Operand::int(5));
+                    }
+                    5 => {
+                        let d = fb.new_var();
+                        fb.select(d, Operand::Var(last), Operand::int(1), Operand::float(2.5));
+                        last = d;
+                    }
+                    6 => {
+                        let d = fb.new_var();
+                        let off = (next() % 8) as i64 - 4;
+                        fb.load(d, Operand::Global(g), off.max(0));
+                        last = d;
+                    }
+                    7 => {
+                        fb.store(Operand::Global(g), (next() % 32) as i64, Operand::Var(last));
+                    }
+                    8 => {
+                        let d = fb.new_var();
+                        fb.alloc(d, Operand::int(2));
+                        last = d;
+                    }
+                    9 => {
+                        let callee = ids[(next() % ids.len() as u64) as usize];
+                        let d = fb.new_var();
+                        fb.call(Some(d), callee, vec![Operand::Var(last)]);
+                        last = d;
+                    }
+                    10 => {
+                        fb.wait(DepId::new((next() % 3) as u32));
+                        fb.signal(DepId::new((next() % 3) as u32));
+                    }
+                    _ => {
+                        let d = fb.new_var();
+                        fb.copy(d, Operand::Global(g2));
+                        last = d;
+                    }
+                }
+            }
+            // Terminate: branch on to the next block, conditionally when possible.
+            if bi + 1 < blocks.len() {
+                if next() % 2 == 0 {
+                    let c = fb.cmp_to_new(Pred::Gt, Operand::Var(last), Operand::int(0));
+                    fb.cond_br(Operand::Var(c), blocks[bi + 1], blocks[bi + 1]);
+                } else {
+                    fb.br(blocks[bi + 1]);
+                }
+            } else if next() % 2 == 0 {
+                fb.ret(Some(Operand::Var(last)));
+            } else {
+                fb.ret(None);
+            }
+        }
+        mb.define_function(*id, fb.finish());
+    }
+    mb.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn random_builder_modules_round_trip(
+        functions in 1usize..4,
+        blocks in 1usize..5,
+        instrs in 0usize..8,
+        seed in 1u64..1_000_000,
+    ) {
+        let module = random_module(functions, blocks, instrs, seed);
+        helix::ir::verify_module(&module).expect("random module verifies");
+        let printed = format_module(&module);
+        let parsed = parse_module(&printed).expect("printed module parses");
+        prop_assert_eq!(&module, &parsed);
+        // Printing is a fixpoint of parse∘print.
+        prop_assert_eq!(printed, format_module(&parsed));
+    }
+}

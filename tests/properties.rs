@@ -5,7 +5,7 @@
 use helix::analysis::{Cfg, DomTree, LoopForest, LoopNestingGraph, PointerAnalysis};
 use helix::core::{transform, Helix, HelixConfig};
 use helix::ir::builder::{FunctionBuilder, ModuleBuilder};
-use helix::ir::{verify_module, BinOp, Machine, Module, Operand, FuncId};
+use helix::ir::{verify_module, BinOp, FuncId, Machine, Module, Operand};
 use helix::profiler::profile_program;
 use proptest::prelude::*;
 
@@ -30,11 +30,19 @@ fn random_program(
         v = fb.binary_to_new(BinOp::Xor, Operand::Var(m), Operand::int(0x5bd1));
     }
     if use_array {
-        let addr = fb.binary_to_new(BinOp::Add, Operand::Global(arr), Operand::Var(lh.induction_var));
+        let addr = fb.binary_to_new(
+            BinOp::Add,
+            Operand::Global(arr),
+            Operand::Var(lh.induction_var),
+        );
         fb.store(Operand::Var(addr), 0, Operand::Var(v));
     }
     // Optionally rare accumulator updates guarded by a mask on the induction variable.
-    let masked = fb.binary_to_new(BinOp::And, Operand::Var(lh.induction_var), Operand::int(rare_update_mask));
+    let masked = fb.binary_to_new(
+        BinOp::And,
+        Operand::Var(lh.induction_var),
+        Operand::int(rare_update_mask),
+    );
     let do_update = fb.cmp_to_new(helix::ir::Pred::Eq, Operand::Var(masked), Operand::int(0));
     let update = fb.new_block();
     fb.cond_br(Operand::Var(do_update), update, lh.latch);

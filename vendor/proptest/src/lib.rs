@@ -1,0 +1,311 @@
+//! Offline stand-in for the real `proptest`.
+//!
+//! The build container has no network access, so this crate implements the subset of the
+//! proptest surface the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro with an optional `#![proptest_config(...)]` inner attribute,
+//! * `prop_assert!` / `prop_assert_eq!`,
+//! * range strategies (`1i64..64`), `any::<bool>()`, and `prop::sample::select(vec)`.
+//!
+//! Sampling is deterministic: every test case derives its RNG seed from the test name and
+//! case index, so failures are reproducible across runs without persisted regression files.
+//! There is no shrinking — a failing case reports its inputs via the panic message instead.
+
+use std::fmt;
+use std::ops::Range;
+
+/// Per-test configuration; only `cases` is honoured.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Failure raised by `prop_assert!`-style macros inside a property body.
+#[derive(Clone, Debug)]
+pub struct TestCaseError(pub String);
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Deterministic xorshift64* RNG used for sampling.
+#[derive(Clone, Debug)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seeds the RNG from a test name and case index (FNV-1a over the name).
+    pub fn deterministic(name: &str, case: u32) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h ^= u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        Self(if h == 0 { 0xdead_beef } else { h })
+    }
+
+    /// Next raw 64-bit sample.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform sample in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// A sampling strategy: maps an RNG to a value.
+pub trait Strategy {
+    /// The type of sampled values.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn sample(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $ty
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// Strategy produced by [`any`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Types that can be sampled without parameters (the `any::<T>()` entry point).
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for u8 {
+    fn arbitrary(rng: &mut TestRng) -> u8 {
+        rng.next_u64() as u8
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> u32 {
+        rng.next_u64() as u32
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for i64 {
+    fn arbitrary(rng: &mut TestRng) -> i64 {
+        rng.next_u64() as i64
+    }
+}
+
+impl<T> Strategy for Any<T>
+where
+    T: Arbitrary,
+{
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy sampling any value of `T` (only the types the tests need are implemented).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// The `prop::` namespace mirror.
+pub mod prop {
+    /// Sampling combinators.
+    pub mod sample {
+        use crate::{Strategy, TestRng};
+
+        /// Strategy choosing uniformly among a fixed set of values.
+        #[derive(Clone, Debug)]
+        pub struct Select<T>(Vec<T>);
+
+        /// Chooses uniformly from `items` (must be non-empty).
+        pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+            assert!(!items.is_empty(), "select requires at least one item");
+            Select(items)
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn sample(&self, rng: &mut TestRng) -> T {
+                self.0[rng.below(self.0.len() as u64) as usize].clone()
+            }
+        }
+    }
+}
+
+/// Everything a property test module needs.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, proptest, Arbitrary, ProptestConfig, Strategy,
+        TestCaseError, TestRng,
+    };
+}
+
+/// Asserts a condition inside a property body, failing the current case with context.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a property body, failing the current case with both values.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {} == {} (left: {:?}, right: {:?})",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+}
+
+/// Declares property tests. Mirrors proptest's macro shape:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(24))]
+///     #[test]
+///     fn prop(x in 0i64..10, flag in any::<bool>()) { prop_assert!(x < 10); }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr); $(
+        $(#[$meta:meta])+
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])+
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let mut rng = $crate::TestRng::deterministic(stringify!($name), case);
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)*
+                let result: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = result {
+                    panic!(
+                        "property {} failed at case {} with inputs {:?}: {}",
+                        stringify!($name),
+                        case,
+                        ($(&$arg,)*),
+                        e
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name_and_case() {
+        let a = TestRng::deterministic("t", 0).next_u64();
+        let b = TestRng::deterministic("t", 0).next_u64();
+        let c = TestRng::deterministic("t", 1).next_u64();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn range_strategy_stays_in_bounds() {
+        let mut rng = TestRng::deterministic("bounds", 0);
+        for _ in 0..1000 {
+            let v = Strategy::sample(&(3i64..17), &mut rng);
+            assert!((3..17).contains(&v));
+            let u = Strategy::sample(&(0usize..5), &mut rng);
+            assert!(u < 5);
+        }
+    }
+
+    #[test]
+    fn select_draws_from_items() {
+        let mut rng = TestRng::deterministic("select", 0);
+        for _ in 0..100 {
+            let v = Strategy::sample(&prop::sample::select(vec![1, 3, 7]), &mut rng);
+            assert!([1, 3, 7].contains(&v));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_runs_and_asserts(x in 1i64..50, flag in any::<bool>()) {
+            prop_assert!((1..50).contains(&x));
+            prop_assert_eq!(flag as u8 <= 1, true);
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for the real `serde`.
+//!
+//! The build container has no network access to crates.io, so this crate satisfies the
+//! `use serde::{Deserialize, Serialize};` imports in the IR and pipeline crates without
+//! pulling in the real framework. The traits are markers with blanket impls (every type
+//! trivially "serializes") and the derive macros expand to nothing. Nothing in the workspace
+//! performs actual serialization through serde — the `helix` CLI emits JSON by hand — so the
+//! stand-in is behaviorally invisible.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`; blanket-implemented for every type.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize`; blanket-implemented for every type.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,20 @@
+//! Offline stand-in for the real `serde_derive`.
+//!
+//! The build container has no network access, so this crate provides the two derive macros
+//! the codebase uses as no-ops: `#[derive(Serialize, Deserialize)]` compiles but generates no
+//! trait impls beyond the blanket impls in the companion `serde` stub. `#[serde(...)]` helper
+//! attributes are accepted and ignored.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
