@@ -1,0 +1,227 @@
+//! Execution-engine benchmark: tree-walking interpreter vs flat-bytecode engine.
+//!
+//! Measures, on `corpus/pointer_chase.hir` and `corpus/mcf.hir`:
+//!
+//! * sequential throughput of the reference tree-walker (`helix_ir::Machine`) vs the lowered
+//!   bytecode engine (`helix_ir::ImageMachine`) over the same programs (machine construction
+//!   excluded — the clock covers only the call),
+//! * profiled sequential throughput: the tree-walking `Profiler` vs the dense-counter
+//!   `ImageProfiler` (the number that gates every pipeline run),
+//! * parallel wall-clock of the real-thread executor at 1/2/4/6 threads (when the program's
+//!   entry function has a selected HELIX plan).
+//!
+//! Results are printed human-readable and written to `BENCH_exec.json` at the repository
+//! root, including the sequential bytecode-vs-tree margins. Pass `--test` (as CI's smoke run
+//! does: `cargo bench --bench exec_engine -- --test`) for a quick low-rep pass.
+
+use helix_analysis::LoopNestingGraph;
+use helix_core::{transform, Helix, HelixConfig};
+use helix_ir::{ExecImage, ImageMachine, Machine};
+use helix_profiler::{profile_image, profile_program};
+use helix_runtime::ParallelExecutor;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Runs `f` (untimed setup returning a closure to time) `reps` times, returning the *best*
+/// timed duration. Best-of-N filters scheduler and cache interference, which on shared
+/// machines otherwise dominates the few-percent dispatch differences being measured.
+fn best_time<S, R, F>(reps: usize, mut setup: S) -> Duration
+where
+    S: FnMut() -> F,
+    F: FnOnce() -> R,
+{
+    // Warm-up run to populate caches.
+    setup()();
+    (0..reps)
+        .map(|_| {
+            let run = setup();
+            let start = Instant::now();
+            std::hint::black_box(run());
+            start.elapsed()
+        })
+        .min()
+        .unwrap_or(Duration::ZERO)
+}
+
+struct ProgramReport {
+    name: String,
+    instrs: u64,
+    tree_ns: u128,
+    bytecode_ns: u128,
+    /// Plain sequential: tree time / bytecode time (> 1 means bytecode is faster).
+    speedup: f64,
+    profiled_tree_ns: u128,
+    profiled_bytecode_ns: u128,
+    /// Profiled sequential: tree profiler time / image profiler time.
+    profiled_speedup: f64,
+    /// `(threads, nanoseconds)` of parallel runs, empty when no plan was selected.
+    parallel: Vec<(usize, u128)>,
+}
+
+fn bench_program(name: &str, reps: usize) -> ProgramReport {
+    let (module, main) = helix_workloads::corpus::load(name)
+        .unwrap_or_else(|e| panic!("corpus program {name} must load: {e}"));
+    let image = ExecImage::lower(&module);
+    let nesting = LoopNestingGraph::new(&module);
+
+    // Plain sequential: the clock covers only the call, not machine construction.
+    let tree = best_time(reps, || {
+        let mut machine = Machine::new(&module);
+        move || machine.call(main, &[]).expect("tree run")
+    });
+    let bytecode = best_time(reps, || {
+        let mut machine = ImageMachine::new(&image);
+        move || machine.call(main, &[]).expect("bytecode run")
+    });
+
+    // Profiled sequential: the whole profiling entry point, as the pipeline invokes it.
+    let profiled_tree = best_time(reps, || {
+        || profile_program(&module, &nesting, main, &[]).expect("tree profile")
+    });
+    let profiled_bytecode = best_time(reps, || {
+        || profile_image(&image, &nesting, main, &[]).expect("image profile")
+    });
+
+    let mut machine = ImageMachine::new(&image);
+    machine.call(main, &[]).expect("stats run");
+    let instrs = machine.stats().instrs;
+
+    // Parallel: transform the hottest selected main-level loop, if any, and scale threads.
+    let mut parallel = Vec::new();
+    let driver = Helix::new(HelixConfig::i7_980x());
+    if let Ok((profile, output)) =
+        driver.profile_and_analyze(&module, main, &[], helix_ir::interp::DEFAULT_FUEL)
+    {
+        let plan = output
+            .selected_plans()
+            .into_iter()
+            .filter(|p| p.func == main)
+            .max_by_key(|p| profile.loop_profile((p.func, p.loop_id)).cycles)
+            .cloned();
+        if let Some(plan) = plan {
+            let transformed = transform::apply(&module, &plan);
+            let parallel_image = ExecImage::lower(&transformed.module);
+            let expected = {
+                let mut m = ImageMachine::new(&image);
+                m.call(main, &[]).expect("sequential reference")
+            };
+            for threads in [1usize, 2, 4, 6] {
+                let executor = ParallelExecutor::new(threads);
+                let elapsed = best_time(reps, || {
+                    let (executor, parallel_image, transformed, expected) =
+                        (executor, &parallel_image, &transformed, expected);
+                    move || {
+                        let got = executor
+                            .run_image(parallel_image, transformed, &[])
+                            .expect("parallel run");
+                        assert_eq!(got, expected, "{name}: parallel result diverged");
+                    }
+                });
+                parallel.push((threads, elapsed.as_nanos()));
+            }
+        }
+    }
+
+    ProgramReport {
+        name: name.to_string(),
+        instrs,
+        tree_ns: tree.as_nanos(),
+        bytecode_ns: bytecode.as_nanos(),
+        speedup: tree.as_secs_f64() / bytecode.as_secs_f64().max(1e-12),
+        profiled_tree_ns: profiled_tree.as_nanos(),
+        profiled_bytecode_ns: profiled_bytecode.as_nanos(),
+        profiled_speedup: profiled_tree.as_secs_f64() / profiled_bytecode.as_secs_f64().max(1e-12),
+        parallel,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let reps = if smoke { 3 } else { 40 };
+    let mut reports = Vec::new();
+    for name in ["pointer_chase", "mcf"] {
+        let report = bench_program(name, reps);
+        println!(
+            "exec_engine/{}: plain tree {:>9}ns  bytecode {:>9}ns  ({:.2}x, {} instrs)",
+            report.name, report.tree_ns, report.bytecode_ns, report.speedup, report.instrs
+        );
+        println!(
+            "exec_engine/{}: profiled tree {:>9}ns  bytecode {:>9}ns  ({:.2}x)",
+            report.name,
+            report.profiled_tree_ns,
+            report.profiled_bytecode_ns,
+            report.profiled_speedup
+        );
+        for (threads, ns) in &report.parallel {
+            println!("exec_engine/{}/parallel-{threads}: {ns}ns", report.name);
+        }
+        reports.push(report);
+    }
+
+    let geomean = |f: fn(&ProgramReport) -> f64| -> f64 {
+        (reports.iter().map(|r| f(r).ln()).sum::<f64>() / reports.len().max(1) as f64).exp()
+    };
+    let plain_geomean = geomean(|r| r.speedup);
+    let profiled_geomean = geomean(|r| r.profiled_speedup);
+    println!(
+        "exec_engine: bytecode-vs-tree geomean speedup: plain {plain_geomean:.2}x, \
+         profiled {profiled_geomean:.2}x"
+    );
+
+    // Emit the JSON summary at the repository root.
+    let mut json = String::from("{\n  \"benchmark\": \"exec_engine\",\n");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    let _ = writeln!(
+        json,
+        "  \"sequential_bytecode_vs_tree_geomean_speedup\": {plain_geomean:.4},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"profiled_bytecode_vs_tree_geomean_speedup\": {profiled_geomean:.4},"
+    );
+    json.push_str("  \"programs\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"name\": \"{}\",", r.name);
+        let _ = writeln!(json, "      \"instrs\": {},", r.instrs);
+        let _ = writeln!(json, "      \"sequential_tree_ns\": {},", r.tree_ns);
+        let _ = writeln!(json, "      \"sequential_bytecode_ns\": {},", r.bytecode_ns);
+        let _ = writeln!(
+            json,
+            "      \"bytecode_speedup_over_tree\": {:.4},",
+            r.speedup
+        );
+        let _ = writeln!(json, "      \"profiled_tree_ns\": {},", r.profiled_tree_ns);
+        let _ = writeln!(
+            json,
+            "      \"profiled_bytecode_ns\": {},",
+            r.profiled_bytecode_ns
+        );
+        let _ = writeln!(
+            json,
+            "      \"profiled_bytecode_speedup_over_tree\": {:.4},",
+            r.profiled_speedup
+        );
+        json.push_str("      \"parallel\": [");
+        for (j, (threads, ns)) in r.parallel.iter().enumerate() {
+            if j > 0 {
+                json.push_str(", ");
+            }
+            let _ = write!(json, "{{\"threads\": {threads}, \"ns\": {ns}}}");
+        }
+        json.push_str("]\n");
+        let _ = write!(
+            json,
+            "    }}{}",
+            if i + 1 < reports.len() { ",\n" } else { "\n" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_exec.json");
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("wrote {}", out.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", out.display()),
+    }
+}

@@ -17,8 +17,8 @@ mod json;
 use helix_analysis::LoopNestingGraph;
 use helix_core::{transform, Helix, HelixConfig, HelixOutput, PrefetchMode};
 use helix_frontend::parse_file;
-use helix_ir::{printer, Machine, Module, Value};
-use helix_profiler::{Profiler, ProgramProfile};
+use helix_ir::{printer, ExecImage, ExecStats, ImageMachine, Machine, Module, Value};
+use helix_profiler::{ImageProfiler, Profiler, ProgramProfile};
 use helix_runtime::ParallelExecutor;
 use helix_simulator::{simulate_program, SimConfig};
 use json::Json;
@@ -39,15 +39,17 @@ COMMANDS:
     dump-workload  Print a built-in synthetic workload as canonical .hir
 
 COMMON OPTIONS:
-    --json           Emit the report as JSON on stdout
-    --entry <name>   Entry function (default: main)
-    --cores <n>      Core count for parallelize/simulate (default: 6)
-    --mode <m>       Prefetching mode: helix|none|matched|ideal (default: helix)
-    --arg <int>      Append an integer argument for the entry function (repeatable)
-    --fuel <n>       Interpreter fuel limit for any interpreted run (default: 2000000000)
-    --print          (parse) Re-print the parsed module in canonical form
-    --parallel       (run) Transform the hottest selected loop, run on real threads
-    --threads <n>    (run --parallel) Worker thread count (default: 4)
+    --json             Emit the report as JSON on stdout
+    --entry <name>     Entry function (default: main)
+    --cores <n>        Core count for parallelize/simulate (default: 6)
+    --mode <m>         Prefetching mode: helix|none|matched|ideal (default: helix)
+    --arg <int>        Append an integer argument for the entry function (repeatable)
+    --fuel <n>         Interpreter fuel limit for any interpreted run (default: 2000000000)
+    --engine <e>       Execution engine: image (flat bytecode, default) | tree (tree-walker)
+    --print            (parse) Re-print the parsed module in canonical form
+    --parallel         (run) Transform the hottest selected loop, run on real threads
+    --threads <n>      (run --parallel) Worker thread count (default: 4)
+    --spin-budget <n>  (run --parallel) Wait spins before declaring deadlock (default: 200000000)
 
 EXAMPLES:
     helix parse corpus/pointer_chase.hir
@@ -84,6 +86,24 @@ impl CliError {
     }
 }
 
+/// Which interpreter executes sequential/profiled runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Engine {
+    /// The flat-bytecode engine (`helix_ir::exec`), the default.
+    Image,
+    /// The reference tree-walking interpreter (`helix_ir::interp`).
+    Tree,
+}
+
+impl Engine {
+    fn name(self) -> &'static str {
+        match self {
+            Engine::Image => "image",
+            Engine::Tree => "tree",
+        }
+    }
+}
+
 /// Options shared by the pipeline commands, parsed from the flag list.
 struct Options {
     file: Option<String>,
@@ -94,6 +114,8 @@ struct Options {
     cores: usize,
     threads: usize,
     fuel: u64,
+    engine: Engine,
+    spin_budget: Option<u64>,
     mode: PrefetchMode,
     args: Vec<Value>,
 }
@@ -109,6 +131,8 @@ impl Default for Options {
             cores: 6,
             threads: 4,
             fuel: 2_000_000_000,
+            engine: Engine::Image,
+            spin_budget: None,
             mode: PrefetchMode::Helix,
             args: Vec::new(),
         }
@@ -149,6 +173,26 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                 opts.fuel = value_of("--fuel", &mut it)?
                     .parse()
                     .map_err(|_| CliError::Usage("--fuel expects an integer".into()))?;
+            }
+            "--engine" => {
+                opts.engine = match value_of("--engine", &mut it)?.as_str() {
+                    "image" | "bytecode" => Engine::Image,
+                    "tree" | "walker" => Engine::Tree,
+                    other => {
+                        return Err(CliError::Usage(format!(
+                            "unknown --engine `{other}` (expected image|tree)"
+                        )))
+                    }
+                };
+            }
+            "--spin-budget" => {
+                let spins: u64 = value_of("--spin-budget", &mut it)?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--spin-budget expects an integer".into()))?;
+                if spins == 0 {
+                    return Err(CliError::Usage("--spin-budget must be at least 1".into()));
+                }
+                opts.spin_budget = Some(spins);
             }
             "--arg" => {
                 let v: i64 = value_of("--arg", &mut it)?
@@ -225,24 +269,53 @@ fn entry_of(module: &Module, opts: &Options) -> Result<helix_ir::FuncId, CliErro
 }
 
 /// Profiles the program (shared by profile/parallelize/simulate/run --parallel), honouring
-/// the `--fuel` limit like every other interpreter run the CLI performs.
+/// the `--fuel` limit and the `--engine` choice like every other interpreted run the CLI
+/// performs. The default flat-bytecode engine and the tree-walker produce identical profiles.
 fn profiled(
     module: &Module,
     opts: &Options,
-) -> Result<(LoopNestingGraph, ProgramProfile, helix_ir::FuncId), CliError> {
+) -> Result<
+    (
+        LoopNestingGraph,
+        ProgramProfile,
+        helix_ir::FuncId,
+        Option<ExecImage>,
+    ),
+    CliError,
+> {
     let entry = entry_of(module, opts)?;
     let nesting = LoopNestingGraph::new(module);
-    let mut machine = Machine::new(module);
-    machine.set_fuel(opts.fuel);
-    let mut profiler = Profiler::new(module, &nesting);
-    machine
-        .call_observed(entry, &opts.args, &mut profiler)
-        .map_err(|e| CliError::failed(format!("profiling run failed: {e}")))?;
-    Ok((nesting, profiler.finish(), entry))
+    match opts.engine {
+        Engine::Image => {
+            let image = ExecImage::lower(module);
+            let mut machine = ImageMachine::new(&image);
+            machine.set_fuel(opts.fuel);
+            let mut profiler = ImageProfiler::new(&image, &nesting);
+            machine
+                .call_observed(entry, &opts.args, &mut profiler)
+                .map_err(|e| CliError::failed(format!("profiling run failed: {e}")))?;
+            let profile = profiler.finish();
+            drop(machine);
+            Ok((nesting, profile, entry, Some(image)))
+        }
+        Engine::Tree => {
+            let mut machine = Machine::new(module);
+            machine.set_fuel(opts.fuel);
+            let mut profiler = Profiler::new(module, &nesting);
+            machine
+                .call_observed(entry, &opts.args, &mut profiler)
+                .map_err(|e| CliError::failed(format!("profiling run failed: {e}")))?;
+            Ok((nesting, profiler.finish(), entry, None))
+        }
+    }
 }
 
 fn config_of(opts: &Options) -> HelixConfig {
-    HelixConfig::i7_980x().with_cores(opts.cores)
+    let mut config = HelixConfig::i7_980x().with_cores(opts.cores);
+    if let Some(spins) = opts.spin_budget {
+        config = config.with_spin_budget(spins);
+    }
+    config
 }
 
 fn cmd_parse(opts: &Options) -> Result<(), CliError> {
@@ -307,16 +380,30 @@ fn cmd_run(opts: &Options) -> Result<(), CliError> {
         return run_parallel(&module, opts);
     }
     let entry = entry_of(&module, opts)?;
-    let mut machine = Machine::new(&module);
-    machine.set_fuel(opts.fuel);
-    let result = machine
-        .call(entry, &opts.args)
-        .map_err(|e| CliError::failed(format!("execution failed: {e}")))?;
-    let stats = machine.stats();
+    let (result, stats): (Option<Value>, ExecStats) = match opts.engine {
+        Engine::Image => {
+            let image = ExecImage::lower(&module);
+            let mut machine = ImageMachine::new(&image);
+            machine.set_fuel(opts.fuel);
+            let result = machine
+                .call(entry, &opts.args)
+                .map_err(|e| CliError::failed(format!("execution failed: {e}")))?;
+            (result, machine.stats())
+        }
+        Engine::Tree => {
+            let mut machine = Machine::new(&module);
+            machine.set_fuel(opts.fuel);
+            let result = machine
+                .call(entry, &opts.args)
+                .map_err(|e| CliError::failed(format!("execution failed: {e}")))?;
+            (result, machine.stats())
+        }
+    };
     if opts.json {
         let doc = Json::object([
             ("module", Json::str(&module.name)),
             ("entry", Json::str(&opts.entry)),
+            ("engine", Json::str(opts.engine.name())),
             (
                 "result",
                 match result {
@@ -338,8 +425,14 @@ fn cmd_run(opts: &Options) -> Result<(), CliError> {
             None => println!("result: (void)"),
         }
         println!(
-            "executed {} instructions in {} model cycles ({} loads, {} stores, {} calls)",
-            stats.instrs, stats.cycles, stats.loads, stats.stores, stats.calls
+            "executed {} instructions in {} model cycles ({} loads, {} stores, {} calls) \
+             [{} engine]",
+            stats.instrs,
+            stats.cycles,
+            stats.loads,
+            stats.stores,
+            stats.calls,
+            opts.engine.name()
         );
     }
     Ok(())
@@ -348,7 +441,7 @@ fn cmd_run(opts: &Options) -> Result<(), CliError> {
 /// `run --parallel`: transform the hottest selected loop of the entry function and execute it
 /// on real threads, validating against the sequential result.
 fn run_parallel(module: &Module, opts: &Options) -> Result<(), CliError> {
-    let (_nesting, profile, entry) = profiled(module, opts)?;
+    let (_nesting, profile, entry, image) = profiled(module, opts)?;
     let output = Helix::new(config_of(opts)).analyze(module, &profile);
     let plan = output
         .selected_plans()
@@ -359,12 +452,22 @@ fn run_parallel(module: &Module, opts: &Options) -> Result<(), CliError> {
             CliError::failed("no loop of the entry function was selected for parallelization")
         })?;
     let transformed = transform::apply(module, plan);
-    let mut machine = Machine::new(module);
-    machine.set_fuel(opts.fuel);
-    let sequential = machine
-        .call(entry, &opts.args)
-        .map_err(|e| CliError::failed(format!("sequential execution failed: {e}")))?;
-    let parallel = ParallelExecutor::new(opts.threads)
+    // The sequential baseline honours --engine (reusing the profiling run's lowering on the
+    // default image engine); the parallel run always executes through the bytecode executor.
+    let seq_error = |e| CliError::failed(format!("sequential execution failed: {e}"));
+    let sequential = match &image {
+        Some(image) => {
+            let mut machine = ImageMachine::new(image);
+            machine.set_fuel(opts.fuel);
+            machine.call(entry, &opts.args).map_err(seq_error)?
+        }
+        None => {
+            let mut machine = Machine::new(module);
+            machine.set_fuel(opts.fuel);
+            machine.call(entry, &opts.args).map_err(seq_error)?
+        }
+    };
+    let parallel = ParallelExecutor::from_config(opts.threads, &config_of(opts))
         .run(&transformed, &opts.args)
         .map_err(|e| CliError::failed(format!("parallel execution failed: {e}")))?;
     let matches = sequential == parallel;
@@ -419,7 +522,7 @@ fn run_parallel(module: &Module, opts: &Options) -> Result<(), CliError> {
 
 fn cmd_profile(opts: &Options) -> Result<(), CliError> {
     let module = load(opts)?;
-    let (nesting, profile, _entry) = profiled(&module, opts)?;
+    let (nesting, profile, _entry, _image) = profiled(&module, opts)?;
     let mut loops: Vec<_> = profile.loops.iter().collect();
     loops.sort_by_key(|(key, lp)| (std::cmp::Reverse(lp.cycles), **key));
     if opts.json {
@@ -475,7 +578,7 @@ fn cmd_profile(opts: &Options) -> Result<(), CliError> {
 
 /// Runs profile + HELIX analysis (shared by `parallelize` and `simulate`).
 fn analysis_of(module: &Module, opts: &Options) -> Result<(ProgramProfile, HelixOutput), CliError> {
-    let (_nesting, profile, _entry) = profiled(module, opts)?;
+    let (_nesting, profile, _entry, _image) = profiled(module, opts)?;
     let output = Helix::new(config_of(opts)).analyze(module, &profile);
     Ok((profile, output))
 }

@@ -36,6 +36,12 @@ pub struct HelixConfig {
     pub enable_prefetch_balancing: bool,
     /// Step 5's method inlining of calls involved in dependences (disabled only for tests).
     pub enable_inlining: bool,
+    /// Spin budget of the real-thread executor: how many yield-spins a `Wait` performs before
+    /// it is declared deadlocked (a missing `Signal` on some path).
+    pub spin_budget: u64,
+    /// Iteration budget of the real-thread executor: safety cap on the number of loop
+    /// iterations dispatched before the run is aborted.
+    pub max_loop_iterations: u64,
 }
 
 impl HelixConfig {
@@ -54,7 +60,21 @@ impl HelixConfig {
             enable_helper_threads: true,
             enable_prefetch_balancing: true,
             enable_inlining: true,
+            spin_budget: 200_000_000,
+            max_loop_iterations: 10_000_000,
         }
+    }
+
+    /// Overrides the executor's deadlock spin budget.
+    pub fn with_spin_budget(mut self, spins: u64) -> Self {
+        self.spin_budget = spins;
+        self
+    }
+
+    /// Overrides the executor's loop iteration budget.
+    pub fn with_max_loop_iterations(mut self, iterations: u64) -> Self {
+        self.max_loop_iterations = iterations;
+        self
     }
 
     /// Same platform with a different core count (the paper reports 2, 4 and 6 cores).

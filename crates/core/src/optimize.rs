@@ -122,6 +122,59 @@ pub fn minimize_signals(
     let natural = forest.get(loop_id);
     let in_loop = |b: helix_ir::BlockId| natural.contains(b);
 
+    // --- Segment merging ---------------------------------------------------------------
+    // Segments percolated next to each other (overlapping or adjacent instruction ranges in
+    // the same block) are merged so a single Wait/Signal pair covers both. A merged segment's
+    // Wait/Signal points are *recomputed* over the union of its dependence endpoints: taking
+    // the union of the original points would keep a signal that fires before another merged
+    // dependence's endpoint, releasing the successor iteration while this iteration is still
+    // writing the carried value (observed as rare nondeterministic divergence on the
+    // pointer-chasing workloads).
+    let mut merged_away: BTreeSet<usize> = BTreeSet::new();
+    let mut recompute: BTreeSet<usize> = BTreeSet::new();
+    for i in 0..segments.len() {
+        if merged_away.contains(&i) {
+            continue;
+        }
+        for j in (i + 1)..segments.len() {
+            if merged_away.contains(&j) {
+                continue;
+            }
+            if ranges_touch(&segments[i].instrs, &segments[j].instrs) {
+                let (left, right) = segments.split_at_mut(j);
+                let a = &mut left[i];
+                let b = &right[0];
+                a.dependences.extend(b.dependences.iter().cloned());
+                a.instrs.extend(b.instrs.iter().copied());
+                a.cycles_per_iteration = a
+                    .instrs
+                    .iter()
+                    .map(|r| helix_ir::CostModel::default().cost(function.instr(*r)))
+                    .sum::<u64>() as f64;
+                a.transfers_data |= b.transfers_data;
+                merged_away.insert(j);
+                recompute.insert(i);
+                stats.segments_merged += 1;
+            }
+        }
+    }
+    for &i in &recompute {
+        let endpoints: BTreeSet<InstrRef> = segments[i]
+            .dependences
+            .iter()
+            .flat_map(|d| [d.src, d.dst])
+            .collect();
+        let (waits, signals) = crate::segments::sync_points(function, cfg, natural, &endpoints);
+        segments[i].wait_points = waits;
+        segments[i].signal_points = signals;
+    }
+    let mut idx = 0;
+    segments.retain(|_| {
+        let keep = !merged_away.contains(&idx);
+        idx += 1;
+        keep
+    });
+
     // --- Redundant Wait elimination ---------------------------------------------------
     // A wait point w of segment s is redundant if another wait point of s strictly dominates
     // it along every intra-iteration path. Block-level approximation: a wait in block B at
@@ -135,7 +188,11 @@ pub fn minimize_signals(
         sorted.sort();
         for w in &sorted {
             let earlier_in_block = keep.iter().any(|k| k.block == w.block && k.index < w.index);
-            let covered_by_all_preds = !cfg.preds(w.block).is_empty()
+            // Predecessor coverage is an intra-iteration argument; every in-loop edge into the
+            // header is a back edge (the *previous* iteration's wait), so a wait in the header
+            // can never be covered by its predecessors.
+            let covered_by_all_preds = w.block != natural.header
+                && !cfg.preds(w.block).is_empty()
                 && cfg
                     .preds(w.block)
                     .iter()
@@ -153,52 +210,6 @@ pub fn minimize_signals(
         }
         seg.wait_points = keep;
     }
-
-    // --- Segment merging ---------------------------------------------------------------
-    // Segments percolated next to each other (overlapping or adjacent instruction ranges in
-    // the same block) are merged so a single Wait/Signal pair covers both.
-    let mut merged_away: BTreeSet<usize> = BTreeSet::new();
-    for i in 0..segments.len() {
-        if merged_away.contains(&i) {
-            continue;
-        }
-        for j in (i + 1)..segments.len() {
-            if merged_away.contains(&j) {
-                continue;
-            }
-            if ranges_touch(&segments[i].instrs, &segments[j].instrs) {
-                let (left, right) = segments.split_at_mut(j);
-                let a = &mut left[i];
-                let b = &right[0];
-                a.dependences.extend(b.dependences.iter().cloned());
-                a.instrs.extend(b.instrs.iter().copied());
-                let mut waits = a.wait_points.clone();
-                waits.extend(b.wait_points.iter().copied());
-                waits.sort();
-                waits.dedup();
-                a.wait_points = waits;
-                let mut sigs = a.signal_points.clone();
-                sigs.extend(b.signal_points.iter().copied());
-                sigs.sort();
-                sigs.dedup();
-                a.signal_points = sigs;
-                a.cycles_per_iteration = a
-                    .instrs
-                    .iter()
-                    .map(|r| helix_ir::CostModel::default().cost(function.instr(*r)))
-                    .sum::<u64>() as f64;
-                a.transfers_data |= b.transfers_data;
-                merged_away.insert(j);
-                stats.segments_merged += 1;
-            }
-        }
-    }
-    let mut idx = 0;
-    segments.retain(|_| {
-        let keep = !merged_away.contains(&idx);
-        idx += 1;
-        keep
-    });
 
     // --- Theorem 1 on the dependence redundancy graph -----------------------------------
     // Edge j -> i when Wait(d_j) is available at every Wait(d_i): approximated at block level
@@ -445,6 +456,95 @@ mod tests {
             "the read-modify-write needs exactly one synchronized segment, got {}",
             synchronized.len()
         );
+    }
+
+    /// A pointer-chase-shaped loop: the carried pointer is re-defined at the very end of the
+    /// body, *after* a carried accumulator read-modify-write. Merging the accumulator segment
+    /// with the pointer segment must not keep the accumulator's (earlier) signal point — the
+    /// merged signal may only fire after the pointer's new value is written.
+    fn pointer_chase_like(mb: &mut ModuleBuilder) -> helix_ir::Function {
+        use helix_ir::Pred;
+        let nodes = mb.add_global("nodes", 64);
+        let acc = mb.add_global("acc", 1);
+        let mut fb = FunctionBuilder::new("f", 0);
+        let v = fb.new_var();
+        fb.copy(v, Operand::Global(nodes));
+        let header = fb.new_block();
+        let body = fb.new_block();
+        let exit = fb.new_block();
+        fb.br(header);
+        fb.switch_to(header);
+        let c = fb.cmp_to_new(Pred::Ne, Operand::Var(v), Operand::int(0));
+        fb.cond_br(Operand::Var(c), body, exit);
+        fb.switch_to(body);
+        let payload = fb.new_var();
+        fb.load(payload, Operand::Var(v), 0);
+        let cur = fb.new_var();
+        fb.load(cur, Operand::Global(acc), 0);
+        let sum = fb.binary_to_new(BinOp::Add, Operand::Var(cur), Operand::Var(payload));
+        fb.store(Operand::Global(acc), 0, Operand::Var(sum));
+        fb.load(v, Operand::Var(v), 1); // the carried pointer: defined last
+        fb.br(header);
+        fb.switch_to(exit);
+        fb.ret(None);
+        fb.finish()
+    }
+
+    #[test]
+    fn merged_segments_signal_only_after_their_last_endpoint() {
+        let s = setup(pointer_chase_like);
+        let function = s.module.function(s.func);
+        let mut segments = initial_segments(&s);
+        minimize_segments(function, &mut segments, &CostModel::default());
+        minimize_signals(function, &s.cfg, &s.forest, s.loop_id, &mut segments);
+        for seg in segments.iter().filter(|s| s.synchronized) {
+            let endpoints: BTreeSet<InstrRef> = seg
+                .dependences
+                .iter()
+                .flat_map(|d| [d.src, d.dst])
+                .collect();
+            for sig in &seg.signal_points {
+                let last_endpoint_in_block = endpoints
+                    .iter()
+                    .filter(|e| e.block == sig.block)
+                    .map(|e| e.index)
+                    .max();
+                if let Some(last) = last_endpoint_in_block {
+                    assert!(
+                        sig.index > last,
+                        "signal {sig} fires before endpoint index {last} of dep {:?}",
+                        seg.dep
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn header_waits_survive_wait_elimination() {
+        // A wait in the loop header guards the carried value read by the *next* iteration's
+        // prologue; treating the latch->header back edge as a covering predecessor used to
+        // delete it (nondeterministic divergence on pointer_chase/mcf).
+        let s = setup(pointer_chase_like);
+        let function = s.module.function(s.func);
+        let mut segments = initial_segments(&s);
+        minimize_segments(function, &mut segments, &CostModel::default());
+        minimize_signals(function, &s.cfg, &s.forest, s.loop_id, &mut segments);
+        let header = s.forest.get(s.loop_id).header;
+        let header_has_endpoint_user = segments.iter().filter(|x| x.synchronized).any(|x| {
+            x.dependences
+                .iter()
+                .any(|d| d.src.block == header || d.dst.block == header)
+        });
+        if header_has_endpoint_user {
+            assert!(
+                segments
+                    .iter()
+                    .filter(|x| x.synchronized)
+                    .any(|x| x.wait_points.iter().any(|w| w.block == header)),
+                "the header's wait must survive"
+            );
+        }
     }
 
     #[test]

@@ -79,6 +79,34 @@ impl Helix {
         Self { config }
     }
 
+    /// One-stop entry point: lowers `module` to a flat bytecode image, profiles a training
+    /// run of `entry` with `args` through the bytecode engine, and runs the full analysis on
+    /// the resulting profile.
+    ///
+    /// `fuel` bounds the profiling run's dynamic instruction count
+    /// (use [`helix_ir::interp::DEFAULT_FUEL`] when in doubt).
+    ///
+    /// # Errors
+    ///
+    /// Returns the engine error if the profiling run faults or exhausts `fuel`.
+    pub fn profile_and_analyze(
+        &self,
+        module: &Module,
+        entry: helix_ir::FuncId,
+        args: &[helix_ir::Value],
+        fuel: u64,
+    ) -> Result<(ProgramProfile, HelixOutput), helix_ir::interp::ExecError> {
+        let nesting = LoopNestingGraph::new(module);
+        let image = helix_ir::ExecImage::lower(module);
+        let mut machine = helix_ir::ImageMachine::new(&image);
+        machine.set_fuel(fuel);
+        let mut profiler = helix_profiler::ImageProfiler::new(&image, &nesting);
+        machine.call_observed(entry, args, &mut profiler)?;
+        let profile = profiler.finish();
+        let output = self.analyze(module, &profile);
+        Ok((profile, output))
+    }
+
     /// Runs Steps 1–8 on every profiled candidate loop of `module` and selects the loops to
     /// parallelize using the Section 2.2 algorithm.
     pub fn analyze(&self, module: &Module, profile: &ProgramProfile) -> HelixOutput {
@@ -532,6 +560,23 @@ mod tests {
         assert!(output.loops_at_level(7).is_empty());
         let dist = output.selected_level_distribution();
         assert!(dist.values().sum::<usize>() >= 1);
+    }
+
+    #[test]
+    fn profile_and_analyze_matches_the_two_step_flow() {
+        let (module, main) = program();
+        let nesting = helix_analysis::LoopNestingGraph::new(&module);
+        let profile = profile_program(&module, &nesting, main, &[]).unwrap();
+        let helix = Helix::new(HelixConfig::default());
+        let two_step = helix.analyze(&module, &profile);
+        let (image_profile, one_stop) = helix
+            .profile_and_analyze(&module, main, &[], helix_ir::interp::DEFAULT_FUEL)
+            .unwrap();
+        // The bytecode profiler produces the identical profile, so the analysis agrees.
+        assert_eq!(profile, image_profile);
+        assert_eq!(two_step.selection.selected, one_stop.selection.selected);
+        assert_eq!(two_step.plans.len(), one_stop.plans.len());
+        assert_eq!(two_step.program_cycles, one_stop.program_cycles);
     }
 
     #[test]

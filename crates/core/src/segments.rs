@@ -43,6 +43,83 @@ pub fn dependences_to_synchronize<'a>(
         .collect()
 }
 
+/// Computes the `Wait`/`Signal` insertion points for a set of dependence endpoints within a
+/// loop: a `Wait` before every endpoint occurrence; `Signal`s right after the last endpoint
+/// of a block whose remaining intra-iteration paths cannot reach an endpoint again, at the
+/// entry of "frontier" clear blocks, and as a catch-all at every latch.
+///
+/// Both the initial segment construction and the Step 6 segment-merging pass derive points
+/// from this single function: a merged segment must *recompute* its points over the union of
+/// its endpoints (taking the union of the original points would keep a signal that fires
+/// before another merged dependence's endpoint, releasing the successor iteration too early).
+pub fn sync_points(
+    function: &Function,
+    cfg: &Cfg,
+    natural: &helix_analysis::NaturalLoop,
+    endpoints: &BTreeSet<InstrRef>,
+) -> (Vec<InstrRef>, Vec<InstrRef>) {
+    let in_loop = |b: BlockId| natural.contains(b);
+    let endpoint_blocks: BTreeSet<BlockId> = endpoints.iter().map(|r| r.block).collect();
+
+    // Wait before each endpoint occurrence.
+    let wait_points: Vec<InstrRef> = endpoints.iter().copied().collect();
+
+    // A block is "clear" when no endpoint can execute from its start in the rest of the
+    // current iteration (not traversing the back edge into the header).
+    let mut clear: BTreeMap<BlockId, bool> = BTreeMap::new();
+    for &block in &natural.blocks {
+        let reaches_endpoint = endpoint_blocks.iter().any(|&eb| {
+            block == eb
+                || cfg.succs(block).iter().any(|&s| {
+                    s != natural.header
+                        && in_loop(s)
+                        && (s == eb || cfg.reaches_within(s, eb, &in_loop, Some(natural.header)))
+                })
+        });
+        clear.insert(block, !reaches_endpoint);
+    }
+
+    // Signal points: right after the last endpoint of a block when nothing later in the
+    // iteration can reach an endpoint again, and at the entry of "frontier" clear blocks.
+    let mut signal_points: Vec<InstrRef> = Vec::new();
+    for &eb in &endpoint_blocks {
+        let last_endpoint_idx = endpoints
+            .iter()
+            .filter(|r| r.block == eb)
+            .map(|r| r.index)
+            .max()
+            .expect("endpoint block has an endpoint");
+        let successors_clear = cfg
+            .succs(eb)
+            .iter()
+            .all(|&s| s == natural.header || !in_loop(s) || clear[&s]);
+        if successors_clear {
+            signal_points.push(InstrRef::new(eb, last_endpoint_idx + 1));
+        }
+    }
+    for &block in &natural.blocks {
+        if !clear[&block] || endpoint_blocks.contains(&block) {
+            continue;
+        }
+        let frontier = cfg.preds(block).iter().any(|&p| in_loop(p) && !clear[&p]);
+        if frontier {
+            signal_points.push(InstrRef::new(block, 0));
+        }
+    }
+    // Catch-all: every latch signals before branching back, so an iteration that skips
+    // every endpoint still unblocks its successor.
+    for &latch in &natural.latches {
+        let end = function.block(latch).instrs.len().saturating_sub(1);
+        let at = InstrRef::new(latch, end);
+        if !signal_points.contains(&at) && !clear.get(&latch).copied().unwrap_or(false) {
+            signal_points.push(at);
+        }
+    }
+    signal_points.sort();
+    signal_points.dedup();
+    (wait_points, signal_points)
+}
+
 /// Builds the initial sequential segments (one per distinct endpoint pair) for the
 /// synchronized dependences of a loop.
 #[allow(clippy::too_many_arguments)]
@@ -75,65 +152,8 @@ pub fn build_segments(
     let mut segments = Vec::new();
     for (dep_index, ((a, b), dependences)) in groups.into_iter().enumerate() {
         let endpoints: BTreeSet<InstrRef> = [a, b].into_iter().collect();
+        let (wait_points, signal_points) = sync_points(function, cfg, natural, &endpoints);
         let endpoint_blocks: BTreeSet<BlockId> = endpoints.iter().map(|r| r.block).collect();
-
-        // Wait before each endpoint occurrence.
-        let wait_points: Vec<InstrRef> = endpoints.iter().copied().collect();
-
-        // A block is "clear" when no endpoint can execute from its start in the rest of the
-        // current iteration (not traversing the back edge into the header).
-        let mut clear: BTreeMap<BlockId, bool> = BTreeMap::new();
-        for &block in &natural.blocks {
-            let reaches_endpoint = endpoint_blocks.iter().any(|&eb| {
-                block == eb
-                    || cfg.succs(block).iter().any(|&s| {
-                        s != natural.header
-                            && in_loop(s)
-                            && (s == eb
-                                || cfg.reaches_within(s, eb, &in_loop, Some(natural.header)))
-                    })
-            });
-            clear.insert(block, !reaches_endpoint);
-        }
-
-        // Signal points: right after the last endpoint of a block when nothing later in the
-        // iteration can reach an endpoint again, and at the entry of "frontier" clear blocks.
-        let mut signal_points: Vec<InstrRef> = Vec::new();
-        for &eb in &endpoint_blocks {
-            let last_endpoint_idx = endpoints
-                .iter()
-                .filter(|r| r.block == eb)
-                .map(|r| r.index)
-                .max()
-                .expect("endpoint block has an endpoint");
-            let successors_clear = cfg
-                .succs(eb)
-                .iter()
-                .all(|&s| s == natural.header || !in_loop(s) || clear[&s]);
-            if successors_clear {
-                signal_points.push(InstrRef::new(eb, last_endpoint_idx + 1));
-            }
-        }
-        for &block in &natural.blocks {
-            if !clear[&block] || endpoint_blocks.contains(&block) {
-                continue;
-            }
-            let frontier = cfg.preds(block).iter().any(|&p| in_loop(p) && !clear[&p]);
-            if frontier {
-                signal_points.push(InstrRef::new(block, 0));
-            }
-        }
-        // Catch-all: every latch signals before branching back, so an iteration that skips
-        // both endpoints still unblocks its successor.
-        for &latch in &natural.latches {
-            let end = function.block(latch).instrs.len().saturating_sub(1);
-            let at = InstrRef::new(latch, end);
-            if !signal_points.contains(&at) && !clear.get(&latch).copied().unwrap_or(false) {
-                signal_points.push(at);
-            }
-        }
-        signal_points.sort();
-        signal_points.dedup();
 
         // The segment body: instructions of endpoint blocks between the first and last
         // endpoint, plus whole blocks lying on an intra-iteration path between two endpoint

@@ -51,10 +51,12 @@
 
 pub mod builder;
 pub mod cost;
+pub mod exec;
 pub mod function;
 pub mod ids;
 pub mod instr;
 pub mod interp;
+pub mod lower;
 pub mod memory;
 pub mod module;
 pub mod printer;
@@ -63,10 +65,12 @@ pub mod verify;
 
 pub use builder::{FunctionBuilder, ModuleBuilder};
 pub use cost::CostModel;
+pub use exec::{ImageEvaluator, ImageMachine, ImageObserver, NullImageObserver};
 pub use function::{BasicBlock, Function};
 pub use ids::{BlockId, DepId, FuncId, GlobalId, InstrRef, VarId};
 pub use instr::{BinOp, Instr, Operand, Pred, UnOp};
 pub use interp::{ExecStats, Machine, Observer};
+pub use lower::{ExecImage, FuncImage, Op, Opnd};
 pub use memory::Memory;
 pub use module::{Global, Module};
 pub use value::Value;

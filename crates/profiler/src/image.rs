@@ -1,0 +1,411 @@
+//! The bytecode-engine profiling observer.
+//!
+//! [`ImageProfiler`] is the lowered counterpart of [`crate::Profiler`]: it observes a
+//! [`helix_ir::ImageMachine`] run through the [`ImageObserver`] hooks and produces the same
+//! [`ProgramProfile`] the tree-walking profiler does — but instead of hashing an [`InstrRef`]
+//! per dynamic instruction it keeps *dense* per-pc execution/cycle counters (folded back to
+//! `InstrRef`s once, in [`ImageProfiler::finish`]) and per-block loop-header lookups indexed
+//! by dense block id.
+//!
+//! Inclusive cycle attribution (per call site and per active loop) uses entry/exit deltas of
+//! the running total instead of touching every pending frame and active loop on every
+//! instruction: a frame entered at total `t0` and left at `t1` accumulated exactly `t1 - t0`
+//! inclusive cycles. The per-event work is O(1) instead of O(stack depth), and the resulting
+//! profile is identical (addition is commutative; `tests/exec_differential.rs` asserts
+//! equality against the tree-walking profiler over the whole corpus).
+
+use crate::profile::{FunctionProfile, LoopKey, ProgramProfile};
+use helix_analysis::{LoopForest, LoopId, LoopNestingGraph};
+use helix_ir::interp::ExecError;
+use helix_ir::{BlockId, ExecImage, FuncId, ImageMachine, ImageObserver, InstrRef, Module, Value};
+use std::collections::HashMap;
+
+/// One entry of the active-loop stack.
+#[derive(Clone, Copy, Debug)]
+struct ActiveLoop {
+    key: LoopKey,
+    /// Index of the call frame the loop belongs to.
+    frame: usize,
+    /// Running cycle total when the loop was entered (for inclusive-delta attribution).
+    cycles_at_entry: u64,
+}
+
+/// One call frame.
+#[derive(Clone, Copy, Debug)]
+struct Frame {
+    /// The caller and call site, absent for the root invocation.
+    callsite: Option<(FuncId, InstrRef)>,
+    /// Loop-stack depth when the frame was pushed (restored on return).
+    loop_baseline: usize,
+    /// Running cycle total when the frame was pushed.
+    cycles_at_push: u64,
+}
+
+/// The profiling observer for the bytecode engine. Attach to an
+/// [`ImageMachine::call_observed`] run, or use [`profile_image`] / [`profile_program_image`].
+#[derive(Debug)]
+pub struct ImageProfiler<'i> {
+    image: &'i ExecImage,
+    forests: HashMap<FuncId, LoopForest>,
+    /// Per function, the loop whose header each block is (dense, indexed by block id).
+    header_of: Vec<Vec<Option<LoopId>>>,
+    /// Dense per-pc execution counts, indexed `[func][pc]`.
+    counts: Vec<Vec<u64>>,
+    /// Dense per-pc exclusive cycles, indexed `[func][pc]`.
+    op_cycles: Vec<Vec<u64>>,
+    /// Per-function invocation counts.
+    invocations: Vec<u64>,
+    /// Inclusive callee cycles per call site, flushed when frames pop.
+    callsite_cycles: HashMap<FuncId, HashMap<InstrRef, u64>>,
+    loops: HashMap<LoopKey, crate::profile::LoopProfile>,
+    dynamic_edges: std::collections::BTreeSet<(LoopKey, LoopKey)>,
+    dynamic_roots: std::collections::BTreeSet<LoopKey>,
+    total_cycles: u64,
+    outside_cycles: u64,
+    /// Running total when the loop stack last became (or started) empty.
+    outside_since: u64,
+    frames: Vec<Frame>,
+    active_loops: Vec<ActiveLoop>,
+}
+
+impl<'i> ImageProfiler<'i> {
+    /// Creates a profiler for `image`, reusing the loop forests of a pre-computed nesting
+    /// graph.
+    pub fn new(image: &'i ExecImage, nesting: &LoopNestingGraph) -> Self {
+        let forests = nesting.forests.clone();
+        let mut header_of: Vec<Vec<Option<LoopId>>> = image
+            .funcs
+            .iter()
+            .map(|f| vec![None; f.num_blocks()])
+            .collect();
+        for (func, forest) in &forests {
+            if let Some(headers) = header_of.get_mut(func.index()) {
+                for l in forest.iter() {
+                    if let Some(slot) = headers.get_mut(l.header.index()) {
+                        *slot = Some(l.id);
+                    }
+                }
+            }
+        }
+        Self {
+            forests,
+            header_of,
+            counts: image.funcs.iter().map(|f| vec![0; f.code.len()]).collect(),
+            op_cycles: image.funcs.iter().map(|f| vec![0; f.code.len()]).collect(),
+            invocations: vec![0; image.funcs.len()],
+            callsite_cycles: HashMap::new(),
+            loops: HashMap::new(),
+            dynamic_edges: std::collections::BTreeSet::new(),
+            dynamic_roots: std::collections::BTreeSet::new(),
+            total_cycles: 0,
+            outside_cycles: 0,
+            outside_since: 0,
+            frames: Vec::new(),
+            active_loops: Vec::new(),
+            image,
+        }
+    }
+
+    /// Consumes the profiler and folds the dense counters into a [`ProgramProfile`].
+    pub fn finish(mut self) -> ProgramProfile {
+        // Flush attribution for anything still live (an errored run leaves frames and loops
+        // on the stack; the tree-walking profiler attributed their cycles eagerly).
+        while let Some(frame) = self.frames.pop() {
+            if let Some((caller, site)) = frame.callsite {
+                *self
+                    .callsite_cycles
+                    .entry(caller)
+                    .or_default()
+                    .entry(site)
+                    .or_default() += self.total_cycles - frame.cycles_at_push;
+            }
+        }
+        while !self.active_loops.is_empty() {
+            self.deactivate_top();
+        }
+        self.outside_cycles += self.total_cycles - self.outside_since;
+        self.outside_since = self.total_cycles;
+
+        let mut functions: HashMap<FuncId, FunctionProfile> = HashMap::new();
+        for (idx, counts) in self.counts.iter().enumerate() {
+            let func = FuncId::new(idx as u32);
+            let invocations = self.invocations[idx];
+            let callsites = self.callsite_cycles.remove(&func).unwrap_or_default();
+            let any_count = counts.iter().any(|&c| c > 0);
+            if invocations == 0 && !any_count && callsites.is_empty() {
+                continue;
+            }
+            let fi = &self.image.funcs[idx];
+            let mut fp = FunctionProfile {
+                invocations,
+                ..FunctionProfile::default()
+            };
+            for (pc, &count) in counts.iter().enumerate() {
+                if count > 0 {
+                    let entry = fp.instrs.entry(fi.pc_to_ref[pc]).or_default();
+                    entry.count += count;
+                    entry.cycles += self.op_cycles[idx][pc];
+                }
+            }
+            fp.callsite_cycles = callsites;
+            functions.insert(func, fp);
+        }
+        // Call sites of functions that never executed an op themselves still need their
+        // attribution (not reachable in practice, but keep the fold total).
+        for (func, callsites) in self.callsite_cycles.drain() {
+            functions.entry(func).or_default().callsite_cycles = callsites;
+        }
+
+        ProgramProfile {
+            functions,
+            loops: self.loops,
+            dynamic_edges: self.dynamic_edges,
+            dynamic_roots: self.dynamic_roots,
+            total_cycles: self.total_cycles,
+            cycles_outside_loops: self.outside_cycles,
+        }
+    }
+
+    fn ensure_root_frame(&mut self, func: FuncId) {
+        if self.frames.is_empty() {
+            self.frames.push(Frame {
+                callsite: None,
+                loop_baseline: 0,
+                cycles_at_push: self.total_cycles,
+            });
+            self.invocations[func.index()] += 1;
+        }
+    }
+
+    fn current_frame_index(&self) -> usize {
+        self.frames.len().saturating_sub(1)
+    }
+
+    /// Pops the top active loop, attributing its inclusive cycle delta.
+    fn deactivate_top(&mut self) {
+        let Some(top) = self.active_loops.pop() else {
+            return;
+        };
+        self.loops.entry(top.key).or_default().cycles += self.total_cycles - top.cycles_at_entry;
+        if self.active_loops.is_empty() {
+            self.outside_since = self.total_cycles;
+        }
+    }
+
+    /// Pops loops of the current frame that do not contain `block`.
+    fn pop_exited_loops(&mut self, func: FuncId, block: BlockId) {
+        let frame = self.current_frame_index();
+        while let Some(top) = self.active_loops.last() {
+            if top.frame != frame {
+                break;
+            }
+            let (f, lid) = top.key;
+            debug_assert_eq!(f, func);
+            let still_inside = self
+                .forests
+                .get(&f)
+                .map(|forest| forest.get(lid).contains(block))
+                .unwrap_or(false);
+            if still_inside {
+                break;
+            }
+            self.deactivate_top();
+        }
+    }
+}
+
+impl ImageObserver for ImageProfiler<'_> {
+    fn on_block_enter(&mut self, func: FuncId, block: u32) {
+        self.ensure_root_frame(func);
+        self.pop_exited_loops(func, BlockId::new(block));
+        let frame = self.current_frame_index();
+        if let Some(lid) = self.header_of[func.index()][block as usize] {
+            let key = (func, lid);
+            let is_new_iteration_of_top = self
+                .active_loops
+                .last()
+                .map(|t| t.frame == frame && t.key == key)
+                .unwrap_or(false);
+            if is_new_iteration_of_top {
+                // A back edge into the header completes one iteration.
+                self.loops.entry(key).or_default().iterations += 1;
+            } else {
+                match self.active_loops.last() {
+                    Some(parent) => {
+                        self.dynamic_edges.insert((parent.key, key));
+                    }
+                    None => {
+                        self.dynamic_roots.insert(key);
+                        self.outside_cycles += self.total_cycles - self.outside_since;
+                    }
+                }
+                self.loops.entry(key).or_default().invocations += 1;
+                self.active_loops.push(ActiveLoop {
+                    key,
+                    frame,
+                    cycles_at_entry: self.total_cycles,
+                });
+            }
+        }
+    }
+
+    fn on_op(&mut self, func: FuncId, pc: u32, cycles: u64) {
+        self.ensure_root_frame(func);
+        let idx = func.index();
+        self.counts[idx][pc as usize] += 1;
+        self.op_cycles[idx][pc as usize] += cycles;
+        self.total_cycles += cycles;
+    }
+
+    fn on_call(&mut self, caller: FuncId, pc: u32, callee: FuncId) {
+        self.ensure_root_frame(caller);
+        let site = self.image.funcs[caller.index()].pc_to_ref[pc as usize];
+        self.frames.push(Frame {
+            callsite: Some((caller, site)),
+            loop_baseline: self.active_loops.len(),
+            cycles_at_push: self.total_cycles,
+        });
+        self.invocations[callee.index()] += 1;
+    }
+
+    fn on_return(&mut self, _func: FuncId) {
+        if self.frames.len() > 1 {
+            let frame = self.frames.pop().expect("frame stack underflow");
+            if let Some((caller, site)) = frame.callsite {
+                *self
+                    .callsite_cycles
+                    .entry(caller)
+                    .or_default()
+                    .entry(site)
+                    .or_default() += self.total_cycles - frame.cycles_at_push;
+            }
+            while self.active_loops.len() > frame.loop_baseline {
+                self.deactivate_top();
+            }
+        } else {
+            // Returning from the root invocation: deactivate all loops.
+            while !self.active_loops.is_empty() {
+                self.deactivate_top();
+            }
+        }
+    }
+}
+
+/// Runs `main` of `image` with `args` under the bytecode profiler and returns the profile.
+///
+/// # Errors
+///
+/// Returns the engine error if the program faults or exhausts its fuel.
+pub fn profile_image(
+    image: &ExecImage,
+    nesting: &LoopNestingGraph,
+    main: FuncId,
+    args: &[Value],
+) -> Result<ProgramProfile, ExecError> {
+    let mut machine = ImageMachine::new(image);
+    let mut profiler = ImageProfiler::new(image, nesting);
+    machine.call_observed(main, args, &mut profiler)?;
+    Ok(profiler.finish())
+}
+
+/// Lowers `module` and profiles it through the bytecode engine — the drop-in, faster
+/// replacement for [`crate::profile_program`].
+///
+/// # Errors
+///
+/// Returns the engine error if the program faults or exhausts its fuel.
+pub fn profile_program_image(
+    module: &Module,
+    nesting: &LoopNestingGraph,
+    main: FuncId,
+    args: &[Value],
+) -> Result<ProgramProfile, ExecError> {
+    let image = ExecImage::lower(module);
+    profile_image(&image, nesting, main, args)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile_program;
+    use helix_ir::builder::{FunctionBuilder, ModuleBuilder};
+    use helix_ir::{BinOp, Operand};
+
+    /// The same doubly nested + interprocedural module the tree-walking profiler tests use.
+    fn profiled_module() -> (Module, FuncId, LoopNestingGraph) {
+        let mut mb = ModuleBuilder::new("prof");
+        let helper_id = mb.declare_function("helper", 1);
+        let mut helper = FunctionBuilder::new("helper", 1);
+        let hn = helper.param(0);
+        let acc = helper.new_var();
+        helper.const_int(acc, 0);
+        let hl = helper.counted_loop(Operand::int(0), Operand::Var(hn), 1);
+        helper.binary(
+            acc,
+            BinOp::Add,
+            Operand::Var(acc),
+            Operand::Var(hl.induction_var),
+        );
+        helper.br(hl.latch);
+        helper.switch_to(hl.exit);
+        helper.ret(Some(Operand::Var(acc)));
+        mb.define_function(helper_id, helper.finish());
+
+        let mut main = FunctionBuilder::new("main", 0);
+        let s = main.new_var();
+        main.const_int(s, 0);
+        let outer = main.counted_loop(Operand::int(0), Operand::int(10), 1);
+        let inner = main.counted_loop(Operand::int(0), Operand::int(5), 1);
+        main.binary(
+            s,
+            BinOp::Add,
+            Operand::Var(s),
+            Operand::Var(inner.induction_var),
+        );
+        main.br(inner.latch);
+        main.switch_to(inner.exit);
+        let h = main.new_var();
+        main.call(Some(h), helper_id, vec![Operand::int(3)]);
+        main.binary(s, BinOp::Add, Operand::Var(s), Operand::Var(h));
+        main.br(outer.latch);
+        main.switch_to(outer.exit);
+        main.ret(Some(Operand::Var(s)));
+        let main_id = mb.add_function(main.finish());
+        let module = mb.finish();
+        let nesting = LoopNestingGraph::new(&module);
+        (module, main_id, nesting)
+    }
+
+    #[test]
+    fn image_profile_is_identical_to_tree_walk_profile() {
+        let (module, main_id, nesting) = profiled_module();
+        let tree = profile_program(&module, &nesting, main_id, &[]).unwrap();
+        let flat = profile_program_image(&module, &nesting, main_id, &[]).unwrap();
+        assert_eq!(tree, flat);
+    }
+
+    #[test]
+    fn loop_counts_match_trip_counts() {
+        let (module, main_id, nesting) = profiled_module();
+        let profile = profile_program_image(&module, &nesting, main_id, &[]).unwrap();
+        let main_forest = &nesting.forests[&main_id];
+        let outer_key = (main_id, main_forest.top_level()[0]);
+        let outer = profile.loop_profile(outer_key);
+        assert_eq!(outer.invocations, 1);
+        assert_eq!(outer.iterations, 10);
+        assert!(profile.total_cycles > outer.cycles);
+        assert!(profile.cycles_outside_loops > 0);
+    }
+
+    #[test]
+    fn interprocedural_nesting_edges_are_recorded() {
+        let (module, main_id, nesting) = profiled_module();
+        let helper_id = module.function_by_name("helper").unwrap();
+        let profile = profile_program_image(&module, &nesting, main_id, &[]).unwrap();
+        let outer_key = (main_id, nesting.forests[&main_id].top_level()[0]);
+        let helper_key = (helper_id, nesting.forests[&helper_id].top_level()[0]);
+        assert!(profile.dynamic_edges.contains(&(outer_key, helper_key)));
+        assert!(profile.dynamic_roots.contains(&outer_key));
+        assert_eq!(profile.functions[&helper_id].invocations, 10);
+    }
+}

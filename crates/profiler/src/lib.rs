@@ -12,9 +12,19 @@
 //!
 //! The profiler is an observer attached to the sequential interpreter of `helix-ir`; it does
 //! not modify the program, mirroring how the paper instruments code at the IR level.
+//!
+//! Two implementations produce the same [`ProgramProfile`]:
+//!
+//! * [`Profiler`] observes the tree-walking interpreter ([`helix_ir::Machine`]) — the
+//!   reference implementation;
+//! * [`ImageProfiler`] observes the flat-bytecode engine ([`helix_ir::ImageMachine`]) with
+//!   dense per-pc counters and delta-based inclusive attribution — the fast path used by the
+//!   pipeline and the CLI.
 
+pub mod image;
 pub mod profile;
 pub mod profiler;
 
+pub use image::{profile_image, profile_program_image, ImageProfiler};
 pub use profile::{FunctionProfile, InstrProfile, LoopKey, LoopProfile, ProgramProfile};
 pub use profiler::{profile_program, Profiler};

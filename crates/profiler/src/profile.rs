@@ -20,7 +20,7 @@ pub struct InstrProfile {
 }
 
 /// Profile of one function.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FunctionProfile {
     /// Number of invocations of the function.
     pub invocations: u64,
@@ -71,7 +71,7 @@ impl LoopProfile {
 }
 
 /// Whole-program profile produced by one training run.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ProgramProfile {
     /// Per-function data.
     pub functions: HashMap<FuncId, FunctionProfile>,

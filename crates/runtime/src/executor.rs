@@ -1,19 +1,32 @@
 //! The parallel loop executor.
+//!
+//! Workers execute the HELIX-transformed program through the flat-bytecode engine
+//! ([`helix_ir::ImageEvaluator`]) over a shared [`ShardedMemory`]: the module is lowered once
+//! per run, every worker dispatches over the same immutable [`ExecImage`], and loads/stores
+//! stripe across independently locked memory shards so iterations touching disjoint data
+//! really do proceed in parallel. Cross-iteration ordering is enforced by the HELIX
+//! `Wait`/`Signal` counters (atomics), exactly as before.
 
+use crate::sharded::ShardedMemory;
 use helix_core::TransformedProgram;
-use helix_ir::interp::{
-    eval_binop, eval_pred, eval_unop, Context, Evaluator, ExecError, NullObserver,
-};
-use helix_ir::{BlockId, DepId, Function, Instr, Memory, Module, Value};
+use helix_ir::exec::{BlockOutcome, ImageEvaluator, NullImageObserver};
+use helix_ir::interp::{Context, ExecError};
+use helix_ir::{BlockId, DepId, ExecImage, Value};
 use parking_lot::Mutex;
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+/// Default safety cap on the number of loop iterations dispatched.
+pub const DEFAULT_MAX_ITERATIONS: u64 = 10_000_000;
+
+/// Default number of yield-spins a `Wait` performs before declaring deadlock.
+pub const DEFAULT_SPIN_BUDGET: u64 = 200_000_000;
+
 /// Errors raised by the parallel executor.
 #[derive(Clone, Debug, PartialEq)]
 pub enum RuntimeError {
-    /// The underlying interpreter faulted.
+    /// The underlying engine faulted.
     Exec(ExecError),
     /// The executor gave up waiting for a signal (likely a missing `Signal` on some path).
     Deadlock {
@@ -21,6 +34,11 @@ pub enum RuntimeError {
         dep: DepId,
         /// The iteration that was waiting.
         iteration: u64,
+        /// Index of the signal counter slot the dependence maps to.
+        signal_index: usize,
+        /// The last signal counter value observed before giving up (the waiter needed it to
+        /// reach `iteration`).
+        last_observed: u64,
     },
     /// The loop never terminated within the iteration budget.
     IterationBudgetExceeded,
@@ -30,8 +48,17 @@ impl std::fmt::Display for RuntimeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RuntimeError::Exec(e) => write!(f, "execution error: {e}"),
-            RuntimeError::Deadlock { dep, iteration } => {
-                write!(f, "deadlock waiting for {dep} in iteration {iteration}")
+            RuntimeError::Deadlock {
+                dep,
+                iteration,
+                signal_index,
+                last_observed,
+            } => {
+                write!(
+                    f,
+                    "deadlock waiting for {dep} in iteration {iteration}: signal slot \
+                     {signal_index} last observed at {last_observed}, needed {iteration}"
+                )
             }
             RuntimeError::IterationBudgetExceeded => write!(f, "iteration budget exceeded"),
         }
@@ -46,6 +73,14 @@ impl From<ExecError> for RuntimeError {
     }
 }
 
+/// How the parallelized loop ended.
+enum LoopExit {
+    /// Control left the loop through an exit edge: resume Phase C at `block` with `regs`.
+    Edge { block: u32, regs: Vec<Value> },
+    /// A `Ret` inside the loop body ended the whole function with this value.
+    Returned(Option<Value>),
+}
+
 /// Shared synchronization state: one counter per dependence plus the control counter gating
 /// prologue execution, and the exit bookkeeping.
 struct SyncState {
@@ -53,8 +88,9 @@ struct SyncState {
     control: AtomicU64,
     /// Lowest iteration index that took a loop exit (u64::MAX while the loop is running).
     exited_at: AtomicU64,
-    /// Register file and exit block of the exiting iteration.
-    exit_state: Mutex<Option<(BlockId, Vec<Value>)>>,
+    /// The exit taken by the *earliest* exiting iteration (sequential semantics pick the
+    /// first iteration that leaves the loop, not the first worker to reach an exit).
+    exit_state: Mutex<Option<(u64, LoopExit)>>,
 }
 
 impl SyncState {
@@ -66,57 +102,90 @@ impl SyncState {
             exit_state: Mutex::new(None),
         }
     }
-}
 
-/// The shared-memory context each worker executes against.
-struct SharedContext {
-    memory: Arc<Mutex<Memory>>,
-    sync: Arc<SyncState>,
-    iteration: u64,
-    spin_budget: u64,
-}
-
-impl SharedContext {
-    fn new(memory: Arc<Mutex<Memory>>, sync: Arc<SyncState>) -> Self {
-        Self {
-            memory,
-            sync,
-            iteration: 0,
-            spin_budget: 200_000_000,
+    /// Records `exit` for `iteration`, keeping the lowest-iteration exit seen so far.
+    fn record_exit(&self, iteration: u64, exit: LoopExit) {
+        self.exited_at.fetch_min(iteration, Ordering::AcqRel);
+        let mut slot = self.exit_state.lock();
+        match &*slot {
+            Some((recorded, _)) if *recorded <= iteration => {}
+            _ => *slot = Some((iteration, exit)),
         }
     }
 }
 
-impl Context for SharedContext {
+/// Details of a timed-out `Wait`, recorded by the context for precise diagnostics.
+#[derive(Clone, Copy, Debug)]
+struct DeadlockInfo {
+    dep: DepId,
+    iteration: u64,
+    signal_index: usize,
+    last_observed: u64,
+}
+
+/// The sharded shared-memory context each worker executes against.
+struct ShardedContext {
+    memory: Arc<ShardedMemory>,
+    sync: Arc<SyncState>,
+    iteration: u64,
+    spin_budget: u64,
+    /// Set when a `Wait` times out, so the worker can raise a structured deadlock report.
+    deadlock: Option<DeadlockInfo>,
+}
+
+impl ShardedContext {
+    fn new(memory: Arc<ShardedMemory>, sync: Arc<SyncState>, spin_budget: u64) -> Self {
+        Self {
+            memory,
+            sync,
+            iteration: 0,
+            spin_budget,
+            deadlock: None,
+        }
+    }
+}
+
+impl Context for ShardedContext {
     fn load(&mut self, addr: i64) -> Result<Value, ExecError> {
-        Ok(self.memory.lock().load(addr)?)
+        Ok(self.memory.load(addr)?)
     }
 
     fn store(&mut self, addr: i64, value: Value) -> Result<(), ExecError> {
-        Ok(self.memory.lock().store(addr, value)?)
+        Ok(self.memory.store(addr, value)?)
     }
 
     fn alloc(&mut self, words: usize) -> Result<i64, ExecError> {
-        Ok(self.memory.lock().alloc(words)?)
+        Ok(self.memory.alloc(words)?)
     }
 
     fn wait(&mut self, dep: DepId) -> Result<u64, ExecError> {
         if self.iteration == 0 {
             return Ok(0);
         }
-        let slot = &self.sync.signals[dep.index() % self.sync.signals.len()];
+        let signal_index = dep.index() % self.sync.signals.len();
+        let slot = &self.sync.signals[signal_index];
         let mut spins = 0u64;
-        while slot.load(Ordering::Acquire) < self.iteration {
+        loop {
+            let observed = slot.load(Ordering::Acquire);
+            if observed >= self.iteration {
+                return Ok(0);
+            }
             std::thread::yield_now();
             spins += 1;
             if spins > self.spin_budget {
+                self.deadlock = Some(DeadlockInfo {
+                    dep,
+                    iteration: self.iteration,
+                    signal_index,
+                    last_observed: observed,
+                });
                 return Err(ExecError::Synchronization(format!(
-                    "timed out waiting for {dep} in iteration {}",
+                    "timed out waiting for {dep} in iteration {} (signal slot {signal_index} \
+                     stuck at {observed})",
                     self.iteration
                 )));
             }
         }
-        Ok(0)
     }
 
     fn signal(&mut self, dep: DepId) -> Result<(), ExecError> {
@@ -126,104 +195,17 @@ impl Context for SharedContext {
     }
 }
 
-/// What happened after executing one basic block.
-enum BlockOutcome {
-    Jump(BlockId),
-    Return(Option<Value>),
-}
-
-/// Executes one basic block of `function` against `ctx`, mutating `regs`.
-fn exec_block(
-    module: &Module,
-    function: &Function,
-    block: BlockId,
-    regs: &mut Vec<Value>,
-    ctx: &mut dyn Context,
-) -> Result<BlockOutcome, ExecError> {
-    let evaluator = Evaluator::new(module);
-    let eval = |regs: &[Value], op| evaluator.eval_operand(regs, op);
-    if regs.len() < function.num_vars {
-        regs.resize(function.num_vars, Value::default());
+/// Converts a worker-side engine error into the most precise runtime error available.
+fn worker_error(e: ExecError, ctx: &mut ShardedContext) -> RuntimeError {
+    match ctx.deadlock.take() {
+        Some(info) => RuntimeError::Deadlock {
+            dep: info.dep,
+            iteration: info.iteration,
+            signal_index: info.signal_index,
+            last_observed: info.last_observed,
+        },
+        None => RuntimeError::Exec(e),
     }
-    for instr in &function.block(block).instrs {
-        match instr {
-            Instr::Const { dst, value } | Instr::Copy { dst, src: value } => {
-                regs[dst.index()] = eval(regs, *value);
-            }
-            Instr::Unary { dst, op, src } => {
-                regs[dst.index()] = eval_unop(*op, eval(regs, *src));
-            }
-            Instr::Binary { dst, op, lhs, rhs } => {
-                regs[dst.index()] = eval_binop(*op, eval(regs, *lhs), eval(regs, *rhs));
-            }
-            Instr::Cmp {
-                dst,
-                pred,
-                lhs,
-                rhs,
-            } => {
-                regs[dst.index()] =
-                    Value::from_bool(eval_pred(*pred, eval(regs, *lhs), eval(regs, *rhs)));
-            }
-            Instr::Select {
-                dst,
-                cond,
-                on_true,
-                on_false,
-            } => {
-                let v = if eval(regs, *cond).as_bool() {
-                    eval(regs, *on_true)
-                } else {
-                    eval(regs, *on_false)
-                };
-                regs[dst.index()] = v;
-            }
-            Instr::Load { dst, addr, offset } => {
-                let base = eval(regs, *addr).as_int();
-                regs[dst.index()] = ctx.load(base + offset)?;
-            }
-            Instr::Store {
-                addr,
-                offset,
-                value,
-            } => {
-                let base = eval(regs, *addr).as_int();
-                let v = eval(regs, *value);
-                ctx.store(base + offset, v)?;
-            }
-            Instr::Alloc { dst, words } => {
-                let n = eval(regs, *words).as_int().max(0) as usize;
-                regs[dst.index()] = Value::Int(ctx.alloc(n)?);
-            }
-            Instr::Call { dst, callee, args } => {
-                let actuals: Vec<Value> = args.iter().map(|a| eval(regs, *a)).collect();
-                let mut nested = Evaluator::new(module);
-                let ret = nested.call(*callee, &actuals, ctx, &mut NullObserver)?;
-                if let Some(d) = dst {
-                    regs[d.index()] = ret.unwrap_or_default();
-                }
-            }
-            Instr::Wait { dep } => {
-                ctx.wait(*dep)?;
-            }
-            Instr::Signal { dep } => {
-                ctx.signal(*dep)?;
-            }
-            Instr::Br { target } => return Ok(BlockOutcome::Jump(*target)),
-            Instr::CondBr {
-                cond,
-                then_bb,
-                else_bb,
-            } => {
-                let t = eval(regs, *cond).as_bool();
-                return Ok(BlockOutcome::Jump(if t { *then_bb } else { *else_bb }));
-            }
-            Instr::Ret { value } => {
-                return Ok(BlockOutcome::Return(value.map(|v| eval(regs, v))));
-            }
-        }
-    }
-    Err(ExecError::MissingTerminator(block))
 }
 
 /// Executes a HELIX-transformed program with real worker threads.
@@ -233,24 +215,49 @@ pub struct ParallelExecutor {
     pub threads: usize,
     /// Safety cap on the number of loop iterations dispatched.
     pub max_iterations: u64,
+    /// How many yield-spins a `Wait` performs before the run is declared deadlocked.
+    pub spin_budget: u64,
 }
 
 impl Default for ParallelExecutor {
     fn default() -> Self {
         Self {
             threads: 4,
-            max_iterations: 10_000_000,
+            max_iterations: DEFAULT_MAX_ITERATIONS,
+            spin_budget: DEFAULT_SPIN_BUDGET,
         }
     }
 }
 
 impl ParallelExecutor {
-    /// Creates an executor with `threads` workers.
+    /// Creates an executor with `threads` workers and default budgets.
     pub fn new(threads: usize) -> Self {
         Self {
             threads: threads.max(1),
             ..Self::default()
         }
+    }
+
+    /// Creates an executor with `threads` workers and the budgets of a
+    /// [`helix_core::HelixConfig`].
+    pub fn from_config(threads: usize, config: &helix_core::HelixConfig) -> Self {
+        Self {
+            threads: threads.max(1),
+            max_iterations: config.max_loop_iterations.max(1),
+            spin_budget: config.spin_budget.max(1),
+        }
+    }
+
+    /// Overrides the deadlock spin budget.
+    pub fn with_spin_budget(mut self, spins: u64) -> Self {
+        self.spin_budget = spins.max(1);
+        self
+    }
+
+    /// Overrides the loop iteration budget.
+    pub fn with_max_iterations(mut self, iterations: u64) -> Self {
+        self.max_iterations = iterations.max(1);
+        self
     }
 
     /// Runs the parallel clone of `program` from its entry with `args`, executing the
@@ -259,21 +266,39 @@ impl ParallelExecutor {
     ///
     /// # Errors
     ///
-    /// Returns a [`RuntimeError`] if the interpreter faults, a signal never arrives, or the
-    /// loop exceeds the iteration budget.
+    /// Returns a [`RuntimeError`] if the engine faults, a signal never arrives, or the loop
+    /// exceeds the iteration budget.
     pub fn run(
         &self,
         program: &TransformedProgram,
         args: &[Value],
     ) -> Result<Option<Value>, RuntimeError> {
-        let module = &program.module;
-        let function = module.function(program.parallel_func);
+        let image = ExecImage::lower(&program.module);
+        self.run_image(&image, program, args)
+    }
+
+    /// Same as [`ParallelExecutor::run`] with a pre-lowered image of `program.module`
+    /// (callers that execute the same program repeatedly lower once and reuse the image).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] if the engine faults, a signal never arrives, or the loop
+    /// exceeds the iteration budget.
+    pub fn run_image(
+        &self,
+        image: &ExecImage,
+        program: &TransformedProgram,
+        args: &[Value],
+    ) -> Result<Option<Value>, RuntimeError> {
+        let func = program.parallel_func;
+        let fi = image.func(func);
         let plan = &program.plan;
-        let loop_blocks: BTreeSet<BlockId> = plan
+        let header: u32 = plan.header.0;
+        let loop_blocks: BTreeSet<u32> = plan
             .prologue_blocks
             .iter()
             .chain(plan.body_blocks.iter())
-            .copied()
+            .map(|b| b.0)
             .collect();
         let num_deps = plan
             .segments
@@ -282,26 +307,31 @@ impl ParallelExecutor {
             .max()
             .unwrap_or(1);
 
-        let memory = Arc::new(Mutex::new(Memory::for_module(module)));
+        let memory = Arc::new(ShardedMemory::from_memory(&image.initial_memory));
         let sync = Arc::new(SyncState::new(num_deps));
-        let mut ctx = SharedContext::new(memory.clone(), sync.clone());
+        let mut ctx = ShardedContext::new(memory.clone(), sync.clone(), self.spin_budget);
+        let mut evaluator = ImageEvaluator::new(image);
+        evaluator.set_fuel(u64::MAX);
 
         // Phase A: sequential execution from the entry until the parallel loop's header.
-        let mut regs = vec![Value::default(); function.num_vars.max(args.len())];
-        for (i, a) in args.iter().enumerate().take(function.num_params) {
-            regs[i] = *a;
+        let mut regs = vec![Value::default(); fi.num_regs.max(args.len())];
+        for (slot, a) in regs.iter_mut().zip(args.iter()).take(fi.num_params) {
+            *slot = *a;
         }
-        let mut block = function.entry;
+        let mut block = fi.entry_block;
         let mut guard = 0u64;
         loop {
-            if block == plan.header {
+            if block == header {
                 break;
             }
             guard += 1;
             if guard > self.max_iterations {
                 return Err(RuntimeError::IterationBudgetExceeded);
             }
-            match exec_block(module, function, block, &mut regs, &mut ctx)? {
+            let outcome = evaluator
+                .exec_block(func, block, &mut regs, &mut ctx, &mut NullImageObserver)
+                .map_err(|e| worker_error(e, &mut ctx))?;
+            match outcome {
                 BlockOutcome::Jump(next) => block = next,
                 BlockOutcome::Return(v) => return Ok(v), // the loop was never reached
             }
@@ -311,15 +341,19 @@ impl ParallelExecutor {
         let snapshot = regs.clone();
         let next_iteration = AtomicU64::new(0);
         let max_iterations = self.max_iterations;
-        let worker_error: Mutex<Option<RuntimeError>> = Mutex::new(None);
+        let spin_budget = self.spin_budget;
+        let worker_err: Mutex<Option<RuntimeError>> = Mutex::new(None);
         std::thread::scope(|scope| {
             for _ in 0..self.threads {
                 scope.spawn(|| {
-                    let mut worker_ctx = SharedContext::new(memory.clone(), sync.clone());
+                    let mut worker_ctx =
+                        ShardedContext::new(memory.clone(), sync.clone(), spin_budget);
+                    let mut worker_eval = ImageEvaluator::new(image);
+                    worker_eval.set_fuel(u64::MAX);
                     loop {
                         let iteration = next_iteration.fetch_add(1, Ordering::SeqCst);
                         if iteration > max_iterations {
-                            *worker_error.lock() = Some(RuntimeError::IterationBudgetExceeded);
+                            *worker_err.lock() = Some(RuntimeError::IterationBudgetExceeded);
                             return;
                         }
                         // Wait for permission: the previous iteration's prologue must have
@@ -351,23 +385,23 @@ impl ParallelExecutor {
                                     Value::Int(base + *step * iteration as i64);
                             }
                         }
-                        let mut current = plan.header;
+                        let mut current = header;
                         let mut prologue_done = false;
                         loop {
-                            if !prologue_done && plan.body_blocks.contains(&current) {
+                            if !prologue_done && plan.body_blocks.contains(&BlockId::new(current)) {
                                 // Leaving the prologue: release the next iteration.
                                 sync.control.fetch_max(iteration + 1, Ordering::Release);
                                 prologue_done = true;
                             }
-                            match exec_block(
-                                module,
-                                function,
+                            match worker_eval.exec_block(
+                                func,
                                 current,
                                 &mut iter_regs,
                                 &mut worker_ctx,
+                                &mut NullImageObserver,
                             ) {
                                 Ok(BlockOutcome::Jump(next)) => {
-                                    if next == plan.header {
+                                    if next == header {
                                         // Back edge: the iteration is complete.
                                         if !prologue_done {
                                             sync.control
@@ -377,23 +411,25 @@ impl ParallelExecutor {
                                     }
                                     if !loop_blocks.contains(&next) {
                                         // Loop exit: record it and stop dispatching.
-                                        sync.exited_at.fetch_min(iteration, Ordering::AcqRel);
-                                        let mut slot = sync.exit_state.lock();
-                                        if slot.is_none() {
-                                            *slot = Some((next, iter_regs.clone()));
-                                        }
+                                        sync.record_exit(
+                                            iteration,
+                                            LoopExit::Edge {
+                                                block: next,
+                                                regs: iter_regs.clone(),
+                                            },
+                                        );
                                         return;
                                     }
                                     current = next;
                                 }
-                                Ok(BlockOutcome::Return(_)) => {
-                                    // A return inside the loop also terminates it.
-                                    sync.exited_at.fetch_min(iteration, Ordering::AcqRel);
+                                Ok(BlockOutcome::Return(v)) => {
+                                    // A return inside the loop ends the whole function.
+                                    sync.record_exit(iteration, LoopExit::Returned(v));
                                     return;
                                 }
                                 Err(e) => {
                                     sync.exited_at.fetch_min(iteration, Ordering::AcqRel);
-                                    *worker_error.lock() = Some(RuntimeError::Exec(e));
+                                    *worker_err.lock() = Some(worker_error(e, &mut worker_ctx));
                                     return;
                                 }
                             }
@@ -402,13 +438,14 @@ impl ParallelExecutor {
                 });
             }
         });
-        if let Some(err) = worker_error.into_inner() {
+        if let Some(err) = worker_err.into_inner() {
             return Err(err);
         }
 
-        // Phase C: sequential execution after the loop, from the recorded exit.
+        // Phase C: sequential execution after the loop, from the earliest iteration's exit.
         let (mut block, mut regs) = match sync.exit_state.lock().take() {
-            Some(state) => state,
+            Some((_, LoopExit::Edge { block, regs })) => (block, regs),
+            Some((_, LoopExit::Returned(v))) => return Ok(v),
             None => return Err(RuntimeError::IterationBudgetExceeded),
         };
         let mut guard = 0u64;
@@ -417,7 +454,10 @@ impl ParallelExecutor {
             if guard > self.max_iterations {
                 return Err(RuntimeError::IterationBudgetExceeded);
             }
-            match exec_block(module, function, block, &mut regs, &mut ctx)? {
+            let outcome = evaluator
+                .exec_block(func, block, &mut regs, &mut ctx, &mut NullImageObserver)
+                .map_err(|e| worker_error(e, &mut ctx))?;
+            match outcome {
                 BlockOutcome::Jump(next) => block = next,
                 BlockOutcome::Return(v) => return Ok(v),
             }
@@ -432,7 +472,7 @@ mod tests {
     use helix_core::{transform, Helix, HelixConfig};
     use helix_ir::builder::{FunctionBuilder, ModuleBuilder};
     use helix_ir::{BinOp, FuncId, Machine, Operand};
-    use helix_profiler::profile_program;
+    use helix_profiler::profile_program_image;
 
     /// Builds a module whose main contains one parallelizable accumulator loop over an array,
     /// analyzes it, transforms the hottest plan and returns everything needed to execute it.
@@ -480,7 +520,7 @@ mod tests {
         let module = mb.finish();
 
         let nesting = LoopNestingGraph::new(&module);
-        let profile = profile_program(&module, &nesting, main, &[]).unwrap();
+        let profile = profile_program_image(&module, &nesting, main, &[]).unwrap();
         let output = Helix::new(HelixConfig::i7_980x()).analyze(&module, &profile);
         // Transform the accumulator loop (the one with a data-transferring segment).
         let plan = output
@@ -517,9 +557,18 @@ mod tests {
     fn repeated_runs_are_deterministic_despite_threading() {
         let (_module, _main, transformed) = build_accumulator(48);
         let executor = ParallelExecutor::new(4);
-        let first = executor.run(&transformed, &[]).unwrap().unwrap().as_int();
+        let image = ExecImage::lower(&transformed.module);
+        let first = executor
+            .run_image(&image, &transformed, &[])
+            .unwrap()
+            .unwrap()
+            .as_int();
         for _ in 0..5 {
-            let again = executor.run(&transformed, &[]).unwrap().unwrap().as_int();
+            let again = executor
+                .run_image(&image, &transformed, &[])
+                .unwrap()
+                .unwrap()
+                .as_int();
             assert_eq!(again, first);
         }
     }
@@ -527,11 +576,72 @@ mod tests {
     #[test]
     fn executor_handles_zero_trip_loops() {
         let (_module, _main, transformed) = build_accumulator(64);
-        // Re-run with the same plan but a module whose loop bound is zero is not directly
-        // expressible here; instead check that a single-thread executor also works, which
-        // exercises the same exit path on the first prologue evaluation for iteration == n.
+        // Check that a single-thread executor also works, which exercises the same exit path
+        // on the first prologue evaluation for iteration == n.
         let executor = ParallelExecutor::new(1);
         assert!(executor.run(&transformed, &[]).unwrap().is_some());
+    }
+
+    #[test]
+    fn budgets_are_configurable() {
+        let config = HelixConfig::i7_980x()
+            .with_spin_budget(1234)
+            .with_max_loop_iterations(99);
+        let executor = ParallelExecutor::from_config(3, &config);
+        assert_eq!(executor.threads, 3);
+        assert_eq!(executor.spin_budget, 1234);
+        assert_eq!(executor.max_iterations, 99);
+        let tuned = ParallelExecutor::new(2)
+            .with_spin_budget(5)
+            .with_max_iterations(7);
+        assert_eq!(tuned.spin_budget, 5);
+        assert_eq!(tuned.max_iterations, 7);
+    }
+
+    #[test]
+    fn tiny_iteration_budget_aborts_the_run() {
+        let (_module, _main, transformed) = build_accumulator(64);
+        let executor = ParallelExecutor::new(2).with_max_iterations(3);
+        match executor.run(&transformed, &[]) {
+            Err(RuntimeError::IterationBudgetExceeded) => {}
+            other => panic!("expected IterationBudgetExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadlock_reports_signal_slot_and_last_value() {
+        // Build a transformed program whose plan demands a synchronized segment, then corrupt
+        // the clone by deleting every Signal instruction: iteration 1's Wait can never be
+        // satisfied and must produce a precise deadlock report.
+        let (_module, _main, mut transformed) = build_accumulator(32);
+        let func = transformed.parallel_func;
+        let f = transformed.module.function_mut(func);
+        for block in &mut f.blocks {
+            block
+                .instrs
+                .retain(|i| !matches!(i, helix_ir::Instr::Signal { .. }));
+        }
+        let executor = ParallelExecutor::new(2).with_spin_budget(2_000);
+        match executor.run(&transformed, &[]) {
+            Err(RuntimeError::Deadlock {
+                dep,
+                iteration,
+                signal_index,
+                last_observed,
+            }) => {
+                assert!(iteration >= 1, "iteration 0 never waits");
+                assert!(last_observed < iteration);
+                let msg = RuntimeError::Deadlock {
+                    dep,
+                    iteration,
+                    signal_index,
+                    last_observed,
+                }
+                .to_string();
+                assert!(msg.contains("signal slot"), "diagnostic lacks slot: {msg}");
+            }
+            other => panic!("expected Deadlock, got {other:?}"),
+        }
     }
 
     #[test]
@@ -541,7 +651,7 @@ mod tests {
         let bench = helix_workloads::all_benchmarks()[0]; // gzip stand-in
         let (module, main) = bench.build();
         let nesting = LoopNestingGraph::new(&module);
-        let profile = profile_program(&module, &nesting, main, &[]).unwrap();
+        let profile = profile_program_image(&module, &nesting, main, &[]).unwrap();
         let output = Helix::new(HelixConfig::i7_980x()).analyze(&module, &profile);
         let Some(plan) = output.selected_plans().into_iter().max_by(|a, b| {
             let ka = profile.loop_profile((a.func, a.loop_id)).cycles;

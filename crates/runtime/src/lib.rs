@@ -14,7 +14,14 @@
 //! Timing is *not* modeled here — that is `helix-simulator`'s job. This crate answers the
 //! correctness question: does the parallel execution produce the same result as the
 //! sequential one?
+//!
+//! Execution goes through the flat-bytecode engine (`helix_ir::exec`): the transformed module
+//! is lowered once per run and every worker dispatches over the shared immutable image.
+//! Program memory is [`ShardedMemory`] — lock-striped by address chunk with an atomic bump
+//! allocator — so iterations touching disjoint data proceed without lock convoys.
 
 pub mod executor;
+pub mod sharded;
 
 pub use executor::{ParallelExecutor, RuntimeError};
+pub use sharded::ShardedMemory;

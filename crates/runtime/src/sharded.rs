@@ -1,0 +1,276 @@
+//! Sharded shared program memory for the parallel runtime.
+//!
+//! The first-generation executor funneled every load, store and allocation of every worker
+//! through a single `Mutex<Memory>`, so "parallel" iterations were really convoyed on one
+//! lock. [`ShardedMemory`] stripes the flat word-addressed address space across many
+//! independently locked shards: the address space is divided into fixed-size chunks
+//! (2^[`CHUNK_BITS`] words) and chunk `c` lives in shard `c % num_shards`. Iterations touching
+//! disjoint data hit disjoint shards and proceed without contention; iterations touching the
+//! same chunk serialize on exactly one shard lock, which is what the HELIX `Wait`/`Signal`
+//! protocol expects of shared locations anyway.
+//!
+//! Allocation is a lock-free atomic bump (compare-and-swap on the next-free pointer), so
+//! `Alloc` instructions never serialize on a shard.
+//!
+//! Memory-ordering note: a value stored by iteration `i` and loaded by iteration `i+1` is
+//! always separated by a `Signal`/`Wait` pair (release/acquire on the dependence counters),
+//! and each individual word access is additionally serialized by its shard lock, so cross-core
+//! visibility needs no further fences.
+
+use helix_ir::{Memory, Value};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicI64, Ordering};
+
+pub use helix_ir::memory::MemoryError;
+
+/// log2 of the chunk size: consecutive runs of 2^CHUNK_BITS words share a shard, preserving
+/// spatial locality for array walks while still spreading distinct regions across shards.
+pub const CHUNK_BITS: u32 = 6;
+
+/// Default number of shards (must be a power of two).
+pub const DEFAULT_SHARDS: usize = 64;
+
+/// One lock-striped shard, cache-line aligned so neighbouring shard locks do not false-share.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct Shard(Mutex<Vec<Value>>);
+
+/// Flat, word-addressed shared memory with lock striping by address chunk and an atomic bump
+/// allocator. The concurrent counterpart of [`Memory`].
+#[derive(Debug)]
+pub struct ShardedMemory {
+    shards: Vec<Shard>,
+    /// `num_shards - 1`; shard index = chunk & mask.
+    shard_mask: u64,
+    /// log2(num_shards), for folding a chunk index into its in-shard slot.
+    shard_bits: u32,
+    heap_base: i64,
+    next_free: AtomicI64,
+}
+
+impl ShardedMemory {
+    /// Creates sharded memory initialized from a sequential [`Memory`] snapshot (typically
+    /// [`helix_ir::ExecImage::initial_memory`]): the globals region is copied, and the heap
+    /// continues from the snapshot's bump pointer.
+    pub fn from_memory(memory: &Memory) -> Self {
+        Self::with_shards(memory, DEFAULT_SHARDS)
+    }
+
+    /// Same as [`ShardedMemory::from_memory`] with an explicit shard count (rounded up to a
+    /// power of two, minimum 1).
+    pub fn with_shards(memory: &Memory, shards: usize) -> Self {
+        let shards = shards.max(1).next_power_of_two();
+        let this = Self {
+            shards: (0..shards).map(|_| Shard::default()).collect(),
+            shard_mask: shards as u64 - 1,
+            shard_bits: shards.trailing_zeros(),
+            heap_base: memory.heap_base(),
+            next_free: AtomicI64::new(memory.heap_base() + memory.heap_used() as i64),
+        };
+        // Seed the globals region (and any pre-run heap seeding) from the snapshot.
+        let used = memory.heap_base() + memory.heap_used() as i64;
+        for addr in 1..used {
+            let value = memory.load(addr).unwrap_or_default();
+            if value != Value::Int(0) {
+                this.store(addr, value).expect("seed address in range");
+            }
+        }
+        this
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Address of the first heap word.
+    pub fn heap_base(&self) -> i64 {
+        self.heap_base
+    }
+
+    /// Number of words currently allocated on the heap.
+    pub fn heap_used(&self) -> usize {
+        (self.next_free.load(Ordering::Relaxed) - self.heap_base).max(0) as usize
+    }
+
+    /// Splits an address into its shard index and the dense slot within that shard.
+    #[inline]
+    fn locate(&self, address: i64, write: bool) -> Result<(usize, usize), MemoryError> {
+        if address < 0 || address as usize >= Memory::MAX_WORDS {
+            return Err(MemoryError { address, write });
+        }
+        let addr = address as u64;
+        let chunk = addr >> CHUNK_BITS;
+        let shard = (chunk & self.shard_mask) as usize;
+        let local_chunk = chunk >> self.shard_bits;
+        let slot = ((local_chunk << CHUNK_BITS) | (addr & ((1 << CHUNK_BITS) - 1))) as usize;
+        Ok((shard, slot))
+    }
+
+    /// Reads the word at `address`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError`] for out-of-range addresses.
+    pub fn load(&self, address: i64) -> Result<Value, MemoryError> {
+        let (shard, slot) = self.locate(address, false)?;
+        let words = self.shards[shard].0.lock();
+        Ok(words.get(slot).copied().unwrap_or_default())
+    }
+
+    /// Writes the word at `address`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError`] for out-of-range addresses.
+    pub fn store(&self, address: i64, value: Value) -> Result<(), MemoryError> {
+        let (shard, slot) = self.locate(address, true)?;
+        let mut words = self.shards[shard].0.lock();
+        if slot >= words.len() {
+            let max_per_shard = Memory::MAX_WORDS / self.shards.len().max(1) + (1 << CHUNK_BITS);
+            let new_len = (slot + 1)
+                .next_power_of_two()
+                .min(max_per_shard.max(slot + 1));
+            words.resize(new_len, Value::default());
+        }
+        words[slot] = value;
+        Ok(())
+    }
+
+    /// Atomically bump-allocates `words` words and returns the base address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError`] if the allocation would exceed [`Memory::MAX_WORDS`].
+    pub fn alloc(&self, words: usize) -> Result<i64, MemoryError> {
+        let words = words as i64;
+        let mut base = self.next_free.load(Ordering::Relaxed);
+        loop {
+            let end = base.checked_add(words).ok_or(MemoryError {
+                address: i64::MAX,
+                write: true,
+            })?;
+            if end as usize > Memory::MAX_WORDS {
+                return Err(MemoryError {
+                    address: end,
+                    write: true,
+                });
+            }
+            match self.next_free.compare_exchange_weak(
+                base,
+                end,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Ok(base),
+                Err(actual) => base = actual,
+            }
+        }
+    }
+
+    /// Copies the live prefix (globals + allocated heap) back into a flat [`Memory`] for
+    /// inspection after a parallel run, starting from the pre-run `template` (typically
+    /// [`helix_ir::ExecImage::initial_memory`]) so the heap layout and bump pointer carry
+    /// over. Words outside the allocated prefix (raw stores past the bump pointer) are not
+    /// captured.
+    pub fn snapshot(&self, template: &Memory) -> Memory {
+        let mut memory = template.clone();
+        let extra = self.heap_used().saturating_sub(template.heap_used());
+        if extra > 0 {
+            memory.alloc(extra).expect("snapshot heap fits");
+        }
+        let used = self.heap_base + self.heap_used() as i64;
+        for addr in 1..used {
+            let value = self.load(addr).unwrap_or_default();
+            memory
+                .store(addr, value)
+                .expect("snapshot address in range");
+        }
+        memory
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn load_store_roundtrip_across_chunks() {
+        let mem = ShardedMemory::from_memory(&Memory::new());
+        for addr in [1i64, 63, 64, 65, 1000, 4096, 100_000] {
+            mem.store(addr, Value::Int(addr * 3)).unwrap();
+        }
+        for addr in [1i64, 63, 64, 65, 1000, 4096, 100_000] {
+            assert_eq!(mem.load(addr).unwrap(), Value::Int(addr * 3));
+        }
+        assert_eq!(mem.load(5).unwrap(), Value::Int(0));
+        assert!(mem.load(-1).is_err());
+        assert!(mem.store(Memory::MAX_WORDS as i64, Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn alloc_is_atomic_and_disjoint() {
+        let mem = Arc::new(ShardedMemory::from_memory(&Memory::new()));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let mem = mem.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut bases = Vec::new();
+                for _ in 0..1000 {
+                    bases.push(mem.alloc(3).unwrap());
+                }
+                bases
+            }));
+        }
+        let mut all: Vec<i64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 4000, "allocations must not overlap");
+        assert_eq!(mem.heap_used(), 12_000);
+    }
+
+    #[test]
+    fn concurrent_disjoint_stores_are_preserved() {
+        let mem = Arc::new(ShardedMemory::from_memory(&Memory::new()));
+        std::thread::scope(|scope| {
+            for t in 0..8i64 {
+                let mem = &mem;
+                scope.spawn(move || {
+                    for i in 0..500 {
+                        let addr = 1 + t * 500 + i;
+                        mem.store(addr, Value::Int(addr)).unwrap();
+                    }
+                });
+            }
+        });
+        for addr in 1..(1 + 8 * 500) {
+            assert_eq!(mem.load(addr).unwrap(), Value::Int(addr));
+        }
+    }
+
+    #[test]
+    fn globals_are_seeded_from_snapshot() {
+        let mut module = helix_ir::Module::new("m");
+        module.add_global_init("g", 4, vec![Value::Int(7), Value::Float(1.5)]);
+        let seq = Memory::for_module(&module);
+        let sharded = ShardedMemory::from_memory(&seq);
+        assert_eq!(sharded.load(1).unwrap(), Value::Int(7));
+        assert_eq!(sharded.load(2).unwrap(), Value::Float(1.5));
+        assert_eq!(sharded.load(3).unwrap(), Value::Int(0));
+        assert_eq!(sharded.heap_base(), 5);
+        // The snapshot round-trips, including heap bookkeeping.
+        sharded.store(2, Value::Int(9)).unwrap();
+        let base = sharded.alloc(3).unwrap();
+        sharded.store(base, Value::Int(11)).unwrap();
+        let snap = sharded.snapshot(&seq);
+        assert_eq!(snap.load(1).unwrap(), Value::Int(7));
+        assert_eq!(snap.load(2).unwrap(), Value::Int(9));
+        assert_eq!(snap.load(base).unwrap(), Value::Int(11));
+        assert_eq!(snap.heap_base(), seq.heap_base());
+        assert_eq!(snap.heap_used(), sharded.heap_used());
+    }
+}

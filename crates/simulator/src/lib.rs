@@ -17,4 +17,7 @@
 
 pub mod sim;
 
-pub use sim::{simulate_loop, simulate_program, LoopSimResult, ProgramSimResult, SimConfig};
+pub use sim::{
+    profile_and_simulate, simulate_loop, simulate_program, LoopSimResult, ProgramSimResult,
+    SimConfig,
+};

@@ -189,6 +189,26 @@ pub fn simulate_loop(
     }
 }
 
+/// The end-to-end Figure 9 flow as one library call: profile a training run of `entry`
+/// through the flat-bytecode engine, run the HELIX analysis, and simulate the parallelized
+/// execution. `fuel` bounds the profiling run's dynamic instruction count.
+///
+/// # Errors
+///
+/// Returns the engine error if the profiling run faults or exhausts `fuel`.
+pub fn profile_and_simulate(
+    module: &helix_ir::Module,
+    entry: helix_ir::FuncId,
+    args: &[helix_ir::Value],
+    fuel: u64,
+    config: &SimConfig,
+) -> Result<(ProgramProfile, HelixOutput, ProgramSimResult), helix_ir::interp::ExecError> {
+    let helix = helix_core::Helix::new(config.helix);
+    let (profile, output) = helix.profile_and_analyze(module, entry, args, fuel)?;
+    let sim = simulate_program(&output, &profile, config);
+    Ok((profile, output, sim))
+}
+
 /// Simulates the whole program: the selected loops run parallelized, everything else runs at
 /// its sequential speed.
 pub fn simulate_program(
@@ -240,16 +260,37 @@ mod tests {
     use helix_analysis::LoopNestingGraph;
     use helix_core::Helix;
     use helix_ir::Module;
-    use helix_profiler::profile_program;
+    use helix_profiler::profile_program_image;
     use helix_workloads::all_benchmarks;
 
     fn analyze_art() -> (Module, HelixOutput, ProgramProfile) {
         let bench = all_benchmarks()[3]; // art: the most parallel-friendly benchmark
         let (module, main) = bench.build();
         let nesting = LoopNestingGraph::new(&module);
-        let profile = profile_program(&module, &nesting, main, &[]).unwrap();
+        let profile = profile_program_image(&module, &nesting, main, &[]).unwrap();
         let output = Helix::new(HelixConfig::i7_980x()).analyze(&module, &profile);
         (module, output, profile)
+    }
+
+    #[test]
+    fn profile_and_simulate_agrees_with_the_manual_flow() {
+        let bench = all_benchmarks()[3];
+        let (module, main) = bench.build();
+        let (manual_module, manual_output, manual_profile) = analyze_art();
+        let (profile, output, sim) = profile_and_simulate(
+            &module,
+            main,
+            &[],
+            helix_ir::interp::DEFAULT_FUEL,
+            &SimConfig::helix_6_cores(),
+        )
+        .unwrap();
+        assert_eq!(manual_profile, profile);
+        assert_eq!(manual_output.selection.selected, output.selection.selected);
+        let manual_sim =
+            simulate_program(&manual_output, &manual_profile, &SimConfig::helix_6_cores());
+        assert_eq!(manual_sim.speedup, sim.speedup);
+        let _ = manual_module;
     }
 
     #[test]
