@@ -8,7 +8,10 @@
 //! * `helix profile` — run the profiling interpreter and report per-loop costs,
 //! * `helix parallelize` — run the HELIX analysis (Steps 1–8 + loop selection),
 //! * `helix simulate` — the Figure 9 flow: profile, analyze, simulate, report speedup,
-//! * `helix dump-workload` — export a built-in synthetic SPEC stand-in as `.hir`.
+//! * `helix dump-workload` — export a built-in synthetic SPEC stand-in as `.hir`,
+//! * `helix fuzz` — generate seeded random programs and differentially test the whole stack
+//!   (both engines, both profilers, frontend round-trip, parallel executor), dumping any
+//!   divergence as an auto-shrunk `.hir` reproduction.
 //!
 //! Every report is available as human-readable text (default) or JSON (`--json`).
 
@@ -37,6 +40,7 @@ COMMANDS:
     parallelize    Run the HELIX analysis and report plans + selection
     simulate       Profile, analyze and simulate: the end-to-end speedup report
     dump-workload  Print a built-in synthetic workload as canonical .hir
+    fuzz           Differentially fuzz the stack with generated programs
 
 COMMON OPTIONS:
     --json             Emit the report as JSON on stdout
@@ -48,13 +52,25 @@ COMMON OPTIONS:
     --engine <e>       Execution engine: image (flat bytecode, default) | tree (tree-walker)
     --print            (parse) Re-print the parsed module in canonical form
     --parallel         (run) Transform the hottest selected loop, run on real threads
-    --threads <n>      (run --parallel) Worker thread count (default: 4)
-    --spin-budget <n>  (run --parallel) Wait spins before declaring deadlock (default: 200000000)
+    --threads <list>   Worker thread count(s); comma-separated for fuzz (default: 4 for
+                       run --parallel, 1,2,4,6 for fuzz)
+    --spin-budget <n>  (run --parallel, fuzz) Wait spins before declaring deadlock
+
+FUZZ OPTIONS:
+    --seeds <n>        Number of seeds to run (default: 100)
+    --seed-start <n>   First seed of the range (default: 1)
+    --out <dir>        Directory for shrunk .hir repros (default: fuzz-repros)
+    --repeats <n>      Parallel runs per thread count per seed (default: 2)
+    --gen-config <c>   Generator shape preset: fuzz|small|pointer-heavy|roundtrip
+    --no-shrink        Dump divergences without minimizing them
+    --inject-fault <f> Test-only fault injection: signal-merge-union (re-enables the
+                       pre-fix Step 6 merge bug; proves the oracle + shrinker pipeline)
 
 EXAMPLES:
     helix parse corpus/pointer_chase.hir
     helix simulate corpus/stencil.hir --cores 6 --json
     helix run corpus/sum_reduction.hir --parallel
+    helix fuzz --seeds 500 --threads 1,2,4,6
     helix dump-workload art > /tmp/art.hir
 ";
 
@@ -112,12 +128,21 @@ struct Options {
     parallel: bool,
     entry: String,
     cores: usize,
-    threads: usize,
+    /// Thread counts from `--threads`; `None` means the per-command default.
+    threads: Option<Vec<usize>>,
     fuel: u64,
     engine: Engine,
     spin_budget: Option<u64>,
     mode: PrefetchMode,
     args: Vec<Value>,
+    // fuzz-only options
+    seeds: u64,
+    seed_start: u64,
+    out_dir: String,
+    repeats: usize,
+    gen_config: String,
+    shrink: bool,
+    inject_fault: Option<String>,
 }
 
 impl Default for Options {
@@ -129,12 +154,19 @@ impl Default for Options {
             parallel: false,
             entry: "main".to_string(),
             cores: 6,
-            threads: 4,
+            threads: None,
             fuel: 2_000_000_000,
             engine: Engine::Image,
             spin_budget: None,
             mode: PrefetchMode::Helix,
             args: Vec::new(),
+            seeds: 100,
+            seed_start: 1,
+            out_dir: "fuzz-repros".to_string(),
+            repeats: 2,
+            gen_config: "fuzz".to_string(),
+            shrink: true,
+            inject_fault: None,
         }
     }
 }
@@ -162,12 +194,68 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                 }
             }
             "--threads" => {
-                opts.threads = value_of("--threads", &mut it)?
-                    .parse()
-                    .map_err(|_| CliError::Usage("--threads expects a positive integer".into()))?;
-                if opts.threads == 0 {
-                    return Err(CliError::Usage("--threads must be at least 1".into()));
+                let raw = value_of("--threads", &mut it)?;
+                let mut counts = Vec::new();
+                for part in raw.split(',') {
+                    let n: usize = part.trim().parse().map_err(|_| {
+                        CliError::Usage(
+                            "--threads expects a positive integer or a comma-separated list".into(),
+                        )
+                    })?;
+                    if n == 0 {
+                        return Err(CliError::Usage("--threads must be at least 1".into()));
+                    }
+                    counts.push(n);
                 }
+                if counts.is_empty() {
+                    return Err(CliError::Usage(
+                        "--threads expects at least one count".into(),
+                    ));
+                }
+                opts.threads = Some(counts);
+            }
+            "--seeds" => {
+                opts.seeds = value_of("--seeds", &mut it)?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--seeds expects an integer".into()))?;
+            }
+            "--seed-start" => {
+                opts.seed_start = value_of("--seed-start", &mut it)?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--seed-start expects an integer".into()))?;
+            }
+            "--out" => opts.out_dir = value_of("--out", &mut it)?,
+            "--repeats" => {
+                opts.repeats = value_of("--repeats", &mut it)?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--repeats expects a positive integer".into()))?;
+                if opts.repeats == 0 {
+                    return Err(CliError::Usage("--repeats must be at least 1".into()));
+                }
+            }
+            "--gen-config" => {
+                let preset = value_of("--gen-config", &mut it)?;
+                match preset.as_str() {
+                    "fuzz" | "small" | "pointer-heavy" | "roundtrip" => {
+                        opts.gen_config = preset;
+                    }
+                    other => {
+                        return Err(CliError::Usage(format!(
+                            "unknown --gen-config `{other}` \
+                             (expected fuzz|small|pointer-heavy|roundtrip)"
+                        )))
+                    }
+                }
+            }
+            "--no-shrink" => opts.shrink = false,
+            "--inject-fault" => {
+                let fault = value_of("--inject-fault", &mut it)?;
+                if fault != "signal-merge-union" {
+                    return Err(CliError::Usage(format!(
+                        "unknown --inject-fault `{fault}` (expected signal-merge-union)"
+                    )));
+                }
+                opts.inject_fault = Some(fault);
             }
             "--fuel" => {
                 opts.fuel = value_of("--fuel", &mut it)?
@@ -244,6 +332,7 @@ fn run_cli(args: &[String]) -> Result<(), CliError> {
         "parallelize" => cmd_parallelize(&parse_options(&args[1..])?),
         "simulate" => cmd_simulate(&parse_options(&args[1..])?),
         "dump-workload" => cmd_dump_workload(&args[1..]),
+        "fuzz" => cmd_fuzz(&parse_options(&args[1..])?),
         other => Err(CliError::Usage(format!("unknown command `{other}`"))),
     }
 }
@@ -438,9 +527,21 @@ fn cmd_run(opts: &Options) -> Result<(), CliError> {
     Ok(())
 }
 
+/// The single worker-thread count for `run --parallel`.
+fn single_thread_count(opts: &Options) -> Result<usize, CliError> {
+    match &opts.threads {
+        None => Ok(4),
+        Some(counts) if counts.len() == 1 => Ok(counts[0]),
+        Some(_) => Err(CliError::Usage(
+            "run --parallel expects a single --threads count (lists are for fuzz)".into(),
+        )),
+    }
+}
+
 /// `run --parallel`: transform the hottest selected loop of the entry function and execute it
 /// on real threads, validating against the sequential result.
 fn run_parallel(module: &Module, opts: &Options) -> Result<(), CliError> {
+    let threads = single_thread_count(opts)?;
     let (_nesting, profile, entry, image) = profiled(module, opts)?;
     let output = Helix::new(config_of(opts)).analyze(module, &profile);
     let plan = output
@@ -467,7 +568,7 @@ fn run_parallel(module: &Module, opts: &Options) -> Result<(), CliError> {
             machine.call(entry, &opts.args).map_err(seq_error)?
         }
     };
-    let parallel = ParallelExecutor::from_config(opts.threads, &config_of(opts))
+    let parallel = ParallelExecutor::from_config(threads, &config_of(opts))
         .run(&transformed, &opts.args)
         .map_err(|e| CliError::failed(format!("parallel execution failed: {e}")))?;
     let matches = sequential == parallel;
@@ -480,7 +581,7 @@ fn run_parallel(module: &Module, opts: &Options) -> Result<(), CliError> {
         let doc = Json::object([
             ("module", Json::str(&module.name)),
             ("loop", Json::str(&format!("{}", plan.loop_id))),
-            ("threads", Json::uint(opts.threads as u64)),
+            ("threads", Json::uint(threads as u64)),
             ("sequential_result", render(&sequential)),
             ("parallel_result", render(&parallel)),
             ("results_match", Json::bool(matches)),
@@ -496,7 +597,7 @@ fn run_parallel(module: &Module, opts: &Options) -> Result<(), CliError> {
             "parallelized loop {} of `{}` on {} threads ({} waits, {} signals inserted)",
             plan.loop_id,
             opts.entry,
-            opts.threads,
+            threads,
             transformed.wait_instr_count(),
             transformed.signal_instr_count()
         );
@@ -747,6 +848,202 @@ fn cmd_simulate(opts: &Options) -> Result<(), CliError> {
         }
     }
     Ok(())
+}
+
+/// `helix fuzz`: run a seed range of generated programs through the differential oracle,
+/// shrink and dump any divergence as a `.hir` repro, and fail if anything diverged.
+fn cmd_fuzz(opts: &Options) -> Result<(), CliError> {
+    use helix_gen::{
+        compact_registers, differential_check, generate, shrink_module, GenConfig, OracleConfig,
+        ShrinkOptions,
+    };
+
+    if opts.file.is_some() {
+        return Err(CliError::Usage(
+            "fuzz takes no input file; it generates its own programs".into(),
+        ));
+    }
+    let gen_config = match opts.gen_config.as_str() {
+        "small" => GenConfig::small(),
+        "pointer-heavy" => GenConfig::pointer_heavy(),
+        "roundtrip" => GenConfig::roundtrip(),
+        _ => GenConfig::fuzz(),
+    };
+    let inject = opts.inject_fault.is_some();
+    let mut helix_config = config_of(opts);
+    if opts.spin_budget.is_none() {
+        // Keep the oracle's tight deadlock detector: a genuine lost-signal bug should fail
+        // a seed in milliseconds, not spin the production 200M-yield budget on every one of
+        // thousands of shrink candidates. `--spin-budget` still overrides.
+        helix_config = helix_config.with_spin_budget(20_000_000);
+    }
+    if inject {
+        helix_config = helix_config.with_unsound_union_merge();
+    }
+    let oracle = OracleConfig {
+        threads: opts.threads.clone().unwrap_or_else(|| vec![1, 2, 4, 6]),
+        repeats: opts.repeats,
+        fuel: opts.fuel,
+        // Under fault injection the structural signal-placement check is the deterministic
+        // detector; the parallel stage would only add racy noise on a known-broken config.
+        check_parallel: !inject,
+        helix: helix_config,
+        ..OracleConfig::default()
+    };
+
+    let mut divergences: Vec<(u64, String)> = Vec::new();
+    let mut repro_paths: Vec<String> = Vec::new();
+    let mut total_instrs: u64 = 0;
+    let mut parallel_runs: u64 = 0;
+    let mut parallel_eligible: u64 = 0;
+    let mut errored: u64 = 0;
+    for seed in opts.seed_start..opts.seed_start.saturating_add(opts.seeds) {
+        let gp = generate(seed, &gen_config);
+        total_instrs += gp.module.instr_count() as u64;
+        match differential_check(&gp.module, gp.main, &oracle) {
+            Ok(report) => {
+                parallel_runs += report.parallel_runs as u64;
+                if !report.parallel_skipped {
+                    parallel_eligible += 1;
+                }
+                if report.errored {
+                    errored += 1;
+                }
+            }
+            Err(divergence) => {
+                let mut repro = gp.module.clone();
+                let mut shrink_stats = None;
+                if opts.shrink {
+                    let kind = divergence.kind;
+                    let mut still_failing = |candidate: &helix_ir::Module| {
+                        let Some(main) = candidate.function_by_name("main") else {
+                            return false;
+                        };
+                        // Candidate modules can contain accidental infinite loops (a
+                        // simplified branch that never exits); a tight probe fuel keeps
+                        // each predicate call cheap while staying far above any generated
+                        // program's real dynamic length.
+                        let probe = OracleConfig {
+                            repeats: 1,
+                            fuel: oracle.fuel.min(2_000_000),
+                            ..oracle.clone()
+                        };
+                        matches!(
+                            differential_check(candidate, main, &probe),
+                            Err(d) if d.kind == kind
+                        )
+                    };
+                    let outcome = shrink_module(
+                        &gp.module,
+                        "main",
+                        &mut still_failing,
+                        &ShrinkOptions::default(),
+                    );
+                    repro = outcome.module;
+                    shrink_stats = Some(outcome.stats);
+                }
+                compact_registers(&mut repro);
+                let path = write_repro(opts, seed, &divergence, &repro, shrink_stats.as_ref())?;
+                eprintln!("seed {seed}: DIVERGENCE {divergence} -> {path}");
+                repro_paths.push(path);
+                divergences.push((seed, divergence.to_string()));
+            }
+        }
+    }
+
+    if opts.json {
+        let diverged = divergences
+            .iter()
+            .zip(&repro_paths)
+            .map(|((seed, d), path)| {
+                Json::object([
+                    ("seed", Json::uint(*seed)),
+                    ("divergence", Json::str(d)),
+                    ("repro", Json::str(path)),
+                ])
+            });
+        let doc = Json::object([
+            ("seeds", Json::uint(opts.seeds)),
+            ("seed_start", Json::uint(opts.seed_start)),
+            ("gen_config", Json::str(&opts.gen_config)),
+            ("generated_instrs", Json::uint(total_instrs)),
+            ("parallel_eligible_seeds", Json::uint(parallel_eligible)),
+            ("parallel_runs", Json::uint(parallel_runs)),
+            ("errored_seeds", Json::uint(errored)),
+            ("divergences", Json::uint(divergences.len() as u64)),
+            ("repros", Json::array(diverged)),
+            ("injected_fault", Json::bool(inject)),
+        ]);
+        println!("{}", doc.into_string());
+    } else {
+        println!(
+            "fuzzed {} seeds [{}, {}) with the `{}` generator: {} instructions generated, \
+             {} seeds parallel-eligible, {} parallel runs, {} seeds faulted on both engines",
+            opts.seeds,
+            opts.seed_start,
+            opts.seed_start.saturating_add(opts.seeds),
+            opts.gen_config,
+            total_instrs,
+            parallel_eligible,
+            parallel_runs,
+            errored,
+        );
+        if divergences.is_empty() {
+            println!("no divergences");
+        } else {
+            println!("{} DIVERGENCES:", divergences.len());
+            for ((seed, d), path) in divergences.iter().zip(&repro_paths) {
+                println!("  seed {seed}: {d} (repro: {path})");
+            }
+        }
+    }
+    if divergences.is_empty() {
+        Ok(())
+    } else {
+        Err(CliError::failed(format!(
+            "{} of {} seeds diverged; shrunk repros under {}",
+            divergences.len(),
+            opts.seeds,
+            opts.out_dir
+        )))
+    }
+}
+
+/// Writes a shrunk repro as an annotated `.hir` file and returns its path.
+fn write_repro(
+    opts: &Options,
+    seed: u64,
+    divergence: &helix_gen::Divergence,
+    repro: &Module,
+    shrink_stats: Option<&helix_gen::ShrinkStats>,
+) -> Result<String, CliError> {
+    std::fs::create_dir_all(&opts.out_dir)
+        .map_err(|e| CliError::failed(format!("cannot create {}: {e}", opts.out_dir)))?;
+    let path = format!(
+        "{}/seed{}-{}.hir",
+        opts.out_dir,
+        seed,
+        divergence.kind.name()
+    );
+    let mut text = String::new();
+    text.push_str(&format!(
+        "# helix fuzz divergence repro\n# seed: {seed} (generator preset: {})\n# divergence: {divergence}\n",
+        opts.gen_config
+    ));
+    if let Some(stats) = shrink_stats {
+        text.push_str(&format!(
+            "# shrunk: {} -> {} instructions ({} oracle calls, {} rounds)\n",
+            stats.instrs_before, stats.instrs_after, stats.oracle_calls, stats.rounds
+        ));
+    }
+    if let Some(fault) = &opts.inject_fault {
+        text.push_str(&format!("# injected fault: {fault}\n"));
+    }
+    text.push_str("# reproduce: helix fuzz --seeds 1 --seed-start <seed>, or feed this file to helix run/parallelize\n");
+    text.push_str(&helix_ir::printer::format_module(repro));
+    std::fs::write(&path, &text)
+        .map_err(|e| CliError::failed(format!("cannot write {path}: {e}")))?;
+    Ok(path)
 }
 
 fn cmd_dump_workload(args: &[String]) -> Result<(), CliError> {

@@ -42,6 +42,14 @@ pub struct HelixConfig {
     /// Iteration budget of the real-thread executor: safety cap on the number of loop
     /// iterations dispatched before the run is aborted.
     pub max_loop_iterations: u64,
+    /// **Test-only fault injection.** Re-enables the pre-fix Step 6 behaviour where merging
+    /// two sequential segments took the *union* of their Wait/Signal points instead of
+    /// recomputing them over the merged dependence endpoints. A unioned signal can fire
+    /// before another merged dependence's endpoint, releasing the successor iteration on a
+    /// stale carried value — the soundness bug the differential suite caught on
+    /// `pointer_chase`/`mcf`. Used by the fuzzing oracle and shrinker tests to prove that an
+    /// injected fault is detected and minimized; never enable outside tests.
+    pub unsound_union_merged_sync_points: bool,
 }
 
 impl HelixConfig {
@@ -62,7 +70,16 @@ impl HelixConfig {
             enable_inlining: true,
             spin_budget: 200_000_000,
             max_loop_iterations: 10_000_000,
+            unsound_union_merged_sync_points: false,
         }
+    }
+
+    /// **Test-only.** Re-injects the pre-fix segment-merge bug (union of Wait/Signal points
+    /// instead of recomputation); see
+    /// [`HelixConfig::unsound_union_merged_sync_points`].
+    pub fn with_unsound_union_merge(mut self) -> Self {
+        self.unsound_union_merged_sync_points = true;
+        self
     }
 
     /// Overrides the executor's deadlock spin budget.
@@ -154,5 +171,15 @@ mod tests {
         assert_eq!(c.selection_signal_latency, 110);
         assert_eq!(c.best_case_signal_latency(), 110);
         assert_eq!(HelixConfig::default().best_case_signal_latency(), 4);
+    }
+
+    #[test]
+    fn fault_injection_is_off_by_default() {
+        assert!(!HelixConfig::default().unsound_union_merged_sync_points);
+        assert!(
+            HelixConfig::default()
+                .with_unsound_union_merge()
+                .unsound_union_merged_sync_points
+        );
     }
 }

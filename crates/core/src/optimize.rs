@@ -118,6 +118,24 @@ pub fn minimize_signals(
     loop_id: LoopId,
     segments: &mut Vec<SequentialSegment>,
 ) -> OptimizeStats {
+    minimize_signals_with(function, cfg, forest, loop_id, segments, false)
+}
+
+/// [`minimize_signals`] with the test-only fault switch exposed.
+///
+/// `unsound_union_merge` re-enables the pre-fix behaviour where merged segments union their
+/// Wait/Signal points instead of recomputing them over the merged endpoints (see
+/// [`helix_core::config::HelixConfig::unsound_union_merged_sync_points`](crate::HelixConfig)).
+/// The fuzzing oracle uses it to prove that an injected soundness fault is detected and
+/// shrunk to a minimal reproduction; production callers must pass `false`.
+pub fn minimize_signals_with(
+    function: &Function,
+    cfg: &Cfg,
+    forest: &LoopForest,
+    loop_id: LoopId,
+    segments: &mut Vec<SequentialSegment>,
+    unsound_union_merge: bool,
+) -> OptimizeStats {
     let mut stats = OptimizeStats::default();
     let natural = forest.get(loop_id);
     let in_loop = |b: helix_ir::BlockId| natural.contains(b);
@@ -152,8 +170,19 @@ pub fn minimize_signals(
                     .map(|r| helix_ir::CostModel::default().cost(function.instr(*r)))
                     .sum::<u64>() as f64;
                 a.transfers_data |= b.transfers_data;
+                if unsound_union_merge {
+                    // Injected fault: keep the union of the original points. The earlier
+                    // segment's signal can now fire before the later segment's endpoint.
+                    let mut waits = b.wait_points.clone();
+                    waits.retain(|w| !a.wait_points.contains(w));
+                    a.wait_points.extend(waits);
+                    let mut signals = b.signal_points.clone();
+                    signals.retain(|s| !a.signal_points.contains(s));
+                    a.signal_points.extend(signals);
+                } else {
+                    recompute.insert(i);
+                }
                 merged_away.insert(j);
-                recompute.insert(i);
                 stats.segments_merged += 1;
             }
         }
@@ -518,6 +547,38 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn unsound_union_merge_reintroduces_early_signals() {
+        // The test-only fault switch must bring back the pre-fix behaviour: after merging,
+        // some synchronized segment signals before its last dependence endpoint. This is the
+        // property the fuzzing oracle's structural check detects and the shrinker preserves.
+        let s = setup(pointer_chase_like);
+        let function = s.module.function(s.func);
+        let mut segments = initial_segments(&s);
+        minimize_segments(function, &mut segments, &CostModel::default());
+        minimize_signals_with(function, &s.cfg, &s.forest, s.loop_id, &mut segments, true);
+        let mut early_signal = false;
+        for seg in segments.iter().filter(|s| s.synchronized) {
+            let endpoints: BTreeSet<InstrRef> = seg
+                .dependences
+                .iter()
+                .flat_map(|d| [d.src, d.dst])
+                .collect();
+            for sig in &seg.signal_points {
+                if endpoints
+                    .iter()
+                    .any(|e| e.block == sig.block && e.index >= sig.index)
+                {
+                    early_signal = true;
+                }
+            }
+        }
+        assert!(
+            early_signal,
+            "the injected fault must produce a signal that fires before a merged endpoint"
+        );
     }
 
     #[test]

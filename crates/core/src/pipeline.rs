@@ -4,7 +4,7 @@
 use crate::config::HelixConfig;
 use crate::model::{LoopModelInput, PrefetchMode, SpeedupModel};
 use crate::normalize::NormalizedLoop;
-use crate::optimize::{minimize_segments, minimize_signals};
+use crate::optimize::{minimize_segments, minimize_signals_with};
 use crate::plan::ParallelizedLoop;
 use crate::schedule::schedule_prefetching;
 use crate::segments::build_segments;
@@ -153,7 +153,14 @@ impl Helix {
             }
             // Step 6.
             if self.config.enable_signal_minimization {
-                minimize_signals(function, &cfg, forest, node.loop_id, &mut segments);
+                minimize_signals_with(
+                    function,
+                    &cfg,
+                    forest,
+                    node.loop_id,
+                    &mut segments,
+                    self.config.unsound_union_merged_sync_points,
+                );
             }
             let signals_after: u64 = segments
                 .iter()

@@ -1,0 +1,128 @@
+//! Deterministic random number generation for the program generator.
+//!
+//! The generator's contract is *seed-stable determinism*: the same seed and configuration
+//! always produce byte-identical modules, across runs, platforms and thread counts. Every
+//! divergence report therefore reduces to a single integer, and CI can fuzz a fixed seed
+//! range without persisting inputs. The implementation is SplitMix64 — tiny state, excellent
+//! distribution for the modest amounts of entropy a structured generator consumes, and no
+//! dependence on platform RNGs.
+
+/// A deterministic SplitMix64 stream.
+#[derive(Clone, Debug)]
+pub struct GenRng {
+    state: u64,
+}
+
+impl GenRng {
+    /// Creates a stream from a seed; distinct seeds yield independent-looking streams.
+    pub fn new(seed: u64) -> Self {
+        // Pre-mix so that small consecutive seeds (the common CLI usage `--seeds N`) do not
+        // share low-bit structure in their first few draws.
+        let mut rng = Self { state: seed };
+        rng.next_u64();
+        rng
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0) is an empty range");
+        self.next_u64() % bound
+    }
+
+    /// Uniform draw in `[lo, hi]` (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        let span = (hi as i128 - lo as i128 + 1) as u64;
+        (lo as i128 + self.below(span) as i128) as i64
+    }
+
+    /// Uniform draw in `[lo, hi]` (inclusive).
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.range_i64(lo as i64, hi as i64) as usize
+    }
+
+    /// Returns `true` with probability `percent / 100`.
+    pub fn chance(&mut self, percent: u32) -> bool {
+        self.below(100) < u64::from(percent.min(100))
+    }
+
+    /// Picks one item uniformly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "pick from an empty slice");
+        &items[self.below(items.len() as u64) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut r = GenRng::new(42);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = GenRng::new(42);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = GenRng::new(43);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn draws_respect_bounds() {
+        let mut r = GenRng::new(7);
+        for _ in 0..2000 {
+            let v = r.range_i64(-3, 9);
+            assert!((-3..=9).contains(&v));
+            let u = r.range_usize(1, 5);
+            assert!((1..=5).contains(&u));
+            assert!(r.below(13) < 13);
+        }
+        assert_eq!(r.range_i64(4, 4), 4);
+    }
+
+    #[test]
+    fn chance_and_pick_cover_their_domain() {
+        let mut r = GenRng::new(1);
+        let mut seen = [false; 3];
+        let mut hits = 0;
+        for _ in 0..1000 {
+            seen[*r.pick(&[0usize, 1, 2])] = true;
+            if r.chance(50) {
+                hits += 1;
+            }
+        }
+        assert!(seen.iter().all(|s| *s));
+        assert!((300..700).contains(&hits), "50% chance wildly off: {hits}");
+        assert!(!GenRng::new(2).chance(0));
+        assert!(GenRng::new(2).chance(100));
+    }
+}

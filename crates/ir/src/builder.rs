@@ -183,6 +183,54 @@ impl FunctionBuilder {
         self.function
     }
 
+    /// Allocates a new register, emits `new = value`, and returns it.
+    pub fn const_int_to_new(&mut self, value: i64) -> VarId {
+        let dst = self.new_var();
+        self.const_int(dst, value);
+        dst
+    }
+
+    /// Allocates a new register, emits `new = op src`, and returns it.
+    pub fn unary_to_new(&mut self, op: UnOp, src: Operand) -> VarId {
+        let dst = self.new_var();
+        self.unary(dst, op, src);
+        dst
+    }
+
+    /// Allocates a new register, emits `new = mem[addr + offset]`, and returns it.
+    pub fn load_to_new(&mut self, addr: Operand, offset: i64) -> VarId {
+        let dst = self.new_var();
+        self.load(dst, addr, offset);
+        dst
+    }
+
+    /// Allocates a new register, emits `new = cond ? on_true : on_false`, and returns it.
+    pub fn select_to_new(&mut self, cond: Operand, on_true: Operand, on_false: Operand) -> VarId {
+        let dst = self.new_var();
+        self.select(dst, cond, on_true, on_false);
+        dst
+    }
+
+    /// Builds an if/else diamond.
+    ///
+    /// Emits `condbr cond, then_bb, else_bb` at the insertion point and leaves the insertion
+    /// point at `then_bb`. The caller fills both arms (each must be terminated with a branch
+    /// to `join`, typically via [`FunctionBuilder::br`]) and resumes straight-line code at
+    /// `join`. Because the IR has no phi nodes, values merged at the join are communicated
+    /// through a shared register assigned in both arms.
+    pub fn if_else(&mut self, cond: Operand) -> IfElseHandle {
+        let then_bb = self.new_block();
+        let else_bb = self.new_block();
+        let join = self.new_block();
+        self.cond_br(cond, then_bb, else_bb);
+        self.switch_to(then_bb);
+        IfElseHandle {
+            then_bb,
+            else_bb,
+            join,
+        }
+    }
+
     /// Builds a canonical counted loop.
     ///
     /// Emits, starting at the insertion point:
@@ -230,6 +278,17 @@ impl FunctionBuilder {
             induction_var: iv,
         }
     }
+}
+
+/// Handle returned by [`FunctionBuilder::if_else`] describing the generated diamond.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IfElseHandle {
+    /// The block executed when the condition is non-zero (insertion point after the call).
+    pub then_bb: BlockId,
+    /// The block executed when the condition is zero.
+    pub else_bb: BlockId,
+    /// The join block both arms must branch to.
+    pub join: BlockId,
 }
 
 /// Handle returned by [`FunctionBuilder::counted_loop`] describing the generated loop shape.
@@ -379,6 +438,48 @@ mod tests {
         let module = mb.finish();
         let mut m = Machine::new(&module);
         assert_eq!(m.call(main_id, &[]).unwrap().unwrap().as_int(), 42);
+    }
+
+    #[test]
+    fn if_else_helper_builds_a_diamond() {
+        let mut module = Module::new("t");
+        let mut b = FunctionBuilder::new("abs", 1);
+        let p = b.param(0);
+        let out = b.new_var();
+        let c = b.cmp_to_new(crate::instr::Pred::Lt, Operand::Var(p), Operand::int(0));
+        let arms = b.if_else(Operand::Var(c));
+        b.unary(out, crate::instr::UnOp::Neg, Operand::Var(p));
+        b.br(arms.join);
+        b.switch_to(arms.else_bb);
+        b.copy(out, Operand::Var(p));
+        b.br(arms.join);
+        b.switch_to(arms.join);
+        b.ret(Some(Operand::Var(out)));
+        let f = b.finish();
+        verify_function(&f, &[]).unwrap();
+        let id = module.add_function(f);
+        let mut m = Machine::new(&module);
+        assert_eq!(m.call(id, &[Value::Int(-5)]).unwrap().unwrap().as_int(), 5);
+        assert_eq!(m.call(id, &[Value::Int(7)]).unwrap().unwrap().as_int(), 7);
+    }
+
+    #[test]
+    fn to_new_helpers_allocate_fresh_registers() {
+        let mut module = Module::new("t");
+        let mut b = FunctionBuilder::new("f", 0);
+        let k = b.const_int_to_new(3);
+        let n = b.unary_to_new(UnOp::Neg, Operand::Var(k));
+        let s = b.select_to_new(Operand::Var(n), Operand::Var(n), Operand::int(9));
+        let a = b.new_var();
+        b.alloc(a, Operand::int(1));
+        b.store(Operand::Var(a), 0, Operand::Var(s));
+        let l = b.load_to_new(Operand::Var(a), 0);
+        b.ret(Some(Operand::Var(l)));
+        let f = b.finish();
+        verify_function(&f, &[]).unwrap();
+        let id = module.add_function(f);
+        let mut m = Machine::new(&module);
+        assert_eq!(m.call(id, &[]).unwrap().unwrap().as_int(), -3);
     }
 
     #[test]

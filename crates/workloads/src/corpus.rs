@@ -82,6 +82,39 @@ pub fn load_all() -> Result<Vec<(String, Module, FuncId)>, CorpusError> {
         .collect()
 }
 
+/// The `corpus/regressions/` directory: auto-shrunk `.hir` reproductions of fixed bugs.
+///
+/// Unlike the main corpus these are *minimal* programs (often under 15 instructions) checked
+/// in by `helix fuzz` after a divergence was found and fixed; `tests/exec_differential.rs`
+/// replays them on every engine and thread count.
+pub fn regressions_dir() -> PathBuf {
+    corpus_dir().join("regressions")
+}
+
+/// Loads every regression repro, sorted by file name.
+pub fn load_regressions() -> Result<Vec<(String, Module, FuncId)>, CorpusError> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(regressions_dir())
+        .map(|entries| {
+            entries
+                .filter_map(Result::ok)
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|ext| ext == "hir"))
+                .collect()
+        })
+        .unwrap_or_default();
+    paths.sort();
+    paths
+        .into_iter()
+        .map(|path| {
+            let name = path
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            load_path(&path).map(|(module, main)| (name, module, main))
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

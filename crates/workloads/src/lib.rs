@@ -34,5 +34,8 @@ pub mod corpus;
 pub mod kernels;
 pub mod spec;
 
-pub use corpus::{corpus_dir, corpus_paths, load_all as load_corpus, CorpusError};
+pub use corpus::{
+    corpus_dir, corpus_paths, load_all as load_corpus, load_regressions, regressions_dir,
+    CorpusError,
+};
 pub use spec::{all_benchmarks, BenchParams, SpecBenchmark};

@@ -8,6 +8,8 @@
 //!
 //! * [`ir`] — the compiler intermediate representation and sequential interpreter.
 //! * [`frontend`] — the lexer/parser for the textual `.hir` format.
+//! * [`gen`] — the seeded structured program generator, differential fuzzing oracle and
+//!   delta-debugging shrinker behind `helix fuzz`.
 //! * [`analysis`] — dominators, loops, data flow, pointer analysis and dependence graphs.
 //! * [`core`] — the HELIX transformation pipeline and loop selection algorithm.
 //! * [`simulator`] — the cycle-level chip-multiprocessor timing model.
@@ -21,6 +23,7 @@
 pub use helix_analysis as analysis;
 pub use helix_core as core;
 pub use helix_frontend as frontend;
+pub use helix_gen as gen;
 pub use helix_ir as ir;
 pub use helix_profiler as profiler;
 pub use helix_runtime as runtime;

@@ -106,6 +106,51 @@ fn fuel_exhaustion_points_are_identical() {
 }
 
 #[test]
+fn regression_repros_converge_on_main_and_still_exercise_the_merge_path() {
+    // The auto-shrunk repros under corpus/regressions/ pin the PR 2 Step-6 signal-merge
+    // soundness bug. On the fixed pipeline they must (a) agree between both engines,
+    // (b) produce the sequential result on real threads at every thread count, and
+    // (c) still trip the structural signal-placement check when the pre-fix behaviour is
+    // re-injected — if a refactor ever makes a repro stop exercising the merge path, this
+    // fails and the repro must be regenerated with `helix fuzz --inject-fault`.
+    use helix::core::HelixConfig;
+    use helix::gen::{differential_check, signal_placement_violations, OracleConfig};
+    use helix::profiler::profile_program_image;
+
+    let repros = helix::workloads::load_regressions().expect("regressions load");
+    assert!(
+        repros.len() >= 2,
+        "expected at least two checked-in regression repros, found {}",
+        repros.len()
+    );
+    for (name, module, main) in &repros {
+        // (a) + (b): the full differential oracle on the production configuration.
+        let report = differential_check(module, *main, &OracleConfig::default())
+            .unwrap_or_else(|d| panic!("{name}: diverges on the fixed pipeline: {d}"));
+        assert!(!report.errored, "{name}: repros must run to completion");
+        assert!(
+            !report.parallel_skipped,
+            "{name}: repros must exercise the parallel executor"
+        );
+        // (c): the injected fault must still produce the unsound placement.
+        let nesting = helix::analysis::LoopNestingGraph::new(module);
+        let profile = profile_program_image(module, &nesting, *main, &[]).expect("profiles");
+        let unsound = helix::core::Helix::new(HelixConfig::i7_980x().with_unsound_union_merge())
+            .analyze(module, &profile);
+        assert!(
+            !signal_placement_violations(module, &unsound).is_empty(),
+            "{name}: no longer exercises the signal-merge path; regenerate it"
+        );
+        // And the fixed pipeline must place every signal after its endpoints.
+        let sound = helix::core::Helix::new(HelixConfig::i7_980x()).analyze(module, &profile);
+        assert!(
+            signal_placement_violations(module, &sound).is_empty(),
+            "{name}: the fixed pipeline itself violates signal placement"
+        );
+    }
+}
+
+#[test]
 fn parallel_execution_matches_the_bytecode_sequential_result() {
     // `helix run --parallel` correctness over the corpus: for every corpus program whose
     // entry function gets a selected plan, the parallel image-engine execution must produce

@@ -1,0 +1,152 @@
+//! End-to-end tests of the fuzzing pipeline: generator → differential oracle → shrinker.
+//!
+//! The centerpiece is the injected-fault test: re-enabling the pre-PR-2 Step-6 merge bug
+//! (union of merged Wait/Signal points) behind `HelixConfig::with_unsound_union_merge` must
+//! make the oracle flag generated programs, and the shrinker must minimize such a program to
+//! a tiny `.hir` repro that *still* exhibits the unsound placement — proving the whole
+//! "every future soundness bug becomes a one-command minimized reproduction" story on a bug
+//! we know was real.
+
+use helix::core::HelixConfig;
+use helix::gen::{
+    compact_registers, differential_check, generate, shrink_module, signal_placement_violations,
+    DivergenceKind, GenConfig, OracleConfig, ShrinkOptions,
+};
+use helix::ir::Module;
+
+/// The deterministic detector for the injected fault: analysis under the unsound
+/// configuration yields a synchronized segment that signals before one of its endpoints.
+fn violates_under_unsound_merge(module: &Module) -> bool {
+    let Some(main) = module.function_by_name("main") else {
+        return false;
+    };
+    // Shrink candidates can contain accidental infinite loops (a simplified branch that
+    // never exits); a cheap fueled pre-run rejects them before the unfueled profiler runs.
+    let image = helix::ir::ExecImage::lower(module);
+    let mut probe = helix::ir::ImageMachine::new(&image);
+    probe.set_fuel(2_000_000);
+    if probe.call(main, &[]).is_err() {
+        return false;
+    }
+    let nesting = helix::analysis::LoopNestingGraph::new(module);
+    let Ok(profile) = helix::profiler::profile_program_image(module, &nesting, main, &[]) else {
+        return false;
+    };
+    let output = helix::core::Helix::new(HelixConfig::i7_980x().with_unsound_union_merge())
+        .analyze(module, &profile);
+    !signal_placement_violations(module, &output).is_empty()
+}
+
+#[test]
+fn injected_fault_is_found_and_shrunk_to_a_small_repro() {
+    let config = GenConfig::pointer_heavy();
+    let oracle = OracleConfig {
+        check_parallel: false, // the structural check is the deterministic detector
+        helix: HelixConfig::i7_980x().with_unsound_union_merge(),
+        ..OracleConfig::default()
+    };
+
+    // Find a seed the oracle flags. The sweep bound is generous: in practice roughly half
+    // of all pointer-heavy seeds trip the injected fault.
+    let mut found = None;
+    for seed in 0..60 {
+        let gp = generate(seed, &config);
+        match differential_check(&gp.module, gp.main, &oracle) {
+            Err(d) if d.kind == DivergenceKind::SignalPlacement => {
+                found = Some((seed, gp));
+                break;
+            }
+            Err(d) => panic!("seed {seed}: unexpected divergence under injection: {d}"),
+            Ok(_) => {}
+        }
+    }
+    let (seed, gp) = found.expect("some seed must trip the injected signal-merge fault");
+    assert!(violates_under_unsound_merge(&gp.module));
+
+    // Shrink while preserving the violation.
+    let mut pred = |m: &Module| violates_under_unsound_merge(m);
+    let outcome = shrink_module(&gp.module, "main", &mut pred, &ShrinkOptions::default());
+    let mut repro = outcome.module;
+    compact_registers(&mut repro);
+
+    // The acceptance bar: an auto-shrunk repro of at most 30 instructions that still
+    // diverges under the injected fault and is clean on the fixed pipeline.
+    assert!(
+        repro.instr_count() <= 30,
+        "seed {seed}: shrunk repro still has {} instructions (from {})",
+        repro.instr_count(),
+        outcome.stats.instrs_before
+    );
+    assert!(
+        repro.instr_count() < outcome.stats.instrs_before,
+        "shrinking made no progress"
+    );
+    assert!(
+        violates_under_unsound_merge(&repro),
+        "the shrunk repro must still exhibit the unsound placement"
+    );
+    helix::ir::verify_module(&repro).expect("shrunk repro verifies");
+
+    // On the *fixed* pipeline the same repro is divergence-free end to end (both engines,
+    // profilers, structural check, parallel executor).
+    let main = repro.function_by_name("main").expect("main survives");
+    let report = differential_check(&repro, main, &OracleConfig::default())
+        .unwrap_or_else(|d| panic!("shrunk repro diverges on the fixed pipeline: {d}"));
+    assert!(!report.errored);
+
+    // And it round-trips through the textual format, so checking it in as a .hir file is
+    // faithful.
+    let text = helix::ir::printer::format_module(&repro);
+    let parsed = helix::frontend::parse_and_verify(&text).expect("repro re-parses");
+    assert_eq!(parsed, repro);
+}
+
+#[test]
+fn fuzz_seed_sweep_is_divergence_free_on_main() {
+    // A compressed in-tree version of `helix fuzz`: a modest seed sweep through the full
+    // oracle (both engines, profilers, round-trip, structural check, parallel executor at
+    // two thread counts) must find nothing on the fixed pipeline.
+    let config = GenConfig::fuzz();
+    let oracle = OracleConfig {
+        threads: vec![2, 4],
+        repeats: 1,
+        ..OracleConfig::default()
+    };
+    let mut parallel_runs = 0;
+    for seed in 1..=30 {
+        let gp = generate(seed, &config);
+        let report = differential_check(&gp.module, gp.main, &oracle)
+            .unwrap_or_else(|d| panic!("seed {seed} diverged: {d}\n{:?}", gp));
+        parallel_runs += report.parallel_runs;
+    }
+    assert!(
+        parallel_runs >= 30,
+        "the sweep barely exercised the parallel executor ({parallel_runs} runs)"
+    );
+}
+
+#[test]
+fn shrinker_minimizes_a_semantic_result_failure() {
+    // Shrink against a *behavioural* predicate (not the structural one): the program's
+    // checksum keeps a specific residue. This exercises the execution-oracle path the CLI
+    // uses for engine/parallel divergences.
+    let gp = generate(17, &GenConfig::fuzz());
+    let run = |m: &Module| -> Option<i64> {
+        let main = m.function_by_name("main")?;
+        let image = helix::ir::ExecImage::lower(m);
+        let mut machine = helix::ir::ImageMachine::new(&image);
+        machine.set_fuel(2_000_000);
+        machine.call(main, &[]).ok()?.map(|v| v.as_int())
+    };
+    let residue = run(&gp.module).expect("generated program runs") & 0xff;
+    let mut pred = |m: &Module| run(m).map(|v| v & 0xff) == Some(residue);
+    assert!(pred(&gp.module));
+    let outcome = shrink_module(&gp.module, "main", &mut pred, &ShrinkOptions::default());
+    assert!(pred(&outcome.module));
+    assert!(
+        outcome.stats.instrs_after < outcome.stats.instrs_before / 2,
+        "expected substantial shrinkage, got {} -> {}",
+        outcome.stats.instrs_before,
+        outcome.stats.instrs_after
+    );
+}

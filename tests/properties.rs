@@ -1,128 +1,107 @@
-//! Property-based tests over randomly generated loops: the HELIX analyses and the
-//! transformation must hold their invariants for arbitrary (well-formed) inputs, and the
-//! transformed code must preserve sequential semantics.
+//! Property-based tests over generated programs: the HELIX analyses and the transformation
+//! must hold their invariants for arbitrary (well-formed) inputs, and the transformed code
+//! must preserve sequential semantics.
+//!
+//! Inputs are drawn from `helix::gen` — the same seeded structured generator behind
+//! `helix fuzz` — so the properties see nested loop hierarchies, pointer chasing, calls with
+//! in-loop `ret`, reductions and irregular branching instead of a single hand-rolled loop
+//! shape. On failure, the drawn program's `Debug` form *is* its canonical `.hir` text (plus
+//! the generating seed), and the semantic property additionally shrinks the failing module
+//! to a minimal repro before panicking.
 
 use helix::analysis::{Cfg, DomTree, LoopForest, LoopNestingGraph, PointerAnalysis};
 use helix::core::{transform, Helix, HelixConfig};
-use helix::ir::builder::{FunctionBuilder, ModuleBuilder};
-use helix::ir::{verify_module, BinOp, FuncId, Machine, Module, Operand};
+use helix::gen::strategy::{self, shrink_failure_text};
+use helix::ir::{verify_module, Machine, Module, Operand};
 use helix::profiler::profile_program;
 use proptest::prelude::*;
-
-/// Builds a randomized but well-formed single-loop program from a small parameter vector.
-fn random_program(
-    iterations: i64,
-    work: usize,
-    accumulators: usize,
-    use_array: bool,
-    rare_update_mask: i64,
-) -> (Module, FuncId) {
-    let mut mb = ModuleBuilder::new("prop");
-    let arr = mb.add_global("arr", (iterations.max(4) as usize) + 4);
-    let accs: Vec<_> = (0..accumulators.max(1))
-        .map(|i| mb.add_global(format!("acc{i}"), 1))
-        .collect();
-    let mut fb = FunctionBuilder::new("main", 0);
-    let lh = fb.counted_loop(Operand::int(0), Operand::int(iterations), 1);
-    let mut v = fb.binary_to_new(BinOp::Mul, Operand::Var(lh.induction_var), Operand::int(7));
-    for r in 0..work {
-        let m = fb.binary_to_new(BinOp::Mul, Operand::Var(v), Operand::int(3 + r as i64));
-        v = fb.binary_to_new(BinOp::Xor, Operand::Var(m), Operand::int(0x5bd1));
-    }
-    if use_array {
-        let addr = fb.binary_to_new(
-            BinOp::Add,
-            Operand::Global(arr),
-            Operand::Var(lh.induction_var),
-        );
-        fb.store(Operand::Var(addr), 0, Operand::Var(v));
-    }
-    // Optionally rare accumulator updates guarded by a mask on the induction variable.
-    let masked = fb.binary_to_new(
-        BinOp::And,
-        Operand::Var(lh.induction_var),
-        Operand::int(rare_update_mask),
-    );
-    let do_update = fb.cmp_to_new(helix::ir::Pred::Eq, Operand::Var(masked), Operand::int(0));
-    let update = fb.new_block();
-    fb.cond_br(Operand::Var(do_update), update, lh.latch);
-    fb.switch_to(update);
-    for acc in &accs {
-        let cur = fb.new_var();
-        fb.load(cur, Operand::Global(*acc), 0);
-        let next = fb.binary_to_new(BinOp::Add, Operand::Var(cur), Operand::Var(v));
-        fb.store(Operand::Global(*acc), 0, Operand::Var(next));
-    }
-    fb.br(lh.latch);
-    fb.switch_to(lh.exit);
-    let out = fb.new_var();
-    fb.load(out, Operand::Global(accs[0]), 0);
-    fb.ret(Some(Operand::Var(out)));
-    let main = mb.add_function(fb.finish());
-    (mb.finish(), main)
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     #[test]
     fn generated_programs_verify_and_analyses_hold_invariants(
-        iterations in 1i64..64,
-        work in 0usize..12,
-        accumulators in 1usize..3,
-        use_array in any::<bool>(),
-        mask in prop::sample::select(vec![0i64, 1, 3, 7]),
+        gp in strategy::small_programs(),
     ) {
-        let (module, main) = random_program(iterations, work, accumulators, use_array, mask);
-        verify_module(&module).expect("generated module verifies");
-        let function = module.function(main);
-        let cfg = Cfg::new(function);
-        let dom = DomTree::new(function, &cfg);
-        // Dominator invariants: the entry dominates every reachable block.
-        for block in function.block_ids() {
-            if cfg.is_reachable(block) {
-                prop_assert!(dom.dominates(function.entry, block));
+        verify_module(&gp.module).expect("generated module verifies");
+        for function in &gp.module.functions {
+            let cfg = Cfg::new(function);
+            let dom = DomTree::new(function, &cfg);
+            // Dominator invariants: the entry dominates every reachable block.
+            for block in function.block_ids() {
+                if cfg.is_reachable(block) {
+                    prop_assert!(dom.dominates(function.entry, block));
+                }
+            }
+            let forest = LoopForest::new(function, &cfg, &dom);
+            // Loop invariants: headers are members of their loops; children are subsets of
+            // parents.
+            for l in forest.iter() {
+                prop_assert!(l.contains(l.header));
+                if let Some(parent) = l.parent {
+                    let p = forest.get(parent);
+                    prop_assert!(l.blocks.iter().all(|b| p.contains(*b)));
+                }
             }
         }
-        let forest = LoopForest::new(function, &cfg, &dom);
-        // Loop invariants: headers are members of their loops; children are subsets of parents.
-        for l in forest.iter() {
-            prop_assert!(l.contains(l.header));
-            if let Some(parent) = l.parent {
-                let p = forest.get(parent);
-                prop_assert!(l.blocks.iter().all(|b| p.contains(*b)));
-            }
-        }
-        // Pointer analysis terminates and never returns an empty may-alias for identical
-        // operands with the same offset.
-        let pa = PointerAnalysis::new(&module);
-        prop_assert!(pa.may_alias(main, Operand::Global(helix::ir::GlobalId::new(0)), 0,
-                                  main, Operand::Global(helix::ir::GlobalId::new(0)), 0));
+        // Pointer analysis terminates and never denies aliasing of identical operands.
+        let pa = PointerAnalysis::new(&gp.module);
+        prop_assert!(pa.may_alias(
+            gp.main, Operand::Global(helix::ir::GlobalId::new(0)), 0,
+            gp.main, Operand::Global(helix::ir::GlobalId::new(0)), 0,
+        ));
     }
 
     #[test]
     fn transformation_preserves_sequential_semantics(
-        iterations in 1i64..48,
-        work in 0usize..10,
-        accumulators in 1usize..3,
-        use_array in any::<bool>(),
-        mask in prop::sample::select(vec![0i64, 1, 3]),
+        gp in strategy::small_programs(),
     ) {
-        let (module, main) = random_program(iterations, work, accumulators, use_array, mask);
-        let nesting = LoopNestingGraph::new(&module);
-        let profile = profile_program(&module, &nesting, main, &[]).expect("runs");
-        let output = Helix::new(HelixConfig::i7_980x()).analyze(&module, &profile);
-        let mut m = Machine::new(&module);
-        let expected = m.call(main, &[]).unwrap().unwrap().as_int();
-        // Whatever plans exist, materializing them must keep the module verifying and the
-        // sequential result identical (Wait/Signal are sequential no-ops, demotion is sound).
+        let nesting = LoopNestingGraph::new(&gp.module);
+        let profile = profile_program(&gp.module, &nesting, gp.main, &[]).expect("runs");
+        let output = Helix::new(HelixConfig::i7_980x()).analyze(&gp.module, &profile);
+        let mut m = Machine::new(&gp.module);
+        let expected = m.call(gp.main, &[]).unwrap();
+        // Whatever plans exist for the entry, materializing them must keep the module
+        // verifying and the sequential result identical (Wait/Signal are sequential no-ops,
+        // demotion is sound).
         for plan in output.plans.values() {
-            if plan.func != main { continue; }
-            let t = transform::apply(&module, plan);
+            if plan.func != gp.main { continue; }
+            let t = transform::apply(&gp.module, plan);
             verify_module(&t.module).expect("transformed module verifies");
             let mut m2 = Machine::new(&t.module);
-            let got = m2.call(t.parallel_func, &[]).unwrap().unwrap().as_int();
-            prop_assert_eq!(got, expected);
+            let got = m2.call(t.parallel_func, &[]).unwrap();
+            if got != expected {
+                // Minimize before failing: the shrunk text is the actionable repro.
+                let loop_id = plan.loop_id;
+                let mut still_failing = |candidate: &Module| {
+                    let Some(main) = candidate.function_by_name("main") else { return false };
+                    let mut seq = Machine::new(candidate);
+                    seq.set_fuel(2_000_000);
+                    let Ok(want) = seq.call(main, &[]) else { return false };
+                    let nesting = LoopNestingGraph::new(candidate);
+                    let Ok(profile) = profile_program(candidate, &nesting, main, &[]) else {
+                        return false;
+                    };
+                    let output = Helix::new(HelixConfig::i7_980x()).analyze(candidate, &profile);
+                    let Some(plan) = output
+                        .plans
+                        .values()
+                        .find(|p| p.func == main && p.loop_id == loop_id)
+                    else {
+                        return false;
+                    };
+                    let t = transform::apply(candidate, plan);
+                    let mut par = Machine::new(&t.module);
+                    par.set_fuel(2_000_000);
+                    par.call(t.parallel_func, &[]).map(|v| v != want).unwrap_or(false)
+                };
+                let repro = shrink_failure_text(&gp.module, "main", &mut still_failing);
+                prop_assert!(
+                    false,
+                    "seed {}: transformed loop {} computes {:?}, expected {:?}\n{}",
+                    gp.seed, plan.loop_id, got, expected, repro
+                );
+            }
         }
     }
 }
