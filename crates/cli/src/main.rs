@@ -52,6 +52,8 @@ COMMON OPTIONS:
     --engine <e>       Execution engine: image (flat bytecode, default) | tree (tree-walker)
     --print            (parse) Re-print the parsed module in canonical form
     --parallel         (run) Transform the hottest selected loop, run on real threads
+    --lowered-costs    (simulate) Price sequential segments from the lowered ParallelImage
+                       bytecode instead of profile-weighted plan estimates
     --threads <list>   Worker thread count(s); comma-separated for fuzz (default: 4 for
                        run --parallel, 1,2,4,6 for fuzz)
     --spin-budget <n>  (run --parallel, fuzz) Wait spins before declaring deadlock
@@ -126,6 +128,7 @@ struct Options {
     json: bool,
     print: bool,
     parallel: bool,
+    lowered_costs: bool,
     entry: String,
     cores: usize,
     /// Thread counts from `--threads`; `None` means the per-command default.
@@ -152,6 +155,7 @@ impl Default for Options {
             json: false,
             print: false,
             parallel: false,
+            lowered_costs: false,
             entry: "main".to_string(),
             cores: 6,
             threads: None,
@@ -184,6 +188,7 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
             "--json" => opts.json = true,
             "--print" => opts.print = true,
             "--parallel" => opts.parallel = true,
+            "--lowered-costs" => opts.lowered_costs = true,
             "--entry" => opts.entry = value_of("--entry", &mut it)?,
             "--cores" => {
                 opts.cores = value_of("--cores", &mut it)?
@@ -789,7 +794,25 @@ fn cmd_simulate(opts: &Options) -> Result<(), CliError> {
         helix: config_of(opts),
         mode: opts.mode,
     };
-    let sim = simulate_program(&output, &profile, &sim_config);
+    let mut sim = simulate_program(&output, &profile, &sim_config);
+    if opts.lowered_costs {
+        // Re-price each selected loop's segments from the lowered runtime bytecode (the
+        // costs the ParallelImage dispatch actually implies) and rebuild the program total.
+        let mut saved = 0.0;
+        for (key, result) in sim.loops.iter_mut() {
+            let Some(plan) = output.plans.get(key) else {
+                continue;
+            };
+            let transformed = helix_core::transform::apply(&module, plan);
+            let pimg = helix_runtime::ParallelImage::lower(&transformed);
+            let lp = profile.loop_profile(*key);
+            *result =
+                helix_simulator::simulate_loop_lowered(plan, &lp, &sim_config, &pimg.loop_image);
+            saved += result.sequential_cycles - result.parallel_cycles;
+        }
+        sim.parallel_cycles = (sim.sequential_cycles - saved).max(1.0);
+        sim.speedup = sim.sequential_cycles / sim.parallel_cycles;
+    }
     if opts.json {
         let loops = sim.loops.iter().map(|(key, r)| {
             Json::object([

@@ -36,6 +36,11 @@ pub struct HelixConfig {
     pub enable_prefetch_balancing: bool,
     /// Step 5's method inlining of calls involved in dependences (disabled only for tests).
     pub enable_inlining: bool,
+    /// Iteration-privatization analysis (see `privatize`): prove per-iteration allocations
+    /// thread-private so the parallel runtime serves them from per-worker bump arenas that
+    /// bypass shared-memory striping, and drop the synchronization of dependences that only
+    /// touch privatized storage.
+    pub enable_privatization: bool,
     /// Spin budget of the real-thread executor: how many yield-spins a `Wait` performs before
     /// it is declared deadlocked (a missing `Signal` on some path).
     pub spin_budget: u64,
@@ -68,6 +73,7 @@ impl HelixConfig {
             enable_helper_threads: true,
             enable_prefetch_balancing: true,
             enable_inlining: true,
+            enable_privatization: true,
             spin_budget: 200_000_000,
             max_loop_iterations: 10_000_000,
             unsound_union_merged_sync_points: false,
@@ -121,6 +127,13 @@ impl HelixConfig {
     /// Disables the Figure 6 balancing scheduler (used by the Figure 10 ablation).
     pub fn without_prefetch_balancing(mut self) -> Self {
         self.enable_prefetch_balancing = false;
+        self
+    }
+
+    /// Disables the iteration-privatization analysis (used by ablation studies and tests
+    /// that need every allocation in shared memory).
+    pub fn without_privatization(mut self) -> Self {
+        self.enable_privatization = false;
         self
     }
 

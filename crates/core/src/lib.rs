@@ -16,6 +16,9 @@
 //! * [`optimize`] — Steps 5–6: shrink sequential segments by excluding independent
 //!   instructions, remove redundant `Wait`s, merge segments, and apply Theorem 1 on the data
 //!   dependence redundancy graph to minimize the number of synchronized dependences.
+//! * [`privatize`] — the iteration-privatization analysis: proves per-iteration allocations
+//!   thread-private so the runtime serves them from per-worker bump arenas and drops the
+//!   synchronization of dependences confined to privatized storage.
 //! * [`schedule`] — Step 8's code-scheduling algorithm (Figure 6) that spaces sequential
 //!   segments so helper threads can prefetch signals evenly.
 //! * [`transform`] — Steps 7 and 9: demote loop-boundary live variables to memory, insert
@@ -34,6 +37,7 @@ pub mod normalize;
 pub mod optimize;
 pub mod pipeline;
 pub mod plan;
+pub mod privatize;
 pub mod schedule;
 pub mod segments;
 pub mod selection;
@@ -44,5 +48,6 @@ pub use model::{PrefetchMode, SpeedupModel};
 pub use normalize::NormalizedLoop;
 pub use pipeline::{Helix, HelixOutput, LoopStatistics};
 pub use plan::{ParallelizedLoop, SequentialSegment};
+pub use privatize::{analyze_privatization, PrivatizationInfo};
 pub use selection::{DynamicLoopGraph, LoopSelection};
 pub use transform::TransformedProgram;

@@ -302,6 +302,36 @@ pub fn minimize_signals_with(
     stats
 }
 
+/// Privatization follow-up to Step 6: de-synchronizes segments whose every dependence runs
+/// entirely between accesses the privatization analysis proved iteration-private. Such a
+/// dependence cannot cross iterations once the storage is per-worker, so its `Wait`/`Signal`
+/// pair is pure overhead. Returns the number of segments released.
+pub fn release_privatized_segments(
+    segments: &mut [SequentialSegment],
+    info: &crate::privatize::PrivatizationInfo,
+) -> usize {
+    if !info.applies() {
+        return 0;
+    }
+    let private =
+        |r: &InstrRef| info.private_accesses.contains(r) || info.private_allocs.contains(r);
+    let mut released = 0;
+    for seg in segments.iter_mut() {
+        if !seg.synchronized || seg.dependences.is_empty() {
+            continue;
+        }
+        if seg
+            .dependences
+            .iter()
+            .all(|d| d.via_memory && private(&d.src) && private(&d.dst))
+        {
+            seg.synchronized = false;
+            released += 1;
+        }
+    }
+    released
+}
+
 fn ranges_touch(a: &BTreeSet<InstrRef>, b: &BTreeSet<InstrRef>) -> bool {
     // Overlap, or adjacency within the same block (no instruction between the two ranges).
     if a.intersection(b).next().is_some() {

@@ -162,12 +162,6 @@ impl Helix {
                     self.config.unsound_union_merged_sync_points,
                 );
             }
-            let signals_after: u64 = segments
-                .iter()
-                .filter(|s| s.synchronized)
-                .map(|s| (s.wait_points.len() + s.signal_points.len()) as u64)
-                .sum();
-
             // Loop-boundary live variables (live-ins, live-outs, iteration live-ins).
             let liveness = Liveness::new(function, &cfg);
             let natural = forest.get(node.loop_id);
@@ -201,6 +195,27 @@ impl Helix {
                     }
                 }
             }
+
+            // Iteration privatization: prove per-iteration allocations thread-private and
+            // release the synchronization of dependences that only touch privatized storage.
+            let loop_block_set: BTreeSet<helix_ir::BlockId> = norm
+                .prologue_blocks
+                .iter()
+                .chain(norm.body_blocks.iter())
+                .copied()
+                .collect();
+            let privatization = if self.config.enable_privatization {
+                crate::privatize::analyze_privatization(function, &loop_block_set, &boundary)
+            } else {
+                crate::privatize::PrivatizationInfo::default()
+            };
+            crate::optimize::release_privatized_segments(&mut segments, &privatization);
+
+            let signals_after: u64 = segments
+                .iter()
+                .filter(|s| s.synchronized)
+                .map(|s| (s.wait_points.len() + s.signal_points.len()) as u64)
+                .sum();
 
             // Profile-weighted cycle accounting.
             let lp = profile.loop_profile(key);
@@ -277,6 +292,8 @@ impl Helix {
                     .values()
                     .map(|iv| (iv.var, iv.step))
                     .collect(),
+                private_allocs: privatization.private_allocs.clone(),
+                private_accesses: privatization.private_accesses.clone(),
                 bytes_per_iteration,
                 signals_before_minimization: signals_before,
                 signals_after_minimization: signals_after,

@@ -82,6 +82,17 @@ pub struct ParallelizedLoop {
     /// number and their value at loop entry; the parallel runtime uses exactly this list to
     /// privatize them.
     pub induction_vars: Vec<(VarId, i64)>,
+    /// `Alloc` instructions the privatization analysis proved iteration-private (see
+    /// [`crate::privatize`]): the parallel runtime serves them from a per-worker bump arena
+    /// instead of the striped shared memory. Empty when privatization does not apply to this
+    /// loop. Instruction references are relative to the *original* function; Step 7 remaps
+    /// them into the parallel clone.
+    pub private_allocs: BTreeSet<InstrRef>,
+    /// Loads/stores the privatization analysis proved to access only privatized storage —
+    /// the only sites whose addresses may legitimately fall in the private tier; every
+    /// other access keeps sequential fault semantics for out-of-range addresses. Original
+    /// function coordinates, remapped by Step 7 like [`ParallelizedLoop::private_allocs`].
+    pub private_accesses: BTreeSet<InstrRef>,
     /// Estimated bytes of data forwarded between cores per iteration (`Bytes_i` in
     /// Equation 1).
     pub bytes_per_iteration: f64,
@@ -177,6 +188,8 @@ mod tests {
             segments: vec![segment(0.0)],
             boundary_live_vars: BTreeSet::new(),
             induction_vars: vec![(VarId::new(1), 1)],
+            private_allocs: BTreeSet::new(),
+            private_accesses: BTreeSet::new(),
             bytes_per_iteration: 8.0,
             signals_before_minimization: 10,
             signals_after_minimization: 2,

@@ -11,9 +11,10 @@
 //! it when another parallel loop is already running; the parallel version is a clone.
 
 use crate::plan::ParallelizedLoop;
-use helix_ir::{FuncId, Function, GlobalId, Instr, InstrRef, Module, Operand, VarId};
+use helix_analysis::{Cfg, DomTree};
+use helix_ir::{BlockId, FuncId, Function, GlobalId, Instr, InstrRef, Module, Operand, VarId};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// The result of applying the HELIX transformation to one loop of a module.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -31,6 +32,13 @@ pub struct TransformedProgram {
     /// The plan that was materialized (block ids remain valid in the clone; instruction
     /// indices do not, because new instructions were inserted).
     pub plan: ParallelizedLoop,
+    /// [`ParallelizedLoop::private_allocs`] remapped to the clone's instruction indices
+    /// (Step 7 inserts loads/stores/sync, shifting every index). The parallel runtime lowers
+    /// exactly these sites to per-worker arena allocations.
+    pub private_allocs: BTreeSet<InstrRef>,
+    /// [`ParallelizedLoop::private_accesses`] remapped to the clone's instruction indices:
+    /// the only loads/stores the runtime routes into the private tier.
+    pub private_accesses: BTreeSet<InstrRef>,
 }
 
 /// Applies Steps 7 and 9 for `plan` to `module`, returning the transformed program.
@@ -85,8 +93,53 @@ pub fn apply(module: &Module, plan: &ParallelizedLoop) -> TransformedProgram {
     let in_loop =
         |b: helix_ir::BlockId| plan.prologue_blocks.contains(&b) || plan.body_blocks.contains(&b);
 
+    // In-loop uses of a demoted variable read the *register* instead of the frame slot when
+    // a same-iteration definition dominates the use. The register is freshly written by that
+    // definition on every path through every iteration, so the read is race-free — whereas
+    // the shared frame slot is overwritten by the next iteration's prologue as soon as this
+    // iteration releases control, a write-after-read race between overlapped iterations for
+    // any value that is iteration-local (demoted only for exit liveness, like a prologue
+    // temporary read by the body). Carried values never have an in-loop dominating
+    // definition — their reads see the previous iteration by definition — so they keep the
+    // frame load, protected by the segment's `Wait`/`Signal`. The loop header dominates
+    // every loop block per iteration too (each iteration enters through it), so a header
+    // definition counts.
+    let cfg = Cfg::new(original_fn);
+    let dominators = DomTree::new(original_fn, &cfg);
+    let mut loop_defs: BTreeMap<VarId, Vec<InstrRef>> = BTreeMap::new();
+    for block in &original_fn.blocks {
+        if !in_loop(block.id) {
+            continue;
+        }
+        for (index, instr) in block.instrs.iter().enumerate() {
+            if let Some(d) = instr.dst() {
+                if plan.boundary_live_vars.contains(&d) {
+                    loop_defs
+                        .entry(d)
+                        .or_default()
+                        .push(InstrRef::new(block.id, index));
+                }
+            }
+        }
+    }
+    let dominated_use = |v: &VarId, block: BlockId, index: usize| -> bool {
+        loop_defs.get(v).is_some_and(|defs| {
+            defs.iter().any(|d| {
+                if d.block == block {
+                    d.index < index
+                } else {
+                    dominators.dominates(d.block, block)
+                }
+            })
+        })
+    };
+
     // Rewrite every block of the clone: demote boundary variables everywhere in the function,
-    // insert Wait/Signal at the recorded (original) indices inside loop blocks.
+    // insert Wait/Signal at the recorded (original) indices inside loop blocks. Privatized
+    // allocation sites are tracked through the rewrite so the runtime can find them in the
+    // clone's (shifted) instruction indices.
+    let mut private_allocs: BTreeSet<InstrRef> = BTreeSet::new();
+    let mut private_accesses: BTreeSet<InstrRef> = BTreeSet::new();
     let num_blocks = clone.blocks.len();
     for block_index in 0..num_blocks {
         let block_id = clone.blocks[block_index].id;
@@ -108,13 +161,18 @@ pub fn apply(module: &Module, plan: &ParallelizedLoop) -> TransformedProgram {
                 }
             }
             // Demote uses: load each boundary variable into a fresh temporary right before the
-            // instruction and rewrite the operand.
+            // instruction and rewrite the operand — unless a same-iteration definition
+            // dominates the use, in which case the register itself is the race-free,
+            // always-fresh source (see above).
             let mut loads: Vec<Instr> = Vec::new();
             {
                 let clone_num_vars = &mut clone.num_vars;
                 instr.map_operands(|op| {
                     if let Operand::Var(v) = op {
                         if let Some(&slot) = slot_of.get(v) {
+                            if block_in_loop && dominated_use(v, block_id, index) {
+                                return;
+                            }
                             let tmp = VarId::new(*clone_num_vars as u32);
                             *clone_num_vars += 1;
                             loads.push(Instr::Load {
@@ -129,6 +187,18 @@ pub fn apply(module: &Module, plan: &ParallelizedLoop) -> TransformedProgram {
             }
             new_instrs.extend(loads);
             let dst = instr.dst();
+            if plan
+                .private_allocs
+                .contains(&InstrRef::new(block_id, index))
+            {
+                private_allocs.insert(InstrRef::new(block_id, new_instrs.len()));
+            }
+            if plan
+                .private_accesses
+                .contains(&InstrRef::new(block_id, index))
+            {
+                private_accesses.insert(InstrRef::new(block_id, new_instrs.len()));
+            }
             new_instrs.push(instr);
             // Demote defs: store the defined boundary variable to its slot right after.
             if let Some(d) = dst {
@@ -158,10 +228,22 @@ pub fn apply(module: &Module, plan: &ParallelizedLoop) -> TransformedProgram {
         }
     }
     if !entry_stores.is_empty() {
+        let shift = entry_stores.len();
         let block = &mut clone.blocks[entry.index()];
         for (i, s) in entry_stores.into_iter().enumerate() {
             block.instrs.insert(i, s);
         }
+        // Keep tracked privatization sites in the entry block aligned with the inserted
+        // stores.
+        let shift_ref = |r: InstrRef| {
+            if r.block == entry {
+                InstrRef::new(r.block, r.index + shift)
+            } else {
+                r
+            }
+        };
+        private_allocs = private_allocs.into_iter().map(shift_ref).collect();
+        private_accesses = private_accesses.into_iter().map(shift_ref).collect();
     }
 
     let parallel_func = out.add_function(clone);
@@ -172,6 +254,8 @@ pub fn apply(module: &Module, plan: &ParallelizedLoop) -> TransformedProgram {
         frame_global,
         slot_of,
         plan: plan.clone(),
+        private_allocs,
+        private_accesses,
     }
 }
 

@@ -24,7 +24,7 @@ use helix_ir::{
     verify_module, ExecImage, ExecStats, FuncId, ImageMachine, Machine, Memory, Module, Value,
 };
 use helix_profiler::{profile_program, profile_program_image};
-use helix_runtime::ParallelExecutor;
+use helix_runtime::{ParallelExecutor, ParallelImage, WaitProfile};
 use std::fmt;
 
 /// What the oracle checks and how hard it tries.
@@ -360,15 +360,19 @@ pub fn differential_check(
         if let Some(plan) = plan {
             parallel_skipped = false;
             let transformed = transform::apply(module, plan);
-            let parallel_image = ExecImage::lower(&transformed.module);
+            // Lower once; every run below dispatches the same immutable image (the
+            // steady-state entry point the CLI and benchmarks use).
+            let parallel_image = ParallelImage::lower(&transformed);
             for &threads in &config.threads {
                 for _ in 0..config.repeats.max(1) {
                     parallel_runs += 1;
-                    match ParallelExecutor::from_config(threads, &config.helix).run_image(
-                        &parallel_image,
-                        &transformed,
-                        &[],
-                    ) {
+                    // The dedicated wait profile forces the full multi-worker claim
+                    // protocol even on machines with fewer hardware threads than workers:
+                    // the oracle exists to hammer the concurrent path, not to run fast.
+                    match ParallelExecutor::from_config(threads, &config.helix)
+                        .with_wait_profile(WaitProfile::DEDICATED)
+                        .run_parallel(&parallel_image, &[])
+                    {
                         Ok(got) => {
                             if !values_bitwise_eq(got, result) {
                                 return Err(diverged(

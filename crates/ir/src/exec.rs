@@ -366,6 +366,12 @@ impl<'i> ImageEvaluator<'i> {
                 cycles = self.cost_table[CostClass::Alloc as usize];
                 StepOutcome::Next
             }
+            Op::PrivateAlloc { dst, words } => {
+                let n = eval(regs, *words).as_int().max(0) as usize;
+                regs[*dst as usize] = Value::Int(ctx.alloc_private(n)?);
+                cycles = self.cost_table[CostClass::Alloc as usize];
+                StepOutcome::Next
+            }
             Op::Call {
                 dst,
                 func: callee,

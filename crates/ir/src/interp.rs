@@ -119,6 +119,17 @@ pub trait Context {
     ///
     /// Returns an error if the allocation cannot be satisfied.
     fn alloc(&mut self, words: usize) -> Result<i64, ExecError>;
+    /// Allocates `words` words proved thread-private by the privatization analysis
+    /// ([`crate::lower::Op::PrivateAlloc`]). Sequential contexts have no private tier, so the
+    /// default forwards to [`Context::alloc`]; the parallel runtime overrides this to serve
+    /// the allocation from a per-worker bump arena that bypasses shared-memory striping.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the allocation cannot be satisfied.
+    fn alloc_private(&mut self, words: usize) -> Result<i64, ExecError> {
+        self.alloc(words)
+    }
     /// Executes a `Wait` on `dep`, returning any extra stall cycles beyond the local cost.
     ///
     /// # Errors
@@ -397,6 +408,7 @@ impl<'m> Evaluator<'m> {
 }
 
 /// Evaluates a unary operation.
+#[inline]
 pub fn eval_unop(op: UnOp, v: Value) -> Value {
     match op {
         UnOp::Neg => match v {
@@ -410,6 +422,7 @@ pub fn eval_unop(op: UnOp, v: Value) -> Value {
 }
 
 /// Evaluates a binary operation; mixed int/float operands promote to float.
+#[inline]
 pub fn eval_binop(op: BinOp, a: Value, b: Value) -> Value {
     if a.is_float() || b.is_float() {
         let (x, y) = (a.as_float(), b.as_float());
@@ -472,6 +485,7 @@ pub fn eval_binop(op: BinOp, a: Value, b: Value) -> Value {
 }
 
 /// Evaluates a comparison predicate; mixed int/float operands compare as floats.
+#[inline]
 pub fn eval_pred(pred: Pred, a: Value, b: Value) -> bool {
     if a.is_float() || b.is_float() {
         let (x, y) = (a.as_float(), b.as_float());

@@ -120,6 +120,17 @@ pub enum Op {
         /// Number of words to allocate.
         words: Opnd,
     },
+    /// `dst = alloc(words)` for an allocation the privatization analysis proved
+    /// thread-private: the parallel runtime serves it from a per-worker bump arena instead of
+    /// shared memory. [`ExecImage::lower`] never emits this variant — only the parallel-image
+    /// re-lowering does — and sequential contexts treat it exactly like [`Op::Alloc`]
+    /// (see [`crate::interp::Context::alloc_private`]).
+    PrivateAlloc {
+        /// Destination register receiving the base address.
+        dst: u32,
+        /// Number of words to allocate.
+        words: Opnd,
+    },
     /// Direct call `dst = func(args...)`.
     Call {
         /// Optional destination register.
@@ -254,6 +265,20 @@ impl FuncImage {
     /// Number of blocks in the function.
     pub fn num_blocks(&self) -> usize {
         self.block_range.len()
+    }
+
+    /// The ops of `block`: the `[start, end)` slice of the flat stream. Used by region
+    /// re-lowerings (the parallel runtime's `ParallelImage`) that splice per-block op ranges
+    /// into a new layout.
+    pub fn block_code(&self, block: u32) -> &[Op] {
+        let (start, end) = self.block_range[block as usize];
+        &self.code[start as usize..end as usize]
+    }
+
+    /// The `pc -> InstrRef` entries of `block`, parallel to [`FuncImage::block_code`].
+    pub fn block_refs(&self, block: u32) -> &[InstrRef] {
+        let (start, end) = self.block_range[block as usize];
+        &self.pc_to_ref[start as usize..end as usize]
     }
 }
 
@@ -494,7 +519,7 @@ fn lower_function(function: &Function, global_bases: &[i64], num_funcs: usize) -
                     track(addr, &mut max_reg);
                     track(value, &mut max_reg);
                 }
-                Op::Alloc { dst, words } => {
+                Op::Alloc { dst, words } | Op::PrivateAlloc { dst, words } => {
                     max_reg = max_reg.max(dst + 1);
                     track(words, &mut max_reg);
                 }

@@ -64,6 +64,26 @@ impl Memory {
         }
     }
 
+    /// The raw word array (bulk seeding of derived memories; the live prefix is
+    /// `words()[..heap_base + heap_used]`, the tail is untouched capacity).
+    pub fn words(&self) -> &[Value] {
+        &self.words
+    }
+
+    /// A copy sharing this memory's layout and contents but cloning only the live prefix
+    /// (globals + allocated heap). Reads beyond the prefix see zero and writes grow on
+    /// demand, exactly like the full copy — at a fraction of the per-run cost when the
+    /// backing capacity is mostly untouched (the parallel runtime clones a memory per
+    /// `execute`).
+    pub fn fresh_copy(&self) -> Memory {
+        let live = (self.heap_base + self.heap_used()).min(self.words.len());
+        Memory {
+            words: self.words[..live].to_vec(),
+            heap_base: self.heap_base,
+            next_free: self.next_free,
+        }
+    }
+
     /// Creates an empty memory with the default capacity and no globals.
     pub fn new() -> Self {
         Self {

@@ -24,6 +24,7 @@ impl Value {
     pub const FALSE: Value = Value::Int(0);
 
     /// Returns the integer payload, converting floats by truncation.
+    #[inline]
     pub fn as_int(self) -> i64 {
         match self {
             Value::Int(i) => i,
@@ -32,6 +33,7 @@ impl Value {
     }
 
     /// Returns the float payload, converting integers exactly where possible.
+    #[inline]
     pub fn as_float(self) -> f64 {
         match self {
             Value::Int(i) => i as f64,
@@ -40,6 +42,7 @@ impl Value {
     }
 
     /// Interprets the value as a boolean: any non-zero payload is `true`.
+    #[inline]
     pub fn as_bool(self) -> bool {
         match self {
             Value::Int(i) => i != 0,
@@ -48,11 +51,13 @@ impl Value {
     }
 
     /// Returns `true` when the value is a float.
+    #[inline]
     pub fn is_float(self) -> bool {
         matches!(self, Value::Float(_))
     }
 
     /// Returns a boolean value encoded as an integer.
+    #[inline]
     pub fn from_bool(b: bool) -> Value {
         if b {
             Value::TRUE

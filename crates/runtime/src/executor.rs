@@ -1,26 +1,50 @@
 //! The parallel loop executor.
 //!
-//! Workers execute the HELIX-transformed program through the flat-bytecode engine
-//! ([`helix_ir::ImageEvaluator`]) over a shared [`ShardedMemory`]: the module is lowered once
-//! per run, every worker dispatches over the same immutable [`ExecImage`], and loads/stores
-//! stripe across independently locked memory shards so iterations touching disjoint data
-//! really do proceed in parallel. Cross-iteration ordering is enforced by the HELIX
-//! `Wait`/`Signal` counters (atomics), exactly as before.
+//! Execution follows the paper's three phases. Phase A runs the transformed function
+//! sequentially from its entry to the parallelized loop's header; Phase B dispatches loop
+//! iterations across workers; Phase C resumes sequentially from the earliest iteration's
+//! exit. All three phases execute *lean* lowered bytecode (see [`crate::parallel_image`]):
+//! no fuel, no statistics, no per-op cost charging — this is the production dispatch loop,
+//! not the instrumented engine.
+//!
+//! Phase B's machinery, end to end:
+//!
+//! * the [`ParallelImage`] is lowered once per program (not per run) and shared immutably by
+//!   every worker; iteration code carries pre-resolved signal-lane indices and sentinel
+//!   back-edge/exit targets, so workers dispatch straight-line code;
+//! * workers come from the process-wide persistent [`WorkerPool`] — no OS threads are
+//!   spawned per run — and are only *activated* once iteration 0's prologue decides the
+//!   loop actually continues: a zero-trip (Phase A/C-only) loop never wakes a single helper
+//!   and runs purely sequentially on the calling thread;
+//! * iterations are *claimed when ready* from one shared counter: a worker takes iteration
+//!   `i` only once iteration `i-1`'s prologue has released the control lane and iteration
+//!   `i - window` has fully completed (the completion ring that makes the windowed
+//!   [`SignalLanes`] reuse safe). The claiming worker is usually the one that just released
+//!   control, so on a loaded machine consecutive iterations run back-to-back on one core
+//!   with no handoff, while idle workers sit in the adaptive spin→yield→park backoff;
+//! * cross-iteration dependences synchronize through cache-line-padded, windowed
+//!   [`SignalLanes`] instead of a dense false-sharing counter array;
+//! * allocations proved iteration-private are served from each worker's
+//!   [`PrivateArena`]; the words skipped in shared memory are re-reserved after the loop so
+//!   every shared address stays bitwise-identical to a sequential run.
 
-use crate::sharded::ShardedMemory;
+use crate::lanes::{PaddedCounter, SignalLanes};
+use crate::parallel_image::{
+    run_flat, run_iteration, FlatEnd, FlatError, IterEnd, IterError, IterSync, LocalTier,
+    LoopImage, ParallelImage, SharedTier, Tier,
+};
+use crate::pool::{AdaptiveWait, Sleepers, WaitProfile, WorkerPool};
+use crate::sharded::{PrivateArena, ShardedMemory};
 use helix_core::TransformedProgram;
-use helix_ir::exec::{BlockOutcome, ImageEvaluator, NullImageObserver};
-use helix_ir::interp::{Context, ExecError};
-use helix_ir::{BlockId, DepId, ExecImage, Value};
+use helix_ir::interp::ExecError;
+use helix_ir::{DepId, ExecImage, Value};
 use parking_lot::Mutex;
-use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 
 /// Default safety cap on the number of loop iterations dispatched.
 pub const DEFAULT_MAX_ITERATIONS: u64 = 10_000_000;
 
-/// Default number of yield-spins a `Wait` performs before declaring deadlock.
+/// Default deadlock budget of a blocked `Wait`, in yield-equivalent backoff units.
 pub const DEFAULT_SPIN_BUDGET: u64 = 200_000_000;
 
 /// Errors raised by the parallel executor.
@@ -29,16 +53,26 @@ pub enum RuntimeError {
     /// The underlying engine faulted.
     Exec(ExecError),
     /// The executor gave up waiting for a signal (likely a missing `Signal` on some path).
+    /// The report pinpoints the blocked `Wait` in the lowered iteration bytecode: its owning
+    /// sequential segment and the segment's flat pc range, so shrunk fuzz repros localize
+    /// without re-deriving any analysis.
     Deadlock {
         /// The dependence being waited for.
         dep: DepId,
         /// The iteration that was waiting.
         iteration: u64,
-        /// Index of the signal counter slot the dependence maps to.
-        signal_index: usize,
-        /// The last signal counter value observed before giving up (the waiter needed it to
+        /// Index of the signal lane the dependence maps to.
+        lane: usize,
+        /// The last lane counter value observed before giving up (the waiter needed it to
         /// reach `iteration`).
         last_observed: u64,
+        /// Index (in the plan's segment list) of the sequential segment that owns the
+        /// blocked `Wait`.
+        segment: usize,
+        /// pc of the blocked `Wait` in the iteration bytecode ([`LoopImage::code`]).
+        wait_pc: u32,
+        /// The owning segment's `[first, last]` pc range in the iteration bytecode.
+        segment_pc_range: (u32, u32),
     },
     /// The loop never terminated within the iteration budget.
     IterationBudgetExceeded,
@@ -51,13 +85,18 @@ impl std::fmt::Display for RuntimeError {
             RuntimeError::Deadlock {
                 dep,
                 iteration,
-                signal_index,
+                lane,
                 last_observed,
+                segment,
+                wait_pc,
+                segment_pc_range,
             } => {
                 write!(
                     f,
-                    "deadlock waiting for {dep} in iteration {iteration}: signal slot \
-                     {signal_index} last observed at {last_observed}, needed {iteration}"
+                    "deadlock waiting for {dep} in iteration {iteration}: signal lane {lane} \
+                     last observed at {last_observed}, needed {iteration} (segment {segment}, \
+                     wait at pc {wait_pc}, segment pc range {}..={})",
+                    segment_pc_range.0, segment_pc_range.1
                 )
             }
             RuntimeError::IterationBudgetExceeded => write!(f, "iteration budget exceeded"),
@@ -73,6 +112,15 @@ impl From<ExecError> for RuntimeError {
     }
 }
 
+impl From<FlatError> for RuntimeError {
+    fn from(e: FlatError) -> Self {
+        match e {
+            FlatError::Exec(e) => RuntimeError::Exec(e),
+            FlatError::BudgetExceeded => RuntimeError::IterationBudgetExceeded,
+        }
+    }
+}
+
 /// How the parallelized loop ended.
 enum LoopExit {
     /// Control left the loop through an exit edge: resume Phase C at `block` with `regs`.
@@ -81,142 +129,463 @@ enum LoopExit {
     Returned(Option<Value>),
 }
 
-/// Shared synchronization state: one counter per dependence plus the control counter gating
-/// prologue execution, and the exit bookkeeping.
-struct SyncState {
-    signals: Vec<AtomicU64>,
-    control: AtomicU64,
-    /// Lowest iteration index that took a loop exit (u64::MAX while the loop is running).
-    exited_at: AtomicU64,
+/// The shared state of one Phase B: lanes, ordering counters, exit bookkeeping.
+struct RunShared<'a> {
+    image: &'a ExecImage,
+    loop_image: &'a LoopImage,
+    /// Padded signal lanes, one ring row per synchronized dependence.
+    lanes: SignalLanes,
+    /// The park pad of lane (`Wait`) waiters: signal publication wakes it.
+    sleepers: Sleepers,
+    /// The park pad of idle claimers and stall-watching helpers: woken on exit/error, on
+    /// per-iteration progress only under a dedicated-hardware profile.
+    claim_sleepers: Sleepers,
+    /// Highest iteration whose prologue predecessor chain is complete (iteration `i` may
+    /// start once `control >= i`).
+    control: PaddedCounter,
+    /// Next unclaimed iteration.
+    next_claim: PaddedCounter,
+    /// Lowest iteration that took a loop exit (`u64::MAX` while the loop runs).
+    exited_at: PaddedCounter,
+    /// Completion ring: slot `i % window` holds `i + 1` once iteration `i` fully completed.
+    /// Gates claiming of iteration `i + window`, bounding lane-ring reuse.
+    done_ring: Box<[PaddedCounter]>,
+    /// In-flight window size (power of two, matches the lanes' ring width).
+    window: u64,
     /// The exit taken by the *earliest* exiting iteration (sequential semantics pick the
     /// first iteration that leaves the loop, not the first worker to reach an exit).
     exit_state: Mutex<Option<(u64, LoopExit)>>,
+    /// The earliest-iteration worker error, if any.
+    error: Mutex<Option<(u64, RuntimeError)>>,
+    /// Register file at loop entry; every iteration starts from this snapshot.
+    snapshot: Vec<Value>,
+    /// Words served from private arenas, re-reserved in shared memory after the loop.
+    private_words: AtomicU64,
+    max_iterations: u64,
+    spin_budget: u64,
+    /// Solo-mode heartbeat: the primary worker stores its iteration counter here once per
+    /// iteration while the claim protocol is unpublished, so stall-watching helpers can tell
+    /// progress from a stall without the primary paying any claim atomics.
+    progress: PaddedCounter,
+    /// Helpers wanting to join while the protocol is unpublished bump this; the primary
+    /// checks it once per iteration boundary.
+    join_requests: PaddedCounter,
+    /// 0 while the primary runs the solo fast path; `u64::MAX` once the claim protocol
+    /// (control / next_claim / completion ring) is published and every worker may race.
+    published: PaddedCounter,
+    /// Backoff shape of this run's wait sites (topology-dependent).
+    profile: WaitProfile,
+    /// Send wake-ups on per-iteration progress (claim availability)? Worth it only when
+    /// waiters spin on dedicated hardware threads; on an oversubscribed machine parked
+    /// helpers are left to their timed parks so they stop stealing the active worker's CPU.
+    wake_on_progress: bool,
 }
 
-impl SyncState {
-    fn new(num_deps: usize) -> Self {
+impl<'a> RunShared<'a> {
+    fn new(
+        image: &'a ExecImage,
+        loop_image: &'a LoopImage,
+        snapshot: Vec<Value>,
+        threads: usize,
+        max_iterations: u64,
+        spin_budget: u64,
+        profile: WaitProfile,
+    ) -> Self {
+        let window = (threads * 2).next_power_of_two().max(8);
         Self {
-            signals: (0..num_deps.max(1)).map(|_| AtomicU64::new(0)).collect(),
-            control: AtomicU64::new(0),
-            exited_at: AtomicU64::new(u64::MAX),
+            image,
+            loop_image,
+            lanes: SignalLanes::new(loop_image.num_lanes(), window),
+            sleepers: Sleepers::new(),
+            claim_sleepers: Sleepers::new(),
+            control: PaddedCounter::new(),
+            next_claim: PaddedCounter::new(),
+            exited_at: PaddedCounter(AtomicU64::new(u64::MAX)),
+            done_ring: (0..window).map(|_| PaddedCounter::new()).collect(),
+            window: window as u64,
             exit_state: Mutex::new(None),
+            error: Mutex::new(None),
+            snapshot,
+            private_words: AtomicU64::new(0),
+            max_iterations,
+            spin_budget,
+            progress: PaddedCounter::new(),
+            join_requests: PaddedCounter::new(),
+            // With dedicated hardware the claim protocol is public from the start; on an
+            // oversubscribed machine the primary begins in the solo fast path.
+            published: PaddedCounter(AtomicU64::new(if profile.wakes_on_progress() {
+                u64::MAX
+            } else {
+                0
+            })),
+            profile,
+            wake_on_progress: profile.wakes_on_progress(),
         }
+    }
+
+    /// Publishes the claim protocol after a solo prefix of `done` iterations: completion
+    /// ring for the last window, control and claim frontiers, then the `published` flag
+    /// (release order — joiners acquire the flag before touching the rest).
+    fn publish_protocol(&self, done: u64) {
+        let mask = self.window - 1;
+        for k in done.saturating_sub(self.window)..done {
+            self.done_ring[(k & mask) as usize]
+                .0
+                .store(k + 1, Ordering::Release);
+        }
+        self.control.0.store(done, Ordering::Release);
+        self.next_claim.0.store(done, Ordering::Release);
+        self.published.0.store(u64::MAX, Ordering::Release);
+        self.claim_sleepers.wake_all();
     }
 
     /// Records `exit` for `iteration`, keeping the lowest-iteration exit seen so far.
     fn record_exit(&self, iteration: u64, exit: LoopExit) {
-        self.exited_at.fetch_min(iteration, Ordering::AcqRel);
+        self.exited_at.0.fetch_min(iteration, Ordering::AcqRel);
         let mut slot = self.exit_state.lock();
         match &*slot {
             Some((recorded, _)) if *recorded <= iteration => {}
             _ => *slot = Some((iteration, exit)),
         }
+        drop(slot);
+        self.sleepers.wake_all();
+        self.claim_sleepers.wake_all();
     }
-}
 
-/// Details of a timed-out `Wait`, recorded by the context for precise diagnostics.
-#[derive(Clone, Copy, Debug)]
-struct DeadlockInfo {
-    dep: DepId,
-    iteration: u64,
-    signal_index: usize,
-    last_observed: u64,
-}
-
-/// The sharded shared-memory context each worker executes against.
-struct ShardedContext {
-    memory: Arc<ShardedMemory>,
-    sync: Arc<SyncState>,
-    iteration: u64,
-    spin_budget: u64,
-    /// Set when a `Wait` times out, so the worker can raise a structured deadlock report.
-    deadlock: Option<DeadlockInfo>,
-}
-
-impl ShardedContext {
-    fn new(memory: Arc<ShardedMemory>, sync: Arc<SyncState>, spin_budget: u64) -> Self {
-        Self {
-            memory,
-            sync,
-            iteration: 0,
-            spin_budget,
-            deadlock: None,
+    /// Records a worker error, keeping the earliest-iteration one.
+    fn record_error(&self, iteration: u64, error: RuntimeError) {
+        self.exited_at.0.fetch_min(iteration, Ordering::AcqRel);
+        let mut slot = self.error.lock();
+        match &*slot {
+            Some((recorded, _)) if *recorded <= iteration => {}
+            _ => *slot = Some((iteration, error)),
         }
+        drop(slot);
+        self.sleepers.wake_all();
+        self.claim_sleepers.wake_all();
+    }
+
+    /// Converts an iteration-runner error into the precise runtime error.
+    fn convert_error(&self, iteration: u64, e: IterError) -> RuntimeError {
+        convert_iter_error(self.loop_image, iteration, e)
     }
 }
 
-impl Context for ShardedContext {
-    fn load(&mut self, addr: i64) -> Result<Value, ExecError> {
-        Ok(self.memory.load(addr)?)
-    }
-
-    fn store(&mut self, addr: i64, value: Value) -> Result<(), ExecError> {
-        Ok(self.memory.store(addr, value)?)
-    }
-
-    fn alloc(&mut self, words: usize) -> Result<i64, ExecError> {
-        Ok(self.memory.alloc(words)?)
-    }
-
-    fn wait(&mut self, dep: DepId) -> Result<u64, ExecError> {
-        if self.iteration == 0 {
-            return Ok(0);
-        }
-        let signal_index = dep.index() % self.sync.signals.len();
-        let slot = &self.sync.signals[signal_index];
-        let mut spins = 0u64;
-        loop {
-            let observed = slot.load(Ordering::Acquire);
-            if observed >= self.iteration {
-                return Ok(0);
-            }
-            std::thread::yield_now();
-            spins += 1;
-            if spins > self.spin_budget {
-                self.deadlock = Some(DeadlockInfo {
-                    dep,
-                    iteration: self.iteration,
-                    signal_index,
-                    last_observed: observed,
-                });
-                return Err(ExecError::Synchronization(format!(
-                    "timed out waiting for {dep} in iteration {} (signal slot {signal_index} \
-                     stuck at {observed})",
-                    self.iteration
-                )));
+/// Converts an iteration-runner error into the precise runtime error, resolving lane
+/// indices through the image's side tables (the owning segment and its flat pc range).
+fn convert_iter_error(loop_image: &LoopImage, iteration: u64, e: IterError) -> RuntimeError {
+    match e {
+        IterError::Exec(e) => RuntimeError::Exec(e),
+        IterError::Deadlock { lane, pc, observed } => {
+            let info = &loop_image.lanes[lane as usize];
+            RuntimeError::Deadlock {
+                dep: info.dep,
+                iteration,
+                lane: lane as usize,
+                last_observed: observed,
+                segment: info.segment,
+                wait_pc: pc,
+                segment_pc_range: info.pc_range(),
             }
         }
     }
+}
 
-    fn signal(&mut self, dep: DepId) -> Result<(), ExecError> {
-        let slot = &self.sync.signals[dep.index() % self.sync.signals.len()];
-        slot.fetch_max(self.iteration + 1, Ordering::Release);
-        Ok(())
+/// Resets a worker's register file for `iteration` — restore-set registers back to the
+/// loop-entry snapshot, privatized induction variables recomputed — and starts a fresh
+/// arena. Shared by every Phase B flavour (claimed, solo, single-thread).
+fn prepare_iteration<T: Tier>(
+    loop_image: &LoopImage,
+    snapshot: &[Value],
+    regs: &mut [Value],
+    iteration: u64,
+    tier: &mut T,
+) {
+    for &r in &loop_image.restore_regs {
+        regs[r as usize] = snapshot[r as usize];
+    }
+    for (reg, step) in &loop_image.induction_vars {
+        let r = *reg as usize;
+        if r < regs.len() {
+            let base = snapshot[r].as_int();
+            regs[r] = Value::Int(base + *step * iteration as i64);
+        }
+    }
+    tier.reset_arena();
+}
+
+/// One worker's Phase B: claim ready iterations and run them until the loop ends.
+/// `on_first_control` fires the first time any iteration of *this worker* releases control
+/// (the executor's pool-activation hook; helpers pass a no-op).
+///
+/// On an oversubscribed machine a `helper` starts in *stall-watch* mode: it parks and only
+/// joins the claim race once the claim frontier stops advancing between two parks. A lone
+/// hardware thread is best used by letting the active worker run consecutive iterations
+/// back-to-back; a helper that eagerly stole the next iteration would turn every iteration
+/// boundary into a context switch.
+fn phase_b_worker<T: Tier>(
+    shared: &RunShared<'_>,
+    tier: &mut T,
+    helper: bool,
+    on_first_control: &mut dyn FnMut(),
+) {
+    let sync = IterSync {
+        lanes: &shared.lanes,
+        sleepers: &shared.sleepers,
+        exited_at: &shared.exited_at.0,
+        spin_budget: shared.spin_budget,
+        profile: shared.profile,
+    };
+    let mask = shared.window - 1;
+    let mut regs: Vec<Value> = shared.snapshot.clone();
+    let mut idle = AdaptiveWait::with_profile(&shared.claim_sleepers, shared.profile);
+    let mut watching = helper && !shared.profile.wakes_on_progress();
+    let mut watched_frontier = u64::MAX;
+    loop {
+        let i = shared.next_claim.0.load(Ordering::Acquire);
+        let exited = shared.exited_at.0.load(Ordering::Acquire);
+        if exited <= i || (exited != u64::MAX && shared.published.0.load(Ordering::Acquire) == 0) {
+            // Past the exit — or the loop ended while the primary still ran solo, in which
+            // case there is nothing a helper could ever claim.
+            return;
+        }
+        if watching {
+            // The progress indicator sums the solo heartbeat and the public claim
+            // frontier: monotone, and advancing whenever any worker advances.
+            let indicator = i.wrapping_add(shared.progress.0.load(Ordering::Relaxed));
+            if indicator == watched_frontier {
+                // No progress across a whole park: the active workers are stuck or
+                // saturated — join in.
+                watching = false;
+                if shared.published.0.load(Ordering::Acquire) == 0 {
+                    // The primary is still in the solo fast path: request the protocol
+                    // and wait for it to be published (or for the loop to end).
+                    shared.join_requests.0.fetch_add(1, Ordering::SeqCst);
+                    while shared.published.0.load(Ordering::Acquire) == 0 {
+                        if shared.exited_at.0.load(Ordering::Acquire) != u64::MAX {
+                            return;
+                        }
+                        shared
+                            .claim_sleepers
+                            .sleep(std::time::Duration::from_millis(1));
+                    }
+                }
+                continue;
+            }
+            watched_frontier = indicator;
+            shared
+                .claim_sleepers
+                .sleep(std::time::Duration::from_millis(2));
+            continue;
+        }
+        if i > shared.max_iterations {
+            shared.record_error(i, RuntimeError::IterationBudgetExceeded);
+            return;
+        }
+        let ready = shared.control.0.load(Ordering::Acquire) >= i
+            && shared.done_ring[(i & mask) as usize]
+                .0
+                .load(Ordering::Acquire)
+                >= (i + 1).saturating_sub(shared.window);
+        if !ready {
+            idle.wait();
+            continue;
+        }
+        if shared
+            .next_claim
+            .0
+            .compare_exchange(i, i + 1, Ordering::AcqRel, Ordering::Relaxed)
+            .is_err()
+        {
+            continue;
+        }
+        idle.reset();
+
+        prepare_iteration(shared.loop_image, &shared.snapshot, &mut regs, i, tier);
+
+        let mut released = false;
+        let mut on_control = |iteration: u64| {
+            // A plain release store suffices: each iteration releases control exactly once,
+            // and iteration i+1's releaser claimed only after observing iteration i's
+            // release, so writes to the counter are totally ordered and monotone.
+            shared.control.0.store(iteration + 1, Ordering::Release);
+            if shared.wake_on_progress {
+                shared.claim_sleepers.wake_all();
+            }
+            on_first_control();
+        };
+        let mut control_hook = || {
+            if !released {
+                released = true;
+                on_control(i);
+            }
+        };
+        match run_iteration(
+            shared.image,
+            shared.loop_image,
+            i,
+            &mut regs,
+            tier,
+            &sync,
+            &mut control_hook,
+        ) {
+            Ok(IterEnd::Completed) => {
+                if !released {
+                    // The iteration never entered the body (prologue-only path): the back
+                    // edge itself proves the next prologue may start.
+                    on_control(i);
+                }
+                // Counting this iteration's private words is exact: exit edges originate
+                // only in prologues (Step 1), and control for iteration i+1 is released
+                // only after iteration i's prologue decided to continue — so a completed
+                // iteration is never speculative work past the loop's end (and `Returned`
+                // exits skip the reserve entirely).
+                shared
+                    .private_words
+                    .fetch_add(tier.drain_private_words(), Ordering::Relaxed);
+                shared.done_ring[(i & mask) as usize]
+                    .0
+                    .store(i + 1, Ordering::Release);
+                if shared.wake_on_progress {
+                    shared.claim_sleepers.wake_all();
+                }
+            }
+            Ok(IterEnd::Exit { block }) => {
+                shared
+                    .private_words
+                    .fetch_add(tier.drain_private_words(), Ordering::Relaxed);
+                shared.record_exit(
+                    i,
+                    LoopExit::Edge {
+                        block,
+                        regs: regs.clone(),
+                    },
+                );
+                return;
+            }
+            Ok(IterEnd::Returned(v)) => {
+                shared
+                    .private_words
+                    .fetch_add(tier.drain_private_words(), Ordering::Relaxed);
+                shared.record_exit(i, LoopExit::Returned(v));
+                return;
+            }
+            Ok(IterEnd::Cancelled) => {
+                // An earlier iteration exited while this one was blocked; its work is moot.
+                return;
+            }
+            Err(e) => {
+                let err = shared.convert_error(i, e);
+                shared.record_error(i, err);
+                return;
+            }
+        }
     }
 }
 
-/// Converts a worker-side engine error into the most precise runtime error available.
-fn worker_error(e: ExecError, ctx: &mut ShardedContext) -> RuntimeError {
-    match ctx.deadlock.take() {
-        Some(info) => RuntimeError::Deadlock {
-            dep: info.dep,
-            iteration: info.iteration,
-            signal_index: info.signal_index,
-            last_observed: info.last_observed,
-        },
-        None => RuntimeError::Exec(e),
+/// The primary worker's solo fast path: while no helper has joined, iterations run
+/// in order with *no* claim/control/completion atomics — just the lane counters (kept so a
+/// missing `Signal` still deadlocks detectably and so late joiners inherit a consistent
+/// ring) and one relaxed heartbeat store per iteration. Returns `Some(done)` with the
+/// number of completed iterations when a helper requested the protocol (the caller
+/// publishes happened already and continues in the shared claim loop), `None` when the
+/// loop ended solo.
+fn phase_b_solo<T: Tier>(
+    shared: &RunShared<'_>,
+    tier: &mut T,
+    on_first_control: &mut dyn FnMut(),
+) -> Option<u64> {
+    let sync = IterSync {
+        lanes: &shared.lanes,
+        sleepers: &shared.sleepers,
+        exited_at: &shared.exited_at.0,
+        spin_budget: shared.spin_budget,
+        profile: shared.profile,
+    };
+    let mut regs: Vec<Value> = shared.snapshot.clone();
+    let mut iteration = 0u64;
+    loop {
+        if iteration > shared.max_iterations {
+            shared.record_error(iteration, RuntimeError::IterationBudgetExceeded);
+            return None;
+        }
+        if shared.join_requests.0.load(Ordering::Relaxed) != 0 {
+            shared
+                .private_words
+                .fetch_add(tier.drain_private_words(), Ordering::Relaxed);
+            // Other workers are about to touch memory: re-establish locking before the
+            // protocol (and with it this thread's writes) is published to them.
+            tier.set_exclusive(false);
+            shared.publish_protocol(iteration);
+            return Some(iteration);
+        }
+        prepare_iteration(
+            shared.loop_image,
+            &shared.snapshot,
+            &mut regs,
+            iteration,
+            tier,
+        );
+        let mut control_hook = || on_first_control();
+        match run_iteration(
+            shared.image,
+            shared.loop_image,
+            iteration,
+            &mut regs,
+            tier,
+            &sync,
+            &mut control_hook,
+        ) {
+            Ok(IterEnd::Completed) => {
+                shared.progress.0.store(iteration + 1, Ordering::Relaxed);
+                iteration += 1;
+            }
+            Ok(IterEnd::Exit { block }) => {
+                shared
+                    .private_words
+                    .fetch_add(tier.drain_private_words(), Ordering::Relaxed);
+                shared.record_exit(
+                    iteration,
+                    LoopExit::Edge {
+                        block,
+                        regs: regs.clone(),
+                    },
+                );
+                return None;
+            }
+            Ok(IterEnd::Returned(v)) => {
+                shared
+                    .private_words
+                    .fetch_add(tier.drain_private_words(), Ordering::Relaxed);
+                shared.record_exit(iteration, LoopExit::Returned(v));
+                return None;
+            }
+            Ok(IterEnd::Cancelled) => {
+                unreachable!("no other worker runs iterations before the protocol publishes")
+            }
+            Err(e) => {
+                let err = shared.convert_error(iteration, e);
+                shared.record_error(iteration, err);
+                return None;
+            }
+        }
     }
 }
 
 /// Executes a HELIX-transformed program with real worker threads.
 #[derive(Clone, Copy, Debug)]
 pub struct ParallelExecutor {
-    /// Number of worker threads ("cores"). The main thread acts as one of them.
+    /// Number of worker threads ("cores"). The calling thread acts as one of them; helpers
+    /// come from the persistent [`WorkerPool`].
     pub threads: usize,
     /// Safety cap on the number of loop iterations dispatched.
     pub max_iterations: u64,
-    /// How many yield-spins a `Wait` performs before the run is declared deadlocked.
+    /// Deadlock budget of a blocked `Wait`, in yield-equivalent backoff units.
     pub spin_budget: u64,
+    /// Overrides the topology-derived wait profile (tests and the fuzzing oracle force
+    /// [`WaitProfile::DEDICATED`] so the full multi-worker claim protocol is exercised
+    /// even on machines with fewer hardware threads than workers).
+    pub wait_profile: Option<WaitProfile>,
 }
 
 impl Default for ParallelExecutor {
@@ -225,6 +594,7 @@ impl Default for ParallelExecutor {
             threads: 4,
             max_iterations: DEFAULT_MAX_ITERATIONS,
             spin_budget: DEFAULT_SPIN_BUDGET,
+            wait_profile: None,
         }
     }
 }
@@ -245,6 +615,7 @@ impl ParallelExecutor {
             threads: threads.max(1),
             max_iterations: config.max_loop_iterations.max(1),
             spin_budget: config.spin_budget.max(1),
+            wait_profile: None,
         }
     }
 
@@ -260,9 +631,17 @@ impl ParallelExecutor {
         self
     }
 
+    /// Overrides the wait profile (see [`ParallelExecutor::wait_profile`]).
+    pub fn with_wait_profile(mut self, profile: WaitProfile) -> Self {
+        self.wait_profile = Some(profile);
+        self
+    }
+
     /// Runs the parallel clone of `program` from its entry with `args`, executing the
     /// parallelized loop's iterations across worker threads, and returns the function's
-    /// return value.
+    /// return value. Lowers the program on every call; callers executing the same program
+    /// repeatedly should lower once with [`ParallelImage::lower`] and use
+    /// [`ParallelExecutor::run_parallel`].
     ///
     /// # Errors
     ///
@@ -273,12 +652,13 @@ impl ParallelExecutor {
         program: &TransformedProgram,
         args: &[Value],
     ) -> Result<Option<Value>, RuntimeError> {
-        let image = ExecImage::lower(&program.module);
-        self.run_image(&image, program, args)
+        let pimg = ParallelImage::lower(program);
+        self.run_parallel(&pimg, args)
     }
 
-    /// Same as [`ParallelExecutor::run`] with a pre-lowered image of `program.module`
-    /// (callers that execute the same program repeatedly lower once and reuse the image).
+    /// Same as [`ParallelExecutor::run`] with a pre-lowered whole-module image of
+    /// `program.module` (the loop portion is lowered on each call; prefer
+    /// [`ParallelExecutor::run_parallel`] for fully amortized lowering).
     ///
     /// # Errors
     ///
@@ -290,177 +670,288 @@ impl ParallelExecutor {
         program: &TransformedProgram,
         args: &[Value],
     ) -> Result<Option<Value>, RuntimeError> {
-        let func = program.parallel_func;
-        let fi = image.func(func);
-        let plan = &program.plan;
-        let header: u32 = plan.header.0;
-        let loop_blocks: BTreeSet<u32> = plan
-            .prologue_blocks
-            .iter()
-            .chain(plan.body_blocks.iter())
-            .map(|b| b.0)
-            .collect();
-        let num_deps = plan
-            .segments
-            .iter()
-            .map(|s| s.dep.index() + 1)
-            .max()
-            .unwrap_or(1);
+        let loop_image = LoopImage::build(image, program);
+        self.run_lowered(image, &loop_image, args)
+    }
 
-        let memory = Arc::new(ShardedMemory::from_memory(&image.initial_memory));
-        let sync = Arc::new(SyncState::new(num_deps));
-        let mut ctx = ShardedContext::new(memory.clone(), sync.clone(), self.spin_budget);
-        let mut evaluator = ImageEvaluator::new(image);
-        evaluator.set_fuel(u64::MAX);
+    /// Runs a pre-lowered [`ParallelImage`]: the zero-per-run-lowering fast path.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] if the engine faults, a signal never arrives, or the loop
+    /// exceeds the iteration budget.
+    pub fn run_parallel(
+        &self,
+        pimg: &ParallelImage,
+        args: &[Value],
+    ) -> Result<Option<Value>, RuntimeError> {
+        self.run_lowered(&pimg.exec, &pimg.loop_image, args)
+    }
 
-        // Phase A: sequential execution from the entry until the parallel loop's header.
+    fn run_lowered(
+        &self,
+        image: &ExecImage,
+        loop_image: &LoopImage,
+        args: &[Value],
+    ) -> Result<Option<Value>, RuntimeError> {
+        if self.threads == 1 {
+            self.run_single(image, loop_image, args)
+        } else {
+            self.run_pooled(image, loop_image, args)
+        }
+    }
+
+    /// Seeds the entry register file for Phase A.
+    fn entry_regs(image: &ExecImage, loop_image: &LoopImage, args: &[Value]) -> Vec<Value> {
+        let fi = image.func(loop_image.func);
         let mut regs = vec![Value::default(); fi.num_regs.max(args.len())];
         for (slot, a) in regs.iter_mut().zip(args.iter()).take(fi.num_params) {
             *slot = *a;
         }
-        let mut block = fi.entry_block;
-        let mut guard = 0u64;
-        loop {
-            if block == header {
-                break;
-            }
-            guard += 1;
-            if guard > self.max_iterations {
+        regs
+    }
+
+    /// Single-worker execution: the whole run happens on the calling thread against plain
+    /// (unstriped) memory — no locks, no atomic contention, no pool. Lane counters are still
+    /// honoured so a missing `Signal` deadlocks (and is reported) exactly as with more
+    /// threads.
+    fn run_single(
+        &self,
+        image: &ExecImage,
+        loop_image: &LoopImage,
+        args: &[Value],
+    ) -> Result<Option<Value>, RuntimeError> {
+        let fi = image.func(loop_image.func);
+        let mut tier = LocalTier {
+            memory: image.initial_memory.fresh_copy(),
+            arena: PrivateArena::new(),
+        };
+        let mut regs = Self::entry_regs(image, loop_image, args);
+        match run_flat(
+            image,
+            loop_image.func,
+            fi.entry_block,
+            Some(loop_image.header),
+            &mut regs,
+            &mut tier,
+            self.max_iterations,
+        )? {
+            FlatEnd::Returned(v) => return Ok(v), // the loop was never reached
+            FlatEnd::ReachedStop => {}
+        }
+
+        // Phase B, single worker: iterations run in order on the calling thread with no
+        // claim counters, no completion ring and no parks. Lane counters are still
+        // maintained so a missing `Signal` is detected — instantly, because with no other
+        // worker an unsatisfied `Wait` can never become satisfied.
+        let lanes = SignalLanes::new(loop_image.num_lanes(), 1);
+        let sleepers = Sleepers::new();
+        let exited_at = AtomicU64::new(u64::MAX);
+        let sync = IterSync {
+            lanes: &lanes,
+            sleepers: &sleepers,
+            exited_at: &exited_at,
+            spin_budget: 0,
+            profile: WaitProfile::DEDICATED,
+        };
+        let snapshot = regs;
+        let mut iter_regs = snapshot.clone();
+        let mut iteration = 0u64;
+        let exit = loop {
+            if iteration > self.max_iterations {
                 return Err(RuntimeError::IterationBudgetExceeded);
             }
-            let outcome = evaluator
-                .exec_block(func, block, &mut regs, &mut ctx, &mut NullImageObserver)
-                .map_err(|e| worker_error(e, &mut ctx))?;
-            match outcome {
-                BlockOutcome::Jump(next) => block = next,
-                BlockOutcome::Return(v) => return Ok(v), // the loop was never reached
-            }
-        }
-
-        // Phase B: parallel execution of the loop.
-        let snapshot = regs.clone();
-        let next_iteration = AtomicU64::new(0);
-        let max_iterations = self.max_iterations;
-        let spin_budget = self.spin_budget;
-        let worker_err: Mutex<Option<RuntimeError>> = Mutex::new(None);
-        std::thread::scope(|scope| {
-            for _ in 0..self.threads {
-                scope.spawn(|| {
-                    let mut worker_ctx =
-                        ShardedContext::new(memory.clone(), sync.clone(), spin_budget);
-                    let mut worker_eval = ImageEvaluator::new(image);
-                    worker_eval.set_fuel(u64::MAX);
-                    loop {
-                        let iteration = next_iteration.fetch_add(1, Ordering::SeqCst);
-                        if iteration > max_iterations {
-                            *worker_err.lock() = Some(RuntimeError::IterationBudgetExceeded);
-                            return;
-                        }
-                        // Wait for permission: the previous iteration's prologue must have
-                        // completed and decided to continue.
-                        loop {
-                            if sync.exited_at.load(Ordering::Acquire) <= iteration {
-                                return; // the loop ended before this iteration
-                            }
-                            if sync.control.load(Ordering::Acquire) >= iteration {
-                                break;
-                            }
-                            std::thread::yield_now();
-                        }
-                        if sync.exited_at.load(Ordering::Acquire) <= iteration {
-                            return;
-                        }
-                        worker_ctx.iteration = iteration;
-                        let mut iter_regs = snapshot.clone();
-                        // Privatize basic induction variables: each core recomputes them from
-                        // the iteration number and their value at loop entry (Step 2).
-                        for (var, step) in &plan.induction_vars {
-                            let base = snapshot
-                                .get(var.index())
-                                .copied()
-                                .unwrap_or_default()
-                                .as_int();
-                            if var.index() < iter_regs.len() {
-                                iter_regs[var.index()] =
-                                    Value::Int(base + *step * iteration as i64);
-                            }
-                        }
-                        let mut current = header;
-                        let mut prologue_done = false;
-                        loop {
-                            if !prologue_done && plan.body_blocks.contains(&BlockId::new(current)) {
-                                // Leaving the prologue: release the next iteration.
-                                sync.control.fetch_max(iteration + 1, Ordering::Release);
-                                prologue_done = true;
-                            }
-                            match worker_eval.exec_block(
-                                func,
-                                current,
-                                &mut iter_regs,
-                                &mut worker_ctx,
-                                &mut NullImageObserver,
-                            ) {
-                                Ok(BlockOutcome::Jump(next)) => {
-                                    if next == header {
-                                        // Back edge: the iteration is complete.
-                                        if !prologue_done {
-                                            sync.control
-                                                .fetch_max(iteration + 1, Ordering::Release);
-                                        }
-                                        break;
-                                    }
-                                    if !loop_blocks.contains(&next) {
-                                        // Loop exit: record it and stop dispatching.
-                                        sync.record_exit(
-                                            iteration,
-                                            LoopExit::Edge {
-                                                block: next,
-                                                regs: iter_regs.clone(),
-                                            },
-                                        );
-                                        return;
-                                    }
-                                    current = next;
-                                }
-                                Ok(BlockOutcome::Return(v)) => {
-                                    // A return inside the loop ends the whole function.
-                                    sync.record_exit(iteration, LoopExit::Returned(v));
-                                    return;
-                                }
-                                Err(e) => {
-                                    sync.exited_at.fetch_min(iteration, Ordering::AcqRel);
-                                    *worker_err.lock() = Some(worker_error(e, &mut worker_ctx));
-                                    return;
-                                }
-                            }
-                        }
+            prepare_iteration(loop_image, &snapshot, &mut iter_regs, iteration, &mut tier);
+            match run_iteration(
+                image,
+                loop_image,
+                iteration,
+                &mut iter_regs,
+                &mut tier,
+                &sync,
+                &mut || {},
+            ) {
+                Ok(IterEnd::Completed) => iteration += 1,
+                Ok(IterEnd::Exit { block }) => {
+                    break LoopExit::Edge {
+                        block,
+                        regs: iter_regs,
                     }
-                });
+                }
+                Ok(IterEnd::Returned(v)) => break LoopExit::Returned(v),
+                Ok(IterEnd::Cancelled) => {
+                    unreachable!("a single worker never observes a foreign exit")
+                }
+                Err(e) => {
+                    return Err(convert_iter_error(loop_image, iteration, e));
+                }
             }
-        });
-        if let Some(err) = worker_err.into_inner() {
-            return Err(err);
+        };
+        let (block, mut regs) = match exit {
+            LoopExit::Edge { block, regs } => (block, regs),
+            LoopExit::Returned(v) => return Ok(v),
+        };
+        let skipped = tier.drain_private_words();
+        if skipped > 0 {
+            tier.memory
+                .alloc(skipped as usize)
+                .map_err(ExecError::from)?;
+        }
+        match run_flat(
+            image,
+            loop_image.func,
+            block,
+            None,
+            &mut regs,
+            &mut tier,
+            self.max_iterations,
+        )? {
+            FlatEnd::Returned(v) => Ok(v),
+            FlatEnd::ReachedStop => unreachable!("phase C has no stop block"),
+        }
+    }
+
+    /// Multi-worker execution over striped shared memory, with helpers activated lazily
+    /// from the persistent pool.
+    fn run_pooled(
+        &self,
+        image: &ExecImage,
+        loop_image: &LoopImage,
+        args: &[Value],
+    ) -> Result<Option<Value>, RuntimeError> {
+        self.run_pooled_on(WorkerPool::global(), image, loop_image, args)
+    }
+
+    /// [`ParallelExecutor::run_pooled`] against an explicit pool (tests use a private pool
+    /// to observe activation behaviour).
+    pub(crate) fn run_pooled_on(
+        &self,
+        pool: &WorkerPool,
+        image: &ExecImage,
+        loop_image: &LoopImage,
+        args: &[Value],
+    ) -> Result<Option<Value>, RuntimeError> {
+        let fi = image.func(loop_image.func);
+        let memory = ShardedMemory::from_memory(&image.initial_memory);
+        let mut tier = SharedTier {
+            shared: &memory,
+            arena: PrivateArena::new(),
+            // Phase A (and a solo Phase B prefix) run before any helper can touch memory.
+            exclusive: true,
+        };
+        let mut regs = Self::entry_regs(image, loop_image, args);
+        match run_flat(
+            image,
+            loop_image.func,
+            fi.entry_block,
+            Some(loop_image.header),
+            &mut regs,
+            &mut tier,
+            self.max_iterations,
+        )? {
+            FlatEnd::Returned(v) => return Ok(v), // the loop was never reached
+            FlatEnd::ReachedStop => {}
         }
 
-        // Phase C: sequential execution after the loop, from the earliest iteration's exit.
-        let (mut block, mut regs) = match sync.exit_state.lock().take() {
+        let profile = self
+            .wait_profile
+            .unwrap_or_else(|| WaitProfile::for_threads(self.threads));
+        let shared = RunShared::new(
+            image,
+            loop_image,
+            regs,
+            self.threads,
+            self.max_iterations,
+            self.spin_budget,
+            profile,
+        );
+        let helpers = self.threads - 1;
+        let job = |_worker: usize| {
+            let mut tier = SharedTier {
+                shared: &memory,
+                arena: PrivateArena::new(),
+                exclusive: false,
+            };
+            phase_b_worker(&shared, &mut tier, true, &mut || {});
+        };
+        {
+            // The calling thread is worker 0; helpers are activated the first time worker
+            // 0 releases control — a loop that exits from iteration 0's prologue never
+            // wakes them (the zero-iteration short-circuit).
+            let mut ticket = None;
+            let mut activate = || {
+                if ticket.is_none() && helpers > 0 {
+                    ticket = Some(pool.submit(helpers, &job));
+                }
+            };
+            // On an oversubscribed machine the primary starts in the solo fast path and
+            // switches to the shared claim loop only if a helper asks to join.
+            let solo_ended = if shared.published.0.load(Ordering::Acquire) == 0 {
+                phase_b_solo(&shared, &mut tier, &mut activate).is_none()
+            } else {
+                false
+            };
+            if !solo_ended {
+                // The claim protocol is public: helpers may be racing on shared memory.
+                tier.set_exclusive(false);
+                phase_b_worker(&shared, &mut tier, false, &mut activate);
+            }
+            if let Some(t) = ticket {
+                t.wait();
+            }
+            // Every helper has left the job (the ticket join is the barrier): this thread
+            // owns memory again for Phase C.
+            tier.set_exclusive(true);
+        }
+        self.finish(shared, &mut tier, |tier, words| {
+            tier.shared.reserve(words).map_err(ExecError::from)
+        })
+    }
+
+    /// Shared Phase B epilogue + Phase C: surface errors, re-reserve privately served
+    /// words, resume from the earliest exit.
+    fn finish<T: Tier>(
+        &self,
+        shared: RunShared<'_>,
+        tier: &mut T,
+        reserve: impl FnOnce(&mut T, usize) -> Result<(), ExecError>,
+    ) -> Result<Option<Value>, RuntimeError> {
+        let image = shared.image;
+        let loop_image = shared.loop_image;
+        // Sequential semantics pick whichever loop end comes first in *iteration* order: a
+        // fault in a speculative iteration past an already-recorded exit is work sequential
+        // execution never performs and must not mask the legitimate result. An error at or
+        // before the earliest exit is real (sequential execution reaches it first).
+        let error = shared.error.into_inner();
+        let exit = shared.exit_state.into_inner();
+        if let Some((err_iter, err)) = error {
+            let exit_iter = exit.as_ref().map_or(u64::MAX, |(i, _)| *i);
+            if err_iter <= exit_iter {
+                return Err(err);
+            }
+        }
+        let (block, mut regs) = match exit {
             Some((_, LoopExit::Edge { block, regs })) => (block, regs),
             Some((_, LoopExit::Returned(v))) => return Ok(v),
             None => return Err(RuntimeError::IterationBudgetExceeded),
         };
-        let mut guard = 0u64;
-        loop {
-            guard += 1;
-            if guard > self.max_iterations {
-                return Err(RuntimeError::IterationBudgetExceeded);
-            }
-            let outcome = evaluator
-                .exec_block(func, block, &mut regs, &mut ctx, &mut NullImageObserver)
-                .map_err(|e| worker_error(e, &mut ctx))?;
-            match outcome {
-                BlockOutcome::Jump(next) => block = next,
-                BlockOutcome::Return(v) => return Ok(v),
-            }
+        // Re-reserve the privately served allocations so Phase C's shared addresses match
+        // a sequential run of the loop.
+        let skipped = shared.private_words.load(Ordering::Relaxed);
+        if skipped > 0 {
+            reserve(tier, skipped as usize)?;
+        }
+        match run_flat(
+            image,
+            loop_image.func,
+            block,
+            None,
+            &mut regs,
+            tier,
+            self.max_iterations,
+        )? {
+            FlatEnd::Returned(v) => Ok(v),
+            FlatEnd::ReachedStop => unreachable!("phase C has no stop block"),
         }
     }
 }
@@ -557,20 +1048,20 @@ mod tests {
     fn repeated_runs_are_deterministic_despite_threading() {
         let (_module, _main, transformed) = build_accumulator(48);
         let executor = ParallelExecutor::new(4);
+        let pimg = ParallelImage::lower(&transformed);
+        let first = executor.run_parallel(&pimg, &[]).unwrap().unwrap().as_int();
+        for _ in 0..5 {
+            let again = executor.run_parallel(&pimg, &[]).unwrap().unwrap().as_int();
+            assert_eq!(again, first, "pool reuse must stay deterministic");
+        }
+        // The legacy pre-lowered-module entry point agrees.
         let image = ExecImage::lower(&transformed.module);
-        let first = executor
+        let legacy = executor
             .run_image(&image, &transformed, &[])
             .unwrap()
             .unwrap()
             .as_int();
-        for _ in 0..5 {
-            let again = executor
-                .run_image(&image, &transformed, &[])
-                .unwrap()
-                .unwrap()
-                .as_int();
-            assert_eq!(again, first);
-        }
+        assert_eq!(legacy, first);
     }
 
     #[test]
@@ -609,10 +1100,10 @@ mod tests {
     }
 
     #[test]
-    fn deadlock_reports_signal_slot_and_last_value() {
+    fn deadlock_reports_segment_and_pc_range() {
         // Build a transformed program whose plan demands a synchronized segment, then corrupt
         // the clone by deleting every Signal instruction: iteration 1's Wait can never be
-        // satisfied and must produce a precise deadlock report.
+        // satisfied and must produce a precise deadlock report localized to its segment.
         let (_module, _main, mut transformed) = build_accumulator(32);
         let func = transformed.parallel_func;
         let f = transformed.module.function_mut(func);
@@ -621,26 +1112,175 @@ mod tests {
                 .instrs
                 .retain(|i| !matches!(i, helix_ir::Instr::Signal { .. }));
         }
-        let executor = ParallelExecutor::new(2).with_spin_budget(2_000);
+        let executor = ParallelExecutor::new(2).with_spin_budget(50_000);
         match executor.run(&transformed, &[]) {
             Err(RuntimeError::Deadlock {
                 dep,
                 iteration,
-                signal_index,
+                lane,
                 last_observed,
+                segment,
+                wait_pc,
+                segment_pc_range,
             }) => {
                 assert!(iteration >= 1, "iteration 0 never waits");
                 assert!(last_observed < iteration);
+                assert!(segment < transformed.plan.segments.len());
+                assert_eq!(transformed.plan.segments[segment].dep, dep);
+                assert!(
+                    segment_pc_range.0 <= wait_pc && wait_pc <= segment_pc_range.1.max(wait_pc)
+                );
                 let msg = RuntimeError::Deadlock {
                     dep,
                     iteration,
-                    signal_index,
+                    lane,
                     last_observed,
+                    segment,
+                    wait_pc,
+                    segment_pc_range,
                 }
                 .to_string();
-                assert!(msg.contains("signal slot"), "diagnostic lacks slot: {msg}");
+                assert!(msg.contains("segment"), "diagnostic lacks segment: {msg}");
+                assert!(msg.contains("pc"), "diagnostic lacks pc info: {msg}");
             }
             other => panic!("expected Deadlock, got {other:?}"),
+        }
+    }
+
+    /// Builds a program whose loop trip count is the function's parameter, so the same
+    /// transformed program can be profiled with iterations and then run with zero.
+    fn build_param_trip() -> TransformedProgram {
+        let mut mb = ModuleBuilder::new("m");
+        let acc = mb.add_global("acc", 1);
+        let mut fb = FunctionBuilder::new("main", 1);
+        let n = fb.param(0);
+        let lh = fb.counted_loop(Operand::int(0), Operand::Var(n), 1);
+        let cur = fb.new_var();
+        fb.load(cur, Operand::Global(acc), 0);
+        let next = fb.binary_to_new(BinOp::Add, Operand::Var(cur), Operand::int(3));
+        fb.store(Operand::Global(acc), 0, Operand::Var(next));
+        fb.br(lh.latch);
+        fb.switch_to(lh.exit);
+        let out = fb.new_var();
+        fb.load(out, Operand::Global(acc), 0);
+        fb.ret(Some(Operand::Var(out)));
+        let main = mb.add_function(fb.finish());
+        let module = mb.finish();
+        let nesting = LoopNestingGraph::new(&module);
+        let profile = profile_program_image(&module, &nesting, main, &[Value::Int(16)]).unwrap();
+        let output = Helix::new(HelixConfig::i7_980x()).analyze(&module, &profile);
+        let plan = output.plans.values().next().expect("loop plan").clone();
+        transform::apply(&module, &plan)
+    }
+
+    #[test]
+    fn zero_trip_loops_never_wake_the_pool() {
+        let transformed = build_param_trip();
+        let pimg = ParallelImage::lower(&transformed);
+        let executor = ParallelExecutor::new(4);
+        let pool = WorkerPool::new();
+        // Zero iterations: Phase A runs into the header, iteration 0's prologue exits
+        // immediately, and no helper must ever be spawned or woken.
+        let got = executor
+            .run_pooled_on(&pool, &pimg.exec, &pimg.loop_image, &[Value::Int(0)])
+            .unwrap()
+            .unwrap()
+            .as_int();
+        assert_eq!(got, 0);
+        assert_eq!(
+            pool.spawned_helpers(),
+            0,
+            "a zero-iteration loop must short-circuit to sequential execution"
+        );
+        // With iterations to dispatch the same pool does get activated.
+        let got = executor
+            .run_pooled_on(&pool, &pimg.exec, &pimg.loop_image, &[Value::Int(12)])
+            .unwrap()
+            .unwrap()
+            .as_int();
+        assert_eq!(got, 36);
+        assert_eq!(pool.spawned_helpers(), 3);
+    }
+
+    #[test]
+    fn privatized_scratch_allocations_run_in_the_arena() {
+        // A loop allocating a private scratch buffer per iteration: privatization must
+        // apply, the parallel results must match sequential execution at every thread
+        // count, and shared heap bookkeeping must stay bitwise-identical (checked through
+        // the returned pointer-derived value).
+        let mut mb = ModuleBuilder::new("m");
+        let acc = mb.add_global("acc", 1);
+        let mut fb = FunctionBuilder::new("main", 0);
+        let lh = fb.counted_loop(Operand::int(0), Operand::int(40), 1);
+        let p = fb.new_var();
+        fb.alloc(p, Operand::int(3));
+        fb.store(Operand::Var(p), 0, Operand::Var(lh.induction_var));
+        let sq = fb.binary_to_new(
+            BinOp::Mul,
+            Operand::Var(lh.induction_var),
+            Operand::Var(lh.induction_var),
+        );
+        fb.store(Operand::Var(p), 1, Operand::Var(sq));
+        let a = fb.new_var();
+        fb.load(a, Operand::Var(p), 0);
+        let b = fb.new_var();
+        fb.load(b, Operand::Var(p), 1);
+        let sum = fb.binary_to_new(BinOp::Add, Operand::Var(a), Operand::Var(b));
+        let cur = fb.new_var();
+        fb.load(cur, Operand::Global(acc), 0);
+        let next = fb.binary_to_new(BinOp::Add, Operand::Var(cur), Operand::Var(sum));
+        fb.store(Operand::Global(acc), 0, Operand::Var(next));
+        fb.br(lh.latch);
+        fb.switch_to(lh.exit);
+        // After the loop, allocate shared memory and fold its address into the result:
+        // catches any divergence in the shared bump pointer caused by privatization.
+        let q = fb.new_var();
+        fb.alloc(q, Operand::int(2));
+        let r = fb.new_var();
+        fb.load(r, Operand::Global(acc), 0);
+        let out = fb.binary_to_new(BinOp::Add, Operand::Var(r), Operand::Var(q));
+        fb.ret(Some(Operand::Var(out)));
+        let main = mb.add_function(fb.finish());
+        let module = mb.finish();
+
+        let nesting = LoopNestingGraph::new(&module);
+        let profile = profile_program_image(&module, &nesting, main, &[]).unwrap();
+        let output = Helix::new(HelixConfig::i7_980x()).analyze(&module, &profile);
+        let plan = output
+            .plans
+            .values()
+            .find(|p| !p.private_allocs.is_empty())
+            .expect("the scratch allocation must be privatized")
+            .clone();
+        let transformed = transform::apply(&module, &plan);
+        assert!(!transformed.private_allocs.is_empty());
+        let pimg = ParallelImage::lower(&transformed);
+        assert!(pimg.loop_image.private_words_per_iter >= 3);
+
+        // The parity target is a sequential run of the *clone* (the transform itself adds a
+        // frame global, shifting the original module's heap base by design): privatization
+        // must leave every shared address the clone can observe — including the post-loop
+        // allocation folded into the result — bitwise-identical.
+        let mut machine = Machine::new(&transformed.module);
+        let expected = machine
+            .call(transformed.parallel_func, &[])
+            .unwrap()
+            .unwrap()
+            .as_int();
+        let mut original = Machine::new(&module);
+        let base = original.call(main, &[]).unwrap().unwrap().as_int();
+        assert_eq!(
+            expected - base,
+            1,
+            "clone differs only by the frame global's word"
+        );
+        for threads in [1, 2, 4] {
+            let got = ParallelExecutor::new(threads)
+                .run_parallel(&pimg, &[])
+                .unwrap_or_else(|e| panic!("{threads} threads failed: {e}"))
+                .unwrap()
+                .as_int();
+            assert_eq!(got, expected, "mismatch with {threads} threads");
         }
     }
 

@@ -1,0 +1,156 @@
+//! Cache-line-padded signal lanes: the inter-core communication fabric of the parallel
+//! runtime.
+//!
+//! The first-generation executor kept one `AtomicU64` per dependence in a dense `Vec`:
+//! adjacent dependences shared a cache line, so a core signalling dependence `d` invalidated
+//! the line of every core spinning on dependence `d±1..d±7` — guaranteed false sharing on
+//! exactly the hot path the HELIX paper identifies as the bottleneck of cyclic
+//! multithreading. [`SignalLanes`] fixes both problems the paper's ring-cache attacks:
+//!
+//! * **padding** — every counter lives alone on its cache line (`#[repr(align(128))]`, two
+//!   lines to defeat adjacent-line prefetchers), so signalling one dependence never steals
+//!   the line another dependence is spinning on;
+//! * **windowing** — each dependence owns a *ring* of `window` lanes, one per in-flight
+//!   iteration slot (iteration `i` signals lane `i % window`); the producer of iteration
+//!   `i+1` therefore writes a different line than the one iteration `i` wrote, mirroring the
+//!   paper's per-core communication buffers.
+//!
+//! A lane cell stores `iteration + 1` of the youngest iteration (among those mapping to the
+//! slot) that has signalled, updated with a release `fetch_max`. The waiter of iteration `i`
+//! reads slot `(i-1) % window` with acquire ordering and proceeds once the cell reaches `i`.
+//!
+//! **Ring-reuse safety.** Slot `(i-1) % window` is shared with iterations
+//! `i-1 ± k·window`. The executor bounds the in-flight window: iteration `i` is not
+//! *claimed* until iteration `i - window` has fully completed (see the completion ring in
+//! `executor.rs`), and an iteration completes only after it has passed all its signal
+//! points. Together with the prologue ordering chain this means that by the time iteration
+//! `i-1+window` (the only writer that could prematurely satisfy the waiter) starts,
+//! iteration `i-1` has already signalled — so a satisfied wait always means the true
+//! predecessor signalled.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One signal counter alone on (two) cache line(s).
+#[repr(align(128))]
+#[derive(Debug, Default)]
+pub struct PaddedCounter(pub AtomicU64);
+
+impl PaddedCounter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// The padded, windowed signal-lane array: `deps × window` counters, each on its own cache
+/// line.
+#[derive(Debug)]
+pub struct SignalLanes {
+    lanes: Box<[PaddedCounter]>,
+    /// Number of synchronized dependences (lane rows).
+    deps: usize,
+    /// Ring width per dependence; a power of two.
+    window: usize,
+}
+
+impl SignalLanes {
+    /// Creates lanes for `deps` dependences with an in-flight window of `window` iterations
+    /// (rounded up to a power of two, minimum 1). All counters start at zero.
+    pub fn new(deps: usize, window: usize) -> Self {
+        let deps = deps.max(1);
+        let window = window.max(1).next_power_of_two();
+        Self {
+            lanes: (0..deps * window).map(|_| PaddedCounter::new()).collect(),
+            deps,
+            window,
+        }
+    }
+
+    /// Number of dependence rows.
+    pub fn num_deps(&self) -> usize {
+        self.deps
+    }
+
+    /// Ring width per dependence.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    #[inline]
+    fn cell(&self, dep: usize, iteration: u64) -> &AtomicU64 {
+        debug_assert!(dep < self.deps);
+        let slot = (iteration as usize) & (self.window - 1);
+        &self.lanes[dep * self.window + slot].0
+    }
+
+    /// Publishes iteration `iteration`'s signal on `dep` (release ordering): records that
+    /// every earlier iteration's value for this dependence is now visible.
+    #[inline]
+    pub fn signal(&self, dep: usize, iteration: u64) {
+        self.cell(dep, iteration)
+            .fetch_max(iteration + 1, Ordering::Release);
+    }
+
+    /// Polls whether iteration `iteration` may pass its `Wait` on `dep` (acquire ordering):
+    /// true once the predecessor iteration has signalled. Iteration 0 never waits.
+    #[inline]
+    pub fn poll(&self, dep: usize, iteration: u64) -> bool {
+        if iteration == 0 {
+            return true;
+        }
+        self.cell(dep, iteration - 1).load(Ordering::Acquire) >= iteration
+    }
+
+    /// The raw counter value the waiter of `iteration` observes (for deadlock diagnostics).
+    pub fn observed(&self, dep: usize, iteration: u64) -> u64 {
+        if iteration == 0 {
+            return 0;
+        }
+        self.cell(dep, iteration - 1).load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_padded_to_their_own_cache_lines() {
+        assert!(std::mem::size_of::<PaddedCounter>() >= 128);
+        assert_eq!(std::mem::align_of::<PaddedCounter>(), 128);
+        let lanes = SignalLanes::new(3, 5);
+        assert_eq!(lanes.num_deps(), 3);
+        assert_eq!(lanes.window(), 8, "window rounds up to a power of two");
+        // Distinct (dep, slot) cells live at distinct cache lines.
+        let a = lanes.cell(0, 0) as *const _ as usize;
+        let b = lanes.cell(0, 1) as *const _ as usize;
+        let c = lanes.cell(1, 0) as *const _ as usize;
+        assert!(b.abs_diff(a) >= 128);
+        assert!(c.abs_diff(a) >= 128);
+    }
+
+    #[test]
+    fn wait_follows_signal_in_iteration_order() {
+        let lanes = SignalLanes::new(1, 4);
+        assert!(lanes.poll(0, 0), "iteration 0 never waits");
+        assert!(!lanes.poll(0, 1));
+        lanes.signal(0, 0);
+        assert!(lanes.poll(0, 1));
+        assert!(!lanes.poll(0, 2));
+        lanes.signal(0, 1);
+        assert!(lanes.poll(0, 2));
+        assert_eq!(lanes.observed(0, 3), 0, "slot 2 untouched");
+    }
+
+    #[test]
+    fn ring_slots_recycle_monotonically() {
+        let lanes = SignalLanes::new(2, 2);
+        for i in 0..10u64 {
+            lanes.signal(1, i);
+            assert!(lanes.poll(1, i + 1), "iteration {i} enables its successor");
+        }
+        // A stale signal (lower iteration) cannot regress a recycled slot.
+        lanes.signal(1, 2);
+        assert!(lanes.poll(1, 9));
+    }
+}

@@ -1,27 +1,48 @@
 //! # helix-runtime
 //!
-//! A real-thread executor for HELIX-parallelized loops, used to validate that the
-//! transformation preserves program semantics when iterations really do run concurrently.
+//! The real-thread runtime for HELIX-parallelized loops: it both validates that the
+//! transformation preserves program semantics when iterations really run concurrently, and
+//! is engineered to make them *faster* than the sequential engine — the paper's whole claim.
 //!
-//! The execution model mirrors the paper's (Section 2, Figure 3): a pool of worker threads is
-//! bound to a ring of "cores"; successive iterations of the parallelized loop are assigned
-//! round-robin; iteration `i+1`'s prologue starts only after iteration `i`'s prologue has
-//! finished *and decided to continue*; `Wait(d)`/`Signal(d)` enforce iteration order for every
-//! synchronized sequential segment through per-dependence counters (the software equivalent of
-//! the paper's thread memory buffers); loop-boundary live variables travel through shared
-//! memory because the transformation demoted them (Step 7).
+//! The execution model mirrors the paper's (Section 2, Figure 3): successive iterations of
+//! the parallelized loop are claimed by a pool of workers; iteration `i+1`'s prologue starts
+//! only after iteration `i`'s prologue has finished *and decided to continue*;
+//! `Wait(d)`/`Signal(d)` enforce iteration order for every synchronized sequential segment;
+//! loop-boundary live variables travel through shared memory because the transformation
+//! demoted them (Step 7).
 //!
-//! Timing is *not* modeled here — that is `helix-simulator`'s job. This crate answers the
-//! correctness question: does the parallel execution produce the same result as the
-//! sequential one?
+//! The moving parts, each in its own module:
 //!
-//! Execution goes through the flat-bytecode engine (`helix_ir::exec`): the transformed module
-//! is lowered once per run and every worker dispatches over the shared immutable image.
-//! Program memory is [`ShardedMemory`] — lock-striped by address chunk with an atomic bump
-//! allocator — so iterations touching disjoint data proceed without lock convoys.
+//! * [`parallel_image`] — a [`helix_core::TransformedProgram`] lowers **once** into a
+//!   [`ParallelImage`]: per-iteration flat bytecode with pre-resolved signal-lane indices,
+//!   sentinel back-edge/exit targets and privatized allocation sites, dispatched by a lean
+//!   engine with no fuel/statistics/cost accounting;
+//! * [`lanes`] — cache-line-padded, windowed [`SignalLanes`] replace the dense counter
+//!   array whose adjacent dependences false-shared cache lines (the paper's ring-cache
+//!   communication, in software);
+//! * [`pool`] — a persistent, work-stealing-free [`WorkerPool`] reused across `execute`
+//!   calls (the old executor respawned OS threads per run), with an adaptive
+//!   spin → yield → park wait strategy;
+//! * [`sharded`] — [`ShardedMemory`], lock-striped shared program memory with an atomic
+//!   bump allocator, now extended with a thread-local tier ([`PrivateArena`]) serving
+//!   allocations the privatization analysis proved iteration-private;
+//! * [`executor`] — [`ParallelExecutor`] orchestrates the three phases, short-circuits
+//!   zero-iteration loops to pure sequential execution, and reports deadlocks with the
+//!   owning segment and pc range straight from the image's side tables.
+//!
+//! Timing is *not* modeled here — that is `helix-simulator`'s job (which reads the
+//! [`ParallelImage`]'s per-segment costs). This crate answers the correctness question —
+//! does parallel execution produce the sequential result? — and the performance question —
+//! is it actually faster? (`crates/bench/benches/parallel_runtime.rs` measures it.)
 
 pub mod executor;
+pub mod lanes;
+pub mod parallel_image;
+pub mod pool;
 pub mod sharded;
 
 pub use executor::{ParallelExecutor, RuntimeError};
-pub use sharded::ShardedMemory;
+pub use lanes::SignalLanes;
+pub use parallel_image::{LoopImage, ParallelImage, SegmentLane};
+pub use pool::{WaitProfile, WorkerPool};
+pub use sharded::{PrivateArena, ShardedMemory, PRIVATE_BASE};

@@ -1,0 +1,1814 @@
+//! The [`ParallelImage`]: a [`TransformedProgram`] lowered once into an execution-ready form
+//! the parallel runtime dispatches directly.
+//!
+//! The first-generation executor block-stepped the generic [`helix_ir::ImageEvaluator`]
+//! through the loop, re-deriving everything per block per iteration: set-membership tests
+//! ("is this block still in the loop?", "did we just leave the prologue?") on `BTreeSet`s,
+//! sync-point resolution through a modulo over a dense counter array, plus the engine's own
+//! fuel/statistics/cost accounting on every op. [`LoopImage::build`] does all of that
+//! *once*, at lowering time:
+//!
+//! * the loop's blocks (prologue + body) are re-laid-out into one contiguous op stream
+//!   ([`LoopImage::code`]) with internal branch targets pre-resolved to program counters;
+//! * the loop's edges are classified at lowering time: the back edge becomes a jump to the
+//!   [`PC_END_ITER`] sentinel, every exit edge a jump to [`PC_EXIT`] (carrying the dense
+//!   index of the Phase C resume block), so the hot loop never consults a block set;
+//! * `Wait`/`Signal` ops are renumbered from [`DepId`]s to dense *lane* indices into the
+//!   padded [`crate::lanes::SignalLanes`] array, with a per-segment side table
+//!   ([`LoopImage::lanes`]) recording the owning segment and its flat pc range (used for
+//!   precise deadlock reports and for the simulator's per-segment cost model);
+//! * the prologue→body transition is materialized as an explicit control-release op
+//!   (a `Signal` on the reserved [`CONTROL_DEP`] lane) at the entry of every body block
+//!   reachable from the prologue, so "release the next iteration" is ordinary dispatch;
+//! * `Alloc` sites the privatization analysis proved iteration-private become
+//!   [`Op::PrivateAlloc`], served from the per-worker [`crate::sharded::PrivateArena`].
+//!
+//! The same module hosts the *lean engine*: a minimal interpreter over the lowered ops with
+//! no fuel, no statistics, no observers and no cycle charging — the production dispatch loop
+//! of the runtime, as opposed to the instrumented engine used for profiling. Its semantics
+//! (value evaluation, memory faults, call depth, missing terminators) are identical to
+//! [`helix_ir::ImageEvaluator`]; only the accounting is gone.
+
+use crate::lanes::SignalLanes;
+use crate::pool::{AdaptiveWait, Sleepers, WaitProfile};
+use crate::sharded::{PrivateArena, ShardedMemory, PRIVATE_BASE};
+use helix_core::TransformedProgram;
+use helix_ir::interp::{eval_binop, eval_pred, eval_unop, ExecError, MAX_CALL_DEPTH};
+use helix_ir::lower::{cost_table, CostClass};
+use helix_ir::{
+    BinOp, BlockId, CostModel, DepId, ExecImage, FuncId, InstrRef, Memory, Op, Opnd, Value,
+};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Reserved lane index of the iteration-control dependence (the prologue-ordering chain).
+pub const CONTROL_DEP: u32 = u32::MAX;
+
+/// Sentinel pc: the back edge — the iteration completed.
+pub const PC_END_ITER: u32 = u32::MAX;
+
+/// Sentinel pc: an exit edge — the loop is over; the op's `block` field names the Phase C
+/// resume block.
+pub const PC_EXIT: u32 = u32::MAX - 1;
+
+/// One synchronized sequential segment in lowered form.
+#[derive(Clone, Debug)]
+pub struct SegmentLane {
+    /// The dependence this lane synchronizes.
+    pub dep: DepId,
+    /// Index of the segment in the plan's segment list.
+    pub segment: usize,
+    /// First pc of the segment's flat bytecode range (its earliest `Wait`).
+    pub first_pc: u32,
+    /// Last pc of the segment's flat bytecode range (its latest `Signal`).
+    pub last_pc: u32,
+}
+
+impl SegmentLane {
+    /// The `[first, last]` pc span of the segment in [`LoopImage::code`].
+    pub fn pc_range(&self) -> (u32, u32) {
+        (self.first_pc, self.last_pc)
+    }
+}
+
+/// The loop portion of a [`ParallelImage`]: one iteration's flat bytecode plus side tables.
+#[derive(Clone, Debug)]
+pub struct LoopImage {
+    /// The parallel clone function the loop lives in.
+    pub func: FuncId,
+    /// Dense index of the loop header block.
+    pub header: u32,
+    /// pc of the header's first op in [`LoopImage::code`]: where every iteration starts.
+    pub entry_pc: u32,
+    /// The iteration op stream in the module's generic encoding (diagnostics, segment cost
+    /// model); the engine dispatches the specialized [`LoopImage::pcode`] stream instead.
+    pub code: Vec<Op>,
+    /// The specialized iteration op stream, parallel to `code` (same pcs): operands are
+    /// pre-decoded into register/immediate variants, constants folded, global addresses
+    /// fused into absolute load/store forms — the dispatch the workers actually run.
+    pub(crate) pcode: Vec<POp>,
+    /// Registers that must be reset to the loop-entry snapshot before each iteration,
+    /// sorted. A register needs a reset only if some iteration op *reads* it before any
+    /// definition in its own block (it may observe a stale previous-iteration value) *and*
+    /// some iteration op writes it (otherwise it still holds the snapshot value). Every
+    /// cross-iteration register flow the program's semantics rely on was demoted to the
+    /// synchronized frame by Step 7, so this set exists purely to keep stale worker-local
+    /// register files deterministic — and is typically tiny, which is the point: the
+    /// first-generation executor cloned the whole register file per iteration.
+    pub restore_regs: Vec<u32>,
+    /// The clone-function instruction each op came from, parallel to `code` (synthesized
+    /// control-release ops map to their block's first instruction).
+    pub pc_to_ref: Vec<InstrRef>,
+    /// Source block (dense index) of each op, parallel to `code`.
+    pub pc_block: Vec<u32>,
+    /// One entry per signal lane, indexed by the lane number carried by `Wait`/`Signal` ops.
+    pub lanes: Vec<SegmentLane>,
+    /// Privatized basic induction variables `(register, step)`: each worker recomputes them
+    /// from the iteration number instead of synchronizing them.
+    pub induction_vars: Vec<(u32, i64)>,
+    /// Static words allocated privately per iteration (0 when privatization does not apply).
+    pub private_words_per_iter: u64,
+    /// Pre-existing (generator-noise) sync ops dropped during lowering: they are no-ops
+    /// sequentially and correspond to no synchronized segment.
+    pub dropped_sync_ops: usize,
+}
+
+impl LoopImage {
+    /// Lowers the parallelized loop of `program` (already lowered to `image`) into its
+    /// iteration bytecode. See the module docs for the rewrites performed.
+    pub fn build(image: &ExecImage, program: &TransformedProgram) -> LoopImage {
+        let plan = &program.plan;
+        let fi = image.func(program.parallel_func);
+        let header: u32 = plan.header.0;
+        let prologue: BTreeSet<u32> = plan.prologue_blocks.iter().map(|b| b.0).collect();
+        let body: BTreeSet<u32> = plan.body_blocks.iter().map(|b| b.0).collect();
+        let loop_blocks: Vec<u32> = prologue.iter().chain(body.iter()).copied().collect();
+        let in_loop: BTreeSet<u32> = loop_blocks.iter().copied().collect();
+
+        // Dense lanes for the synchronized dependences, in segment order.
+        let mut lane_of: BTreeMap<u32, u32> = BTreeMap::new();
+        let mut lanes: Vec<SegmentLane> = Vec::new();
+        for (index, seg) in plan.segments.iter().enumerate() {
+            if seg.synchronized && !lane_of.contains_key(&seg.dep.0) {
+                lane_of.insert(seg.dep.0, lanes.len() as u32);
+                lanes.push(SegmentLane {
+                    dep: seg.dep,
+                    segment: index,
+                    first_pc: u32::MAX,
+                    last_pc: 0,
+                });
+            }
+        }
+
+        // Body blocks entered from the prologue get an explicit control-release op: reaching
+        // one proves this iteration's prologue completed and decided to continue.
+        let mut release_at: BTreeSet<u32> = BTreeSet::new();
+        for &b in &prologue {
+            for op in fi.block_code(b) {
+                let mut target = |block: u32| {
+                    if body.contains(&block) {
+                        release_at.insert(block);
+                    }
+                };
+                match op {
+                    Op::Jump { block, .. } => target(*block),
+                    Op::Branch {
+                        then_block,
+                        else_block,
+                        ..
+                    } => {
+                        target(*then_block);
+                        target(*else_block);
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        // Emit, recording each loop block's start pc; branch pcs are patched afterwards.
+        let mut code: Vec<Op> = Vec::new();
+        let mut pc_to_ref: Vec<InstrRef> = Vec::new();
+        let mut pc_block: Vec<u32> = Vec::new();
+        let mut start_of: BTreeMap<u32, u32> = BTreeMap::new();
+        let mut dropped_sync_ops = 0usize;
+        for &b in &loop_blocks {
+            start_of.insert(b, code.len() as u32);
+            let refs = fi.block_refs(b);
+            if release_at.contains(&b) {
+                code.push(Op::Signal { dep: CONTROL_DEP });
+                pc_to_ref.push(
+                    refs.first()
+                        .copied()
+                        .unwrap_or(InstrRef::new(BlockId::new(b), 0)),
+                );
+                pc_block.push(b);
+            }
+            for (op, r) in fi.block_code(b).iter().zip(refs) {
+                let lowered = match op {
+                    Op::Wait { dep } => match lane_of.get(dep) {
+                        Some(lane) => {
+                            let pc = code.len() as u32;
+                            lanes[*lane as usize].first_pc = lanes[*lane as usize].first_pc.min(pc);
+                            lanes[*lane as usize].last_pc = lanes[*lane as usize].last_pc.max(pc);
+                            Op::Wait { dep: *lane }
+                        }
+                        None => {
+                            dropped_sync_ops += 1;
+                            continue;
+                        }
+                    },
+                    Op::Signal { dep } => match lane_of.get(dep) {
+                        Some(lane) => {
+                            let pc = code.len() as u32;
+                            lanes[*lane as usize].first_pc = lanes[*lane as usize].first_pc.min(pc);
+                            lanes[*lane as usize].last_pc = lanes[*lane as usize].last_pc.max(pc);
+                            Op::Signal { dep: *lane }
+                        }
+                        None => {
+                            dropped_sync_ops += 1;
+                            continue;
+                        }
+                    },
+                    Op::Alloc { dst, words } if program.private_allocs.contains(r) => {
+                        Op::PrivateAlloc {
+                            dst: *dst,
+                            words: *words,
+                        }
+                    }
+                    other => other.clone(),
+                };
+                code.push(lowered);
+                pc_to_ref.push(*r);
+                pc_block.push(b);
+            }
+        }
+
+        // Patch branch targets: internal edges get their lowered pc, the back edge and exit
+        // edges get their sentinels (the `block` field keeps the original dense block index,
+        // which Phase C needs for exits).
+        let resolve = |block: u32| -> u32 {
+            if block == header {
+                PC_END_ITER
+            } else if in_loop.contains(&block) {
+                start_of[&block]
+            } else {
+                PC_EXIT
+            }
+        };
+        for op in &mut code {
+            match op {
+                Op::Jump { pc, block } => *pc = resolve(*block),
+                Op::Branch {
+                    then_pc,
+                    then_block,
+                    else_pc,
+                    else_block,
+                    ..
+                } => {
+                    *then_pc = resolve(*then_block);
+                    *else_pc = resolve(*else_block);
+                }
+                _ => {}
+            }
+        }
+
+        let private_words_per_iter = code
+            .iter()
+            .filter_map(|op| match op {
+                Op::PrivateAlloc {
+                    words: Opnd::Int(w),
+                    ..
+                } => Some((*w).max(0) as u64),
+                _ => None,
+            })
+            .sum();
+        let induction_vars: Vec<(u32, i64)> = plan
+            .induction_vars
+            .iter()
+            .map(|(v, step)| (v.0, *step))
+            .collect();
+        let mut pcode: Vec<POp> = code
+            .iter()
+            .zip(&pc_to_ref)
+            .map(|(op, r)| specialize_op(op, program.private_accesses.contains(r)))
+            .collect();
+        fuse_pairs(&mut pcode, &pc_block);
+        let restore_regs = compute_restore_regs(&code, &pc_block, &induction_vars, fi.num_regs);
+        LoopImage {
+            func: program.parallel_func,
+            header,
+            entry_pc: start_of[&header],
+            code,
+            pcode,
+            restore_regs,
+            pc_to_ref,
+            pc_block,
+            lanes,
+            induction_vars,
+            private_words_per_iter,
+            dropped_sync_ops,
+        }
+    }
+
+    /// Number of signal lanes (synchronized dependences).
+    pub fn num_lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// The lane a `Wait`/`Signal` op at `pc` targets, if any.
+    pub fn lane_at(&self, pc: u32) -> Option<&SegmentLane> {
+        match self.code.get(pc as usize) {
+            Some(Op::Wait { dep }) | Some(Op::Signal { dep }) if *dep != CONTROL_DEP => {
+                self.lanes.get(*dep as usize)
+            }
+            _ => None,
+        }
+    }
+
+    /// Static cycle estimate of each segment's flat pc span, from the lowering-time cost
+    /// classes: the cycles a worker spends between entering the segment's first `Wait` and
+    /// leaving its last `Signal`, assuming every op in the span executes once. The
+    /// simulator uses these as its per-segment costs when no profile-weighted estimate is
+    /// available (and to cross-check the profile-weighted ones).
+    pub fn segment_span_cycles(&self, cost: &CostModel) -> Vec<(DepId, u64)> {
+        let table = cost_table(cost);
+        self.lanes
+            .iter()
+            .map(|lane| {
+                let span = if lane.first_pc <= lane.last_pc {
+                    &self.code[lane.first_pc as usize..=lane.last_pc as usize]
+                } else {
+                    &[][..]
+                };
+                let cycles = span
+                    .iter()
+                    .map(|op| table[cost_class_of_op(op) as usize])
+                    .sum();
+                (lane.dep, cycles)
+            })
+            .collect()
+    }
+}
+
+/// Pairwise superinstruction fusion over the specialized stream: a value-producing op whose
+/// result feeds the immediately following op collapses into one dispatch. The second slot of
+/// each fused pair keeps its original op so control flow that jumps into the middle of a
+/// pair (or re-enters a block mid-way) executes identically; straight-line execution skips
+/// it. Fusion never crosses a block boundary.
+fn fuse_pairs(pcode: &mut [POp], pc_block: &[u32]) {
+    for pc in 0..pcode.len().saturating_sub(1) {
+        if pc_block[pc] != pc_block[pc + 1] {
+            continue;
+        }
+        let fused = match (&pcode[pc], &pcode[pc + 1]) {
+            (
+                POp::BinRI {
+                    dst: mid,
+                    op: op1,
+                    lhs,
+                    rhs: imm1,
+                },
+                POp::BinRI {
+                    dst,
+                    op: op2,
+                    lhs: second_lhs,
+                    rhs: imm2,
+                },
+            ) if second_lhs == mid => Some(POp::BinChainII {
+                mid: *mid,
+                op1: *op1,
+                lhs: *lhs,
+                imm1: *imm1,
+                dst: *dst,
+                op2: *op2,
+                imm2: *imm2,
+            }),
+            (
+                POp::BinRR {
+                    dst: mid,
+                    op: op1,
+                    lhs,
+                    rhs,
+                },
+                POp::BinRI {
+                    dst,
+                    op: op2,
+                    lhs: second_lhs,
+                    rhs: imm2,
+                },
+            ) if second_lhs == mid => Some(POp::BinChainRI {
+                mid: *mid,
+                op1: *op1,
+                lhs: *lhs,
+                rhs: *rhs,
+                dst: *dst,
+                op2: *op2,
+                imm2: *imm2,
+            }),
+            (
+                POp::CmpRI {
+                    dst,
+                    pred,
+                    lhs,
+                    rhs,
+                },
+                POp::Branch {
+                    cond,
+                    then_pc,
+                    then_block,
+                    else_pc,
+                    else_block,
+                },
+            ) if cond == dst => Some(POp::CmpBrRI {
+                dst: *dst,
+                pred: *pred,
+                lhs: *lhs,
+                imm: *rhs,
+                then_pc: *then_pc,
+                then_block: *then_block,
+                else_pc: *else_pc,
+                else_block: *else_block,
+            }),
+            (
+                POp::CmpRR {
+                    dst,
+                    pred,
+                    lhs,
+                    rhs,
+                },
+                POp::Branch {
+                    cond,
+                    then_pc,
+                    then_block,
+                    else_pc,
+                    else_block,
+                },
+            ) if cond == dst => Some(POp::CmpBrRR {
+                dst: *dst,
+                pred: *pred,
+                lhs: *lhs,
+                rhs: *rhs,
+                then_pc: *then_pc,
+                then_block: *then_block,
+                else_pc: *else_pc,
+                else_block: *else_block,
+            }),
+            _ => None,
+        };
+        if let Some(f) = fused {
+            pcode[pc] = f;
+        }
+    }
+}
+
+/// Computes [`LoopImage::restore_regs`]: registers some op reads before any definition in
+/// its own block (conservatively treating every block entry as reachable from another
+/// iteration) intersected with registers some op writes, plus the privatized induction
+/// variables (their per-iteration recompute overwrites them anyway; listing them keeps the
+/// reset story in one place for the exit path).
+fn compute_restore_regs(
+    code: &[Op],
+    pc_block: &[u32],
+    induction_vars: &[(u32, i64)],
+    num_regs: usize,
+) -> Vec<u32> {
+    let mut written: BTreeSet<u32> = BTreeSet::new();
+    let mut exposed: BTreeSet<u32> = BTreeSet::new();
+    let mut block_defs: BTreeSet<u32> = BTreeSet::new();
+    let mut current_block = u32::MAX;
+    for (pc, op) in code.iter().enumerate() {
+        if pc_block[pc] != current_block {
+            current_block = pc_block[pc];
+            block_defs.clear();
+        }
+        let mut track_use = |o: &Opnd| {
+            if let Opnd::Reg(r) = o {
+                if !block_defs.contains(r) {
+                    exposed.insert(*r);
+                }
+            }
+        };
+        match op {
+            Op::Mov { src, .. } | Op::Un { src, .. } => track_use(src),
+            Op::Bin { lhs, rhs, .. } | Op::Cmp { lhs, rhs, .. } => {
+                track_use(lhs);
+                track_use(rhs);
+            }
+            Op::Select {
+                cond,
+                on_true,
+                on_false,
+                ..
+            } => {
+                track_use(cond);
+                track_use(on_true);
+                track_use(on_false);
+            }
+            Op::Load { addr, .. } => track_use(addr),
+            Op::Store { addr, value, .. } => {
+                track_use(addr);
+                track_use(value);
+            }
+            Op::Alloc { words, .. } | Op::PrivateAlloc { words, .. } => track_use(words),
+            Op::Call { args, .. } => {
+                for a in args.iter() {
+                    track_use(a);
+                }
+            }
+            Op::Branch { cond, .. } => track_use(cond),
+            Op::Ret { value } => {
+                if let Some(v) = value {
+                    track_use(v);
+                }
+            }
+            Op::Wait { .. } | Op::Signal { .. } | Op::Jump { .. } | Op::Trap { .. } => {}
+        }
+        let dst = match op {
+            Op::Mov { dst, .. }
+            | Op::Un { dst, .. }
+            | Op::Bin { dst, .. }
+            | Op::Cmp { dst, .. }
+            | Op::Select { dst, .. }
+            | Op::Load { dst, .. }
+            | Op::Alloc { dst, .. }
+            | Op::PrivateAlloc { dst, .. } => Some(*dst),
+            Op::Call { dst, .. } => *dst,
+            _ => None,
+        };
+        if let Some(d) = dst {
+            written.insert(d);
+            block_defs.insert(d);
+        }
+    }
+    let mut restore: Vec<u32> = exposed
+        .intersection(&written)
+        .copied()
+        .chain(induction_vars.iter().map(|(r, _)| *r))
+        .filter(|r| (*r as usize) < num_regs)
+        .collect();
+    restore.sort_unstable();
+    restore.dedup();
+    restore
+}
+
+fn cost_class_of_op(op: &Op) -> CostClass {
+    match op {
+        Op::Mov { .. } | Op::Un { .. } | Op::Cmp { .. } | Op::Select { .. } => CostClass::Alu,
+        Op::Bin { op, .. } => match op {
+            BinOp::Mul => CostClass::Mul,
+            BinOp::Div | BinOp::Rem => CostClass::Div,
+            _ => CostClass::Alu,
+        },
+        Op::Load { .. } => CostClass::Load,
+        Op::Store { .. } => CostClass::Store,
+        Op::Alloc { .. } | Op::PrivateAlloc { .. } => CostClass::Alloc,
+        Op::Call { .. } => CostClass::Call,
+        Op::Wait { .. } => CostClass::Wait,
+        Op::Signal { .. } => CostClass::Signal,
+        Op::Jump { .. } | Op::Branch { .. } | Op::Ret { .. } | Op::Trap { .. } => CostClass::Branch,
+    }
+}
+
+/// A [`TransformedProgram`] lowered once for the parallel runtime: the whole-module bytecode
+/// (Phase A/C and callees execute from it) plus the loop's iteration image.
+#[derive(Clone, Debug)]
+pub struct ParallelImage {
+    /// The flat bytecode of the whole transformed module.
+    pub exec: ExecImage,
+    /// The lowered parallel loop.
+    pub loop_image: LoopImage,
+}
+
+impl ParallelImage {
+    /// Lowers `program` end-to-end. Callers executing the same program repeatedly should
+    /// lower once and reuse the image across [`crate::ParallelExecutor::run_parallel`]
+    /// calls — both parts are immutable and shared freely across worker threads.
+    pub fn lower(program: &TransformedProgram) -> ParallelImage {
+        let exec = ExecImage::lower(&program.module);
+        let loop_image = LoopImage::build(&exec, program);
+        ParallelImage { exec, loop_image }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The specialized iteration bytecode.
+// ---------------------------------------------------------------------------
+
+/// A direct call in specialized form (boxed: calls are rare in loop bodies, and the payload
+/// would otherwise dominate the op size).
+#[derive(Clone, Debug)]
+pub(crate) struct CallData {
+    pub dst: Option<u32>,
+    pub func: u32,
+    pub args: Box<[Opnd]>,
+}
+
+/// A select in specialized form (boxed for the same reason).
+#[derive(Clone, Debug)]
+pub(crate) struct SelectData {
+    pub dst: u32,
+    pub cond: Opnd,
+    pub on_true: Opnd,
+    pub on_false: Opnd,
+}
+
+/// One specialized iteration op: the [`Op`] stream re-encoded with operands pre-decoded
+/// into register/immediate variants, constants folded, and global base addresses fused into
+/// absolute load/store forms. Immediates are stored as ready-made [`Value`]s so the hot loop
+/// never constructs one.
+#[derive(Clone, Debug)]
+pub(crate) enum POp {
+    MovR {
+        dst: u32,
+        src: u32,
+    },
+    MovI {
+        dst: u32,
+        v: Value,
+    },
+    UnR {
+        dst: u32,
+        op: helix_ir::UnOp,
+        src: u32,
+    },
+    BinRR {
+        dst: u32,
+        op: BinOp,
+        lhs: u32,
+        rhs: u32,
+    },
+    BinRI {
+        dst: u32,
+        op: BinOp,
+        lhs: u32,
+        rhs: Value,
+    },
+    BinIR {
+        dst: u32,
+        op: BinOp,
+        lhs: Value,
+        rhs: u32,
+    },
+    CmpRR {
+        dst: u32,
+        pred: helix_ir::Pred,
+        lhs: u32,
+        rhs: u32,
+    },
+    CmpRI {
+        dst: u32,
+        pred: helix_ir::Pred,
+        lhs: u32,
+        rhs: Value,
+    },
+    CmpIR {
+        dst: u32,
+        pred: helix_ir::Pred,
+        lhs: Value,
+        rhs: u32,
+    },
+    SelectB(Box<SelectData>),
+    /// Load through a register-held base plus constant offset. `private_ok` marks the
+    /// statically-proven privatized access sites — the only loads allowed to route into
+    /// the per-worker arena; everywhere else a private-range address faults exactly as it
+    /// does sequentially.
+    LoadR {
+        dst: u32,
+        addr: u32,
+        offset: i64,
+        private_ok: bool,
+    },
+    /// Load from an absolute (global-folded) address — never private.
+    LoadA {
+        dst: u32,
+        addr: i64,
+    },
+    StoreRR {
+        addr: u32,
+        offset: i64,
+        value: u32,
+        private_ok: bool,
+    },
+    StoreRI {
+        addr: u32,
+        offset: i64,
+        value: Value,
+        private_ok: bool,
+    },
+    StoreAR {
+        addr: i64,
+        value: u32,
+    },
+    StoreAI {
+        addr: i64,
+        value: Value,
+    },
+    AllocR {
+        dst: u32,
+        words: u32,
+    },
+    AllocI {
+        dst: u32,
+        words: i64,
+    },
+    PrivateAllocR {
+        dst: u32,
+        words: u32,
+    },
+    PrivateAllocI {
+        dst: u32,
+        words: i64,
+    },
+    CallB(Box<CallData>),
+    Wait {
+        lane: u32,
+    },
+    SignalLane {
+        lane: u32,
+    },
+    SignalControl,
+    /// Internal jump (sentinels are translated to [`POp::EndIter`]/[`POp::ExitJump`]).
+    Jump {
+        pc: u32,
+    },
+    EndIter,
+    ExitJump {
+        block: u32,
+    },
+    Branch {
+        cond: u32,
+        then_pc: u32,
+        then_block: u32,
+        else_pc: u32,
+        else_block: u32,
+    },
+    RetR {
+        src: u32,
+    },
+    RetI {
+        v: Option<Value>,
+    },
+    Trap {
+        block: u32,
+    },
+    // Superinstructions (pairwise fusion, see `fuse_pairs`): the second op of the pair
+    // stays at its own pc so jumps into the middle still work; straight-line execution
+    // dispatches once and skips both slots. Both destinations are written, preserving the
+    // unfused ops' observable register effects exactly.
+    /// `mid = lhs op1 imm1; dst = mid op2 imm2`.
+    BinChainII {
+        mid: u32,
+        op1: BinOp,
+        lhs: u32,
+        imm1: Value,
+        dst: u32,
+        op2: BinOp,
+        imm2: Value,
+    },
+    /// `mid = lhs op1 rhs; dst = mid op2 imm2`.
+    BinChainRI {
+        mid: u32,
+        op1: BinOp,
+        lhs: u32,
+        rhs: u32,
+        dst: u32,
+        op2: BinOp,
+        imm2: Value,
+    },
+    /// `dst = lhs pred imm; branch on dst` (the loop-latch idiom).
+    CmpBrRI {
+        dst: u32,
+        pred: helix_ir::Pred,
+        lhs: u32,
+        imm: Value,
+        then_pc: u32,
+        then_block: u32,
+        else_pc: u32,
+        else_block: u32,
+    },
+    /// `dst = lhs pred rhs; branch on dst`.
+    CmpBrRR {
+        dst: u32,
+        pred: helix_ir::Pred,
+        lhs: u32,
+        rhs: u32,
+        then_pc: u32,
+        then_block: u32,
+        else_pc: u32,
+        else_block: u32,
+    },
+}
+
+fn opnd_value(o: Opnd) -> Option<Value> {
+    match o {
+        Opnd::Reg(_) => None,
+        Opnd::Int(i) => Some(Value::Int(i)),
+        Opnd::Float(f) => Some(Value::Float(f)),
+    }
+}
+
+/// Specializes one rewritten iteration [`Op`] (see [`POp`]). Folding uses the engine's own
+/// evaluation helpers, so a folded constant is bitwise what the generic engine would have
+/// computed. `private_ok` is true for the statically-proven privatized access sites.
+fn specialize_op(op: &Op, private_ok: bool) -> POp {
+    match op {
+        Op::Mov { dst, src } => match opnd_value(*src) {
+            Some(v) => POp::MovI { dst: *dst, v },
+            None => match src {
+                Opnd::Reg(r) => POp::MovR { dst: *dst, src: *r },
+                _ => unreachable!(),
+            },
+        },
+        Op::Un { dst, op, src } => match (src, opnd_value(*src)) {
+            (_, Some(v)) => POp::MovI {
+                dst: *dst,
+                v: eval_unop(*op, v),
+            },
+            (Opnd::Reg(r), None) => POp::UnR {
+                dst: *dst,
+                op: *op,
+                src: *r,
+            },
+            _ => unreachable!(),
+        },
+        Op::Bin { dst, op, lhs, rhs } => match (lhs, rhs) {
+            (Opnd::Reg(a), Opnd::Reg(b)) => POp::BinRR {
+                dst: *dst,
+                op: *op,
+                lhs: *a,
+                rhs: *b,
+            },
+            (Opnd::Reg(a), imm) => POp::BinRI {
+                dst: *dst,
+                op: *op,
+                lhs: *a,
+                rhs: opnd_value(*imm).expect("non-register operand"),
+            },
+            (imm, Opnd::Reg(b)) => POp::BinIR {
+                dst: *dst,
+                op: *op,
+                lhs: opnd_value(*imm).expect("non-register operand"),
+                rhs: *b,
+            },
+            (a, b) => POp::MovI {
+                dst: *dst,
+                v: eval_binop(
+                    *op,
+                    opnd_value(*a).expect("constant"),
+                    opnd_value(*b).expect("constant"),
+                ),
+            },
+        },
+        Op::Cmp {
+            dst,
+            pred,
+            lhs,
+            rhs,
+        } => match (lhs, rhs) {
+            (Opnd::Reg(a), Opnd::Reg(b)) => POp::CmpRR {
+                dst: *dst,
+                pred: *pred,
+                lhs: *a,
+                rhs: *b,
+            },
+            (Opnd::Reg(a), imm) => POp::CmpRI {
+                dst: *dst,
+                pred: *pred,
+                lhs: *a,
+                rhs: opnd_value(*imm).expect("non-register operand"),
+            },
+            (imm, Opnd::Reg(b)) => POp::CmpIR {
+                dst: *dst,
+                pred: *pred,
+                lhs: opnd_value(*imm).expect("non-register operand"),
+                rhs: *b,
+            },
+            (a, b) => POp::MovI {
+                dst: *dst,
+                v: Value::from_bool(eval_pred(
+                    *pred,
+                    opnd_value(*a).expect("constant"),
+                    opnd_value(*b).expect("constant"),
+                )),
+            },
+        },
+        Op::Select {
+            dst,
+            cond,
+            on_true,
+            on_false,
+        } => POp::SelectB(Box::new(SelectData {
+            dst: *dst,
+            cond: *cond,
+            on_true: *on_true,
+            on_false: *on_false,
+        })),
+        Op::Load { dst, addr, offset } => match addr {
+            Opnd::Reg(r) => POp::LoadR {
+                dst: *dst,
+                addr: *r,
+                offset: *offset,
+                private_ok,
+            },
+            imm => POp::LoadA {
+                dst: *dst,
+                addr: opnd_value(*imm)
+                    .expect("non-register address")
+                    .as_int()
+                    .wrapping_add(*offset),
+            },
+        },
+        Op::Store {
+            addr,
+            offset,
+            value,
+        } => match (addr, value) {
+            (Opnd::Reg(a), Opnd::Reg(v)) => POp::StoreRR {
+                addr: *a,
+                offset: *offset,
+                value: *v,
+                private_ok,
+            },
+            (Opnd::Reg(a), imm) => POp::StoreRI {
+                addr: *a,
+                offset: *offset,
+                value: opnd_value(*imm).expect("non-register value"),
+                private_ok,
+            },
+            (imm, Opnd::Reg(v)) => POp::StoreAR {
+                addr: opnd_value(*imm)
+                    .expect("non-register address")
+                    .as_int()
+                    .wrapping_add(*offset),
+                value: *v,
+            },
+            (a, v) => POp::StoreAI {
+                addr: opnd_value(*a)
+                    .expect("non-register address")
+                    .as_int()
+                    .wrapping_add(*offset),
+                value: opnd_value(*v).expect("non-register value"),
+            },
+        },
+        Op::Alloc { dst, words } => match words {
+            Opnd::Reg(r) => POp::AllocR {
+                dst: *dst,
+                words: *r,
+            },
+            imm => POp::AllocI {
+                dst: *dst,
+                words: opnd_value(*imm).expect("non-register size").as_int(),
+            },
+        },
+        Op::PrivateAlloc { dst, words } => match words {
+            Opnd::Reg(r) => POp::PrivateAllocR {
+                dst: *dst,
+                words: *r,
+            },
+            imm => POp::PrivateAllocI {
+                dst: *dst,
+                words: opnd_value(*imm).expect("non-register size").as_int(),
+            },
+        },
+        Op::Call { dst, func, args } => POp::CallB(Box::new(CallData {
+            dst: *dst,
+            func: *func,
+            args: args.clone(),
+        })),
+        Op::Wait { dep } => POp::Wait { lane: *dep },
+        Op::Signal { dep } => {
+            if *dep == CONTROL_DEP {
+                POp::SignalControl
+            } else {
+                POp::SignalLane { lane: *dep }
+            }
+        }
+        Op::Jump { pc, block } => match *pc {
+            PC_END_ITER => POp::EndIter,
+            PC_EXIT => POp::ExitJump { block: *block },
+            pc => POp::Jump { pc },
+        },
+        Op::Branch {
+            cond,
+            then_pc,
+            then_block,
+            else_pc,
+            else_block,
+        } => match cond {
+            Opnd::Reg(r) => POp::Branch {
+                cond: *r,
+                then_pc: *then_pc,
+                then_block: *then_block,
+                else_pc: *else_pc,
+                else_block: *else_block,
+            },
+            imm => {
+                // Constant condition: the branch folds to its taken edge.
+                let (pc, block) = if opnd_value(*imm).expect("constant").as_bool() {
+                    (*then_pc, *then_block)
+                } else {
+                    (*else_pc, *else_block)
+                };
+                match pc {
+                    PC_END_ITER => POp::EndIter,
+                    PC_EXIT => POp::ExitJump { block },
+                    pc => POp::Jump { pc },
+                }
+            }
+        },
+        Op::Ret { value } => match value {
+            Some(Opnd::Reg(r)) => POp::RetR { src: *r },
+            Some(imm) => POp::RetI {
+                v: Some(opnd_value(*imm).expect("constant")),
+            },
+            None => POp::RetI { v: None },
+        },
+        Op::Trap { block } => POp::Trap { block: *block },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The lean engine.
+// ---------------------------------------------------------------------------
+
+/// A worker's memory stack: the shared tier plus its private arena.
+pub(crate) trait Tier {
+    /// Shared-memory access: a private-range address faults exactly as it would
+    /// sequentially (`Memory::MAX_WORDS` is far below [`PRIVATE_BASE`]).
+    fn load(&mut self, addr: i64) -> Result<Value, ExecError>;
+    fn store(&mut self, addr: i64, value: Value) -> Result<(), ExecError>;
+    /// Access from a statically-proven privatized site: private-range addresses route to
+    /// the worker's arena, everything else to shared memory.
+    fn load_private(&mut self, addr: i64) -> Result<Value, ExecError>;
+    fn store_private(&mut self, addr: i64, value: Value) -> Result<(), ExecError>;
+    fn alloc(&mut self, words: usize) -> Result<i64, ExecError>;
+    fn alloc_private(&mut self, words: usize) -> Result<i64, ExecError>;
+    /// Starts a new iteration: previous private allocations are dead.
+    fn reset_arena(&mut self);
+    /// Words served privately since the last drain (re-reserved in shared memory).
+    fn drain_private_words(&mut self) -> u64;
+    /// Declares whether the caller is provably the only thread touching shared memory
+    /// (solo mode / sequential phases); exclusive tiers may elide locking. Default no-op
+    /// for tiers that are always exclusive.
+    fn set_exclusive(&mut self, _exclusive: bool) {}
+}
+
+/// Striped shared memory + per-worker arena: the tier of multi-threaded runs. While
+/// `exclusive` is set (sequential phases and the primary's solo mode, where this thread
+/// provably owns all of memory) shard locks are elided entirely.
+pub(crate) struct SharedTier<'a> {
+    pub shared: &'a ShardedMemory,
+    pub arena: PrivateArena,
+    pub exclusive: bool,
+}
+
+impl Tier for SharedTier<'_> {
+    #[inline]
+    fn load(&mut self, addr: i64) -> Result<Value, ExecError> {
+        if self.exclusive {
+            // SAFETY: `exclusive` is only set while this thread provably owns the memory
+            // (before the claim protocol publishes / after the job join barrier).
+            Ok(unsafe { self.shared.load_exclusive(addr) }?)
+        } else {
+            Ok(self.shared.load(addr)?)
+        }
+    }
+
+    #[inline]
+    fn store(&mut self, addr: i64, value: Value) -> Result<(), ExecError> {
+        if self.exclusive {
+            // SAFETY: see `load`.
+            Ok(unsafe { self.shared.store_exclusive(addr, value) }?)
+        } else {
+            Ok(self.shared.store(addr, value)?)
+        }
+    }
+
+    #[inline]
+    fn load_private(&mut self, addr: i64) -> Result<Value, ExecError> {
+        if addr >= PRIVATE_BASE {
+            Ok(self.arena.load(addr)?)
+        } else {
+            self.load(addr)
+        }
+    }
+
+    #[inline]
+    fn store_private(&mut self, addr: i64, value: Value) -> Result<(), ExecError> {
+        if addr >= PRIVATE_BASE {
+            Ok(self.arena.store(addr, value)?)
+        } else {
+            self.store(addr, value)
+        }
+    }
+
+    #[inline]
+    fn alloc(&mut self, words: usize) -> Result<i64, ExecError> {
+        Ok(self.shared.alloc(words)?)
+    }
+
+    #[inline]
+    fn alloc_private(&mut self, words: usize) -> Result<i64, ExecError> {
+        Ok(self.arena.alloc(words)?)
+    }
+
+    fn reset_arena(&mut self) {
+        self.arena.reset();
+    }
+
+    fn drain_private_words(&mut self) -> u64 {
+        self.arena.drain_skipped_words()
+    }
+
+    fn set_exclusive(&mut self, exclusive: bool) {
+        self.exclusive = exclusive;
+    }
+}
+
+/// Plain sequential memory + arena: the tier of single-threaded runs, where no access ever
+/// needs a lock.
+pub(crate) struct LocalTier {
+    pub memory: Memory,
+    pub arena: PrivateArena,
+}
+
+impl Tier for LocalTier {
+    #[inline]
+    fn load(&mut self, addr: i64) -> Result<Value, ExecError> {
+        Ok(self.memory.load(addr)?)
+    }
+
+    #[inline]
+    fn store(&mut self, addr: i64, value: Value) -> Result<(), ExecError> {
+        Ok(self.memory.store(addr, value)?)
+    }
+
+    #[inline]
+    fn load_private(&mut self, addr: i64) -> Result<Value, ExecError> {
+        if addr >= PRIVATE_BASE {
+            Ok(self.arena.load(addr)?)
+        } else {
+            Ok(self.memory.load(addr)?)
+        }
+    }
+
+    #[inline]
+    fn store_private(&mut self, addr: i64, value: Value) -> Result<(), ExecError> {
+        if addr >= PRIVATE_BASE {
+            Ok(self.arena.store(addr, value)?)
+        } else {
+            Ok(self.memory.store(addr, value)?)
+        }
+    }
+
+    #[inline]
+    fn alloc(&mut self, words: usize) -> Result<i64, ExecError> {
+        Ok(self.memory.alloc(words)?)
+    }
+
+    #[inline]
+    fn alloc_private(&mut self, words: usize) -> Result<i64, ExecError> {
+        Ok(self.arena.alloc(words)?)
+    }
+
+    fn reset_arena(&mut self) {
+        self.arena.reset();
+    }
+
+    fn drain_private_words(&mut self) -> u64 {
+        self.arena.drain_skipped_words()
+    }
+}
+
+/// Evaluates a pre-resolved operand. Reads are unchecked like the instrumented engine's:
+/// lowering widens the register file to cover every referenced index, and every caller sizes
+/// `regs` to the function's `num_regs`.
+#[inline(always)]
+fn eval(regs: &[Value], o: Opnd) -> Value {
+    match o {
+        Opnd::Reg(r) => {
+            debug_assert!((r as usize) < regs.len());
+            unsafe { *regs.get_unchecked(r as usize) }
+        }
+        Opnd::Int(i) => Value::Int(i),
+        Opnd::Float(f) => Value::Float(f),
+    }
+}
+
+/// One suspended guest frame of [`run_flat`]'s explicit call stack.
+struct LeanFrame {
+    func: usize,
+    pc: usize,
+    regs: Vec<Value>,
+    dst: Option<u32>,
+}
+
+/// How a [`run_flat`] execution ended.
+pub(crate) enum FlatEnd {
+    /// Control reached `stop_block` at the top level (Phase A arriving at the loop header).
+    ReachedStop,
+    /// The function returned.
+    Returned(Option<Value>),
+}
+
+/// Errors of the lean engine's sequential paths.
+pub(crate) enum FlatError {
+    Exec(ExecError),
+    /// The top-level block-transition budget ran out (a runaway loop outside the
+    /// parallelized one).
+    BudgetExceeded,
+}
+
+impl From<ExecError> for FlatError {
+    fn from(e: ExecError) -> Self {
+        FlatError::Exec(e)
+    }
+}
+
+/// Runs whole-function bytecode leanly: Phase A (with `stop_block` = the loop header),
+/// Phase C and callee invocations all go through here. `Wait`/`Signal` are no-ops (outside
+/// iteration code they are either Phase-bound sync the sequential engine also ignores, or
+/// generator noise), matching the sequential engine's treatment.
+///
+/// `budget` bounds top-level block transitions (the caller's runaway-loop guard); callee
+/// blocks are unmetered, like the instrumented executor's phase stepping.
+pub(crate) fn run_flat<T: Tier>(
+    image: &ExecImage,
+    func: FuncId,
+    start_block: u32,
+    stop_block: Option<u32>,
+    regs: &mut Vec<Value>,
+    tier: &mut T,
+    budget: u64,
+) -> Result<FlatEnd, FlatError> {
+    let mut f = &image.funcs[func.index()];
+    if regs.len() < f.num_regs {
+        regs.resize(f.num_regs, Value::default());
+    }
+    if stop_block == Some(start_block) {
+        return Ok(FlatEnd::ReachedStop);
+    }
+    let mut func_ix = func.index();
+    let mut frames: Vec<LeanFrame> = Vec::new();
+    let mut pc = f.block_start(start_block) as usize;
+    let mut top_blocks = 0u64;
+    let mut local_regs = std::mem::take(regs);
+    let result = 'run: loop {
+        let op = &f.code[pc];
+        match op {
+            Op::Mov { dst, src } => {
+                local_regs[*dst as usize] = eval(&local_regs, *src);
+                pc += 1;
+            }
+            Op::Un { dst, op, src } => {
+                local_regs[*dst as usize] = eval_unop(*op, eval(&local_regs, *src));
+                pc += 1;
+            }
+            Op::Bin { dst, op, lhs, rhs } => {
+                local_regs[*dst as usize] =
+                    eval_binop(*op, eval(&local_regs, *lhs), eval(&local_regs, *rhs));
+                pc += 1;
+            }
+            Op::Cmp {
+                dst,
+                pred,
+                lhs,
+                rhs,
+            } => {
+                local_regs[*dst as usize] = Value::from_bool(eval_pred(
+                    *pred,
+                    eval(&local_regs, *lhs),
+                    eval(&local_regs, *rhs),
+                ));
+                pc += 1;
+            }
+            Op::Select {
+                dst,
+                cond,
+                on_true,
+                on_false,
+            } => {
+                let v = if eval(&local_regs, *cond).as_bool() {
+                    eval(&local_regs, *on_true)
+                } else {
+                    eval(&local_regs, *on_false)
+                };
+                local_regs[*dst as usize] = v;
+                pc += 1;
+            }
+            Op::Load { dst, addr, offset } => {
+                let base = eval(&local_regs, *addr).as_int();
+                match tier.load(base + offset) {
+                    Ok(v) => local_regs[*dst as usize] = v,
+                    Err(e) => break 'run Err(FlatError::Exec(e)),
+                }
+                pc += 1;
+            }
+            Op::Store {
+                addr,
+                offset,
+                value,
+            } => {
+                let base = eval(&local_regs, *addr).as_int();
+                let v = eval(&local_regs, *value);
+                if let Err(e) = tier.store(base + offset, v) {
+                    break 'run Err(FlatError::Exec(e));
+                }
+                pc += 1;
+            }
+            Op::Alloc { dst, words } => {
+                let n = eval(&local_regs, *words).as_int().max(0) as usize;
+                match tier.alloc(n) {
+                    Ok(base) => local_regs[*dst as usize] = Value::Int(base),
+                    Err(e) => break 'run Err(FlatError::Exec(e)),
+                }
+                pc += 1;
+            }
+            Op::PrivateAlloc { dst, words } => {
+                let n = eval(&local_regs, *words).as_int().max(0) as usize;
+                match tier.alloc_private(n) {
+                    Ok(base) => local_regs[*dst as usize] = Value::Int(base),
+                    Err(e) => break 'run Err(FlatError::Exec(e)),
+                }
+                pc += 1;
+            }
+            Op::Wait { .. } | Op::Signal { .. } => pc += 1,
+            Op::Call {
+                dst,
+                func: callee,
+                args,
+            } => {
+                if frames.len() + 1 > MAX_CALL_DEPTH {
+                    break 'run Err(FlatError::Exec(ExecError::StackOverflow));
+                }
+                let callee_ix = *callee as usize;
+                let cf = &image.funcs[callee_ix];
+                let mut callee_regs = vec![Value::default(); cf.num_regs.max(args.len())];
+                for (slot, a) in callee_regs.iter_mut().zip(args.iter()).take(cf.num_params) {
+                    *slot = eval(&local_regs, *a);
+                }
+                frames.push(LeanFrame {
+                    func: func_ix,
+                    pc,
+                    regs: std::mem::replace(&mut local_regs, callee_regs),
+                    dst: *dst,
+                });
+                func_ix = callee_ix;
+                f = &image.funcs[func_ix];
+                pc = f.block_start(f.entry_block) as usize;
+            }
+            Op::Jump { pc: target, block } => {
+                if frames.is_empty() {
+                    if stop_block == Some(*block) {
+                        break 'run Ok(FlatEnd::ReachedStop);
+                    }
+                    top_blocks += 1;
+                    if top_blocks > budget {
+                        break 'run Err(FlatError::BudgetExceeded);
+                    }
+                }
+                pc = *target as usize;
+            }
+            Op::Branch {
+                cond,
+                then_pc,
+                then_block,
+                else_pc,
+                else_block,
+            } => {
+                let (target, block) = if eval(&local_regs, *cond).as_bool() {
+                    (*then_pc, *then_block)
+                } else {
+                    (*else_pc, *else_block)
+                };
+                if frames.is_empty() {
+                    if stop_block == Some(block) {
+                        break 'run Ok(FlatEnd::ReachedStop);
+                    }
+                    top_blocks += 1;
+                    if top_blocks > budget {
+                        break 'run Err(FlatError::BudgetExceeded);
+                    }
+                }
+                pc = target as usize;
+            }
+            Op::Ret { value } => {
+                let v = value.map(|v| eval(&local_regs, v));
+                match frames.pop() {
+                    None => break 'run Ok(FlatEnd::Returned(v)),
+                    Some(frame) => {
+                        func_ix = frame.func;
+                        f = &image.funcs[func_ix];
+                        local_regs = frame.regs;
+                        pc = frame.pc;
+                        if let Some(d) = frame.dst {
+                            local_regs[d as usize] = v.unwrap_or_default();
+                        }
+                        pc += 1;
+                    }
+                }
+            }
+            Op::Trap { block } => {
+                break 'run Err(FlatError::Exec(ExecError::MissingTerminator(BlockId::new(
+                    *block,
+                ))));
+            }
+        }
+    };
+    // Hand the (possibly callee-stale) top-level register file back to the caller: unwind to
+    // the bottom frame if the run ended inside a callee.
+    if let Some(bottom) = frames.into_iter().next() {
+        local_regs = bottom.regs;
+    }
+    *regs = local_regs;
+    result
+}
+
+/// How one iteration ended.
+pub(crate) enum IterEnd {
+    /// The back edge was taken: the iteration completed and the loop continues.
+    Completed,
+    /// An exit edge was taken towards `block` (dense index in the clone function).
+    Exit {
+        /// Phase C resume block.
+        block: u32,
+    },
+    /// A `ret` inside the loop ended the whole function.
+    Returned(Option<Value>),
+    /// An earlier iteration exited while this one was blocked: its work is moot.
+    Cancelled,
+}
+
+/// Errors of the iteration runner.
+pub(crate) enum IterError {
+    Exec(ExecError),
+    /// A `Wait` outlived the spin budget.
+    Deadlock {
+        /// The lane being waited on.
+        lane: u32,
+        /// pc of the blocked `Wait` in [`LoopImage::code`].
+        pc: u32,
+        /// Last counter value observed.
+        observed: u64,
+    },
+}
+
+impl From<ExecError> for IterError {
+    fn from(e: ExecError) -> Self {
+        IterError::Exec(e)
+    }
+}
+
+/// Shared synchronization handles the iteration runner needs.
+pub(crate) struct IterSync<'a> {
+    pub lanes: &'a SignalLanes,
+    pub sleepers: &'a Sleepers,
+    /// Lowest iteration that took a loop exit (`u64::MAX` while the loop runs).
+    pub exited_at: &'a AtomicU64,
+    /// Spin rounds a blocked `Wait` may burn before it is declared deadlocked.
+    pub spin_budget: u64,
+    /// Backoff shape of this run's wait sites.
+    pub profile: WaitProfile,
+}
+
+/// Executes one iteration of the lowered loop. `regs` must already hold the loop-entry
+/// snapshot with induction variables privatized for `iteration`; `on_control` is invoked
+/// when the iteration's prologue completes (at most once per iteration from inside the code;
+/// the caller must also release control when the iteration completes without entering the
+/// body).
+pub(crate) fn run_iteration<T: Tier>(
+    image: &ExecImage,
+    loop_image: &LoopImage,
+    iteration: u64,
+    regs: &mut [Value],
+    tier: &mut T,
+    sync: &IterSync<'_>,
+    on_control: &mut dyn FnMut(),
+) -> Result<IterEnd, IterError> {
+    let code = &loop_image.pcode[..];
+    let mut pc = loop_image.entry_pc as usize;
+    // Reads are unchecked (see `eval`); writes go through `set`, also unchecked: every dst
+    // register index was widened into the function's register file at lowering time.
+    #[inline(always)]
+    fn get(regs: &[Value], r: u32) -> Value {
+        debug_assert!((r as usize) < regs.len());
+        unsafe { *regs.get_unchecked(r as usize) }
+    }
+    #[inline(always)]
+    fn set(regs: &mut [Value], r: u32, v: Value) {
+        debug_assert!((r as usize) < regs.len());
+        unsafe {
+            *regs.get_unchecked_mut(r as usize) = v;
+        }
+    }
+    loop {
+        match &code[pc] {
+            POp::MovR { dst, src } => {
+                set(regs, *dst, get(regs, *src));
+                pc += 1;
+            }
+            POp::MovI { dst, v } => {
+                set(regs, *dst, *v);
+                pc += 1;
+            }
+            POp::UnR { dst, op, src } => {
+                set(regs, *dst, eval_unop(*op, get(regs, *src)));
+                pc += 1;
+            }
+            POp::BinRR { dst, op, lhs, rhs } => {
+                set(
+                    regs,
+                    *dst,
+                    eval_binop(*op, get(regs, *lhs), get(regs, *rhs)),
+                );
+                pc += 1;
+            }
+            POp::BinRI { dst, op, lhs, rhs } => {
+                set(regs, *dst, eval_binop(*op, get(regs, *lhs), *rhs));
+                pc += 1;
+            }
+            POp::BinIR { dst, op, lhs, rhs } => {
+                set(regs, *dst, eval_binop(*op, *lhs, get(regs, *rhs)));
+                pc += 1;
+            }
+            POp::CmpRR {
+                dst,
+                pred,
+                lhs,
+                rhs,
+            } => {
+                set(
+                    regs,
+                    *dst,
+                    Value::from_bool(eval_pred(*pred, get(regs, *lhs), get(regs, *rhs))),
+                );
+                pc += 1;
+            }
+            POp::CmpRI {
+                dst,
+                pred,
+                lhs,
+                rhs,
+            } => {
+                set(
+                    regs,
+                    *dst,
+                    Value::from_bool(eval_pred(*pred, get(regs, *lhs), *rhs)),
+                );
+                pc += 1;
+            }
+            POp::CmpIR {
+                dst,
+                pred,
+                lhs,
+                rhs,
+            } => {
+                set(
+                    regs,
+                    *dst,
+                    Value::from_bool(eval_pred(*pred, *lhs, get(regs, *rhs))),
+                );
+                pc += 1;
+            }
+            POp::SelectB(data) => {
+                let v = if eval(regs, data.cond).as_bool() {
+                    eval(regs, data.on_true)
+                } else {
+                    eval(regs, data.on_false)
+                };
+                set(regs, data.dst, v);
+                pc += 1;
+            }
+            POp::LoadR {
+                dst,
+                addr,
+                offset,
+                private_ok,
+            } => {
+                let base = get(regs, *addr).as_int();
+                let a = base + offset;
+                let v = if *private_ok {
+                    tier.load_private(a)?
+                } else {
+                    tier.load(a)?
+                };
+                set(regs, *dst, v);
+                pc += 1;
+            }
+            POp::LoadA { dst, addr } => {
+                set(regs, *dst, tier.load(*addr)?);
+                pc += 1;
+            }
+            POp::StoreRR {
+                addr,
+                offset,
+                value,
+                private_ok,
+            } => {
+                let base = get(regs, *addr).as_int();
+                let a = base + offset;
+                let v = get(regs, *value);
+                if *private_ok {
+                    tier.store_private(a, v)?;
+                } else {
+                    tier.store(a, v)?;
+                }
+                pc += 1;
+            }
+            POp::StoreRI {
+                addr,
+                offset,
+                value,
+                private_ok,
+            } => {
+                let base = get(regs, *addr).as_int();
+                let a = base + offset;
+                if *private_ok {
+                    tier.store_private(a, *value)?;
+                } else {
+                    tier.store(a, *value)?;
+                }
+                pc += 1;
+            }
+            POp::StoreAR { addr, value } => {
+                tier.store(*addr, get(regs, *value))?;
+                pc += 1;
+            }
+            POp::StoreAI { addr, value } => {
+                tier.store(*addr, *value)?;
+                pc += 1;
+            }
+            POp::AllocR { dst, words } => {
+                let n = get(regs, *words).as_int().max(0) as usize;
+                set(regs, *dst, Value::Int(tier.alloc(n)?));
+                pc += 1;
+            }
+            POp::AllocI { dst, words } => {
+                let n = (*words).max(0) as usize;
+                set(regs, *dst, Value::Int(tier.alloc(n)?));
+                pc += 1;
+            }
+            POp::PrivateAllocR { dst, words } => {
+                let n = get(regs, *words).as_int().max(0) as usize;
+                set(regs, *dst, Value::Int(tier.alloc_private(n)?));
+                pc += 1;
+            }
+            POp::PrivateAllocI { dst, words } => {
+                let n = (*words).max(0) as usize;
+                set(regs, *dst, Value::Int(tier.alloc_private(n)?));
+                pc += 1;
+            }
+            POp::Wait { lane } => {
+                let lane_ix = *lane as usize;
+                if !sync.lanes.poll(lane_ix, iteration) {
+                    let mut backoff = AdaptiveWait::with_profile(sync.sleepers, sync.profile);
+                    let mut polls = 0u64;
+                    loop {
+                        if sync.lanes.poll(lane_ix, iteration) {
+                            break;
+                        }
+                        let charged = backoff.wait();
+                        polls += 1;
+                        if polls & 0x3F == 0 && sync.exited_at.load(Ordering::Acquire) < iteration {
+                            return Ok(IterEnd::Cancelled);
+                        }
+                        if charged > sync.spin_budget {
+                            return Err(IterError::Deadlock {
+                                lane: *lane,
+                                pc: pc as u32,
+                                observed: sync.lanes.observed(lane_ix, iteration),
+                            });
+                        }
+                    }
+                }
+                pc += 1;
+            }
+            POp::SignalLane { lane } => {
+                sync.lanes.signal(*lane as usize, iteration);
+                sync.sleepers.wake_all();
+                pc += 1;
+            }
+            POp::SignalControl => {
+                on_control();
+                pc += 1;
+            }
+            POp::CallB(call) => {
+                let actuals: Vec<Value> = call.args.iter().map(|a| eval(regs, *a)).collect();
+                let mut callee_regs: Vec<Value> = Vec::new();
+                prepare_callee_regs(image, call.func, &actuals, &mut callee_regs);
+                let end = run_flat(
+                    image,
+                    FuncId::new(call.func),
+                    image.funcs[call.func as usize].entry_block,
+                    None,
+                    &mut callee_regs,
+                    tier,
+                    u64::MAX,
+                )
+                .map_err(|e| match e {
+                    FlatError::Exec(e) => IterError::Exec(e),
+                    FlatError::BudgetExceeded => unreachable!("callees are unmetered"),
+                })?;
+                let v = match end {
+                    FlatEnd::Returned(v) => v,
+                    FlatEnd::ReachedStop => unreachable!("no stop block in callee runs"),
+                };
+                if let Some(d) = call.dst {
+                    set(regs, d, v.unwrap_or_default());
+                }
+                pc += 1;
+            }
+            POp::Jump { pc: target } => pc = *target as usize,
+            POp::EndIter => return Ok(IterEnd::Completed),
+            POp::ExitJump { block } => return Ok(IterEnd::Exit { block: *block }),
+            POp::Branch {
+                cond,
+                then_pc,
+                then_block,
+                else_pc,
+                else_block,
+            } => {
+                let (target, block) = if get(regs, *cond).as_bool() {
+                    (*then_pc, *then_block)
+                } else {
+                    (*else_pc, *else_block)
+                };
+                match target {
+                    PC_END_ITER => return Ok(IterEnd::Completed),
+                    PC_EXIT => return Ok(IterEnd::Exit { block }),
+                    t => pc = t as usize,
+                }
+            }
+            POp::RetR { src } => return Ok(IterEnd::Returned(Some(get(regs, *src)))),
+            POp::RetI { v } => return Ok(IterEnd::Returned(*v)),
+            POp::Trap { block } => {
+                return Err(IterError::Exec(ExecError::MissingTerminator(BlockId::new(
+                    *block,
+                ))));
+            }
+            POp::BinChainII {
+                mid,
+                op1,
+                lhs,
+                imm1,
+                dst,
+                op2,
+                imm2,
+            } => {
+                let m = eval_binop(*op1, get(regs, *lhs), *imm1);
+                set(regs, *mid, m);
+                set(regs, *dst, eval_binop(*op2, m, *imm2));
+                pc += 2;
+            }
+            POp::BinChainRI {
+                mid,
+                op1,
+                lhs,
+                rhs,
+                dst,
+                op2,
+                imm2,
+            } => {
+                let m = eval_binop(*op1, get(regs, *lhs), get(regs, *rhs));
+                set(regs, *mid, m);
+                set(regs, *dst, eval_binop(*op2, m, *imm2));
+                pc += 2;
+            }
+            POp::CmpBrRI {
+                dst,
+                pred,
+                lhs,
+                imm,
+                then_pc,
+                then_block,
+                else_pc,
+                else_block,
+            } => {
+                let taken = eval_pred(*pred, get(regs, *lhs), *imm);
+                set(regs, *dst, Value::from_bool(taken));
+                let (target, block) = if taken {
+                    (*then_pc, *then_block)
+                } else {
+                    (*else_pc, *else_block)
+                };
+                match target {
+                    PC_END_ITER => return Ok(IterEnd::Completed),
+                    PC_EXIT => return Ok(IterEnd::Exit { block }),
+                    t => pc = t as usize,
+                }
+            }
+            POp::CmpBrRR {
+                dst,
+                pred,
+                lhs,
+                rhs,
+                then_pc,
+                then_block,
+                else_pc,
+                else_block,
+            } => {
+                let taken = eval_pred(*pred, get(regs, *lhs), get(regs, *rhs));
+                set(regs, *dst, Value::from_bool(taken));
+                let (target, block) = if taken {
+                    (*then_pc, *then_block)
+                } else {
+                    (*else_pc, *else_block)
+                };
+                match target {
+                    PC_END_ITER => return Ok(IterEnd::Completed),
+                    PC_EXIT => return Ok(IterEnd::Exit { block }),
+                    t => pc = t as usize,
+                }
+            }
+        }
+    }
+}
+
+/// Sizes and seeds a callee register file inside `storage` for [`run_flat`].
+fn prepare_callee_regs(image: &ExecImage, callee: u32, args: &[Value], storage: &mut Vec<Value>) {
+    let cf = &image.funcs[callee as usize];
+    storage.resize(cf.num_regs.max(args.len()), Value::default());
+    for (slot, a) in storage.iter_mut().zip(args.iter()).take(cf.num_params) {
+        *slot = *a;
+    }
+}

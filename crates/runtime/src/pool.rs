@@ -1,0 +1,463 @@
+//! The persistent worker pool of the parallel runtime.
+//!
+//! The first-generation executor called `std::thread::scope` on every `execute`, paying an
+//! OS thread spawn + join per worker per run — hundreds of microseconds that dwarfed the
+//! loops being parallelized (and the paper's whole point is that per-invocation overhead
+//! decides whether cyclic multithreading wins). [`WorkerPool`] spawns each helper thread
+//! once, process-wide, and reuses it across every `execute` call:
+//!
+//! * helpers park on a condition variable between jobs (no busy idle),
+//! * a job is published with [`WorkerPool::submit`], which hands back a [`JobTicket`] whose
+//!   [`JobTicket::wait`]/`Drop` joins the job — the borrow-safety point that lets jobs
+//!   capture non-`'static` state (the submitting call cannot return before every helper has
+//!   left the closure),
+//! * there is deliberately **no work stealing**: HELIX workers self-schedule iterations from
+//!   one shared counter, so the pool only needs to run N copies of the same closure.
+//!
+//! [`AdaptiveWait`] is the wait strategy used by workers at synchronization points: a
+//! bounded spin (cheap when the producer is one segment away), then `yield_now` (lets the
+//! producer run on an oversubscribed machine), then a timed `parking_lot` park on a shared
+//! [`Sleepers`] pad that producers poke only when someone is actually parked — one relaxed
+//! load on the signal fast path.
+
+use parking_lot::{Condvar, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+/// A job body: executed once per participating worker with the worker's index
+/// (`1..=helpers`; index 0 is the submitting thread, which runs outside the pool).
+type JobFn = Arc<dyn Fn(usize) + Send + Sync>;
+
+struct Job {
+    f: JobFn,
+    /// Helpers wanted; helpers with a claimed slot run the closure, the rest keep parking.
+    helpers: usize,
+    /// Helpers that have claimed a slot so far.
+    started: usize,
+    /// Helpers still inside the closure (or yet to start).
+    active: usize,
+    /// `true` when a helper's closure panicked (re-raised by the submitter).
+    panicked: bool,
+}
+
+#[derive(Default)]
+struct PoolState {
+    job: Option<Job>,
+    /// Monotonic job counter; helpers wait for `epoch` to move past the one they last saw.
+    epoch: u64,
+    spawned: usize,
+}
+
+struct PoolInner {
+    state: Mutex<PoolState>,
+    /// Helpers park here between jobs.
+    work: Condvar,
+    /// Submitters park here while a job drains.
+    done: Condvar,
+}
+
+/// A persistent, work-stealing-free worker pool (see the module docs).
+pub struct WorkerPool {
+    inner: Arc<PoolInner>,
+}
+
+impl WorkerPool {
+    /// Creates an empty pool; helper threads are spawned lazily on first use.
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(PoolInner {
+                state: Mutex::new(PoolState::default()),
+                work: Condvar::new(),
+                done: Condvar::new(),
+            }),
+        }
+    }
+
+    /// The process-wide pool shared by every [`crate::ParallelExecutor`]. Threads are
+    /// spawned on demand up to the largest helper count any run has requested, and live for
+    /// the rest of the process.
+    pub fn global() -> &'static WorkerPool {
+        static POOL: OnceLock<WorkerPool> = OnceLock::new();
+        POOL.get_or_init(WorkerPool::new)
+    }
+
+    /// Number of helper threads currently spawned (for tests and diagnostics).
+    pub fn spawned_helpers(&self) -> usize {
+        self.inner.state.lock().spawned
+    }
+
+    /// Publishes `f` to `helpers` pool threads and returns a ticket that joins them.
+    ///
+    /// The closure runs once per helper with indices `1..=helpers`. The caller usually
+    /// participates as worker `0` by invoking the same logic on its own thread after
+    /// submitting. The job may borrow stack state of the caller: the returned ticket's
+    /// lifetime ties the job to that state, and [`JobTicket::wait`] (called explicitly or by
+    /// `Drop`) blocks until every helper has left the closure.
+    ///
+    /// Concurrent submissions queue: a submitter blocks until the in-flight job has fully
+    /// drained (helpers are a shared resource; two simultaneous `execute` calls serialize
+    /// their Phase B helper usage, each still correct on its own state).
+    ///
+    /// Crate-private on purpose: the returned ticket joins on `Drop`, but a leaked ticket
+    /// (`mem::forget`) would let pool threads keep running a closure whose borrowed stack
+    /// state has been freed. Inside the crate the executor's structured use (ticket waited
+    /// or dropped on every path, never forgotten) keeps this sound; a public version would
+    /// need a closure-scoped API.
+    pub(crate) fn submit<'scope>(
+        &'scope self,
+        helpers: usize,
+        f: &'scope (dyn Fn(usize) + Send + Sync),
+    ) -> JobTicket<'scope> {
+        // SAFETY: the ticket returned borrows `self` and `f` for `'scope`, and its
+        // `wait`/`Drop` blocks until every helper has exited the closure, so the pool never
+        // uses `f` after `'scope` ends. The transmute only erases the reference lifetime.
+        let f_static: &'static (dyn Fn(usize) + Send + Sync) = unsafe {
+            std::mem::transmute::<
+                &'scope (dyn Fn(usize) + Send + Sync),
+                &'static (dyn Fn(usize) + Send + Sync),
+            >(f)
+        };
+        let f: JobFn = Arc::new(move |ix: usize| f_static(ix));
+        let mut state = self.inner.state.lock();
+        while state.job.is_some() {
+            self.inner.done.wait(&mut state);
+        }
+        // Grow the pool to the requested helper count.
+        while state.spawned < helpers {
+            state.spawned += 1;
+            let inner = Arc::clone(&self.inner);
+            std::thread::Builder::new()
+                .name(format!("helix-worker-{}", state.spawned))
+                .spawn(move || helper_loop(&inner))
+                .expect("spawn helix worker thread");
+        }
+        state.job = Some(Job {
+            f,
+            helpers,
+            started: 0,
+            active: helpers,
+            panicked: false,
+        });
+        state.epoch += 1;
+        drop(state);
+        self.inner.work.notify_all();
+        JobTicket {
+            pool: self,
+            joined: false,
+        }
+    }
+}
+
+impl Default for WorkerPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Joins a submitted job: proof that every helper has left the job closure.
+pub(crate) struct JobTicket<'scope> {
+    pool: &'scope WorkerPool,
+    joined: bool,
+}
+
+impl JobTicket<'_> {
+    /// Blocks until every helper has finished the job.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a panic that escaped a helper's closure.
+    pub(crate) fn wait(mut self) {
+        self.join();
+    }
+
+    fn join(&mut self) {
+        if self.joined {
+            return;
+        }
+        self.joined = true;
+        let inner = &self.pool.inner;
+        let mut state = inner.state.lock();
+        while let Some(job) = &state.job {
+            if job.active == 0 {
+                let job = state.job.take().expect("job present");
+                drop(state);
+                // A queued submitter may be waiting for the slot to free up.
+                inner.done.notify_all();
+                if job.panicked && !std::thread::panicking() {
+                    panic!("a helix worker thread panicked during a parallel run");
+                }
+                return;
+            }
+            inner.done.wait(&mut state);
+        }
+    }
+}
+
+impl Drop for JobTicket<'_> {
+    fn drop(&mut self) {
+        self.join();
+    }
+}
+
+fn helper_loop(inner: &PoolInner) {
+    let mut seen_epoch = 0u64;
+    loop {
+        // Claim a slot in a fresh job, or park until one appears.
+        let (f, index) = {
+            let mut state = inner.state.lock();
+            loop {
+                if state.epoch != seen_epoch {
+                    seen_epoch = state.epoch;
+                    if let Some(job) = &mut state.job {
+                        if job.started < job.helpers {
+                            job.started += 1;
+                            break (Arc::clone(&job.f), job.started);
+                        }
+                    }
+                }
+                inner.work.wait(&mut state);
+            }
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| f(index)));
+        drop(f);
+        let mut state = inner.state.lock();
+        if let Some(job) = &mut state.job {
+            job.active -= 1;
+            if result.is_err() {
+                job.panicked = true;
+            }
+            if job.active == 0 {
+                inner.done.notify_all();
+            }
+        }
+    }
+}
+
+/// The shared sleep pad workers park on when a synchronization wait outlasts its spin
+/// budget. Producers call [`Sleepers::wake_all`] after publishing progress; the call is one
+/// relaxed load unless someone is actually parked.
+#[derive(Default)]
+pub struct Sleepers {
+    count: AtomicUsize,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl Sleepers {
+    /// Creates an empty pad.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parks the current thread for at most `timeout` or until [`Sleepers::wake_all`].
+    /// The timeout bounds the cost of a lost wakeup; callers always re-check their
+    /// condition after waking.
+    pub fn sleep(&self, timeout: Duration) {
+        self.count.fetch_add(1, Ordering::SeqCst);
+        let mut guard = self.lock.lock();
+        self.cv.wait_for(&mut guard, timeout);
+        drop(guard);
+        self.count.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Wakes every parked worker if any are parked (one relaxed load otherwise).
+    #[inline]
+    pub fn wake_all(&self) {
+        if self.count.load(Ordering::SeqCst) != 0 {
+            let _guard = self.lock.lock();
+            self.cv.notify_all();
+        }
+    }
+}
+
+/// Backoff shape of one run's wait sites, chosen once from the machine's topology.
+///
+/// With at least as many hardware threads as workers (*dedicated*), waiters spin and yield
+/// generously before parking: the producer runs concurrently and the expected wait is short,
+/// so burning a core buys latency. With fewer hardware threads than workers
+/// (*oversubscribed* — every thread of CPU an idle waiter burns is stolen from the producer
+/// it waits for), waiters go to sleep almost immediately and park with exponentially
+/// growing timeouts.
+#[derive(Clone, Copy, Debug)]
+pub struct WaitProfile {
+    spin_limit: u32,
+    yield_limit: u32,
+    park_initial: Duration,
+    park_max: Duration,
+}
+
+impl WaitProfile {
+    /// Generous spinning: enough hardware threads for every worker.
+    pub const DEDICATED: WaitProfile = WaitProfile {
+        spin_limit: 512,
+        yield_limit: 4096,
+        park_initial: Duration::from_micros(200),
+        park_max: Duration::from_micros(800),
+    };
+
+    /// Near-immediate parking: more workers than hardware threads.
+    pub const OVERSUBSCRIBED: WaitProfile = WaitProfile {
+        spin_limit: 16,
+        yield_limit: 24,
+        park_initial: Duration::from_micros(500),
+        park_max: Duration::from_millis(8),
+    };
+
+    /// Picks the profile for `threads` workers on this machine.
+    pub fn for_threads(threads: usize) -> WaitProfile {
+        let hardware = std::thread::available_parallelism().map_or(1, |n| n.get());
+        if hardware >= threads {
+            WaitProfile::DEDICATED
+        } else {
+            WaitProfile::OVERSUBSCRIBED
+        }
+    }
+
+    /// `true` when waiters spin long enough that progress wake-ups are worth sending.
+    pub fn wakes_on_progress(&self) -> bool {
+        self.park_max <= WaitProfile::DEDICATED.park_max
+    }
+}
+
+/// Budget units charged per microsecond parked: calibrated so deadlock budgets expressed in
+/// yield-spins on the previous executor (~100ns each) detect lost signals in comparable
+/// wall-clock time whether the waiter spins or parks.
+const PARK_COST_PER_US: u64 = 10;
+
+/// Bounded spin → yield → timed park, shared by every wait site of the runtime.
+pub struct AdaptiveWait<'a> {
+    sleepers: &'a Sleepers,
+    profile: WaitProfile,
+    park: Duration,
+    rounds: u32,
+    charged: u64,
+}
+
+impl<'a> AdaptiveWait<'a> {
+    /// Creates a fresh strategy with the [`WaitProfile::DEDICATED`] shape.
+    pub fn new(sleepers: &'a Sleepers) -> Self {
+        Self::with_profile(sleepers, WaitProfile::DEDICATED)
+    }
+
+    /// Creates a fresh strategy (used once per logical wait).
+    pub fn with_profile(sleepers: &'a Sleepers, profile: WaitProfile) -> Self {
+        Self {
+            sleepers,
+            profile,
+            park: profile.park_initial,
+            rounds: 0,
+            charged: 0,
+        }
+    }
+
+    /// Backs off one step. Returns the cumulative cost waited so far in yield-equivalent
+    /// units (the caller charges it against its deadlock budget).
+    #[inline]
+    pub fn wait(&mut self) -> u64 {
+        self.rounds = self.rounds.saturating_add(1);
+        if self.rounds < self.profile.spin_limit {
+            std::hint::spin_loop();
+            self.charged += 1;
+        } else if self.rounds < self.profile.yield_limit {
+            std::thread::yield_now();
+            self.charged += 1;
+        } else {
+            self.sleepers.sleep(self.park);
+            self.charged += PARK_COST_PER_US * self.park.as_micros().max(1) as u64;
+            self.park = (self.park * 2).min(self.profile.park_max);
+        }
+        self.charged
+    }
+
+    /// Restarts the backoff after progress was observed.
+    #[inline]
+    pub fn reset(&mut self) {
+        self.rounds = 0;
+        self.charged = 0;
+        self.park = self.profile.park_initial;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn pool_runs_helpers_and_is_reused() {
+        let pool = WorkerPool::new();
+        let hits = AtomicU64::new(0);
+        for round in 1..=3u64 {
+            let f = |ix: usize| {
+                assert!((1..=2).contains(&ix));
+                hits.fetch_add(ix as u64, Ordering::SeqCst);
+            };
+            let ticket = pool.submit(2, &f);
+            ticket.wait();
+            assert_eq!(hits.load(Ordering::SeqCst), 3 * round);
+            assert_eq!(pool.spawned_helpers(), 2, "helpers persist across jobs");
+        }
+    }
+
+    #[test]
+    fn pool_grows_to_the_largest_request() {
+        let pool = WorkerPool::new();
+        let f = |_ix: usize| {};
+        pool.submit(1, &f).wait();
+        assert_eq!(pool.spawned_helpers(), 1);
+        pool.submit(3, &f).wait();
+        assert_eq!(pool.spawned_helpers(), 3);
+        // A smaller job reuses the existing threads without spawning more.
+        pool.submit(2, &f).wait();
+        assert_eq!(pool.spawned_helpers(), 3);
+    }
+
+    #[test]
+    fn ticket_drop_joins_borrowed_state() {
+        let pool = WorkerPool::new();
+        let mut local = [0u64; 4];
+        {
+            let slots: Vec<AtomicU64> = (0..4).map(|_| AtomicU64::new(0)).collect();
+            let f = |ix: usize| slots[ix].store(ix as u64 * 10, Ordering::SeqCst);
+            let _ticket = pool.submit(3, &f);
+            // `_ticket` drops here, joining the helpers before `slots` is freed.
+        }
+        local[0] = 1;
+        assert_eq!(local[0], 1);
+    }
+
+    #[test]
+    fn sleepers_wake_parked_threads() {
+        let sleepers = Arc::new(Sleepers::new());
+        let woke = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let s = Arc::clone(&sleepers);
+            let w = Arc::clone(&woke);
+            handles.push(std::thread::spawn(move || {
+                s.sleep(Duration::from_secs(5));
+                w.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        while sleepers.count.load(Ordering::SeqCst) != 2 {
+            std::thread::yield_now();
+        }
+        sleepers.wake_all();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(woke.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn adaptive_wait_counts_rounds() {
+        let sleepers = Sleepers::new();
+        let mut wait = AdaptiveWait::new(&sleepers);
+        assert_eq!(wait.wait(), 1);
+        assert_eq!(wait.wait(), 2);
+        wait.reset();
+        assert_eq!(wait.wait(), 1);
+    }
+}

@@ -18,22 +18,221 @@
 //! visibility needs no further fences.
 
 use helix_ir::{Memory, Value};
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicI64, Ordering};
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 
 pub use helix_ir::memory::MemoryError;
+
+/// A test-and-test-and-set spinlock with yield backoff. Shard critical sections are a few
+/// nanoseconds (one word read/written), so a futex-based mutex's lock/unlock fast path
+/// costs more than the work it protects; a spinlock halves the per-access overhead. On an
+/// oversubscribed machine a preempted holder is handled by the yield in the contended path.
+struct SpinLock<T> {
+    locked: AtomicBool,
+    value: UnsafeCell<T>,
+}
+
+// SAFETY: the lock provides exclusive access to `value` (acquire/release pairs on `locked`).
+unsafe impl<T: Send> Sync for SpinLock<T> {}
+unsafe impl<T: Send> Send for SpinLock<T> {}
+
+impl<T: Default> Default for SpinLock<T> {
+    fn default() -> Self {
+        Self {
+            locked: AtomicBool::new(false),
+            value: UnsafeCell::new(T::default()),
+        }
+    }
+}
+
+impl<T> SpinLock<T> {
+    /// Raw access to the protected value without taking the lock.
+    ///
+    /// # Safety
+    ///
+    /// The caller must guarantee no other thread accesses the value concurrently (the
+    /// runtime's solo mode: one worker provably owns all of memory until the claim
+    /// protocol is published, which happens-before any other worker's first access).
+    #[inline]
+    unsafe fn get_exclusive(&self) -> *mut T {
+        self.value.get()
+    }
+
+    #[inline]
+    fn lock(&self) -> SpinGuard<'_, T> {
+        loop {
+            if self
+                .locked
+                .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                return SpinGuard { lock: self };
+            }
+            let mut spins = 0u32;
+            while self.locked.load(Ordering::Relaxed) {
+                spins += 1;
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+struct SpinGuard<'a, T> {
+    lock: &'a SpinLock<T>,
+}
+
+impl<T> Deref for SpinGuard<'_, T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        // SAFETY: the guard holds the lock.
+        unsafe { &*self.lock.value.get() }
+    }
+}
+
+impl<T> DerefMut for SpinGuard<'_, T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: the guard holds the lock exclusively.
+        unsafe { &mut *self.lock.value.get() }
+    }
+}
+
+impl<T> Drop for SpinGuard<'_, T> {
+    #[inline]
+    fn drop(&mut self) {
+        self.lock.locked.store(false, Ordering::Release);
+    }
+}
 
 /// log2 of the chunk size: consecutive runs of 2^CHUNK_BITS words share a shard, preserving
 /// spatial locality for array walks while still spreading distinct regions across shards.
 pub const CHUNK_BITS: u32 = 6;
+
+/// First address of the thread-private tier. Addresses at or above this value are served by
+/// the executing worker's [`PrivateArena`] instead of the striped shared memory; the range is
+/// disjoint from every valid shared address (`Memory::MAX_WORDS` is far below it), so a
+/// single comparison routes each access. Privatized pointers never escape their iteration
+/// (see `helix_core::privatize`), so two workers handing out overlapping private addresses
+/// is harmless — each routes to its own arena.
+pub const PRIVATE_BASE: i64 = 1 << 40;
+
+/// The thread-local memory tier: a per-worker bump arena serving allocations the
+/// privatization analysis proved iteration-private. Accesses hit a plain `Vec` — no shard
+/// lock, no atomics — which is the entire point: private data bypasses striping.
+///
+/// The arena is reset at iteration start (`reset`) and its storage is reused across
+/// iterations, so a privatized allocation costs a bump, a bounds grow and a zero-fill of the
+/// allocated words (fresh allocations must read zero, like shared memory).
+#[derive(Debug, Default)]
+pub struct PrivateArena {
+    words: Vec<Value>,
+    bump: usize,
+    /// Words allocated since the arena was created or last drained (across iterations);
+    /// the executor re-reserves this many words in shared memory after the loop so shared
+    /// addresses stay bitwise-identical to a sequential run.
+    skipped_words: u64,
+}
+
+impl PrivateArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a new iteration: all previous private allocations are dead.
+    pub fn reset(&mut self) {
+        self.bump = 0;
+    }
+
+    /// Bump-allocates `words` private words, zero-filled, and returns their address in the
+    /// private tier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError`] if the arena would exceed [`Memory::MAX_WORDS`] (shared
+    /// memory would have refused the allocation too).
+    pub fn alloc(&mut self, words: usize) -> Result<i64, MemoryError> {
+        let base = self.bump;
+        let end = base.checked_add(words).ok_or(MemoryError {
+            address: i64::MAX,
+            write: true,
+        })?;
+        if end > Memory::MAX_WORDS {
+            return Err(MemoryError {
+                address: PRIVATE_BASE + end as i64,
+                write: true,
+            });
+        }
+        if self.words.len() < end {
+            self.words.resize(end, Value::default());
+        }
+        // Fresh allocations read zero, exactly like never-touched shared memory.
+        self.words[base..end].fill(Value::default());
+        self.bump = end;
+        self.skipped_words += words as u64;
+        Ok(PRIVATE_BASE + base as i64)
+    }
+
+    /// Reads the private word at `address` (which must be `>= PRIVATE_BASE`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError`] for addresses outside the live bump region.
+    #[inline]
+    pub fn load(&self, address: i64) -> Result<Value, MemoryError> {
+        let slot = (address - PRIVATE_BASE) as usize;
+        if slot >= self.bump {
+            return Err(MemoryError {
+                address,
+                write: false,
+            });
+        }
+        Ok(self.words[slot])
+    }
+
+    /// Writes the private word at `address` (which must be `>= PRIVATE_BASE`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError`] for addresses outside the live bump region.
+    #[inline]
+    pub fn store(&mut self, address: i64, value: Value) -> Result<(), MemoryError> {
+        let slot = (address - PRIVATE_BASE) as usize;
+        if slot >= self.bump {
+            return Err(MemoryError {
+                address,
+                write: true,
+            });
+        }
+        self.words[slot] = value;
+        Ok(())
+    }
+
+    /// Returns and clears the number of words allocated privately since the last drain.
+    pub fn drain_skipped_words(&mut self) -> u64 {
+        std::mem::take(&mut self.skipped_words)
+    }
+}
 
 /// Default number of shards (must be a power of two).
 pub const DEFAULT_SHARDS: usize = 64;
 
 /// One lock-striped shard, cache-line aligned so neighbouring shard locks do not false-share.
 #[repr(align(64))]
-#[derive(Debug, Default)]
-struct Shard(Mutex<Vec<Value>>);
+#[derive(Default)]
+struct Shard(SpinLock<Vec<Value>>);
+
+impl std::fmt::Debug for Shard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Shard(..)")
+    }
+}
 
 /// Flat, word-addressed shared memory with lock striping by address chunk and an atomic bump
 /// allocator. The concurrent counterpart of [`Memory`].
@@ -67,13 +266,31 @@ impl ShardedMemory {
             heap_base: memory.heap_base(),
             next_free: AtomicI64::new(memory.heap_base() + memory.heap_used() as i64),
         };
-        // Seed the globals region (and any pre-run heap seeding) from the snapshot.
-        let used = memory.heap_base() + memory.heap_used() as i64;
-        for addr in 1..used {
-            let value = memory.load(addr).unwrap_or_default();
-            if value != Value::Int(0) {
-                this.store(addr, value).expect("seed address in range");
+        // Seed the globals region (and any pre-run heap seeding) from the snapshot, one
+        // shard lock per address chunk instead of one per word.
+        let used = (memory.heap_base() + memory.heap_used() as i64) as usize;
+        let words = memory.words();
+        let chunk_words = 1usize << CHUNK_BITS;
+        let mut addr = 1usize;
+        while addr < used {
+            let chunk_end = ((addr >> CHUNK_BITS) + 1) << CHUNK_BITS;
+            let end = chunk_end.min(used).min(words.len());
+            if addr >= end {
+                break;
             }
+            if words[addr..end].iter().any(|v| *v != Value::Int(0)) {
+                let (shard, slot) = this.locate(addr as i64, true).expect("seed in range");
+                let mut guard = this.shards[shard].0.lock();
+                let needed = slot + (end - addr);
+                if guard.len() < needed {
+                    let new_len = needed
+                        .next_power_of_two()
+                        .min(Memory::MAX_WORDS / this.shards.len().max(1) + chunk_words);
+                    guard.resize(new_len.max(needed), Value::default());
+                }
+                guard[slot..slot + (end - addr)].copy_from_slice(&words[addr..end]);
+            }
+            addr = chunk_end;
         }
         this
     }
@@ -126,14 +343,58 @@ impl ShardedMemory {
     pub fn store(&self, address: i64, value: Value) -> Result<(), MemoryError> {
         let (shard, slot) = self.locate(address, true)?;
         let mut words = self.shards[shard].0.lock();
+        Self::store_slot(&mut words, shard, self.shards.len(), slot, value);
+        Ok(())
+    }
+
+    #[inline]
+    fn store_slot(
+        words: &mut Vec<Value>,
+        _shard: usize,
+        num_shards: usize,
+        slot: usize,
+        value: Value,
+    ) {
         if slot >= words.len() {
-            let max_per_shard = Memory::MAX_WORDS / self.shards.len().max(1) + (1 << CHUNK_BITS);
+            let max_per_shard = Memory::MAX_WORDS / num_shards.max(1) + (1 << CHUNK_BITS);
             let new_len = (slot + 1)
                 .next_power_of_two()
                 .min(max_per_shard.max(slot + 1));
             words.resize(new_len, Value::default());
         }
         words[slot] = value;
+    }
+
+    /// Lock-free read of the word at `address`.
+    ///
+    /// # Safety
+    ///
+    /// The caller must be the only thread accessing this memory (the runtime's solo mode;
+    /// publication of the claim protocol re-establishes locking with a release/acquire
+    /// edge before any other worker touches memory).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError`] for out-of-range addresses.
+    pub unsafe fn load_exclusive(&self, address: i64) -> Result<Value, MemoryError> {
+        let (shard, slot) = self.locate(address, false)?;
+        let words = unsafe { &*self.shards[shard].0.get_exclusive() };
+        Ok(words.get(slot).copied().unwrap_or_default())
+    }
+
+    /// Lock-free write of the word at `address`.
+    ///
+    /// # Safety
+    ///
+    /// Same exclusivity contract as [`ShardedMemory::load_exclusive`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError`] for out-of-range addresses.
+    pub unsafe fn store_exclusive(&self, address: i64, value: Value) -> Result<(), MemoryError> {
+        let (shard, slot) = self.locate(address, true)?;
+        let words = unsafe { &mut *self.shards[shard].0.get_exclusive() };
+        Self::store_slot(words, shard, self.shards.len(), slot, value);
         Ok(())
     }
 
@@ -166,6 +427,17 @@ impl ShardedMemory {
                 Err(actual) => base = actual,
             }
         }
+    }
+
+    /// Reserves `words` heap words without exposing their contents: the executor re-reserves
+    /// the words served from [`PrivateArena`]s after a parallel loop completes so every
+    /// shared address allocated later is bitwise-identical to a sequential run's.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError`] if the reservation would exceed [`Memory::MAX_WORDS`].
+    pub fn reserve(&self, words: usize) -> Result<(), MemoryError> {
+        self.alloc(words).map(|_| ())
     }
 
     /// Copies the live prefix (globals + allocated heap) back into a flat [`Memory`] for
@@ -250,6 +522,40 @@ mod tests {
         for addr in 1..(1 + 8 * 500) {
             assert_eq!(mem.load(addr).unwrap(), Value::Int(addr));
         }
+    }
+
+    #[test]
+    fn private_arena_allocates_zeroed_and_resets() {
+        let mut arena = PrivateArena::new();
+        let a = arena.alloc(3).unwrap();
+        assert_eq!(a, PRIVATE_BASE);
+        assert_eq!(arena.load(a).unwrap(), Value::Int(0));
+        arena.store(a + 2, Value::Int(9)).unwrap();
+        assert_eq!(arena.load(a + 2).unwrap(), Value::Int(9));
+        assert!(arena.load(a + 3).is_err(), "past the bump region");
+        let b = arena.alloc(2).unwrap();
+        assert_eq!(b, PRIVATE_BASE + 3);
+        // Reset starts the next iteration at the base and re-zeroes on allocation.
+        arena.reset();
+        let c = arena.alloc(3).unwrap();
+        assert_eq!(c, PRIVATE_BASE);
+        assert_eq!(
+            arena.load(c + 2).unwrap(),
+            Value::Int(0),
+            "stale word re-zeroed"
+        );
+        assert_eq!(arena.drain_skipped_words(), 8);
+        assert_eq!(arena.drain_skipped_words(), 0);
+    }
+
+    #[test]
+    fn reserve_advances_the_shared_bump() {
+        let mem = ShardedMemory::from_memory(&Memory::new());
+        let before = mem.heap_used();
+        mem.reserve(7).unwrap();
+        assert_eq!(mem.heap_used(), before + 7);
+        let next = mem.alloc(1).unwrap();
+        assert_eq!(next, mem.heap_base() + before as i64 + 7);
     }
 
     #[test]

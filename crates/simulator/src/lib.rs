@@ -18,6 +18,6 @@
 pub mod sim;
 
 pub use sim::{
-    profile_and_simulate, simulate_loop, simulate_program, LoopSimResult, ProgramSimResult,
-    SimConfig,
+    lowered_segment_costs, profile_and_simulate, simulate_loop, simulate_loop_lowered,
+    simulate_program, LoopSimResult, ProgramSimResult, SimConfig,
 };

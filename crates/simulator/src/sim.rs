@@ -189,6 +189,44 @@ pub fn simulate_loop(
     }
 }
 
+/// Per-segment cycle costs read from the *lowered* runtime image: the static cost of each
+/// segment's flat bytecode span (between its first `Wait` and last `Signal`), as the worker
+/// would execute it. These are the costs the real runtime's dispatch actually implies —
+/// profile-weighted estimates can drift when Step 5/6 moved instructions around, while the
+/// lowered span is exactly what runs between the synchronization points.
+pub fn lowered_segment_costs(
+    loop_image: &helix_runtime::LoopImage,
+    cost: &helix_ir::CostModel,
+) -> BTreeMap<helix_ir::DepId, f64> {
+    loop_image
+        .segment_span_cycles(cost)
+        .into_iter()
+        .map(|(dep, cycles)| (dep, cycles as f64))
+        .collect()
+}
+
+/// Simulates one parallelized loop with per-segment cycles taken from the lowered
+/// [`helix_runtime::LoopImage`] instead of the profile-weighted plan estimates (see
+/// [`lowered_segment_costs`]). Segments the image knows nothing about (none, in a
+/// well-formed lowering) keep their plan estimate.
+pub fn simulate_loop_lowered(
+    plan: &ParallelizedLoop,
+    profile: &helix_profiler::LoopProfile,
+    config: &SimConfig,
+    loop_image: &helix_runtime::LoopImage,
+) -> LoopSimResult {
+    let costs = lowered_segment_costs(loop_image, &helix_ir::CostModel::default());
+    let mut refined = plan.clone();
+    for seg in refined.segments.iter_mut() {
+        if let Some(cycles) = costs.get(&seg.dep) {
+            if *cycles > 0.0 {
+                seg.cycles_per_iteration = *cycles;
+            }
+        }
+    }
+    simulate_loop(&refined, profile, config)
+}
+
 /// The end-to-end Figure 9 flow as one library call: profile a training run of `entry`
 /// through the flat-bytecode engine, run the HELIX analysis, and simulate the parallelized
 /// execution. `fuel` bounds the profiling run's dynamic instruction count.
@@ -364,6 +402,39 @@ mod tests {
         let r = simulate_loop(plan, &empty, &SimConfig::default());
         assert_eq!(r.speedup, 1.0);
         assert_eq!(r.signals_sent, 0.0);
+    }
+
+    #[test]
+    fn lowered_costs_feed_the_cycle_model() {
+        // The simulator can price sequential segments straight off the runtime's lowered
+        // iteration bytecode: costs must exist for every synchronized segment and the
+        // simulated speedup must stay in a sane band around the profile-weighted estimate.
+        let (module, output, profile) = analyze_art();
+        let plan = output
+            .plans
+            .values()
+            .find(|p| p.synchronized_segments() > 0)
+            .expect("a synchronized plan");
+        let transformed = helix_core::transform::apply(&module, plan);
+        let pimg = helix_runtime::ParallelImage::lower(&transformed);
+        let costs = lowered_segment_costs(&pimg.loop_image, &helix_ir::CostModel::default());
+        assert_eq!(
+            costs.len(),
+            pimg.loop_image.num_lanes(),
+            "one cost per signal lane"
+        );
+        assert!(costs.values().all(|c| *c >= 0.0));
+        let lp = profile.loop_profile((plan.func, plan.loop_id));
+        let base = simulate_loop(plan, &lp, &SimConfig::helix_6_cores());
+        let lowered =
+            simulate_loop_lowered(plan, &lp, &SimConfig::helix_6_cores(), &pimg.loop_image);
+        assert!(lowered.parallel_cycles > 0.0);
+        assert!(
+            lowered.speedup > 0.1 && lowered.speedup <= 6.0,
+            "lowered-cost speedup stays physical: {} (profile-weighted {})",
+            lowered.speedup,
+            base.speedup
+        );
     }
 
     #[test]

@@ -126,6 +126,35 @@ fn fuzz_seed_sweep_is_divergence_free_on_main() {
 }
 
 #[test]
+fn oracle_runs_stay_deterministic_through_the_pooled_runtime() {
+    // The oracle's parallel stage now routes through the persistent worker pool and the
+    // lowered ParallelImage runtime. Re-running the *same* seeds back to back must produce
+    // byte-identical reports: a stale lane counter, claim frontier or arena surviving one
+    // `execute` into the next would surface here as a run-to-run difference.
+    let config = GenConfig::fuzz();
+    let oracle = OracleConfig {
+        threads: vec![1, 2, 4],
+        repeats: 1,
+        ..OracleConfig::default()
+    };
+    for seed in [3, 7, 11, 19] {
+        let gp = generate(seed, &config);
+        let first = differential_check(&gp.module, gp.main, &oracle)
+            .unwrap_or_else(|d| panic!("seed {seed} diverged: {d}"));
+        for round in 0..3 {
+            let again = differential_check(&gp.module, gp.main, &oracle)
+                .unwrap_or_else(|d| panic!("seed {seed} round {round} diverged: {d}"));
+            assert_eq!(again.result, first.result, "seed {seed} round {round}");
+            assert_eq!(again.stats, first.stats, "seed {seed} round {round}");
+            assert_eq!(
+                again.parallel_runs, first.parallel_runs,
+                "seed {seed} round {round}"
+            );
+        }
+    }
+}
+
+#[test]
 fn shrinker_minimizes_a_semantic_result_failure() {
     // Shrink against a *behavioural* predicate (not the structural one): the program's
     // checksum keeps a specific residue. This exercises the execution-oracle path the CLI

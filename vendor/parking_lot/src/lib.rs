@@ -1,10 +1,12 @@
 //! Offline stand-in for the real `parking_lot`.
 //!
-//! Provides the `Mutex` API surface the runtime executor uses — `new`, non-poisoning `lock`,
-//! `try_lock`, `into_inner` — backed by `std::sync::Mutex`. Poisoning is papered over by
-//! recovering the inner guard, matching parking_lot's "no poisoning" semantics.
+//! Provides the `Mutex` and `Condvar` API surface the runtime uses — `new`, non-poisoning
+//! `lock`, `try_lock`, `into_inner`, `wait`, `wait_for`, `notify_one`/`notify_all` — backed
+//! by `std::sync`. Poisoning is papered over by recovering the inner guard, matching
+//! parking_lot's "no poisoning" semantics.
 
 use std::sync::{self, TryLockError};
+use std::time::Duration;
 
 /// A parking_lot-style mutex that never poisons.
 #[derive(Debug, Default)]
@@ -44,6 +46,95 @@ impl<T: ?Sized> Mutex<T> {
     }
 }
 
+/// Result of a timed [`Condvar::wait_for`]: did the wait give up before a notification?
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// `true` when the wait returned because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// A parking_lot-style condition variable that pairs with [`Mutex`] and never poisons.
+#[derive(Debug, Default)]
+pub struct Condvar(sync::Condvar);
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Self(sync::Condvar::new())
+    }
+
+    /// Parks the current thread until notified, atomically releasing `guard` while parked.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        take_guard(guard, |g| {
+            self.0.wait(g).unwrap_or_else(sync::PoisonError::into_inner)
+        });
+    }
+
+    /// Parks like [`Condvar::wait`] but gives up after `timeout`.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let mut timed_out = false;
+        take_guard(guard, |g| {
+            let (g, result) = self
+                .0
+                .wait_timeout(g, timeout)
+                .unwrap_or_else(sync::PoisonError::into_inner);
+            timed_out = result.timed_out();
+            g
+        });
+        WaitTimeoutResult(timed_out)
+    }
+
+    /// Wakes one parked thread.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wakes every parked thread.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
+/// Runs `f` on the guard owned by `*slot`, replacing it with the guard `f` returns.
+///
+/// `std`'s `Condvar::wait` consumes the guard by value while parking_lot's takes `&mut`;
+/// this adapter moves the guard out for the duration of the wait. Should `f` ever panic
+/// (std's wait only fails with poisoning, which the callers recover, but the guard exists
+/// so the invariant never depends on that), the bitwise copy left in `*slot` would be a
+/// second owner of the same lock — unwinding would double-unlock it. The abort bomb turns
+/// that impossible-by-construction case into a process abort instead of undefined behavior.
+fn take_guard<'a, T>(
+    slot: &mut MutexGuard<'a, T>,
+    f: impl FnOnce(MutexGuard<'a, T>) -> MutexGuard<'a, T>,
+) {
+    struct AbortOnUnwind;
+    impl Drop for AbortOnUnwind {
+        fn drop(&mut self) {
+            if std::thread::panicking() {
+                std::process::abort();
+            }
+        }
+    }
+    let bomb = AbortOnUnwind;
+    // SAFETY: `slot` is immediately overwritten with the guard returned by `f` (std
+    // Condvar::wait always returns a re-acquired guard for the same mutex); if `f` unwinds
+    // instead, `bomb` aborts before the duplicated guard in `*slot` can be dropped again.
+    unsafe {
+        let guard = std::ptr::read(slot);
+        let new_guard = f(guard);
+        std::ptr::write(slot, new_guard);
+    }
+    std::mem::forget(bomb);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -64,6 +155,30 @@ mod tests {
         assert!(m.try_lock().is_none());
         drop(g);
         assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn condvar_wakes_waiters() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let handle = std::thread::spawn(move || {
+            let (lock, cvar) = &*p2;
+            let mut ready = lock.lock();
+            while !*ready {
+                cvar.wait(&mut ready);
+            }
+        });
+        {
+            let (lock, cvar) = &*pair;
+            *lock.lock() = true;
+            cvar.notify_all();
+        }
+        handle.join().unwrap();
+        // A timed wait with no notification reports the timeout.
+        let (lock, cvar) = &*pair;
+        let mut guard = lock.lock();
+        let result = cvar.wait_for(&mut guard, Duration::from_millis(1));
+        assert!(result.timed_out());
     }
 
     #[test]
