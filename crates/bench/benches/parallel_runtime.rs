@@ -5,26 +5,36 @@
 //! For every corpus program and synthetic SPEC stand-in whose entry function has a HELIX
 //! plan, this harness:
 //!
-//! * profiles and analyzes the program, transforms its hottest main-level plan, and lowers
-//!   the result **once** into a [`helix_runtime::ParallelImage`],
+//! * micro-calibrates the machine once (`helix_runtime::CalibrationProfile`) and runs the
+//!   HELIX analysis with *measured* costs — the calibrate→price→select loop, end to end;
+//! * transforms the hottest calibrated-selection main-level plan and lowers it **once**
+//!   into a [`helix_runtime::ParallelImage`];
 //! * measures sequential wall-clock through `helix_ir::ImageMachine` (the engine every
-//!   pipeline run uses),
-//! * measures the pooled parallel runtime at 1/2/4/6 worker threads (pool warm, lowering
-//!   amortized — the steady-state serving configuration),
+//!   pipeline run uses);
+//! * measures the pooled parallel runtime per requested worker count (pool warm, lowering
+//!   amortized — the steady-state serving configuration). Requested counts that collapse
+//!   to the same *effective* configuration on this machine (the executor clamps workers
+//!   to the hardware thread count) share one measurement and are reported with their
+//!   `effective_workers`, so "4 threads" vs "1 thread" on a 1-CPU host compares the same
+//!   execution instead of two noise samples;
+//! * when paper-constant pricing would have picked a *different* plan than measured-cost
+//!   pricing (the selection flip the `nest_flip` corpus witness exists for), measures both
+//!   plans and records which one actually wins;
 //! * verifies every timed run returns the sequential result.
 //!
-//! Results go to stdout and `BENCH_parallel.json` at the repository root: per-program
-//! nanoseconds, per-thread-count speedups over sequential bytecode, the 1-thread overhead,
-//! and geomean scalability. CI runs `--test` (smoke reps) with `--check-1t 1.25`, which
-//! fails the job only if some program's 1-thread parallel run regresses more than 25%
-//! against sequential bytecode — scalability numbers are reported, not gated, because
-//! shared runners make multi-thread wall-clock flaky.
+//! Results go to stdout and `BENCH_parallel.json` at the repository root (the calibration
+//! profile goes to `BENCH_calibration.txt`): per-program nanoseconds, per-thread-count
+//! speedups over sequential bytecode, the 1-thread overhead, geomean scalability, and any
+//! selection flips. CI runs `--test` (smoke reps) with `--check-1t 1.25` (a 1-thread
+//! parallel run regressing more than 25% against sequential bytecode fails the job) and
+//! `--check-4t 0.10` (the 4-thread geomean regressing more than 10% below the *committed*
+//! BENCH_parallel.json value fails the job — the thread-scaling gate).
 
 use helix_analysis::LoopNestingGraph;
-use helix_core::{transform, Helix, HelixConfig};
+use helix_core::{transform, Helix, HelixConfig, ParallelizedLoop};
 use helix_ir::{ExecImage, ImageMachine, Module};
 use helix_profiler::profile_program_image;
-use helix_runtime::{ParallelExecutor, ParallelImage};
+use helix_runtime::{CalibrationProfile, ParallelExecutor, ParallelImage};
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
@@ -50,39 +60,56 @@ where
         .unwrap_or(Duration::ZERO)
 }
 
+/// Wall-clock of one plan's parallel run at `threads`, verified against `expected`.
+fn time_plan(
+    pimg: &ParallelImage,
+    threads: usize,
+    reps: usize,
+    expected: Option<helix_ir::Value>,
+    name: &str,
+) -> Duration {
+    let executor = ParallelExecutor::new(threads);
+    best_time(reps, || {
+        let (executor, pimg) = (executor, pimg);
+        move || {
+            let got = executor.run_parallel(pimg, &[]).expect("parallel run");
+            assert_eq!(got, expected, "{name}: parallel result diverged");
+        }
+    })
+}
+
 struct ProgramReport {
     name: String,
     instrs: u64,
     synchronized_segments: usize,
     private_words_per_iter: u64,
     sequential_ns: u128,
-    /// `(threads, ns, speedup over sequential bytecode)`.
-    parallel: Vec<(usize, u128, f64)>,
+    /// `(threads, effective workers, ns, speedup over sequential bytecode)`.
+    parallel: Vec<(usize, usize, u128, f64)>,
+    /// Paper-constant pricing picked a different plan: `(paper loop, measured loop,
+    /// paper-plan ns, measured-plan ns)` at the largest thread count.
+    flip: Option<(String, String, u128, u128)>,
 }
 
 impl ProgramReport {
     fn speedup_at(&self, threads: usize) -> Option<f64> {
         self.parallel
             .iter()
-            .find(|(t, _, _)| *t == threads)
-            .map(|(_, _, s)| *s)
+            .find(|(t, _, _, _)| *t == threads)
+            .map(|(_, _, _, s)| *s)
     }
 }
 
-/// Benchmarks one program; returns `None` when its entry has no executable plan.
-fn bench_program(
-    name: &str,
-    module: &Module,
+/// The hottest main-level plan of a selection, falling back to the hottest candidate.
+fn hottest_plan<'a>(
+    output: &'a helix_core::HelixOutput,
+    selected: &std::collections::BTreeSet<helix_profiler::LoopKey>,
+    profile: &helix_profiler::ProgramProfile,
     main: helix_ir::FuncId,
-    reps: usize,
-) -> Option<ProgramReport> {
-    let image = ExecImage::lower(module);
-    let nesting = LoopNestingGraph::new(module);
-    let profile = profile_program_image(module, &nesting, main, &[]).ok()?;
-    let output = Helix::new(HelixConfig::i7_980x()).analyze(module, &profile);
-    let plan = output
-        .selected_plans()
-        .into_iter()
+) -> Option<&'a ParallelizedLoop> {
+    selected
+        .iter()
+        .filter_map(|k| output.plans.get(k))
         .filter(|p| p.func == main)
         .max_by_key(|p| profile.loop_profile((p.func, p.loop_id)).cycles)
         .or_else(|| {
@@ -91,8 +118,59 @@ fn bench_program(
                 .values()
                 .filter(|p| p.func == main)
                 .max_by_key(|p| profile.loop_profile((p.func, p.loop_id)).cycles)
-        })?
-        .clone();
+        })
+}
+
+/// Benchmarks one program; returns `None` when its entry has no executable plan.
+fn bench_program(
+    name: &str,
+    module: &Module,
+    main: helix_ir::FuncId,
+    reps: usize,
+    calibration: &CalibrationProfile,
+) -> Option<ProgramReport> {
+    let image = ExecImage::lower(module);
+    let nesting = LoopNestingGraph::new(module);
+    let profile = profile_program_image(module, &nesting, main, &[]).ok()?;
+
+    // The calibrate→price→select loop, priced for the configuration that will actually
+    // run: on this machine the executor collapses requested workers to the hardware
+    // thread count, and signal costs are measured accordingly (a 1-worker run pays local
+    // publishes, not cross-thread handoffs).
+    let effective =
+        ParallelExecutor::new(*THREAD_COUNTS.last().expect("non-empty")).effective_workers();
+    let paper_helix = Helix::new(HelixConfig::i7_980x());
+    let paper = paper_helix.analyze(module, &profile);
+    let suite_helix =
+        Helix::new(calibration.helix_config_for_workers(HelixConfig::i7_980x(), effective))
+            .with_cost_model(calibration.cost_model());
+    let suite = suite_helix.analyze(module, &profile);
+    let (suite_selection, _trace) = helix_simulator::feedback_selection(
+        module,
+        &profile,
+        &suite_helix,
+        &suite,
+        &calibration.cost_model(),
+    );
+    let plan = hottest_plan(&suite, &suite_selection.selected, &profile, main)?.clone();
+
+    // Flip detection uses the *cross-thread* measured pricing — the comparison the
+    // `parallelize --calibrate` selection trace reports: which plan would paper constants
+    // pick, which plan do measured signal costs pick?
+    let measured_helix = Helix::new(calibration.helix_config(HelixConfig::i7_980x()))
+        .with_cost_model(calibration.cost_model());
+    let measured = measured_helix.analyze(module, &profile);
+    let (measured_selection, _) = helix_simulator::feedback_selection(
+        module,
+        &profile,
+        &measured_helix,
+        &measured,
+        &calibration.cost_model(),
+    );
+    let measured_plan =
+        hottest_plan(&measured, &measured_selection.selected, &profile, main).cloned();
+    let paper_plan = hottest_plan(&paper, &paper.selection.selected, &profile, main).cloned();
+
     let transformed = transform::apply(module, &plan);
     let pimg = ParallelImage::lower(&transformed);
 
@@ -115,19 +193,50 @@ fn bench_program(
         }
     });
 
-    let mut parallel = Vec::new();
+    // Requested thread counts that collapse to the same effective worker count on this
+    // machine share one measurement (same execution, one number — not N noise samples).
+    let mut parallel: Vec<(usize, usize, u128, f64)> = Vec::new();
+    let mut measured_at: Vec<(usize, Duration)> = Vec::new();
     for threads in THREAD_COUNTS {
-        let executor = ParallelExecutor::new(threads);
-        let elapsed = best_time(reps, || {
-            let (executor, pimg, expected) = (executor, &pimg, expected);
-            move || {
-                let got = executor.run_parallel(pimg, &[]).expect("parallel run");
-                assert_eq!(got, expected, "{name}: parallel result diverged");
+        let effective = ParallelExecutor::new(threads).effective_workers();
+        let elapsed = match measured_at.iter().find(|(e, _)| *e == effective) {
+            Some((_, d)) => *d,
+            None => {
+                let d = time_plan(&pimg, threads, reps, expected, name);
+                measured_at.push((effective, d));
+                d
             }
-        });
+        };
         let speedup = sequential.as_secs_f64() / elapsed.as_secs_f64().max(1e-12);
-        parallel.push((threads, elapsed.as_nanos(), speedup));
+        parallel.push((threads, effective, elapsed.as_nanos(), speedup));
     }
+
+    // Selection flip: paper-constant and cross-thread measured pricing picked different
+    // plans — time them head-to-head at the largest thread count and record which choice
+    // wins on the actual runtime.
+    let flip = match (paper_plan, measured_plan) {
+        (Some(pp), Some(mp)) if (pp.func, pp.loop_id) != (mp.func, mp.loop_id) => {
+            let threads = *THREAD_COUNTS.last().expect("non-empty");
+            let time_of = |p: &ParallelizedLoop| {
+                // The suite plan is already lowered; reuse its image instead of
+                // re-lowering and re-timing the identical plan.
+                if (p.func, p.loop_id) == (plan.func, plan.loop_id) {
+                    time_plan(&pimg, threads, reps, expected, name).as_nanos()
+                } else {
+                    let t = transform::apply(module, p);
+                    let img = ParallelImage::lower(&t);
+                    time_plan(&img, threads, reps, expected, name).as_nanos()
+                }
+            };
+            Some((
+                format!("{}", pp.loop_id),
+                format!("{}", mp.loop_id),
+                time_of(&pp),
+                time_of(&mp),
+            ))
+        }
+        _ => None,
+    };
 
     Some(ProgramReport {
         name: name.to_string(),
@@ -136,18 +245,62 @@ fn bench_program(
         private_words_per_iter: pimg.loop_image.private_words_per_iter,
         sequential_ns: sequential.as_nanos(),
         parallel,
+        flip,
     })
+}
+
+/// Extracts a top-level numeric field from a previously committed BENCH_parallel.json.
+fn committed_number(text: &str, field: &str) -> Option<f64> {
+    let key = format!("\"{field}\":");
+    let at = text.find(&key)? + key.len();
+    let rest = text[at..].trim_start();
+    let end = rest.find([',', '\n', '}'])?;
+    rest[..end].trim().parse().ok()
+}
+
+/// The committed baseline for the thread-scaling gate: `(geomean_speedup_4t,
+/// hardware_threads)`. The gate only fires when this machine's topology matches the one
+/// the baseline was measured on — a single-worker baseline says nothing about a real
+/// multi-worker run, and vice versa.
+fn committed_baseline(path: &std::path::Path) -> Option<(f64, Option<f64>)> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let geomean = committed_number(&text, "geomean_speedup_4t")?;
+    Some((geomean, committed_number(&text, "hardware_threads")))
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--test");
-    let check_1t: Option<f64> = args
-        .iter()
-        .position(|a| a == "--check-1t")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok());
+    let flag_value = |flag: &str| -> Option<f64> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+    };
+    let check_1t = flag_value("--check-1t");
+    let check_4t = flag_value("--check-4t");
     let reps = if smoke { 5 } else { 30 };
+
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let json_path = root.join("BENCH_parallel.json");
+    let committed_4t = committed_baseline(&json_path);
+
+    let calibration = CalibrationProfile::measure();
+    println!(
+        "parallel_runtime: calibrated — alu {:.1}ns, load {:.1}ns, signal observe {:.0}ns \
+         ({} model cycles; paper: 110), poll {:.1}ns, pool wake {:.0}ns, {} hardware thread(s)",
+        calibration.alu_ns,
+        calibration.load_ns,
+        calibration.signal_observe_ns,
+        calibration
+            .helix_config(HelixConfig::i7_980x())
+            .signal_latency_unprefetched,
+        calibration.signal_poll_ns,
+        calibration.pool_wake_ns,
+        calibration.hardware_threads,
+    );
+    std::fs::write(root.join("BENCH_calibration.txt"), calibration.to_text())
+        .expect("write BENCH_calibration.txt");
 
     let mut programs: Vec<(String, Module, helix_ir::FuncId)> = Vec::new();
     for (name, module, main) in helix_workloads::corpus::load_all().expect("corpus loads") {
@@ -160,7 +313,7 @@ fn main() {
 
     let mut reports = Vec::new();
     for (name, module, main) in &programs {
-        let Some(report) = bench_program(name, module, *main, reps) else {
+        let Some(report) = bench_program(name, module, *main, reps, &calibration) else {
             println!("parallel_runtime/{name}: no executable plan for the entry, skipped");
             continue;
         };
@@ -168,13 +321,26 @@ fn main() {
             "parallel_runtime/{:<28} seq {:>9}ns |",
             report.name, report.sequential_ns
         );
-        for (threads, ns, speedup) in &report.parallel {
-            print!(" {threads}t {ns:>9}ns ({speedup:.2}x) |");
+        for (threads, effective, ns, speedup) in &report.parallel {
+            print!(" {threads}t[{effective}w] {ns:>9}ns ({speedup:.2}x) |");
         }
         println!(
             " {} sync segs, {} private words/iter, {} instrs",
             report.synchronized_segments, report.private_words_per_iter, report.instrs
         );
+        if let Some((paper_loop, measured_loop, paper_ns, measured_ns)) = &report.flip {
+            println!(
+                "parallel_runtime/{}: SELECTION FLIP paper={paper_loop} ({paper_ns}ns) vs \
+                 measured={measured_loop} ({measured_ns}ns) -> measured choice is {} on this \
+                 host",
+                report.name,
+                if measured_ns <= paper_ns {
+                    "faster"
+                } else {
+                    "slower"
+                }
+            );
+        }
         reports.push(report);
     }
 
@@ -212,6 +378,25 @@ fn main() {
     let _ = writeln!(json, "  \"smoke\": {smoke},");
     let _ = writeln!(json, "  \"reps\": {reps},");
     let _ = writeln!(json, "  \"thread_counts\": [1, 2, 4, 6],");
+    let _ = writeln!(
+        json,
+        "  \"hardware_threads\": {},",
+        calibration.hardware_threads
+    );
+    let _ = writeln!(
+        json,
+        "  \"calibration\": {{ \"alu_ns\": {:.3}, \"load_ns\": {:.3}, \
+         \"signal_observe_ns\": {:.1}, \"signal_poll_ns\": {:.3}, \"pool_wake_ns\": {:.0}, \
+         \"signal_latency_cycles\": {} }},",
+        calibration.alu_ns,
+        calibration.load_ns,
+        calibration.signal_observe_ns,
+        calibration.signal_poll_ns,
+        calibration.pool_wake_ns,
+        calibration
+            .helix_config(HelixConfig::i7_980x())
+            .signal_latency_unprefetched,
+    );
     for threads in THREAD_COUNTS {
         let _ = writeln!(
             json,
@@ -240,9 +425,19 @@ fn main() {
             "      \"sequential_bytecode_ns\": {},",
             r.sequential_ns
         );
-        for (threads, ns, speedup) in &r.parallel {
+        for (threads, effective, ns, speedup) in &r.parallel {
             let _ = writeln!(json, "      \"parallel_{threads}t_ns\": {ns},");
+            let _ = writeln!(json, "      \"effective_workers_{threads}t\": {effective},");
             let _ = writeln!(json, "      \"speedup_{threads}t\": {speedup:.4},");
+        }
+        if let Some((paper_loop, measured_loop, paper_ns, measured_ns)) = &r.flip {
+            let _ = writeln!(
+                json,
+                "      \"selection_flip\": {{ \"paper_loop\": \"{paper_loop}\", \
+                 \"measured_loop\": \"{measured_loop}\", \"paper_plan_ns\": {paper_ns}, \
+                 \"measured_plan_ns\": {measured_ns}, \"measured_choice_faster\": {} }},",
+                measured_ns <= paper_ns
+            );
         }
         let overhead_1t = r
             .speedup_at(1)
@@ -256,17 +451,16 @@ fn main() {
         );
     }
     json.push_str("  ]\n}\n");
-    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_parallel.json");
-    std::fs::write(&out, &json).expect("write BENCH_parallel.json");
+    std::fs::write(&json_path, &json).expect("write BENCH_parallel.json");
     println!(
         "parallel_runtime: wrote BENCH_parallel.json ({} programs)",
         reports.len()
     );
 
-    // CI gate: only the 1-thread overhead is load-bearing (scalability on shared runners is
-    // informational).
+    // CI gates. The 1-thread overhead is the per-program floor; the 4-thread geomean is
+    // the thread-scaling gate against the committed numbers.
+    let mut failed = false;
     if let Some(limit) = check_1t {
-        let mut failed = false;
         for r in &reports {
             let Some(s1) = r.speedup_at(1) else { continue };
             let ratio = 1.0 / s1.max(1e-12);
@@ -279,9 +473,47 @@ fn main() {
                 failed = true;
             }
         }
-        if failed {
-            std::process::exit(1);
+        if !failed {
+            println!("parallel_runtime: 1-thread overhead within {limit:.2}x on every program");
         }
-        println!("parallel_runtime: 1-thread overhead within {limit:.2}x on every program");
+    }
+    if let Some(allowed_regression) = check_4t {
+        match committed_4t {
+            Some((_, Some(baseline_hw)))
+                if baseline_hw as usize != calibration.hardware_threads =>
+            {
+                println!(
+                    "parallel_runtime: thread-scaling gate skipped: committed baseline was \
+                     measured with {} hardware thread(s), this machine has {} — the two \
+                     configurations are not comparable",
+                    baseline_hw as usize, calibration.hardware_threads
+                );
+            }
+            Some((committed, _)) => {
+                let now = geomean_at(4);
+                let floor = committed * (1.0 - allowed_regression);
+                if now < floor {
+                    eprintln!(
+                        "parallel_runtime: FAIL thread-scaling gate: geomean_speedup_4t \
+                         {now:.4} fell more than {:.0}% below the committed {committed:.4} \
+                         (floor {floor:.4})",
+                        allowed_regression * 100.0
+                    );
+                    failed = true;
+                } else {
+                    println!(
+                        "parallel_runtime: thread-scaling gate ok: geomean_speedup_4t \
+                         {now:.4} vs committed {committed:.4} (floor {floor:.4})"
+                    );
+                }
+            }
+            None => println!(
+                "parallel_runtime: thread-scaling gate skipped (no committed \
+                 BENCH_parallel.json to compare against)"
+            ),
+        }
+    }
+    if failed {
+        std::process::exit(1);
     }
 }

@@ -54,6 +54,12 @@ COMMON OPTIONS:
     --parallel         (run) Transform the hottest selected loop, run on real threads
     --lowered-costs    (simulate) Price sequential segments from the lowered ParallelImage
                        bytecode instead of profile-weighted plan estimates
+    --calibrate        (parallelize) Micro-calibrate this machine (per-op dispatch cost,
+                       cross-thread signal latency, pool wake cost), price the analysis
+                       with the measured numbers, re-score plans from their lowered
+                       runtime images, and report the selection trace (paper vs measured)
+    --calibration-file <p>  (parallelize) Like --calibrate, but load the calibration from
+                       <p> if it exists and write the measured profile there otherwise
     --threads <list>   Worker thread count(s); comma-separated for fuzz (default: 4 for
                        run --parallel, 1,2,4,6 for fuzz)
     --spin-budget <n>  (run --parallel, fuzz) Wait spins before declaring deadlock
@@ -129,6 +135,8 @@ struct Options {
     print: bool,
     parallel: bool,
     lowered_costs: bool,
+    calibrate: bool,
+    calibration_file: Option<String>,
     entry: String,
     cores: usize,
     /// Thread counts from `--threads`; `None` means the per-command default.
@@ -156,6 +164,8 @@ impl Default for Options {
             print: false,
             parallel: false,
             lowered_costs: false,
+            calibrate: false,
+            calibration_file: None,
             entry: "main".to_string(),
             cores: 6,
             threads: None,
@@ -189,6 +199,11 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
             "--print" => opts.print = true,
             "--parallel" => opts.parallel = true,
             "--lowered-costs" => opts.lowered_costs = true,
+            "--calibrate" => opts.calibrate = true,
+            "--calibration-file" => {
+                opts.calibration_file = Some(value_of("--calibration-file", &mut it)?);
+                opts.calibrate = true;
+            }
             "--entry" => opts.entry = value_of("--entry", &mut it)?,
             "--cores" => {
                 opts.cores = value_of("--cores", &mut it)?
@@ -689,8 +704,159 @@ fn analysis_of(module: &Module, opts: &Options) -> Result<(ProgramProfile, Helix
     Ok((profile, output))
 }
 
+/// Obtains the calibration profile: loaded from `--calibration-file` when the file exists,
+/// measured fresh otherwise (and saved to the file when a path was given).
+fn calibration_of(opts: &Options) -> Result<helix_runtime::CalibrationProfile, CliError> {
+    if let Some(path) = &opts.calibration_file {
+        if std::path::Path::new(path).exists() {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError::failed(format!("cannot read {path}: {e}")))?;
+            return helix_runtime::CalibrationProfile::from_text(&text)
+                .map_err(|e| CliError::failed(format!("{path}: {e}")));
+        }
+    }
+    let profile = helix_runtime::CalibrationProfile::measure();
+    if let Some(path) = &opts.calibration_file {
+        std::fs::write(path, profile.to_text())
+            .map_err(|e| CliError::failed(format!("cannot write {path}: {e}")))?;
+    }
+    Ok(profile)
+}
+
+/// `parallelize --calibrate`: run the analysis twice — once with the paper's constants,
+/// once priced by the measured calibration (with plans re-scored from their lowered
+/// runtime images) — and report the selection trace of loops whose decision flipped.
+fn cmd_parallelize_calibrated(opts: &Options, module: &Module) -> Result<(), CliError> {
+    let calibration = calibration_of(opts)?;
+    let (_nesting, profile, _entry, _image) = profiled(module, opts)?;
+    let paper_config = config_of(opts);
+    let paper = Helix::new(paper_config).analyze(module, &profile);
+    let measured_config = calibration.helix_config(paper_config);
+    let measured_helix = Helix::new(measured_config).with_cost_model(calibration.cost_model());
+    let measured_out = measured_helix.analyze(module, &profile);
+    // Feedback step: re-score every candidate plan with the per-segment costs of its
+    // actual lowered ParallelImage (post-fusion, post-coalescing) and re-select.
+    let (final_selection, _) = helix_simulator::feedback_selection(
+        module,
+        &profile,
+        &measured_helix,
+        &measured_out,
+        &calibration.cost_model(),
+    );
+    let trace = helix_core::SelectionTrace::compare(&paper.selection, &final_selection);
+    let flips = trace.flips().len();
+
+    if opts.json {
+        let entries = trace.entries.iter().map(|e| {
+            Json::object([
+                ("function", Json::str(&module.function(e.key.0).name)),
+                ("loop", Json::str(&e.key.1.to_string())),
+                ("paper_selected", Json::bool(e.baseline_selected)),
+                ("measured_selected", Json::bool(e.measured_selected)),
+                ("paper_saved_cycles", Json::float(e.baseline_saved)),
+                ("measured_saved_cycles", Json::float(e.measured_saved)),
+                ("flipped", Json::bool(e.flipped())),
+            ])
+        });
+        let doc = Json::object([
+            ("module", Json::str(&module.name)),
+            ("cores", Json::uint(opts.cores as u64)),
+            (
+                "calibration",
+                Json::object([
+                    ("alu_ns", Json::float(calibration.alu_ns)),
+                    ("mul_ns", Json::float(calibration.mul_ns)),
+                    ("div_ns", Json::float(calibration.div_ns)),
+                    ("load_ns", Json::float(calibration.load_ns)),
+                    ("store_ns", Json::float(calibration.store_ns)),
+                    (
+                        "signal_observe_ns",
+                        Json::float(calibration.signal_observe_ns),
+                    ),
+                    (
+                        "signal_publish_ns",
+                        Json::float(calibration.signal_publish_ns),
+                    ),
+                    ("signal_poll_ns", Json::float(calibration.signal_poll_ns)),
+                    ("pool_wake_ns", Json::float(calibration.pool_wake_ns)),
+                    (
+                        "hardware_threads",
+                        Json::uint(calibration.hardware_threads as u64),
+                    ),
+                    (
+                        "signal_latency_cycles",
+                        Json::uint(measured_config.signal_latency_unprefetched),
+                    ),
+                    (
+                        "signal_latency_prefetched_cycles",
+                        Json::uint(measured_config.signal_latency_prefetched),
+                    ),
+                    (
+                        "paper_signal_latency_cycles",
+                        Json::uint(paper_config.signal_latency_unprefetched),
+                    ),
+                ]),
+            ),
+            (
+                "paper_selected_loops",
+                Json::uint(paper.selection.len() as u64),
+            ),
+            (
+                "measured_selected_loops",
+                Json::uint(final_selection.len() as u64),
+            ),
+            ("flips", Json::uint(flips as u64)),
+            ("selection_trace", Json::array(entries)),
+        ]);
+        println!("{}", doc.into_string());
+    } else {
+        println!(
+            "calibrated `{}` on {} hardware thread(s): signal {:.0}ns observed cross-thread \
+             ({} model cycles; paper assumed {}), {:.0}ns prefetched-poll ({} cycles; paper {}), \
+             pool wake {:.0}ns",
+            module.name,
+            calibration.hardware_threads,
+            calibration.signal_observe_ns,
+            measured_config.signal_latency_unprefetched,
+            paper_config.signal_latency_unprefetched,
+            calibration.signal_poll_ns,
+            measured_config.signal_latency_prefetched,
+            paper_config.signal_latency_prefetched,
+            calibration.pool_wake_ns,
+        );
+        println!(
+            "selection trace (paper-constant vs measured-cost pricing, {} flip(s)):",
+            flips
+        );
+        println!(
+            "  {:<24} {:>8} {:>8} {:>16} {:>16}",
+            "loop", "paper", "measured", "paper T (cyc)", "measured T (cyc)"
+        );
+        for e in &trace.entries {
+            let mark = |b: bool| if b { "yes" } else { "-" };
+            let flip = if e.flipped() { "  <- FLIP" } else { "" };
+            println!(
+                "  {:<24} {:>8} {:>8} {:>16.0} {:>16.0}{}",
+                format!("{}/{}", module.function(e.key.0).name, e.key.1),
+                mark(e.baseline_selected),
+                mark(e.measured_selected),
+                e.baseline_saved,
+                e.measured_saved,
+                flip
+            );
+        }
+        if flips == 0 {
+            println!("  (no loop flips on this machine: measured and paper pricing agree)");
+        }
+    }
+    Ok(())
+}
+
 fn cmd_parallelize(opts: &Options) -> Result<(), CliError> {
     let module = load(opts)?;
+    if opts.calibrate {
+        return cmd_parallelize_calibrated(opts, &module);
+    }
     let (profile, output) = analysis_of(&module, opts)?;
     let stats = output.statistics();
     if opts.json {

@@ -16,9 +16,15 @@ pub struct HelixConfig {
     pub signal_latency_unprefetched: u64,
     /// Latency, in cycles, of a fully prefetched signal (4 on the testbed — an L1 hit).
     pub signal_latency_prefetched: u64,
-    /// Latency, in cycles, assumed for a signal *during loop selection*. The paper studies
-    /// mis-estimation of this value in Figures 12 and 13.
+    /// Latency, in cycles, assumed for an *unprefetched* signal during loop selection. The
+    /// paper studies mis-estimation of this value in Figures 12 and 13; the calibrated
+    /// pipeline overwrites it with the latency measured on the actual machine.
     pub selection_signal_latency: u64,
+    /// Latency, in cycles, assumed for a *fully prefetched* signal during loop selection.
+    /// Keeping it distinct from [`HelixConfig::selection_signal_latency`] lets the selection
+    /// model price prefetch-heavy plans differently from prefetch-starved ones (the two used
+    /// to be conflated, making the modes indistinguishable to selection).
+    pub selection_signal_latency_prefetched: u64,
     /// Cycles to transfer one CPU word between cores (`M` in Equation 1).
     pub word_transfer_latency: u64,
     /// Bytes per CPU word (`CPU_word` in Equation 1).
@@ -65,6 +71,7 @@ impl HelixConfig {
             signal_latency_unprefetched: 110,
             signal_latency_prefetched: 4,
             selection_signal_latency: 4,
+            selection_signal_latency_prefetched: 4,
             word_transfer_latency: 110,
             word_bytes: 8,
             config_overhead: 400,
@@ -107,8 +114,21 @@ impl HelixConfig {
     }
 
     /// Overrides the signal latency assumed during loop selection (Figures 12 and 13).
+    /// Sets both the unprefetched and the prefetched assumption to the same value — the
+    /// paper's single-number misestimation study; use
+    /// [`HelixConfig::with_selection_latencies`] to keep them distinct.
     pub fn with_selection_latency(mut self, cycles: u64) -> Self {
         self.selection_signal_latency = cycles;
+        self.selection_signal_latency_prefetched = cycles;
+        self
+    }
+
+    /// Overrides the selection-time signal latencies separately: `unprefetched` is what a
+    /// signal costs when the helper thread missed it, `prefetched` when it was pulled into
+    /// the L1 ahead of the `Wait`. Calibration feeds measured values for both.
+    pub fn with_selection_latencies(mut self, unprefetched: u64, prefetched: u64) -> Self {
+        self.selection_signal_latency = unprefetched;
+        self.selection_signal_latency_prefetched = prefetched;
         self
     }
 
@@ -182,8 +202,25 @@ mod tests {
         assert!(!c.enable_helper_threads);
         assert!(!c.enable_prefetch_balancing);
         assert_eq!(c.selection_signal_latency, 110);
+        assert_eq!(
+            c.selection_signal_latency_prefetched, 110,
+            "the single-number override conflates both, like the paper's study"
+        );
         assert_eq!(c.best_case_signal_latency(), 110);
         assert_eq!(HelixConfig::default().best_case_signal_latency(), 4);
+    }
+
+    #[test]
+    fn selection_latencies_can_differ() {
+        let c = HelixConfig::i7_980x().with_selection_latencies(300, 7);
+        assert_eq!(c.selection_signal_latency, 300);
+        assert_eq!(c.selection_signal_latency_prefetched, 7);
+        // The defaults keep the paper's conflated value.
+        let d = HelixConfig::default();
+        assert_eq!(
+            d.selection_signal_latency,
+            d.selection_signal_latency_prefetched
+        );
     }
 
     #[test]

@@ -71,12 +71,25 @@ pub struct HelixOutput {
 pub struct Helix {
     /// The transformation configuration.
     pub config: HelixConfig,
+    /// The intra-core cost model used to price instructions and segments. Defaults to the
+    /// paper's constants; the calibrated flow substitutes the measured per-class dispatch
+    /// costs so Steps 2–6 and the prefetch scheduler price plans in real currency.
+    pub cost: CostModel,
 }
 
 impl Helix {
-    /// Creates a driver with the given configuration.
+    /// Creates a driver with the given configuration and the default (paper) cost model.
     pub fn new(config: HelixConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            cost: CostModel::default(),
+        }
+    }
+
+    /// Replaces the intra-core cost model (the calibrated flow passes measured costs).
+    pub fn with_cost_model(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
     }
 
     /// One-stop entry point: lowers `module` to a flat bytecode image, profiles a training
@@ -112,7 +125,7 @@ impl Helix {
     pub fn analyze(&self, module: &Module, profile: &ProgramProfile) -> HelixOutput {
         let nesting = LoopNestingGraph::new(module);
         let pointers = PointerAnalysis::new(module);
-        let cost = CostModel::default();
+        let cost = self.cost;
 
         let mut plans = BTreeMap::new();
         let mut model_inputs = BTreeMap::new();
@@ -316,20 +329,8 @@ impl Helix {
             plans.insert(key, plan);
         }
 
-        // Loop selection: saved time computed with the *selection* signal latency.
-        let selection_config = HelixConfig {
-            signal_latency_unprefetched: self.config.selection_signal_latency,
-            signal_latency_prefetched: self.config.selection_signal_latency,
-            ..self.config
-        };
-        let selection_model = SpeedupModel::new(selection_config);
-        let saved: BTreeMap<LoopKey, f64> = model_inputs
-            .iter()
-            .map(|(k, input)| {
-                let out = selection_model.evaluate_loop(input, PrefetchMode::None);
-                (*k, out.saved_cycles)
-            })
-            .collect();
+        // Loop selection: saved time computed with the *selection* signal latencies.
+        let saved = self.selection_saved_time(&model_inputs);
         let mut graph = DynamicLoopGraph::build(&nesting, profile, &saved);
         graph.propagate_max_saved_time();
         let selection = graph.select();
@@ -344,6 +345,150 @@ impl Helix {
             program_cycles: profile.total_cycles,
             loads_per_iteration,
         }
+    }
+
+    /// Saved time `T` per candidate loop under the configuration's *selection* signal
+    /// latencies. Unprefetched and prefetched assumptions are distinct
+    /// ([`HelixConfig::selection_signal_latency`] /
+    /// [`HelixConfig::selection_signal_latency_prefetched`]), and the evaluation mode
+    /// matches the helper-thread configuration, so a plan whose segments Step 8 can prefetch
+    /// is priced cheaper than a prefetch-starved one — previously both latencies were
+    /// conflated and selection could not tell the modes apart.
+    pub fn selection_saved_time(
+        &self,
+        model_inputs: &BTreeMap<LoopKey, LoopModelInput>,
+    ) -> BTreeMap<LoopKey, f64> {
+        let selection_config = HelixConfig {
+            signal_latency_unprefetched: self.config.selection_signal_latency,
+            signal_latency_prefetched: self.config.selection_signal_latency_prefetched,
+            ..self.config
+        };
+        let mode = if self.config.enable_helper_threads {
+            PrefetchMode::Helix
+        } else {
+            PrefetchMode::None
+        };
+        let selection_model = SpeedupModel::new(selection_config);
+        model_inputs
+            .iter()
+            .map(|(k, input)| {
+                let out = selection_model.evaluate_loop(input, mode);
+                (*k, out.saved_cycles)
+            })
+            .collect()
+    }
+
+    /// Feedback-directed re-selection: re-scores every candidate plan with *measured*
+    /// per-segment costs — the cycles each synchronized segment's span actually occupies in
+    /// the lowered [`helix_runtime`] iteration bytecode (post-fusion, post-privatization),
+    /// as computed by `helix_simulator::lowered_segment_costs` — and re-runs the Section 2.2
+    /// selection with them.
+    ///
+    /// `measured` maps each candidate loop to its per-dependence segment costs; loops
+    /// missing from the map keep their profile-weighted estimate. The returned
+    /// [`SelectionTrace`] records every loop whose decision flipped against
+    /// `output.selection`.
+    pub fn reselect_with_segment_costs(
+        &self,
+        module: &Module,
+        profile: &ProgramProfile,
+        output: &HelixOutput,
+        measured: &BTreeMap<LoopKey, BTreeMap<helix_ir::DepId, f64>>,
+    ) -> (LoopSelection, SelectionTrace) {
+        let nesting = LoopNestingGraph::new(module);
+        let mut model_inputs = output.model_inputs.clone();
+        for (key, plan) in &output.plans {
+            let Some(costs) = measured.get(key) else {
+                continue;
+            };
+            let Some(input) = model_inputs.get_mut(key) else {
+                continue;
+            };
+            // Re-derive the sequential-per-iteration estimate from the lowered spans. The
+            // lowered costs and the profile totals are both in CostModel cycles, so the
+            // fraction stays commensurate; the span can only shrink relative to the
+            // pre-lowering tree estimate when fusion/privatization removed dispatches.
+            let measured_seq: f64 = plan
+                .segments
+                .iter()
+                .filter(|s| s.synchronized)
+                .map(|s| costs.get(&s.dep).copied().unwrap_or(s.cycles_per_iteration))
+                .sum();
+            let total = plan.total_cycles_per_iter.max(1e-9);
+            let seq = measured_seq
+                .min(total - plan.prologue_cycles_per_iter)
+                .max(0.0);
+            input.sequential_fraction =
+                ((seq + plan.prologue_cycles_per_iter) / total).clamp(0.0, 1.0);
+        }
+        let saved = self.selection_saved_time(&model_inputs);
+        let mut graph = DynamicLoopGraph::build(&nesting, profile, &saved);
+        graph.propagate_max_saved_time();
+        let selection = graph.select();
+        let trace = SelectionTrace::compare(&output.selection, &selection);
+        (selection, trace)
+    }
+}
+
+/// One loop's row in a [`SelectionTrace`]: how the decision and the saved-time estimate
+/// changed between a baseline pricing and a measured pricing.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SelectionTraceEntry {
+    /// The loop.
+    pub key: LoopKey,
+    /// Was the loop selected under the baseline pricing?
+    pub baseline_selected: bool,
+    /// Is it selected under the measured pricing?
+    pub measured_selected: bool,
+    /// Saved time `T` the baseline pricing assigned (cycles).
+    pub baseline_saved: f64,
+    /// Saved time `T` the measured pricing assigns (cycles).
+    pub measured_saved: f64,
+}
+
+impl SelectionTraceEntry {
+    /// `true` when the decision changed.
+    pub fn flipped(&self) -> bool {
+        self.baseline_selected != self.measured_selected
+    }
+}
+
+/// A comparison of two loop selections — one priced with baseline (paper-constant) numbers,
+/// one with measured ones. Produced by [`Helix::reselect_with_segment_costs`] and by the
+/// calibrated CLI/bench flows; the interesting rows are the *flips*, loops the measured
+/// model decides differently.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct SelectionTrace {
+    /// One entry per loop considered by either selection.
+    pub entries: Vec<SelectionTraceEntry>,
+}
+
+impl SelectionTrace {
+    /// Builds the trace comparing `baseline` against `measured`.
+    pub fn compare(baseline: &LoopSelection, measured: &LoopSelection) -> SelectionTrace {
+        let keys: BTreeSet<LoopKey> = baseline
+            .saved_time
+            .keys()
+            .chain(measured.saved_time.keys())
+            .copied()
+            .collect();
+        SelectionTrace {
+            entries: keys
+                .into_iter()
+                .map(|key| SelectionTraceEntry {
+                    key,
+                    baseline_selected: baseline.is_selected(key),
+                    measured_selected: measured.is_selected(key),
+                    baseline_saved: baseline.saved_time.get(&key).copied().unwrap_or(0.0),
+                    measured_saved: measured.saved_time.get(&key).copied().unwrap_or(0.0),
+                })
+                .collect(),
+        }
+    }
+
+    /// The loops whose decision flipped.
+    pub fn flips(&self) -> Vec<&SelectionTraceEntry> {
+        self.entries.iter().filter(|e| e.flipped()).collect()
     }
 }
 
@@ -601,6 +746,70 @@ mod tests {
         assert_eq!(two_step.selection.selected, one_stop.selection.selected);
         assert_eq!(two_step.plans.len(), one_stop.plans.len());
         assert_eq!(two_step.program_cycles, one_stop.program_cycles);
+    }
+
+    #[test]
+    fn distinct_selection_latencies_flip_a_signal_bound_loop() {
+        // The hot loop carries ~160 cycles of prefetchable parallel work per iteration
+        // around a one-store synchronized segment. With both selection latencies pinned to
+        // 300 cycles the modeled signal overhead (two signals per iteration) swamps the
+        // per-iteration savings and nothing is selected; pricing the *prefetched* signal
+        // separately (6 cycles, what the helper thread actually delivers) makes the same
+        // loop profitable. Before the latencies were distinct, these two configurations
+        // were indistinguishable to selection.
+        let flat = analyzed(HelixConfig::i7_980x().with_selection_latencies(300, 300));
+        let split = analyzed(HelixConfig::i7_980x().with_selection_latencies(300, 6));
+        assert!(
+            flat.selection.is_empty(),
+            "a flat 300-cycle signal assumption must reject every loop, selected {:?}",
+            flat.selection.selected
+        );
+        assert!(
+            !split.selection.is_empty(),
+            "a 6-cycle prefetched assumption must keep the prefetch-covered hot loop"
+        );
+        assert_ne!(flat.selection.selected, split.selection.selected);
+    }
+
+    #[test]
+    fn reselect_with_measured_costs_reports_flips() {
+        let (module, main) = program();
+        let nesting = helix_analysis::LoopNestingGraph::new(&module);
+        let profile = profile_program(&module, &nesting, main, &[]).unwrap();
+        let helix = Helix::new(HelixConfig::default());
+        let output = helix.analyze(&module, &profile);
+        // Identical measured costs: selection must not change and no flips are reported.
+        let unchanged: BTreeMap<LoopKey, BTreeMap<helix_ir::DepId, f64>> = BTreeMap::new();
+        let (same, trace) =
+            helix.reselect_with_segment_costs(&module, &profile, &output, &unchanged);
+        assert_eq!(same.selected, output.selection.selected);
+        assert!(trace.flips().is_empty());
+        assert_eq!(trace.entries.len(), output.plans.len());
+        // Measured costs that declare a selected loop's segments to fill the whole
+        // iteration (pure sequential) must deselect it and report the flip.
+        let victim = *output
+            .selection
+            .selected
+            .iter()
+            .next()
+            .expect("selected loop");
+        let plan = &output.plans[&victim];
+        let poisoned: BTreeMap<LoopKey, BTreeMap<helix_ir::DepId, f64>> = [(
+            victim,
+            plan.segments
+                .iter()
+                .map(|s| (s.dep, plan.total_cycles_per_iter * 2.0))
+                .collect(),
+        )]
+        .into_iter()
+        .collect();
+        let (reselected, trace) =
+            helix.reselect_with_segment_costs(&module, &profile, &output, &poisoned);
+        assert!(
+            !reselected.is_selected(victim),
+            "fully-sequential loop must drop"
+        );
+        assert!(trace.flips().iter().any(|e| e.key == victim));
     }
 
     #[test]

@@ -1,0 +1,456 @@
+//! The runtime micro-calibrator: measures, on the machine the runtime actually runs on,
+//! the quantities the HELIX cost model otherwise takes from the paper's i7-980X — per-op
+//! dispatch cost by class, the cross-thread signal latency through [`SignalLanes`], and
+//! the worker-pool wake cost — and packages them as a [`CalibrationProfile`] that the
+//! selection pipeline consumes.
+//!
+//! The ROADMAP's "loop-selection recalibration" item, closed: Section 2.2's selection
+//! model prices signals with `HelixConfig::selection_signal_latency`, and Figures 12–13 of
+//! the paper show how badly mis-estimating that one number distorts selection. On this
+//! interpreter the honest numbers are nothing like the paper's silicon constants — a
+//! dispatched op costs nanoseconds (not a cycle), and a cross-thread signal handoff on an
+//! oversubscribed host costs a scheduler round-trip (microseconds, not 110 cycles). The
+//! calibrator measures both in the same currency and [`CalibrationProfile::helix_config`]
+//! rewrites the config so selection, segment pricing ([`CalibrationProfile::cost_model`]),
+//! prefetch scheduling and the simulator all price plans with measured numbers.
+//!
+//! Measurement is deliberately cheap (a few milliseconds, cached process-wide behind
+//! [`CalibrationProfile::cached`]) and robust: every micro-benchmark takes the *minimum*
+//! over repetitions, and per-op costs are derived from the slope between a long and a
+//! short kernel so fixed call overhead cancels.
+
+use crate::lanes::SignalLanes;
+use crate::parallel_image::{run_flat, LocalTier};
+use crate::pool::WorkerPool;
+use crate::sharded::PrivateArena;
+use helix_core::HelixConfig;
+use helix_ir::builder::{FunctionBuilder, ModuleBuilder};
+use helix_ir::{BinOp, CostModel, ExecImage, FuncId, Operand, Value};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// The op classes the calibrator times individually.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Kernel {
+    Alu,
+    Mul,
+    Div,
+    Load,
+    Store,
+}
+
+/// Measured machine constants, in nanoseconds, plus the topology they were measured on.
+///
+/// All per-op numbers are *lean-engine dispatch costs* — what one executed op of that
+/// class costs end to end in the runtime's interpreter, dominated by dispatch rather than
+/// the ALU work itself. That is the right currency: the speedup model compares segment
+/// cycles against signal latencies, and both must be priced in what *this* runtime pays.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CalibrationProfile {
+    /// ns per dispatched ALU-class op (add/xor/compare/move).
+    pub alu_ns: f64,
+    /// ns per dispatched multiply.
+    pub mul_ns: f64,
+    /// ns per dispatched divide/remainder.
+    pub div_ns: f64,
+    /// ns per dispatched load.
+    pub load_ns: f64,
+    /// ns per dispatched store.
+    pub store_ns: f64,
+    /// Cross-thread signal latency: publish on one thread → observed by a poll on another,
+    /// measured as half a [`SignalLanes`] ping-pong round trip. On an oversubscribed host
+    /// this includes the scheduler handoff — the honest cost of an unprefetched signal.
+    pub signal_observe_ns: f64,
+    /// Local cost of publishing one signal lane (the `fetch_max` + waker check).
+    pub signal_publish_ns: f64,
+    /// Cost of a satisfied `Wait` poll (the published line is already local) — the
+    /// measured analogue of the paper's fully-prefetched 4-cycle signal.
+    pub signal_poll_ns: f64,
+    /// Worker-pool round trip: submit a no-op job to one helper and join it — the measured
+    /// per-invocation configuration overhead (`Conf_i`).
+    pub pool_wake_ns: f64,
+    /// Hardware threads the OS reports for this process.
+    pub hardware_threads: usize,
+}
+
+impl CalibrationProfile {
+    /// Measures the machine. Takes a few milliseconds; prefer
+    /// [`CalibrationProfile::cached`] unless a fresh measurement is explicitly wanted.
+    pub fn measure() -> CalibrationProfile {
+        let alu_ns = per_op_ns(Kernel::Alu);
+        let mul_ns = per_op_ns(Kernel::Mul).max(alu_ns);
+        let div_ns = per_op_ns(Kernel::Div).max(alu_ns);
+        let load_ns = per_op_ns(Kernel::Load).max(alu_ns);
+        let store_ns = per_op_ns(Kernel::Store).max(alu_ns);
+        let (signal_observe_ns, signal_publish_ns, signal_poll_ns) = signal_latencies();
+        let pool_wake_ns = pool_wake();
+        CalibrationProfile {
+            alu_ns,
+            mul_ns,
+            div_ns,
+            load_ns,
+            store_ns,
+            signal_observe_ns,
+            signal_publish_ns,
+            signal_poll_ns,
+            pool_wake_ns,
+            hardware_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        }
+    }
+
+    /// The process-wide profile, measured once on first use.
+    pub fn cached() -> &'static CalibrationProfile {
+        static PROFILE: OnceLock<CalibrationProfile> = OnceLock::new();
+        PROFILE.get_or_init(CalibrationProfile::measure)
+    }
+
+    /// Nanoseconds per *model cycle*: the measured ALU dispatch anchors the currency (an
+    /// ALU op costs 1 cycle in every [`CostModel`]).
+    pub fn ns_per_cycle(&self) -> f64 {
+        self.alu_ns.max(0.05)
+    }
+
+    fn cycles(&self, ns: f64) -> u64 {
+        (ns / self.ns_per_cycle()).round().max(1.0) as u64
+    }
+
+    /// The measured intra-core cost model: per-class dispatch costs converted into model
+    /// cycles (ALU = 1 by construction). In an interpreter, dispatch dominates, so the
+    /// classes are much flatter than silicon's — exactly what segment pricing should use.
+    pub fn cost_model(&self) -> CostModel {
+        let paper = CostModel::intel_i7_980x();
+        CostModel {
+            alu: 1,
+            mul: self.cycles(self.mul_ns),
+            div: self.cycles(self.div_ns),
+            load: self.cycles(self.load_ns),
+            store: self.cycles(self.store_ns),
+            // Calls and allocations are not micro-timed (rare in loop bodies); scale the
+            // paper's ratios by the measured load cost so they stay plausible.
+            call: (paper.call * self.cycles(self.load_ns)).max(1) / paper.load.max(1),
+            alloc: (paper.alloc * self.cycles(self.load_ns)).max(1) / paper.load.max(1),
+            branch: 1,
+            wait_local: self.cycles(self.signal_poll_ns),
+            signal: self.cycles(self.signal_publish_ns),
+        }
+    }
+
+    /// Rewrites `base` so every latency the selection model, the prefetch scheduler and
+    /// the simulator consult is the measured one:
+    ///
+    /// * run-time signal latencies (`signal_latency_unprefetched`/`_prefetched`) become the
+    ///   measured cross-thread observe / local poll costs,
+    /// * the *selection* latencies follow them — the whole point of the feedback loop,
+    /// * word transfer rides the same cache-line handoff as a signal,
+    /// * the per-invocation configuration overhead becomes the measured pool wake cost,
+    /// * helper-thread prefetching is disabled: this runtime implements no SMT signal
+    ///   prefetchers (a ROADMAP item), so pricing signals as prefetched would repeat the
+    ///   very misestimation the calibration exists to remove.
+    pub fn helix_config(&self, base: HelixConfig) -> HelixConfig {
+        let mut config = base;
+        config.signal_latency_unprefetched = self.cycles(self.signal_observe_ns);
+        config.signal_latency_prefetched = self.cycles(self.signal_poll_ns);
+        config.selection_signal_latency = config.signal_latency_unprefetched;
+        config.selection_signal_latency_prefetched = config.signal_latency_prefetched;
+        config.word_transfer_latency = self.cycles(self.signal_observe_ns);
+        config.config_overhead = self.cycles(self.pool_wake_ns);
+        config.enable_helper_threads = false;
+        config.enable_prefetch_balancing = false;
+        config
+    }
+
+    /// Like [`CalibrationProfile::helix_config`], but priced for the configuration the
+    /// executor will *actually run* with `workers` effective workers. With one effective
+    /// worker (the executor's oversubscription collapse) nothing ever crosses a thread:
+    /// a signal is a local release store and a satisfied poll, the "word transfer" stays
+    /// in-cache, and no pool helper is woken — pricing those at the cross-thread rate
+    /// would mis-select exactly the way the paper's Figure 12 warns about, just in the
+    /// other direction.
+    pub fn helix_config_for_workers(&self, base: HelixConfig, workers: usize) -> HelixConfig {
+        if workers > 1 {
+            return self.helix_config(base);
+        }
+        let mut config = self.helix_config(base);
+        let local = self
+            .cycles(self.signal_publish_ns + self.signal_poll_ns)
+            .max(1);
+        config.signal_latency_unprefetched = local;
+        config.signal_latency_prefetched = local;
+        config.selection_signal_latency = local;
+        config.selection_signal_latency_prefetched = local;
+        config.word_transfer_latency = local;
+        config.config_overhead = local;
+        config
+    }
+
+    /// Serializes the profile as the `helix-calibration v1` text format (one `key value`
+    /// pair per line), the format `helix parallelize --calibration-file` reads and writes.
+    pub fn to_text(&self) -> String {
+        format!(
+            "helix-calibration v1\n\
+             alu_ns {}\nmul_ns {}\ndiv_ns {}\nload_ns {}\nstore_ns {}\n\
+             signal_observe_ns {}\nsignal_publish_ns {}\nsignal_poll_ns {}\n\
+             pool_wake_ns {}\nhardware_threads {}\n",
+            self.alu_ns,
+            self.mul_ns,
+            self.div_ns,
+            self.load_ns,
+            self.store_ns,
+            self.signal_observe_ns,
+            self.signal_publish_ns,
+            self.signal_poll_ns,
+            self.pool_wake_ns,
+            self.hardware_threads,
+        )
+    }
+
+    /// Parses the `helix-calibration v1` text format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed or missing field.
+    pub fn from_text(text: &str) -> Result<CalibrationProfile, String> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some("helix-calibration v1") => {}
+            other => return Err(format!("bad calibration header: {other:?}")),
+        }
+        let mut profile = CalibrationProfile {
+            alu_ns: f64::NAN,
+            mul_ns: f64::NAN,
+            div_ns: f64::NAN,
+            load_ns: f64::NAN,
+            store_ns: f64::NAN,
+            signal_observe_ns: f64::NAN,
+            signal_publish_ns: f64::NAN,
+            signal_poll_ns: f64::NAN,
+            pool_wake_ns: f64::NAN,
+            hardware_threads: 0,
+        };
+        for line in lines {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line
+                .split_once(' ')
+                .ok_or_else(|| format!("malformed calibration line: {line:?}"))?;
+            let parse = |v: &str| {
+                v.parse::<f64>()
+                    .map_err(|_| format!("bad value for {key}: {v:?}"))
+            };
+            match key {
+                "alu_ns" => profile.alu_ns = parse(value)?,
+                "mul_ns" => profile.mul_ns = parse(value)?,
+                "div_ns" => profile.div_ns = parse(value)?,
+                "load_ns" => profile.load_ns = parse(value)?,
+                "store_ns" => profile.store_ns = parse(value)?,
+                "signal_observe_ns" => profile.signal_observe_ns = parse(value)?,
+                "signal_publish_ns" => profile.signal_publish_ns = parse(value)?,
+                "signal_poll_ns" => profile.signal_poll_ns = parse(value)?,
+                "pool_wake_ns" => profile.pool_wake_ns = parse(value)?,
+                "hardware_threads" => {
+                    profile.hardware_threads = value
+                        .parse()
+                        .map_err(|_| format!("bad value for hardware_threads: {value:?}"))?;
+                }
+                other => return Err(format!("unknown calibration key: {other:?}")),
+            }
+        }
+        let fields = [
+            profile.alu_ns,
+            profile.mul_ns,
+            profile.div_ns,
+            profile.load_ns,
+            profile.store_ns,
+            profile.signal_observe_ns,
+            profile.signal_publish_ns,
+            profile.signal_poll_ns,
+            profile.pool_wake_ns,
+        ];
+        if fields.iter().any(|f| !f.is_finite() || *f <= 0.0) || profile.hardware_threads == 0 {
+            return Err("calibration file is missing fields or has non-positive values".into());
+        }
+        Ok(profile)
+    }
+}
+
+/// Builds a straight-line kernel of `ops` ops of one class and lowers it.
+fn kernel_image(kind: Kernel, ops: usize) -> (ExecImage, FuncId) {
+    let mut mb = ModuleBuilder::new("calibration");
+    let g = mb.add_global("g", 4);
+    let mut fb = FunctionBuilder::new("k", 0);
+    let v = fb.new_var();
+    fb.const_int(v, 1);
+    for _ in 0..ops {
+        match kind {
+            Kernel::Alu => fb.binary(v, BinOp::Add, Operand::Var(v), Operand::int(1)),
+            Kernel::Mul => fb.binary(v, BinOp::Mul, Operand::Var(v), Operand::int(1)),
+            Kernel::Div => fb.binary(v, BinOp::Div, Operand::Var(v), Operand::int(1)),
+            Kernel::Load => fb.load(v, Operand::Global(g), 0),
+            Kernel::Store => fb.store(Operand::Global(g), 0, Operand::Var(v)),
+        }
+    }
+    fb.ret(Some(Operand::Var(v)));
+    let func = mb.add_function(fb.finish());
+    let module = mb.finish();
+    (ExecImage::lower(&module), func)
+}
+
+/// Best-of-`reps` wall time of one full kernel run through the lean engine.
+fn time_kernel(image: &ExecImage, func: FuncId, reps: usize) -> Duration {
+    let fi = &image.funcs[func.index()];
+    let mut tier = LocalTier {
+        memory: image.initial_memory.fresh_copy(),
+        arena: PrivateArena::new(),
+    };
+    let mut best = Duration::MAX;
+    for _ in 0..reps {
+        let mut regs = vec![Value::default(); fi.num_regs];
+        let start = Instant::now();
+        let _ = std::hint::black_box(run_flat(
+            image,
+            func,
+            fi.entry_block,
+            None,
+            &mut regs,
+            &mut tier,
+            u64::MAX,
+        ));
+        best = best.min(start.elapsed());
+    }
+    best
+}
+
+/// ns per op of `kind`, from the slope between a long and a short kernel (fixed overhead
+/// cancels).
+fn per_op_ns(kind: Kernel) -> f64 {
+    const LONG: usize = 8192;
+    const SHORT: usize = 1024;
+    const REPS: usize = 9;
+    let (long_img, long_fn) = kernel_image(kind, LONG);
+    let (short_img, short_fn) = kernel_image(kind, SHORT);
+    let long = time_kernel(&long_img, long_fn, REPS).as_nanos() as f64;
+    let short = time_kernel(&short_img, short_fn, REPS).as_nanos() as f64;
+    ((long - short) / (LONG - SHORT) as f64).max(0.05)
+}
+
+/// Measures the signal-lane costs: `(cross-thread observe, local publish, satisfied poll)`
+/// in ns. The observe latency is half a two-lane ping-pong round trip between two real
+/// threads — on an oversubscribed machine this rightly includes the scheduler handoff.
+fn signal_latencies() -> (f64, f64, f64) {
+    let lanes = SignalLanes::new(2, 8);
+
+    // Local publish: repeated release fetch_max on one row.
+    const PUB: u64 = 20_000;
+    let start = Instant::now();
+    for i in 0..PUB {
+        lanes.signal(0, i);
+    }
+    let publish_ns = (start.elapsed().as_nanos() as f64 / PUB as f64).max(0.05);
+
+    // Satisfied poll: the published line is local.
+    const POLL: u64 = 20_000;
+    let start = Instant::now();
+    let mut hits = 0u64;
+    for _ in 0..POLL {
+        hits += u64::from(std::hint::black_box(lanes.poll(0, 1)));
+    }
+    let poll_ns = (start.elapsed().as_nanos() as f64 / POLL as f64).max(0.05);
+    assert_eq!(hits, POLL, "lane 0 was published above");
+
+    // Cross-thread ping-pong. Budget-bounded: stop after enough rounds or enough time.
+    const ROUNDS: u64 = 512;
+    let lanes = SignalLanes::new(2, 8);
+    let elapsed = std::thread::scope(|scope| {
+        scope.spawn(|| {
+            for i in 0..ROUNDS {
+                while !lanes.poll(0, i + 1) {
+                    std::thread::yield_now();
+                }
+                lanes.signal(1, i);
+            }
+        });
+        let start = Instant::now();
+        for i in 0..ROUNDS {
+            lanes.signal(0, i);
+            while !lanes.poll(1, i + 1) {
+                std::thread::yield_now();
+            }
+        }
+        start.elapsed()
+    });
+    let observe_ns = (elapsed.as_nanos() as f64 / (2 * ROUNDS) as f64).max(publish_ns);
+    (observe_ns, publish_ns, poll_ns)
+}
+
+/// Measures the pool wake round trip: submit a no-op job to one (pre-spawned) helper and
+/// join it.
+fn pool_wake() -> f64 {
+    let pool = WorkerPool::new();
+    let noop = |_ix: usize| {};
+    pool.submit(1, &noop).wait(); // spawn + warm the helper
+    let mut best = Duration::MAX;
+    for _ in 0..7 {
+        let start = Instant::now();
+        pool.submit(1, &noop).wait();
+        best = best.min(start.elapsed());
+    }
+    (best.as_nanos() as f64).max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_profile_is_sane_and_round_trips() {
+        let p = CalibrationProfile::measure();
+        for (name, v) in [
+            ("alu", p.alu_ns),
+            ("mul", p.mul_ns),
+            ("div", p.div_ns),
+            ("load", p.load_ns),
+            ("store", p.store_ns),
+            ("observe", p.signal_observe_ns),
+            ("publish", p.signal_publish_ns),
+            ("poll", p.signal_poll_ns),
+            ("wake", p.pool_wake_ns),
+        ] {
+            assert!(v.is_finite() && v > 0.0, "{name} must be positive, got {v}");
+        }
+        assert!(p.hardware_threads >= 1);
+        // A cross-thread observe can never be cheaper than a local publish.
+        assert!(p.signal_observe_ns >= p.signal_publish_ns);
+        // Round trip through the text format.
+        let text = p.to_text();
+        let q = CalibrationProfile::from_text(&text).expect("round trip");
+        assert_eq!(p, q);
+        // Malformed inputs are rejected.
+        assert!(CalibrationProfile::from_text("nope").is_err());
+        assert!(CalibrationProfile::from_text("helix-calibration v1\nalu_ns x\n").is_err());
+        assert!(CalibrationProfile::from_text("helix-calibration v1\n").is_err());
+    }
+
+    #[test]
+    fn calibrated_config_prices_signals_from_measurement() {
+        let p = CalibrationProfile::cached();
+        let config = p.helix_config(HelixConfig::i7_980x());
+        assert_eq!(
+            config.selection_signal_latency,
+            config.signal_latency_unprefetched
+        );
+        assert_eq!(
+            config.selection_signal_latency_prefetched,
+            config.signal_latency_prefetched
+        );
+        assert!(config.signal_latency_unprefetched >= config.signal_latency_prefetched);
+        assert!(config.signal_latency_unprefetched >= 1);
+        // The cost model stays anchored at ALU = 1 with every class at least that.
+        let cost = p.cost_model();
+        assert_eq!(cost.alu, 1);
+        assert!(cost.load >= 1 && cost.store >= 1 && cost.mul >= 1);
+        // Ablation switches are preserved.
+        assert!(config.enable_signal_minimization);
+    }
+}

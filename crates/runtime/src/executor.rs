@@ -195,7 +195,7 @@ impl<'a> RunShared<'a> {
         Self {
             image,
             loop_image,
-            lanes: SignalLanes::new(loop_image.num_lanes(), window),
+            lanes: SignalLanes::new(loop_image.num_phys_lanes(), window),
             sleepers: Sleepers::new(),
             claim_sleepers: Sleepers::new(),
             control: PaddedCounter::new(),
@@ -271,21 +271,35 @@ impl<'a> RunShared<'a> {
     }
 }
 
-/// Converts an iteration-runner error into the precise runtime error, resolving lane
-/// indices through the image's side tables (the owning segment and its flat pc range).
+/// Converts an iteration-runner error into the precise runtime error, resolving the
+/// blocked `Wait`'s *logical* lane through the image's side tables (the runner reports the
+/// physical — possibly coalesced — lane row it was polling; `code[pc]` still carries the
+/// logical lane of the owning segment).
 fn convert_iter_error(loop_image: &LoopImage, iteration: u64, e: IterError) -> RuntimeError {
     match e {
         IterError::Exec(e) => RuntimeError::Exec(e),
         IterError::Deadlock { lane, pc, observed } => {
-            let info = &loop_image.lanes[lane as usize];
-            RuntimeError::Deadlock {
-                dep: info.dep,
-                iteration,
-                lane: lane as usize,
-                last_observed: observed,
-                segment: info.segment,
-                wait_pc: pc,
-                segment_pc_range: info.pc_range(),
+            // No fallback through the logical table: indexing it with a physical
+            // (coalesced) row id would attribute the deadlock to an unrelated segment.
+            match loop_image.lane_at(pc) {
+                Some(info) => RuntimeError::Deadlock {
+                    dep: info.dep,
+                    iteration,
+                    lane: lane as usize,
+                    last_observed: observed,
+                    segment: info.segment,
+                    wait_pc: pc,
+                    segment_pc_range: info.pc_range(),
+                },
+                None => RuntimeError::Deadlock {
+                    dep: DepId::new(lane),
+                    iteration,
+                    lane: lane as usize,
+                    last_observed: observed,
+                    segment: 0,
+                    wait_pc: pc,
+                    segment_pc_range: (pc, pc),
+                },
             }
         }
     }
@@ -688,13 +702,33 @@ impl ParallelExecutor {
         self.run_lowered(&pimg.exec, &pimg.loop_image, args)
     }
 
-    fn run_lowered(
+    /// The worker count the machine can actually run concurrently. When the caller did not
+    /// override the wait profile (i.e. scheduling decisions are topology-derived), workers
+    /// beyond the hardware thread count are pure overhead: they cannot execute
+    /// concurrently, so every extra worker only adds claim traffic, stall-watch wakeups
+    /// and striped-memory locking to the thread that has the CPU. This is the measured-cost
+    /// feedback loop applied to the runtime itself — the calibrated cross-thread signal
+    /// latency on a fully oversubscribed machine is effectively infinite, and the correct
+    /// response is to run the cheap in-order path. Tests and the fuzzing oracle pin a
+    /// profile explicitly and keep the full multi-worker protocol regardless.
+    ///
+    /// Public so callers (the parallel-runtime bench, diagnostics) can see which requested
+    /// thread counts collapse to the same effective configuration on this machine.
+    pub fn effective_workers(&self) -> usize {
+        if self.wait_profile.is_some() {
+            return self.threads;
+        }
+        let hardware = std::thread::available_parallelism().map_or(1, |n| n.get());
+        self.threads.min(hardware.max(1))
+    }
+
+    pub(crate) fn run_lowered(
         &self,
         image: &ExecImage,
         loop_image: &LoopImage,
         args: &[Value],
     ) -> Result<Option<Value>, RuntimeError> {
-        if self.threads == 1 {
+        if self.effective_workers() == 1 {
             self.run_single(image, loop_image, args)
         } else {
             self.run_pooled(image, loop_image, args)
@@ -744,7 +778,7 @@ impl ParallelExecutor {
         // claim counters, no completion ring and no parks. Lane counters are still
         // maintained so a missing `Signal` is detected — instantly, because with no other
         // worker an unsatisfied `Wait` can never become satisfied.
-        let lanes = SignalLanes::new(loop_image.num_lanes(), 1);
+        let lanes = SignalLanes::new(loop_image.num_phys_lanes(), 1);
         let sleepers = Sleepers::new();
         let exited_at = AtomicU64::new(u64::MAX);
         let sync = IterSync {
@@ -812,14 +846,20 @@ impl ParallelExecutor {
     }
 
     /// Multi-worker execution over striped shared memory, with helpers activated lazily
-    /// from the persistent pool.
+    /// from the persistent pool. The worker count is clamped to the hardware thread count
+    /// (see [`ParallelExecutor::effective_workers`]); callers that pinned a wait profile
+    /// keep their exact count.
     fn run_pooled(
         &self,
         image: &ExecImage,
         loop_image: &LoopImage,
         args: &[Value],
     ) -> Result<Option<Value>, RuntimeError> {
-        self.run_pooled_on(WorkerPool::global(), image, loop_image, args)
+        let clamped = ParallelExecutor {
+            threads: self.effective_workers(),
+            ..*self
+        };
+        clamped.run_pooled_on(WorkerPool::global(), image, loop_image, args)
     }
 
     /// [`ParallelExecutor::run_pooled`] against an explicit pool (tests use a private pool

@@ -35,12 +35,14 @@
 //! does parallel execution produce the sequential result? — and the performance question —
 //! is it actually faster? (`crates/bench/benches/parallel_runtime.rs` measures it.)
 
+pub mod calibrate;
 pub mod executor;
 pub mod lanes;
 pub mod parallel_image;
 pub mod pool;
 pub mod sharded;
 
+pub use calibrate::CalibrationProfile;
 pub use executor::{ParallelExecutor, RuntimeError};
 pub use lanes::SignalLanes;
 pub use parallel_image::{LoopImage, ParallelImage, SegmentLane};

@@ -18,6 +18,7 @@
 pub mod sim;
 
 pub use sim::{
-    lowered_segment_costs, profile_and_simulate, simulate_loop, simulate_loop_lowered,
-    simulate_program, LoopSimResult, ProgramSimResult, SimConfig,
+    feedback_selection, lowered_segment_costs, measured_segment_costs, profile_and_simulate,
+    simulate_loop, simulate_loop_lowered, simulate_program, simulate_program_with_selection,
+    LoopSimResult, ProgramSimResult, SimConfig,
 };

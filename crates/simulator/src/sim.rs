@@ -227,6 +227,40 @@ pub fn simulate_loop_lowered(
     simulate_loop(&refined, profile, config)
 }
 
+/// Lowers every candidate plan of `output` into its actual [`helix_runtime::ParallelImage`]
+/// (post-fusion, post-privatization) and reads the measured per-segment costs off each
+/// lowered image — the inputs of the feedback-directed selection.
+pub fn measured_segment_costs(
+    module: &helix_ir::Module,
+    output: &HelixOutput,
+    cost: &helix_ir::CostModel,
+) -> BTreeMap<LoopKey, BTreeMap<helix_ir::DepId, f64>> {
+    output
+        .plans
+        .iter()
+        .map(|(key, plan)| {
+            let transformed = helix_core::transform::apply(module, plan);
+            let pimg = helix_runtime::ParallelImage::lower(&transformed);
+            (*key, lowered_segment_costs(&pimg.loop_image, cost))
+        })
+        .collect()
+}
+
+/// The compile-time/run-time feedback loop in one call: re-prices every candidate plan
+/// with the per-segment costs of its *lowered* runtime image and re-runs loop selection
+/// under `helix.config`'s (typically calibrated) selection latencies. Returns the new
+/// selection plus the trace of loops whose decision flipped against `output.selection`.
+pub fn feedback_selection(
+    module: &helix_ir::Module,
+    profile: &ProgramProfile,
+    helix: &helix_core::Helix,
+    output: &HelixOutput,
+    cost: &helix_ir::CostModel,
+) -> (helix_core::LoopSelection, helix_core::SelectionTrace) {
+    let costs = measured_segment_costs(module, output, cost);
+    helix.reselect_with_segment_costs(module, profile, output, &costs)
+}
+
 /// The end-to-end Figure 9 flow as one library call: profile a training run of `entry`
 /// through the flat-bytecode engine, run the HELIX analysis, and simulate the parallelized
 /// execution. `fuel` bounds the profiling run's dynamic instruction count.

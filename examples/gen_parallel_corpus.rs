@@ -113,8 +113,80 @@ fn scratch_fold() -> Module {
     mb.finish()
 }
 
+/// The selection-recalibration witness: two sibling top-level loops whose best plan
+/// flips between paper-constant and measured-cost signal pricing.
+///
+/// Loop `A` is hot, tight and signal-bound: 24576 iterations of ~15 cycles of hash work
+/// around a 3-op read-modify-write of the carried global `acc` — every iteration pays one
+/// synchronized segment. Priced with the paper's 4-cycle prefetched signal, the segment
+/// overhead (two signals per iteration) is small next to the parallel work, and `A` is the
+/// hottest selected loop. Priced with *measured* costs — on a host where a cross-thread
+/// signal costs a scheduler handoff, hundreds to thousands of model cycles — `A`'s 24576
+/// signal pairs drown its savings and selection correctly drops it, keeping only loop `B`:
+/// 16 heavy iterations (a 1600-element doall body each), whose per-iteration work dwarfs
+/// even the measured signal cost. The flip is asserted in `tests/corpus_pipeline.rs`, and
+/// the parallel-runtime bench executes both choices to confirm the measured one is the
+/// faster plan on the actual runtime.
+fn nest_flip() -> Module {
+    let mut mb = ModuleBuilder::new("nest_flip");
+    let acc = mb.add_global("acc", 1);
+    let out = mb.add_global("out", 1600);
+    let mut fb = FunctionBuilder::new("main", 0);
+
+    // A: tight signal-bound accumulator, the paper-constant favourite.
+    let a = fb.counted_loop(Operand::int(0), Operand::int(24_576), 1);
+    let mut v = fb.binary_to_new(
+        BinOp::Mul,
+        Operand::Var(a.induction_var),
+        Operand::int(2654435761),
+    );
+    for round in 0..5 {
+        let m = fb.binary_to_new(BinOp::Mul, Operand::Var(v), Operand::int(89 + round));
+        v = fb.binary_to_new(BinOp::Xor, Operand::Var(m), Operand::int(0x9e3779b9));
+    }
+    let cur = fb.load_to_new(Operand::Global(acc), 0);
+    let next = fb.binary_to_new(BinOp::Add, Operand::Var(cur), Operand::Var(v));
+    fb.store(Operand::Global(acc), 0, Operand::Var(next));
+    fb.br(a.latch);
+    fb.switch_to(a.exit);
+
+    // B: few heavy iterations (each a 1600-element doall), the measured-cost favourite.
+    let b = fb.counted_loop(Operand::int(0), Operand::int(16), 1);
+    let c = fb.counted_loop(Operand::int(0), Operand::int(1600), 1);
+    let mut w = fb.binary_to_new(
+        BinOp::Mul,
+        Operand::Var(c.induction_var),
+        Operand::int(1099087573),
+    );
+    w = fb.binary_to_new(BinOp::Xor, Operand::Var(w), Operand::Var(b.induction_var));
+    let m1 = fb.binary_to_new(BinOp::Mul, Operand::Var(w), Operand::int(131));
+    let x1 = fb.binary_to_new(BinOp::Xor, Operand::Var(m1), Operand::int(0x85eb));
+    let m2 = fb.binary_to_new(BinOp::Mul, Operand::Var(x1), Operand::int(197));
+    w = fb.binary_to_new(BinOp::Xor, Operand::Var(m2), Operand::int(0x27d4));
+    let slot = fb.binary_to_new(
+        BinOp::Add,
+        Operand::Global(out),
+        Operand::Var(c.induction_var),
+    );
+    fb.store(Operand::Var(slot), 0, Operand::Var(w));
+    fb.br(c.latch);
+    fb.switch_to(c.exit);
+    fb.br(b.latch);
+    fb.switch_to(b.exit);
+
+    // Checksum observing both the carried accumulator and the doall output.
+    let rg = fb.load_to_new(Operand::Global(acc), 0);
+    let r0 = fb.load_to_new(Operand::Global(out), 7);
+    let r1 = fb.load_to_new(Operand::Global(out), 1599);
+    let x = fb.binary_to_new(BinOp::Xor, Operand::Var(rg), Operand::Var(r0));
+    let r = fb.binary_to_new(BinOp::Xor, Operand::Var(x), Operand::Var(r1));
+    fb.ret(Some(Operand::Var(r)));
+    mb.add_function(fb.finish());
+    mb.finish()
+}
+
 fn main() {
-    for module in [hash_sweep(), blend_mix(), scratch_fold()] {
+    for module in [hash_sweep(), blend_mix(), scratch_fold(), nest_flip()] {
         verify_module(&module).expect("kernel verifies");
         let path = format!("corpus/{}.hir", module.name);
         std::fs::write(&path, printer::format_module(&module)).expect("write corpus file");

@@ -90,3 +90,92 @@ fn interprocedural_corpus_program_populates_the_nesting_graph() {
         "the dynamic nesting graph must connect caller loop to callee loop"
     );
 }
+
+/// A measured-like configuration: the shape `CalibrationProfile::helix_config` produces on
+/// a host where a cross-thread signal costs a scheduler handoff (hundreds to thousands of
+/// model cycles) and no helper-thread prefetching exists. Pinned to fixed numbers so the
+/// test is machine-independent.
+fn measured_like_config() -> HelixConfig {
+    let mut config = HelixConfig::i7_980x()
+        .without_helper_threads()
+        .without_prefetch_balancing()
+        .with_selection_latencies(1500, 30);
+    config.signal_latency_unprefetched = 1500;
+    config.signal_latency_prefetched = 30;
+    config.word_transfer_latency = 1500;
+    config.config_overhead = 4000;
+    config
+}
+
+#[test]
+fn nest_flip_selection_flips_between_paper_and_measured_costs() {
+    let (module, main) = helix::workloads::corpus::load("nest_flip").expect("loads");
+    let nesting = LoopNestingGraph::new(&module);
+    let profile = profile_program(&module, &nesting, main, &[]).expect("runs");
+
+    let paper = Helix::new(HelixConfig::i7_980x()).analyze(&module, &profile);
+    let measured_helix = Helix::new(measured_like_config());
+    let measured = measured_helix.analyze(&module, &profile);
+
+    // Paper-constant pricing keeps the hot signal-bound accumulator A; measured pricing
+    // drops it (24576 signal pairs at a measured cross-thread latency drown its savings)
+    // and keeps only the heavy-iteration loop B.
+    assert!(!paper.selection.is_empty() && !measured.selection.is_empty());
+    assert_ne!(
+        paper.selection.selected, measured.selection.selected,
+        "the witness must select differently under the two pricings"
+    );
+    assert!(
+        measured
+            .selection
+            .selected
+            .is_subset(&paper.selection.selected),
+        "measured pricing must drop the signal-bound loop, not invent new ones"
+    );
+    // The loop that flipped off is the *hottest* paper-selected loop — the one the bench
+    // would have parallelized under paper constants.
+    let hottest_paper = *paper
+        .selection
+        .selected
+        .iter()
+        .max_by_key(|k| profile.loop_profile(**k).cycles)
+        .unwrap();
+    assert!(
+        !measured.selection.is_selected(hottest_paper),
+        "the hot signal-bound loop must flip off under measured pricing"
+    );
+
+    // The trace records the flips, and the feedback loop (re-pricing the candidate plans
+    // from their lowered runtime images) agrees with the measured choice.
+    let trace = helix::core::SelectionTrace::compare(&paper.selection, &measured.selection);
+    assert!(!trace.flips().is_empty());
+    let (fed_selection, fed_trace) = helix::simulator::feedback_selection(
+        &module,
+        &profile,
+        &measured_helix,
+        &paper,
+        &helix::ir::CostModel::default(),
+    );
+    assert_eq!(fed_selection.selected, measured.selection.selected);
+    assert!(!fed_trace.flips().is_empty());
+
+    // Under measured costs the measured choice must simulate faster than the paper choice
+    // — the whole point of recalibrating.
+    let sim_config = helix::simulator::SimConfig {
+        helix: measured_like_config(),
+        mode: helix::core::PrefetchMode::None,
+    };
+    let with_paper_choice = helix::simulator::simulate_program_with_selection(
+        &measured,
+        &profile,
+        &sim_config,
+        Some(&paper.selection.selected),
+    );
+    let with_measured_choice = helix::simulator::simulate_program(&measured, &profile, &sim_config);
+    assert!(
+        with_measured_choice.speedup > with_paper_choice.speedup,
+        "measured choice ({:.3}x) must beat the paper choice ({:.3}x) under measured costs",
+        with_measured_choice.speedup,
+        with_paper_choice.speedup
+    );
+}
