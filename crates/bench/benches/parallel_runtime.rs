@@ -24,17 +24,21 @@
 //!
 //! Results go to stdout and `BENCH_parallel.json` at the repository root (the calibration
 //! profile goes to `BENCH_calibration.txt`): per-program nanoseconds, per-thread-count
-//! speedups over sequential bytecode, the 1-thread overhead, geomean scalability, and any
-//! selection flips. CI runs `--test` (smoke reps) with `--check-1t 1.25` (a 1-thread
-//! parallel run regressing more than 25% against sequential bytecode fails the job) and
-//! `--check-4t 0.10` (the 4-thread geomean regressing more than 10% below the *committed*
-//! BENCH_parallel.json value fails the job — the thread-scaling gate).
+//! speedups over sequential bytecode, the 1-thread overhead, geomean scalability, worker
+//! occupancy and telemetry overhead at the largest thread count, the per-thread-count
+//! clamp reason (why `effective_workers` collapsed on this host), and any selection flips.
+//! CI runs `--test` (smoke reps) with `--check-1t 1.25` (a 1-thread parallel run
+//! regressing more than 25% against sequential bytecode fails the job), `--check-4t 0.10`
+//! (the 4-thread geomean regressing more than 10% below the *committed*
+//! BENCH_parallel.json value fails the job — the thread-scaling gate), and
+//! `--check-telemetry 0.02` (the sampled-telemetry geomean drifting more than 2% above
+//! telemetry-disabled fails the job — the observability overhead gate).
 
 use helix_analysis::LoopNestingGraph;
 use helix_core::{transform, Helix, HelixConfig, ParallelizedLoop};
 use helix_ir::{ExecImage, ImageMachine, Module};
 use helix_profiler::profile_program_image;
-use helix_runtime::{CalibrationProfile, ParallelExecutor, ParallelImage};
+use helix_runtime::{CalibrationProfile, ParallelExecutor, ParallelImage, TelemetryMode};
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
@@ -60,7 +64,25 @@ where
         .unwrap_or(Duration::ZERO)
 }
 
-/// Wall-clock of one plan's parallel run at `threads`, verified against `expected`.
+/// Wall-clock of one plan's parallel run on `executor`, verified against `expected`.
+fn time_executor(
+    pimg: &ParallelImage,
+    executor: ParallelExecutor,
+    reps: usize,
+    expected: Option<helix_ir::Value>,
+    name: &str,
+) -> Duration {
+    best_time(reps, || {
+        let (executor, pimg) = (executor, pimg);
+        move || {
+            let (run, _) = executor.run_parallel_traced(pimg, &[]);
+            let got = run.expect("parallel run");
+            assert_eq!(got, expected, "{name}: parallel result diverged");
+        }
+    })
+}
+
+/// Wall-clock of one plan's parallel run at `threads` (telemetry disabled).
 fn time_plan(
     pimg: &ParallelImage,
     threads: usize,
@@ -68,14 +90,7 @@ fn time_plan(
     expected: Option<helix_ir::Value>,
     name: &str,
 ) -> Duration {
-    let executor = ParallelExecutor::new(threads);
-    best_time(reps, || {
-        let (executor, pimg) = (executor, pimg);
-        move || {
-            let got = executor.run_parallel(pimg, &[]).expect("parallel run");
-            assert_eq!(got, expected, "{name}: parallel result diverged");
-        }
-    })
+    time_executor(pimg, ParallelExecutor::new(threads), reps, expected, name)
 }
 
 struct ProgramReport {
@@ -89,6 +104,14 @@ struct ProgramReport {
     /// Paper-constant pricing picked a different plan: `(paper loop, measured loop,
     /// paper-plan ns, measured-plan ns)` at the largest thread count.
     flip: Option<(String, String, u128, u128)>,
+    /// Telemetry-disabled wall-clock at the largest thread count — the overhead baseline.
+    telemetry_disabled_ns: u128,
+    /// Same plan, same thread count, `TelemetryMode::Sampled(64)` — the mode CI gates on.
+    telemetry_sampled_ns: u128,
+    /// `sampled / disabled - 1`: fractional cost of leaving sampled telemetry on.
+    telemetry_overhead: f64,
+    /// Per-worker occupancy from one sampled traced run at the largest thread count.
+    occupancy: Vec<f64>,
 }
 
 impl ProgramReport {
@@ -211,6 +234,44 @@ fn bench_program(
         parallel.push((threads, effective, elapsed.as_nanos(), speedup));
     }
 
+    // Telemetry overhead at the largest thread count: the identical plan timed with
+    // telemetry disabled and with the sampled mode the `--json` runtime section defaults
+    // to. The reps are *interleaved* (disabled, sampled, disabled, ...) so both sides see
+    // the same scheduler and thermal conditions — two back-to-back best-of-N blocks on a
+    // shared machine otherwise drift apart by more than the effect being measured — and
+    // the comparison gets a higher rep floor than the throughput numbers for the same
+    // reason.
+    let top = *THREAD_COUNTS.last().expect("non-empty");
+    let (telemetry_disabled, telemetry_sampled) = {
+        let disabled = ParallelExecutor::new(top);
+        let sampled = ParallelExecutor::new(top).with_telemetry(TelemetryMode::Sampled(64));
+        let once = |ex: &ParallelExecutor| {
+            let start = Instant::now();
+            let (run, _) = ex.run_parallel_traced(&pimg, &[]);
+            let got = run.expect("parallel run");
+            assert_eq!(got, expected, "{name}: parallel result diverged");
+            start.elapsed()
+        };
+        once(&disabled); // warm-up
+        once(&sampled);
+        let (mut d, mut s) = (Duration::MAX, Duration::MAX);
+        for _ in 0..reps.max(9) {
+            d = d.min(once(&disabled));
+            s = s.min(once(&sampled));
+        }
+        (d, s)
+    };
+    let telemetry_overhead =
+        telemetry_sampled.as_secs_f64() / telemetry_disabled.as_secs_f64().max(1e-12) - 1.0;
+    // One extra traced run captures worker occupancy (fraction of wall-clock spent inside
+    // iteration bodies, extrapolated from the sampled iterations).
+    let occupancy = {
+        let executor = ParallelExecutor::new(top).with_telemetry(TelemetryMode::Sampled(64));
+        let (run, report) = executor.run_parallel_traced(&pimg, &[]);
+        run.expect("occupancy run");
+        report.map(|r| r.occupancy()).unwrap_or_default()
+    };
+
     // Selection flip: paper-constant and cross-thread measured pricing picked different
     // plans — time them head-to-head at the largest thread count and record which choice
     // wins on the actual runtime.
@@ -246,6 +307,10 @@ fn bench_program(
         sequential_ns: sequential.as_nanos(),
         parallel,
         flip,
+        telemetry_disabled_ns: telemetry_disabled.as_nanos(),
+        telemetry_sampled_ns: telemetry_sampled.as_nanos(),
+        telemetry_overhead,
+        occupancy,
     })
 }
 
@@ -279,6 +344,7 @@ fn main() {
     };
     let check_1t = flag_value("--check-1t");
     let check_4t = flag_value("--check-4t");
+    let check_telemetry = flag_value("--check-telemetry");
     let reps = if smoke { 5 } else { 30 };
 
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
@@ -373,6 +439,35 @@ fn main() {
         reports.len()
     );
 
+    // Topology summary: why each requested thread count collapsed (or didn't) on this
+    // host — the clamp reason the executor itself reports.
+    let top_threads = *THREAD_COUNTS.last().expect("non-empty");
+    for threads in THREAD_COUNTS {
+        println!(
+            "parallel_runtime: topology at {threads} threads: {}",
+            ParallelExecutor::new(threads).clamp_reason()
+        );
+    }
+
+    // Sampled-telemetry overhead: geomean of the per-program sampled/disabled ratios at
+    // the largest thread count.
+    let telemetry_geomean = {
+        let logs: Vec<f64> = reports
+            .iter()
+            .map(|r| (1.0 + r.telemetry_overhead).max(1e-12).ln())
+            .collect();
+        if logs.is_empty() {
+            0.0
+        } else {
+            (logs.iter().sum::<f64>() / logs.len() as f64).exp() - 1.0
+        }
+    };
+    println!(
+        "parallel_runtime: sampled-telemetry geomean overhead at {top_threads} threads: \
+         {:+.2}% (Sampled(64) vs disabled)",
+        telemetry_geomean * 100.0
+    );
+
     // Emit the JSON summary at the repository root.
     let mut json = String::from("{\n  \"benchmark\": \"parallel_runtime\",\n");
     let _ = writeln!(json, "  \"smoke\": {smoke},");
@@ -397,6 +492,16 @@ fn main() {
             .helix_config(HelixConfig::i7_980x())
             .signal_latency_unprefetched,
     );
+    json.push_str("  \"clamp_reasons\": {\n");
+    for (i, threads) in THREAD_COUNTS.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    \"{threads}t\": \"{}\"{}",
+            ParallelExecutor::new(*threads).clamp_reason(),
+            if i + 1 < THREAD_COUNTS.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  },\n");
     for threads in THREAD_COUNTS {
         let _ = writeln!(
             json,
@@ -404,6 +509,10 @@ fn main() {
             geomean_at(threads)
         );
     }
+    let _ = writeln!(
+        json,
+        "  \"telemetry_overhead_geomean\": {telemetry_geomean:.4},"
+    );
     let _ = writeln!(json, "  \"programs_at_least_1_2x_at_4t\": {fast_at_4},");
     json.push_str("  \"programs\": [\n");
     for (i, r) in reports.iter().enumerate() {
@@ -439,6 +548,28 @@ fn main() {
                 measured_ns <= paper_ns
             );
         }
+        let _ = writeln!(
+            json,
+            "      \"telemetry_disabled_{top_threads}t_ns\": {},",
+            r.telemetry_disabled_ns
+        );
+        let _ = writeln!(
+            json,
+            "      \"telemetry_sampled_{top_threads}t_ns\": {},",
+            r.telemetry_sampled_ns
+        );
+        let _ = writeln!(
+            json,
+            "      \"telemetry_overhead_{top_threads}t\": {:.4},",
+            r.telemetry_overhead
+        );
+        let occ = r
+            .occupancy
+            .iter()
+            .map(|o| format!("{o:.4}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(json, "      \"occupancy_{top_threads}t\": [{occ}],");
         let overhead_1t = r
             .speedup_at(1)
             .map(|s| 1.0 / s.max(1e-12) - 1.0)
@@ -511,6 +642,24 @@ fn main() {
                 "parallel_runtime: thread-scaling gate skipped (no committed \
                  BENCH_parallel.json to compare against)"
             ),
+        }
+    }
+    if let Some(limit) = check_telemetry {
+        if telemetry_geomean > limit {
+            eprintln!(
+                "parallel_runtime: FAIL telemetry-overhead gate: sampled telemetry costs \
+                 {:+.2}% geomean at {top_threads} threads (limit {:+.2}%)",
+                telemetry_geomean * 100.0,
+                limit * 100.0
+            );
+            failed = true;
+        } else {
+            println!(
+                "parallel_runtime: telemetry-overhead gate ok: {:+.2}% geomean at \
+                 {top_threads} threads (limit {:+.2}%)",
+                telemetry_geomean * 100.0,
+                limit * 100.0
+            );
         }
     }
     if failed {

@@ -8,6 +8,9 @@
 //! * `helix profile` — run the profiling interpreter and report per-loop costs,
 //! * `helix parallelize` — run the HELIX analysis (Steps 1–8 + loop selection),
 //! * `helix simulate` — the Figure 9 flow: profile, analyze, simulate, report speedup,
+//! * `helix trace` — run the parallelized loop with full runtime telemetry, export a
+//!   Chrome trace-event timeline, and (`--compare-model`) validate the cost model's
+//!   per-segment predictions against the observed costs (see `docs/observability.md`),
 //! * `helix dump-workload` — export a built-in synthetic SPEC stand-in as `.hir`,
 //! * `helix fuzz` — generate seeded random programs and differentially test the whole stack
 //!   (both engines, both profilers, frontend round-trip, parallel executor), dumping any
@@ -22,7 +25,7 @@ use helix_core::{transform, Helix, HelixConfig, HelixOutput, PrefetchMode};
 use helix_frontend::parse_file;
 use helix_ir::{printer, ExecImage, ExecStats, ImageMachine, Machine, Module, Value};
 use helix_profiler::{ImageProfiler, Profiler, ProgramProfile};
-use helix_runtime::ParallelExecutor;
+use helix_runtime::{EventKind, ParallelExecutor, TelemetryMode, TelemetryReport, WaitProfile};
 use helix_simulator::{simulate_program, SimConfig};
 use json::Json;
 use std::process::ExitCode;
@@ -39,6 +42,9 @@ COMMANDS:
     profile        Profile a program and report per-loop cycle counts
     parallelize    Run the HELIX analysis and report plans + selection
     simulate       Profile, analyze and simulate: the end-to-end speedup report
+    trace          Execute the parallelized loop with runtime telemetry: per-segment
+                   stall accounting, a Chrome trace-event timeline, and (with
+                   --compare-model) predicted-vs-observed cost validation
     dump-workload  Print a built-in synthetic workload as canonical .hir
     fuzz           Differentially fuzz the stack with generated programs
 
@@ -61,8 +67,15 @@ COMMON OPTIONS:
     --calibration-file <p>  (parallelize) Like --calibrate, but load the calibration from
                        <p> if it exists and write the measured profile there otherwise
     --threads <list>   Worker thread count(s); comma-separated for fuzz (default: 4 for
-                       run --parallel, 1,2,4,6 for fuzz)
-    --spin-budget <n>  (run --parallel, fuzz) Wait spins before declaring deadlock
+                       run --parallel and trace, 1,2,4,6 for fuzz)
+    --spin-budget <n>  (run --parallel, trace, fuzz) Wait spins before declaring deadlock
+    --sample <n>       Telemetry sampling period: 0 disables event recording, 1 records
+                       every iteration, n records every n-th (default: 1 for trace,
+                       64 for run --parallel; counters are always exact when enabled)
+    --compare-model    (trace) Calibrate this machine, compare the cost model's
+                       per-segment predictions against the observed telemetry costs,
+                       and report loops whose selection would flip under observed costs
+    --out <path>       (trace) Chrome trace-event output file (default: <input>.trace.json)
 
 FUZZ OPTIONS:
     --seeds <n>        Number of seeds to run (default: 100)
@@ -78,6 +91,7 @@ EXAMPLES:
     helix parse corpus/pointer_chase.hir
     helix simulate corpus/stencil.hir --cores 6 --json
     helix run corpus/sum_reduction.hir --parallel
+    helix trace corpus/nest_flip.hir --compare-model
     helix fuzz --seeds 500 --threads 1,2,4,6
     helix dump-workload art > /tmp/art.hir
 ";
@@ -137,6 +151,9 @@ struct Options {
     lowered_costs: bool,
     calibrate: bool,
     calibration_file: Option<String>,
+    compare_model: bool,
+    /// Telemetry sampling period from `--sample`; `None` means the per-command default.
+    sample: Option<u32>,
     entry: String,
     cores: usize,
     /// Thread counts from `--threads`; `None` means the per-command default.
@@ -146,10 +163,11 @@ struct Options {
     spin_budget: Option<u64>,
     mode: PrefetchMode,
     args: Vec<Value>,
-    // fuzz-only options
+    // fuzz/trace output options
     seeds: u64,
     seed_start: u64,
-    out_dir: String,
+    /// `--out`: fuzz repro directory or trace output file; `None` means the default.
+    out: Option<String>,
     repeats: usize,
     gen_config: String,
     shrink: bool,
@@ -166,6 +184,8 @@ impl Default for Options {
             lowered_costs: false,
             calibrate: false,
             calibration_file: None,
+            compare_model: false,
+            sample: None,
             entry: "main".to_string(),
             cores: 6,
             threads: None,
@@ -176,7 +196,7 @@ impl Default for Options {
             args: Vec::new(),
             seeds: 100,
             seed_start: 1,
-            out_dir: "fuzz-repros".to_string(),
+            out: None,
             repeats: 2,
             gen_config: "fuzz".to_string(),
             shrink: true,
@@ -244,7 +264,13 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                     .parse()
                     .map_err(|_| CliError::Usage("--seed-start expects an integer".into()))?;
             }
-            "--out" => opts.out_dir = value_of("--out", &mut it)?,
+            "--out" => opts.out = Some(value_of("--out", &mut it)?),
+            "--compare-model" => opts.compare_model = true,
+            "--sample" => {
+                opts.sample = Some(value_of("--sample", &mut it)?.parse().map_err(|_| {
+                    CliError::Usage("--sample expects a non-negative integer".into())
+                })?);
+            }
             "--repeats" => {
                 opts.repeats = value_of("--repeats", &mut it)?
                     .parse()
@@ -351,6 +377,7 @@ fn run_cli(args: &[String]) -> Result<(), CliError> {
         "profile" => cmd_profile(&parse_options(&args[1..])?),
         "parallelize" => cmd_parallelize(&parse_options(&args[1..])?),
         "simulate" => cmd_simulate(&parse_options(&args[1..])?),
+        "trace" => cmd_trace(&parse_options(&args[1..])?),
         "dump-workload" => cmd_dump_workload(&args[1..]),
         "fuzz" => cmd_fuzz(&parse_options(&args[1..])?),
         other => Err(CliError::Usage(format!("unknown command `{other}`"))),
@@ -588,9 +615,12 @@ fn run_parallel(module: &Module, opts: &Options) -> Result<(), CliError> {
             machine.call(entry, &opts.args).map_err(seq_error)?
         }
     };
-    let parallel = ParallelExecutor::from_config(threads, &config_of(opts))
-        .run(&transformed, &opts.args)
-        .map_err(|e| CliError::failed(format!("parallel execution failed: {e}")))?;
+    // Telemetry rides along at the sampled low-overhead period (counters stay exact);
+    // `--sample 0` turns it off, `--sample 1` records every iteration.
+    let executor = ParallelExecutor::from_config(threads, &config_of(opts))
+        .with_telemetry(TelemetryMode::from_sample_period(opts.sample.unwrap_or(64)));
+    let (run, telemetry) = executor.run_traced(&transformed, &opts.args);
+    let parallel = run.map_err(|e| CliError::failed(format!("parallel execution failed: {e}")))?;
     let matches = sequential == parallel;
     if opts.json {
         let render = |v: &Option<Value>| match v {
@@ -598,7 +628,7 @@ fn run_parallel(module: &Module, opts: &Options) -> Result<(), CliError> {
             Some(Value::Float(x)) => Json::float(*x),
             None => Json::str("void"),
         };
-        let doc = Json::object([
+        let mut fields = vec![
             ("module", Json::str(&module.name)),
             ("loop", Json::str(&format!("{}", plan.loop_id))),
             ("threads", Json::uint(threads as u64)),
@@ -610,7 +640,11 @@ fn run_parallel(module: &Module, opts: &Options) -> Result<(), CliError> {
                 "signals",
                 Json::uint(transformed.signal_instr_count() as u64),
             ),
-        ]);
+        ];
+        if let Some(report) = &telemetry {
+            fields.push(("runtime", runtime_json(report, &executor)));
+        }
+        let doc = Json::object(fields);
         println!("{}", doc.into_string());
     } else {
         println!(
@@ -631,6 +665,24 @@ fn run_parallel(module: &Module, opts: &Options) -> Result<(), CliError> {
             "results {}",
             if matches { "MATCH" } else { "DIFFER (bug!)" }
         );
+        if let Some(report) = &telemetry {
+            let busy = report
+                .workers
+                .iter()
+                .filter(|w| w.counters.claims > 0)
+                .count();
+            let wait_ns: u64 = report.workers.iter().map(|w| w.counters.wait_ns).sum();
+            let run_ns: u64 = report.workers.iter().map(|w| w.counters.run_ns).sum();
+            println!(
+                "runtime: {busy}/{} worker(s) claimed work, {} iterations, \
+                 run {:.2}ms / wait {:.2}ms ({})",
+                executor.effective_workers(),
+                report.total_iterations(),
+                run_ns as f64 / 1e6,
+                wait_ns as f64 / 1e6,
+                executor.clamp_reason(),
+            );
+        }
     }
     if matches {
         Ok(())
@@ -639,6 +691,387 @@ fn run_parallel(module: &Module, opts: &Options) -> Result<(), CliError> {
             "parallel execution diverged from sequential execution",
         ))
     }
+}
+
+fn telemetry_mode_name(mode: TelemetryMode) -> String {
+    match mode {
+        TelemetryMode::Disabled => "disabled".to_string(),
+        TelemetryMode::Sampled(n) => format!("sampled({n})"),
+        TelemetryMode::Full => "full".to_string(),
+    }
+}
+
+/// The `runtime` JSON section shared by `run --parallel --json` and `trace --json`:
+/// per-worker claim/iteration/stall counters plus the worker-clamp explanation.
+fn runtime_json(report: &TelemetryReport, executor: &ParallelExecutor) -> Json {
+    let occupancy = report.occupancy();
+    let workers = report.workers.iter().map(|w| {
+        Json::object([
+            ("worker", Json::uint(w.worker as u64)),
+            ("claims", Json::uint(w.counters.claims)),
+            ("iterations", Json::uint(w.counters.iterations)),
+            (
+                "sampled_iterations",
+                Json::uint(w.counters.sampled_iterations),
+            ),
+            ("run_ns", Json::uint(w.counters.run_ns)),
+            ("wait_ns", Json::uint(w.counters.wait_ns)),
+            ("spins", Json::uint(w.counters.spins)),
+            ("yields", Json::uint(w.counters.yields)),
+            ("parks", Json::uint(w.counters.parks)),
+            ("signals", Json::uint(w.counters.signals)),
+            ("arena_words", Json::uint(w.counters.arena_words)),
+            (
+                "occupancy",
+                Json::float(occupancy.get(w.worker).copied().unwrap_or(0.0)),
+            ),
+            ("events", Json::uint(w.events.len() as u64)),
+            ("events_dropped", Json::uint(w.events_dropped)),
+        ])
+    });
+    let busy = report
+        .workers
+        .iter()
+        .filter(|w| w.counters.claims > 0)
+        .count();
+    Json::object([
+        ("mode", Json::str(&telemetry_mode_name(report.mode))),
+        ("wall_ns", Json::uint(report.wall_ns)),
+        (
+            "effective_workers",
+            Json::uint(executor.effective_workers() as u64),
+        ),
+        ("workers_used", Json::uint(busy as u64)),
+        ("clamp_reason", Json::str(&executor.clamp_reason())),
+        ("total_iterations", Json::uint(report.total_iterations())),
+        (
+            "total_run_ns",
+            Json::uint(report.workers.iter().map(|w| w.counters.run_ns).sum()),
+        ),
+        (
+            "total_wait_ns",
+            Json::uint(report.workers.iter().map(|w| w.counters.wait_ns).sum()),
+        ),
+        ("workers", Json::array(workers)),
+    ])
+}
+
+/// Renders a telemetry report as Chrome trace-event JSON (`chrome://tracing`, Perfetto):
+/// one `tid` per worker, `X` (complete) spans for sampled iterations and for every blocking
+/// wait, `i` (instant) marks for claims, signals and the first park of a wait.
+fn chrome_trace_json(report: &TelemetryReport) -> Json {
+    let us = |ns: u64| Json::float(ns as f64 / 1000.0);
+    let mut events: Vec<Json> = Vec::new();
+    for w in &report.workers {
+        let tid = w.worker as u64;
+        events.push(Json::object([
+            ("name", Json::str("thread_name")),
+            ("ph", Json::str("M")),
+            ("pid", Json::uint(0)),
+            ("tid", Json::uint(tid)),
+            (
+                "args",
+                Json::object([("name", Json::str(&format!("worker {}", w.worker)))]),
+            ),
+        ]));
+        let span = |name: &str, t0: u64, t1: u64, iteration: u64, lane: Option<u32>| {
+            let mut args = vec![("iteration", Json::uint(iteration))];
+            if let Some(lane) = lane {
+                args.push(("lane", Json::uint(lane as u64)));
+            }
+            Json::object([
+                ("name", Json::str(name)),
+                ("ph", Json::str("X")),
+                ("ts", us(t0)),
+                ("dur", us(t1.saturating_sub(t0))),
+                ("pid", Json::uint(0)),
+                ("tid", Json::uint(tid)),
+                ("args", Json::object(args)),
+            ])
+        };
+        let instant = |name: &str, t: u64, iteration: u64| {
+            Json::object([
+                ("name", Json::str(name)),
+                ("ph", Json::str("i")),
+                ("ts", us(t)),
+                ("s", Json::str("t")),
+                ("pid", Json::uint(0)),
+                ("tid", Json::uint(tid)),
+                ("args", Json::object([("iteration", Json::uint(iteration))])),
+            ])
+        };
+        // A ring that overflowed can orphan one begin/end at the seam; unmatched ends are
+        // skipped and unmatched begins simply never produce a span.
+        let mut iter_start: Option<(u64, u64)> = None;
+        let mut wait_stack: Vec<(u32, u64, u64)> = Vec::new();
+        for e in &w.events {
+            match e.kind {
+                EventKind::IterStart => iter_start = Some((e.iteration, e.t_ns)),
+                EventKind::IterFinish => {
+                    if let Some((it, t0)) = iter_start.take() {
+                        if it == e.iteration {
+                            events.push(span("iteration", t0, e.t_ns, it, None));
+                        }
+                    }
+                }
+                EventKind::WaitBegin => wait_stack.push((e.lane, e.iteration, e.t_ns)),
+                EventKind::WaitEnd => {
+                    if let Some((lane, it, t0)) = wait_stack.pop() {
+                        events.push(span(
+                            &format!("wait lane{lane}"),
+                            t0,
+                            e.t_ns,
+                            it,
+                            Some(lane),
+                        ));
+                    }
+                }
+                EventKind::Claim => events.push(instant("claim", e.t_ns, e.iteration)),
+                EventKind::Signal => events.push(instant(
+                    &format!("signal lane{}", e.lane),
+                    e.t_ns,
+                    e.iteration,
+                )),
+                EventKind::Park => events.push(instant("park", e.t_ns, e.iteration)),
+            }
+        }
+    }
+    Json::object([
+        ("traceEvents", Json::array(events)),
+        ("displayTimeUnit", Json::str("ms")),
+    ])
+}
+
+/// `helix trace`: run the parallelized loop under full telemetry with the dedicated wait
+/// profile, report per-segment stall accounting and worker occupancy, export a Chrome
+/// trace-event timeline, and — with `--compare-model` — validate the calibrated cost
+/// model's per-segment predictions against the observed costs and re-run loop selection
+/// with them.
+fn cmd_trace(opts: &Options) -> Result<(), CliError> {
+    let module = load(opts)?;
+    let threads = single_thread_count(opts)?;
+    let (_nesting, profile, entry, _image) = profiled(&module, opts)?;
+    let config = config_of(opts);
+    let output = Helix::new(config).analyze(&module, &profile);
+    // The hottest selected plan of the entry (what `run --parallel` executes), falling back
+    // to the hottest candidate: an unprofitable loop can still be traced and compared.
+    let plan = output
+        .selected_plans()
+        .into_iter()
+        .filter(|p| p.func == entry)
+        .max_by_key(|p| profile.loop_profile((p.func, p.loop_id)).cycles)
+        .or_else(|| {
+            output
+                .plans
+                .values()
+                .filter(|p| p.func == entry)
+                .max_by_key(|p| profile.loop_profile((p.func, p.loop_id)).cycles)
+        })
+        .ok_or_else(|| CliError::failed("no parallelizable loop of the entry function to trace"))?;
+    let key = (plan.func, plan.loop_id);
+    let transformed = transform::apply(&module, plan);
+    let pimg = helix_runtime::ParallelImage::lower(&transformed);
+    let mode = TelemetryMode::from_sample_period(opts.sample.unwrap_or(1));
+    if !mode.enabled() {
+        return Err(CliError::Usage(
+            "trace needs telemetry: pass --sample 1 (full) or --sample <n> (sampled), not 0".into(),
+        ));
+    }
+    // The dedicated wait profile keeps the requested worker count even when the hardware
+    // has fewer threads (the trace should show the claim protocol, not a solo fast path).
+    let mut executor = ParallelExecutor::from_config(threads, &config)
+        .with_wait_profile(WaitProfile::DEDICATED)
+        .with_telemetry(mode);
+    if let Some(spins) = opts.spin_budget {
+        executor = executor.with_spin_budget(spins);
+    }
+    let (run, report) = executor.run_parallel_traced(&pimg, &opts.args);
+    let result = run.map_err(|e| CliError::failed(format!("traced run failed: {e}")))?;
+    let report = report.ok_or_else(|| {
+        CliError::failed("telemetry is compiled out (build with the `telemetry` feature)")
+    })?;
+
+    let trace_path = opts.out.clone().unwrap_or_else(|| {
+        let file = opts.file.as_deref().unwrap_or("trace");
+        let stem = std::path::Path::new(file)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "trace".to_string());
+        format!("{stem}.trace.json")
+    });
+    std::fs::write(&trace_path, chrome_trace_json(&report).into_string())
+        .map_err(|e| CliError::failed(format!("cannot write {trace_path}: {e}")))?;
+
+    let observed = report.observed_segment_costs();
+    // --compare-model: price the lowered segments with this machine's calibrated cost
+    // model and put the prediction next to what the trace actually measured, then re-run
+    // loop selection with the observed costs substituted in.
+    let comparison = if opts.compare_model {
+        let calibration = calibration_of(opts)?;
+        let cost = calibration.cost_model();
+        let rows = helix_simulator::compare_segment_costs(
+            &pimg.loop_image,
+            &cost,
+            &observed,
+            calibration.ns_per_cycle(),
+        );
+        let measured_config = calibration.helix_config(config);
+        let measured_helix = Helix::new(measured_config).with_cost_model(calibration.cost_model());
+        let measured_out = measured_helix.analyze(&module, &profile);
+        let costs = helix_simulator::observed_costs_for_reselection(
+            &module,
+            &measured_out,
+            &cost,
+            key,
+            &rows,
+        );
+        let (reselection, _) =
+            measured_helix.reselect_with_segment_costs(&module, &profile, &measured_out, &costs);
+        let trace = helix_core::SelectionTrace::compare(&output.selection, &reselection);
+        Some((calibration, rows, trace))
+    } else {
+        None
+    };
+
+    if opts.json {
+        let render = |v: &Option<Value>| match v {
+            Some(Value::Int(i)) => Json::int(*i),
+            Some(Value::Float(x)) => Json::float(*x),
+            None => Json::str("void"),
+        };
+        let mut fields = vec![
+            ("module", Json::str(&module.name)),
+            ("loop", Json::str(&format!("{}", plan.loop_id))),
+            ("threads", Json::uint(threads as u64)),
+            ("result", render(&result)),
+            ("trace_file", Json::str(&trace_path)),
+            ("runtime", runtime_json(&report, &executor)),
+            (
+                "lanes",
+                Json::array(report.lanes.iter().map(|l| {
+                    Json::object([
+                        ("lane", Json::uint(l.lane as u64)),
+                        ("dep", Json::str(&format!("{:?}", l.dep))),
+                        ("segment", Json::uint(l.segment as u64)),
+                        ("waits", Json::uint(l.counters.waits)),
+                        ("fast_hits", Json::uint(l.counters.fast_hits)),
+                        ("wait_ns", Json::uint(l.counters.wait_ns)),
+                        ("parks", Json::uint(l.counters.parks)),
+                        ("signals", Json::uint(l.counters.signals)),
+                    ])
+                })),
+            ),
+        ];
+        if let Some((calibration, rows, trace)) = &comparison {
+            fields.push((
+                "model_comparison",
+                Json::object([
+                    ("ns_per_cycle", Json::float(calibration.ns_per_cycle())),
+                    (
+                        "segments",
+                        Json::array(rows.iter().map(|r| {
+                            Json::object([
+                                ("dep", Json::str(&format!("{:?}", r.dep))),
+                                ("segment", Json::uint(r.segment as u64)),
+                                ("predicted_cycles", Json::float(r.predicted_cycles)),
+                                (
+                                    "observed_cycles",
+                                    match r.observed_cycles {
+                                        Some(c) => Json::float(c),
+                                        None => Json::str("unsampled"),
+                                    },
+                                ),
+                                ("observed_samples", Json::uint(r.observed_samples)),
+                                (
+                                    "ratio",
+                                    match r.ratio() {
+                                        Some(x) => Json::float(x),
+                                        None => Json::str("n/a"),
+                                    },
+                                ),
+                            ])
+                        })),
+                    ),
+                    ("flips", Json::uint(trace.flips().len() as u64)),
+                    (
+                        "selection_trace",
+                        Json::array(trace.entries.iter().map(|e| {
+                            Json::object([
+                                ("function", Json::str(&module.function(e.key.0).name)),
+                                ("loop", Json::str(&e.key.1.to_string())),
+                                ("predicted_selected", Json::bool(e.baseline_selected)),
+                                ("observed_selected", Json::bool(e.measured_selected)),
+                                ("flipped", Json::bool(e.flipped())),
+                            ])
+                        })),
+                    ),
+                ]),
+            ));
+        }
+        println!("{}", Json::object(fields).into_string());
+    } else {
+        let show = |v: &Option<Value>| match v {
+            Some(v) => v.to_string(),
+            None => "(void)".to_string(),
+        };
+        println!(
+            "traced loop {} of `{}` on {} worker(s), {} telemetry, dedicated waits",
+            plan.loop_id,
+            opts.entry,
+            executor.effective_workers(),
+            telemetry_mode_name(mode)
+        );
+        println!("result: {}   ({})", show(&result), executor.clamp_reason());
+        print!("{}", report.to_text());
+        println!("chrome trace: {trace_path}");
+        if let Some((calibration, rows, trace)) = &comparison {
+            println!(
+                "predicted vs observed segment costs ({:.2} ns/cycle calibrated):",
+                calibration.ns_per_cycle()
+            );
+            println!(
+                "  {:<6} {:>8} {:>16} {:>16} {:>8} {:>9}",
+                "lane", "segment", "predicted (cyc)", "observed (cyc)", "ratio", "samples"
+            );
+            for (lane, r) in rows.iter().enumerate() {
+                let observed = r
+                    .observed_cycles
+                    .map(|c| format!("{c:.0}"))
+                    .unwrap_or_else(|| "-".to_string());
+                let ratio = r
+                    .ratio()
+                    .map(|x| format!("{x:.2}x"))
+                    .unwrap_or_else(|| "-".to_string());
+                println!(
+                    "  {:<6} {:>8} {:>16.0} {:>16} {:>8} {:>9}",
+                    lane, r.segment, r.predicted_cycles, observed, ratio, r.observed_samples
+                );
+            }
+            let flips = trace.flips().len();
+            println!(
+                "selection under observed costs: {} flip(s) against the model's selection",
+                flips
+            );
+            for e in trace.flips() {
+                println!(
+                    "  {}/{}: model {} -> observed {}",
+                    module.function(e.key.0).name,
+                    e.key.1,
+                    if e.baseline_selected {
+                        "selected"
+                    } else {
+                        "rejected"
+                    },
+                    if e.measured_selected {
+                        "selected"
+                    } else {
+                        "rejected"
+                    },
+                );
+            }
+        }
+    }
+    Ok(())
 }
 
 fn cmd_profile(opts: &Options) -> Result<(), CliError> {
@@ -1193,9 +1626,14 @@ fn cmd_fuzz(opts: &Options) -> Result<(), CliError> {
             "{} of {} seeds diverged; shrunk repros under {}",
             divergences.len(),
             opts.seeds,
-            opts.out_dir
+            fuzz_out_dir(opts)
         )))
     }
+}
+
+/// The fuzz repro directory (`--out`, default `fuzz-repros`).
+fn fuzz_out_dir(opts: &Options) -> &str {
+    opts.out.as_deref().unwrap_or("fuzz-repros")
 }
 
 /// Writes a shrunk repro as an annotated `.hir` file and returns its path.
@@ -1206,14 +1644,10 @@ fn write_repro(
     repro: &Module,
     shrink_stats: Option<&helix_gen::ShrinkStats>,
 ) -> Result<String, CliError> {
-    std::fs::create_dir_all(&opts.out_dir)
-        .map_err(|e| CliError::failed(format!("cannot create {}: {e}", opts.out_dir)))?;
-    let path = format!(
-        "{}/seed{}-{}.hir",
-        opts.out_dir,
-        seed,
-        divergence.kind.name()
-    );
+    let out_dir = fuzz_out_dir(opts);
+    std::fs::create_dir_all(out_dir)
+        .map_err(|e| CliError::failed(format!("cannot create {out_dir}: {e}")))?;
+    let path = format!("{}/seed{}-{}.hir", out_dir, seed, divergence.kind.name());
     let mut text = String::new();
     text.push_str(&format!(
         "# helix fuzz divergence repro\n# seed: {seed} (generator preset: {})\n# divergence: {divergence}\n",

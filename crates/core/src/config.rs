@@ -61,6 +61,12 @@ pub struct HelixConfig {
     /// `pointer_chase`/`mcf`. Used by the fuzzing oracle and shrinker tests to prove that an
     /// injected fault is detected and minimized; never enable outside tests.
     pub unsound_union_merged_sync_points: bool,
+    /// Runtime telemetry sampling period: `0` disables telemetry entirely (the default — the
+    /// recording sites stay dormant), `1` records every iteration's events (full tracing),
+    /// `n > 1` records events on every `n`-th iteration (rounded up to a power of two)
+    /// while per-worker/per-lane counters and blocking waits are always captured (the
+    /// sampled low-overhead mode gated in CI to within 2% of disabled).
+    pub telemetry_sample_period: u32,
 }
 
 impl HelixConfig {
@@ -84,6 +90,7 @@ impl HelixConfig {
             spin_budget: 200_000_000,
             max_loop_iterations: 10_000_000,
             unsound_union_merged_sync_points: false,
+            telemetry_sample_period: 0,
         }
     }
 
@@ -104,6 +111,14 @@ impl HelixConfig {
     /// Overrides the executor's loop iteration budget.
     pub fn with_max_loop_iterations(mut self, iterations: u64) -> Self {
         self.max_loop_iterations = iterations;
+        self
+    }
+
+    /// Enables runtime telemetry with the given sampling period (`0` disables, `1` traces
+    /// every iteration, `n` samples every `n`-th); see
+    /// [`HelixConfig::telemetry_sample_period`].
+    pub fn with_telemetry_sampling(mut self, period: u32) -> Self {
+        self.telemetry_sample_period = period;
         self
     }
 

@@ -34,8 +34,8 @@ pub mod strategy;
 pub use config::GenConfig;
 pub use generate::{generate, GeneratedProgram};
 pub use oracle::{
-    differential_check, signal_placement_violations, Divergence, DivergenceKind, OracleConfig,
-    OracleReport,
+    differential_check, signal_placement_violations, telemetry_violations, Divergence,
+    DivergenceKind, OracleConfig, OracleReport,
 };
 pub use rng::GenRng;
 pub use shrink::{compact_registers, shrink_module, ShrinkOptions, ShrinkOutcome, ShrinkStats};

@@ -24,7 +24,9 @@ use helix_ir::{
     verify_module, ExecImage, ExecStats, FuncId, ImageMachine, Machine, Memory, Module, Value,
 };
 use helix_profiler::{profile_program, profile_program_image};
-use helix_runtime::{ParallelExecutor, ParallelImage, WaitProfile};
+use helix_runtime::{
+    EventKind, ParallelExecutor, ParallelImage, TelemetryMode, TelemetryReport, WaitProfile,
+};
 use std::fmt;
 
 /// What the oracle checks and how hard it tries.
@@ -97,6 +99,9 @@ pub enum DivergenceKind {
     ParallelResult,
     /// A parallel run failed (deadlock, budget, fault) where the sequential run succeeded.
     ParallelError,
+    /// A traced parallel run produced a malformed telemetry stream (unbalanced waits,
+    /// duplicate or non-contiguous iteration claims, counter/event disagreement).
+    Telemetry,
 }
 
 impl DivergenceKind {
@@ -113,6 +118,7 @@ impl DivergenceKind {
             DivergenceKind::SignalPlacement => "signal-placement",
             DivergenceKind::ParallelResult => "parallel-result",
             DivergenceKind::ParallelError => "parallel-error",
+            DivergenceKind::Telemetry => "telemetry",
         }
     }
 }
@@ -196,6 +202,75 @@ pub fn signal_placement_violations(module: &Module, output: &HelixOutput) -> Vec
                         }
                     }
                 }
+            }
+        }
+    }
+    violations
+}
+
+/// Structural well-formedness checks on a telemetry report from a completed (non-faulting)
+/// traced run. Returns one description per violation:
+///
+/// * every worker's event stream keeps Wait begin/end balanced — the wait depth never goes
+///   negative, and ends the stream at zero when no events were dropped;
+/// * under [`TelemetryMode::Full`] with no ring drops, the recorded iteration claims across
+///   all workers form a permutation of `0..n` (no iteration claimed twice, none skipped);
+/// * the per-worker iteration counter totals agree with the claim counters.
+pub fn telemetry_violations(report: &TelemetryReport) -> Vec<String> {
+    let mut violations = Vec::new();
+    let lossless = report.workers.iter().all(|w| w.events_dropped == 0);
+    for w in &report.workers {
+        let mut depth = 0i64;
+        for e in &w.events {
+            match e.kind {
+                EventKind::WaitBegin => depth += 1,
+                EventKind::WaitEnd => depth -= 1,
+                _ => {}
+            }
+            if depth < 0 {
+                violations.push(format!(
+                    "worker {}: wait-end without matching wait-begin at {e}",
+                    w.worker
+                ));
+                depth = 0;
+            }
+        }
+        if w.events_dropped == 0 && depth != 0 {
+            violations.push(format!(
+                "worker {}: {depth} wait-begin(s) never ended in a lossless stream",
+                w.worker
+            ));
+        }
+        if w.counters.iterations > w.counters.claims {
+            violations.push(format!(
+                "worker {}: finished {} iterations but only claimed {}",
+                w.worker, w.counters.iterations, w.counters.claims
+            ));
+        }
+    }
+    if report.mode == TelemetryMode::Full && lossless {
+        let mut claimed: Vec<u64> = report
+            .workers
+            .iter()
+            .flat_map(|w| w.events.iter())
+            .filter(|e| e.kind == EventKind::Claim)
+            .map(|e| e.iteration)
+            .collect();
+        claimed.sort_unstable();
+        for pair in claimed.windows(2) {
+            if pair[0] == pair[1] {
+                violations.push(format!("iteration {} claimed twice", pair[0]));
+            }
+        }
+        claimed.dedup();
+        // Claims are handed out in order, so a lossless full trace of a completed run
+        // covers a contiguous prefix 0..n (the final claim may exit before running).
+        if let Some(&max) = claimed.last() {
+            if claimed.len() as u64 != max + 1 || claimed[0] != 0 {
+                violations.push(format!(
+                    "claims are not contiguous from 0: {} distinct claims, max {max}",
+                    claimed.len()
+                ));
             }
         }
     }
@@ -369,10 +444,16 @@ pub fn differential_check(
                     // The dedicated wait profile forces the full multi-worker claim
                     // protocol even on machines with fewer hardware threads than workers:
                     // the oracle exists to hammer the concurrent path, not to run fast.
-                    match ParallelExecutor::from_config(threads, &config.helix)
-                        .with_wait_profile(WaitProfile::DEDICATED)
-                        .run_parallel(&parallel_image, &[])
-                    {
+                    // `from_config` picks up `telemetry_sample_period`, so a traced oracle
+                    // additionally validates the event streams it produces.
+                    let executor = ParallelExecutor::from_config(threads, &config.helix)
+                        .with_wait_profile(WaitProfile::DEDICATED);
+                    let (run, telemetry) = if config.helix.telemetry_sample_period > 0 {
+                        executor.run_parallel_traced(&parallel_image, &[])
+                    } else {
+                        (executor.run_parallel(&parallel_image, &[]), None)
+                    };
+                    match run {
                         Ok(got) => {
                             if !values_bitwise_eq(got, result) {
                                 return Err(diverged(
@@ -384,6 +465,18 @@ pub fn differential_check(
                                         show(&got)
                                     ),
                                 ));
+                            }
+                            if let Some(report) = &telemetry {
+                                let violations = telemetry_violations(report);
+                                if let Some(first) = violations.first() {
+                                    return Err(diverged(
+                                        DivergenceKind::Telemetry,
+                                        format!(
+                                            "{threads} threads: {first} ({} violations total)",
+                                            violations.len()
+                                        ),
+                                    ));
+                                }
                             }
                         }
                         Err(e) => {

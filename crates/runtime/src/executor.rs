@@ -35,6 +35,7 @@ use crate::parallel_image::{
 };
 use crate::pool::{AdaptiveWait, Sleepers, WaitProfile, WorkerPool};
 use crate::sharded::{PrivateArena, ShardedMemory};
+use crate::telemetry::{TelemetryMode, TelemetryReport, TelemetryRun, WorkerCtx, WorkerTail};
 use helix_core::TransformedProgram;
 use helix_ir::interp::ExecError;
 use helix_ir::{DepId, ExecImage, Value};
@@ -73,6 +74,10 @@ pub enum RuntimeError {
         wait_pc: u32,
         /// The owning segment's `[first, last]` pc range in the iteration bytecode.
         segment_pc_range: (u32, u32),
+        /// The telemetry tail: each worker's last events (which lane it was waiting on,
+        /// the last counter it observed, the last signals it published). Empty when the
+        /// run was not traced — enable telemetry on the repro to fill it in.
+        tail: Vec<WorkerTail>,
     },
     /// The loop never terminated within the iteration budget.
     IterationBudgetExceeded,
@@ -90,6 +95,7 @@ impl std::fmt::Display for RuntimeError {
                 segment,
                 wait_pc,
                 segment_pc_range,
+                tail,
             } => {
                 write!(
                     f,
@@ -97,7 +103,14 @@ impl std::fmt::Display for RuntimeError {
                      last observed at {last_observed}, needed {iteration} (segment {segment}, \
                      wait at pc {wait_pc}, segment pc range {}..={})",
                     segment_pc_range.0, segment_pc_range.1
-                )
+                )?;
+                if !tail.is_empty() {
+                    write!(f, "; last events per worker:")?;
+                    for t in tail {
+                        write!(f, " {t}")?;
+                    }
+                }
+                Ok(())
             }
             RuntimeError::IterationBudgetExceeded => write!(f, "iteration budget exceeded"),
         }
@@ -290,6 +303,7 @@ fn convert_iter_error(loop_image: &LoopImage, iteration: u64, e: IterError) -> R
                     segment: info.segment,
                     wait_pc: pc,
                     segment_pc_range: info.pc_range(),
+                    tail: Vec::new(),
                 },
                 None => RuntimeError::Deadlock {
                     dep: DepId::new(lane),
@@ -299,6 +313,7 @@ fn convert_iter_error(loop_image: &LoopImage, iteration: u64, e: IterError) -> R
                     segment: 0,
                     wait_pc: pc,
                     segment_pc_range: (pc, pc),
+                    tail: Vec::new(),
                 },
             }
         }
@@ -337,11 +352,43 @@ fn prepare_iteration<T: Tier>(
 /// hardware thread is best used by letting the active worker run consecutive iterations
 /// back-to-back; a helper that eagerly stole the next iteration would turn every iteration
 /// boundary into a context switch.
+/// Per-iteration telemetry counts (claims, iterations, private-arena words) accumulated
+/// in the worker's own registers and flushed to its telemetry slot exactly once, on
+/// whichever path the worker leaves its loop — `Drop` covers them all, including the
+/// error and deadlock returns. A memory RMW per iteration on the hot claim loop is
+/// measurable on short iteration bodies; a bulk add on exit is free.
+struct CountFlush<'a> {
+    telem: Option<WorkerCtx<'a>>,
+    claims: u64,
+    iterations: u64,
+    arena_words: u64,
+}
+
+impl<'a> CountFlush<'a> {
+    fn new(telem: Option<WorkerCtx<'a>>) -> CountFlush<'a> {
+        CountFlush {
+            telem,
+            claims: 0,
+            iterations: 0,
+            arena_words: 0,
+        }
+    }
+}
+
+impl Drop for CountFlush<'_> {
+    fn drop(&mut self) {
+        if let Some(t) = self.telem {
+            t.add_iter_counts(self.claims, self.iterations, self.arena_words);
+        }
+    }
+}
+
 fn phase_b_worker<T: Tier>(
     shared: &RunShared<'_>,
     tier: &mut T,
     helper: bool,
     on_first_control: &mut dyn FnMut(),
+    telem: Option<WorkerCtx<'_>>,
 ) {
     let sync = IterSync {
         lanes: &shared.lanes,
@@ -349,8 +396,13 @@ fn phase_b_worker<T: Tier>(
         exited_at: &shared.exited_at.0,
         spin_budget: shared.spin_budget,
         profile: shared.profile,
+        #[cfg(feature = "telemetry")]
+        telem,
     };
+    #[cfg(not(feature = "telemetry"))]
+    let _ = telem;
     let mask = shared.window - 1;
+    let mut counts = CountFlush::new(telem);
     let mut regs: Vec<Value> = shared.snapshot.clone();
     let mut idle = AdaptiveWait::with_profile(&shared.claim_sleepers, shared.profile);
     let mut watching = helper && !shared.profile.wakes_on_progress();
@@ -414,6 +466,10 @@ fn phase_b_worker<T: Tier>(
             continue;
         }
         idle.reset();
+        counts.claims += 1;
+        if let Some(t) = telem {
+            t.on_claim(i);
+        }
 
         prepare_iteration(shared.loop_image, &shared.snapshot, &mut regs, i, tier);
 
@@ -434,7 +490,8 @@ fn phase_b_worker<T: Tier>(
                 on_control(i);
             }
         };
-        match run_iteration(
+        let iter_start = telem.map(|t| t.on_iter_start(i));
+        let outcome = run_iteration(
             shared.image,
             shared.loop_image,
             i,
@@ -442,7 +499,12 @@ fn phase_b_worker<T: Tier>(
             tier,
             &sync,
             &mut control_hook,
-        ) {
+        );
+        counts.iterations += 1;
+        if let (Some(t), Some(t0)) = (telem, iter_start) {
+            t.on_iter_finish(i, t0);
+        }
+        match outcome {
             Ok(IterEnd::Completed) => {
                 if !released {
                     // The iteration never entered the body (prologue-only path): the back
@@ -454,9 +516,9 @@ fn phase_b_worker<T: Tier>(
                 // only after iteration i's prologue decided to continue — so a completed
                 // iteration is never speculative work past the loop's end (and `Returned`
                 // exits skip the reserve entirely).
-                shared
-                    .private_words
-                    .fetch_add(tier.drain_private_words(), Ordering::Relaxed);
+                let words = tier.drain_private_words();
+                counts.arena_words += words;
+                shared.private_words.fetch_add(words, Ordering::Relaxed);
                 shared.done_ring[(i & mask) as usize]
                     .0
                     .store(i + 1, Ordering::Release);
@@ -465,9 +527,9 @@ fn phase_b_worker<T: Tier>(
                 }
             }
             Ok(IterEnd::Exit { block }) => {
-                shared
-                    .private_words
-                    .fetch_add(tier.drain_private_words(), Ordering::Relaxed);
+                let words = tier.drain_private_words();
+                counts.arena_words += words;
+                shared.private_words.fetch_add(words, Ordering::Relaxed);
                 shared.record_exit(
                     i,
                     LoopExit::Edge {
@@ -478,9 +540,9 @@ fn phase_b_worker<T: Tier>(
                 return;
             }
             Ok(IterEnd::Returned(v)) => {
-                shared
-                    .private_words
-                    .fetch_add(tier.drain_private_words(), Ordering::Relaxed);
+                let words = tier.drain_private_words();
+                counts.arena_words += words;
+                shared.private_words.fetch_add(words, Ordering::Relaxed);
                 shared.record_exit(i, LoopExit::Returned(v));
                 return;
             }
@@ -508,6 +570,7 @@ fn phase_b_solo<T: Tier>(
     shared: &RunShared<'_>,
     tier: &mut T,
     on_first_control: &mut dyn FnMut(),
+    telem: Option<WorkerCtx<'_>>,
 ) -> Option<u64> {
     let sync = IterSync {
         lanes: &shared.lanes,
@@ -515,7 +578,12 @@ fn phase_b_solo<T: Tier>(
         exited_at: &shared.exited_at.0,
         spin_budget: shared.spin_budget,
         profile: shared.profile,
+        #[cfg(feature = "telemetry")]
+        telem,
     };
+    #[cfg(not(feature = "telemetry"))]
+    let _ = telem;
+    let mut counts = CountFlush::new(telem);
     let mut regs: Vec<Value> = shared.snapshot.clone();
     let mut iteration = 0u64;
     loop {
@@ -524,9 +592,9 @@ fn phase_b_solo<T: Tier>(
             return None;
         }
         if shared.join_requests.0.load(Ordering::Relaxed) != 0 {
-            shared
-                .private_words
-                .fetch_add(tier.drain_private_words(), Ordering::Relaxed);
+            let words = tier.drain_private_words();
+            counts.arena_words += words;
+            shared.private_words.fetch_add(words, Ordering::Relaxed);
             // Other workers are about to touch memory: re-establish locking before the
             // protocol (and with it this thread's writes) is published to them.
             tier.set_exclusive(false);
@@ -541,7 +609,12 @@ fn phase_b_solo<T: Tier>(
             tier,
         );
         let mut control_hook = || on_first_control();
-        match run_iteration(
+        counts.claims += 1;
+        if let Some(t) = telem {
+            t.on_claim(iteration);
+        }
+        let iter_start = telem.map(|t| t.on_iter_start(iteration));
+        let outcome = run_iteration(
             shared.image,
             shared.loop_image,
             iteration,
@@ -549,15 +622,20 @@ fn phase_b_solo<T: Tier>(
             tier,
             &sync,
             &mut control_hook,
-        ) {
+        );
+        counts.iterations += 1;
+        if let (Some(t), Some(t0)) = (telem, iter_start) {
+            t.on_iter_finish(iteration, t0);
+        }
+        match outcome {
             Ok(IterEnd::Completed) => {
                 shared.progress.0.store(iteration + 1, Ordering::Relaxed);
                 iteration += 1;
             }
             Ok(IterEnd::Exit { block }) => {
-                shared
-                    .private_words
-                    .fetch_add(tier.drain_private_words(), Ordering::Relaxed);
+                let words = tier.drain_private_words();
+                counts.arena_words += words;
+                shared.private_words.fetch_add(words, Ordering::Relaxed);
                 shared.record_exit(
                     iteration,
                     LoopExit::Edge {
@@ -568,9 +646,9 @@ fn phase_b_solo<T: Tier>(
                 return None;
             }
             Ok(IterEnd::Returned(v)) => {
-                shared
-                    .private_words
-                    .fetch_add(tier.drain_private_words(), Ordering::Relaxed);
+                let words = tier.drain_private_words();
+                counts.arena_words += words;
+                shared.private_words.fetch_add(words, Ordering::Relaxed);
                 shared.record_exit(iteration, LoopExit::Returned(v));
                 return None;
             }
@@ -600,6 +678,9 @@ pub struct ParallelExecutor {
     /// [`WaitProfile::DEDICATED`] so the full multi-worker claim protocol is exercised
     /// even on machines with fewer hardware threads than workers).
     pub wait_profile: Option<WaitProfile>,
+    /// What the run records (see [`TelemetryMode`]); disabled by default. Reports come
+    /// back through the `*_traced` entry points.
+    pub telemetry: TelemetryMode,
 }
 
 impl Default for ParallelExecutor {
@@ -609,6 +690,7 @@ impl Default for ParallelExecutor {
             max_iterations: DEFAULT_MAX_ITERATIONS,
             spin_budget: DEFAULT_SPIN_BUDGET,
             wait_profile: None,
+            telemetry: TelemetryMode::Disabled,
         }
     }
 }
@@ -630,6 +712,7 @@ impl ParallelExecutor {
             max_iterations: config.max_loop_iterations.max(1),
             spin_budget: config.spin_budget.max(1),
             wait_profile: None,
+            telemetry: TelemetryMode::from_sample_period(config.telemetry_sample_period),
         }
     }
 
@@ -648,6 +731,12 @@ impl ParallelExecutor {
     /// Overrides the wait profile (see [`ParallelExecutor::wait_profile`]).
     pub fn with_wait_profile(mut self, profile: WaitProfile) -> Self {
         self.wait_profile = Some(profile);
+        self
+    }
+
+    /// Sets the telemetry mode of subsequent runs (see [`TelemetryMode`]).
+    pub fn with_telemetry(mut self, mode: TelemetryMode) -> Self {
+        self.telemetry = mode;
         self
     }
 
@@ -722,17 +811,81 @@ impl ParallelExecutor {
         self.threads.min(hardware.max(1))
     }
 
+    /// Why [`ParallelExecutor::effective_workers`] is what it is, as a one-line
+    /// diagnostic: whether the wait-profile pin kept the requested count, the topology
+    /// fit, or the count was clamped to the hardware. Reported by the bench alongside
+    /// `effective_workers` so a collapsed measurement explains itself.
+    pub fn clamp_reason(&self) -> String {
+        let hardware = std::thread::available_parallelism().map_or(1, |n| n.get());
+        if self.wait_profile.is_some() {
+            format!(
+                "pinned wait profile keeps {} worker(s) on {} hardware thread(s)",
+                self.threads, hardware
+            )
+        } else if self.threads <= hardware {
+            format!(
+                "{} worker(s) fit {} hardware thread(s)",
+                self.threads, hardware
+            )
+        } else {
+            format!(
+                "clamped {} -> {}: only {} hardware thread(s) available",
+                self.threads,
+                self.effective_workers(),
+                hardware
+            )
+        }
+    }
+
+    /// [`ParallelExecutor::run`] returning the run's [`TelemetryReport`] alongside the
+    /// result (`None` when telemetry is disabled or compiled out).
+    pub fn run_traced(
+        &self,
+        program: &TransformedProgram,
+        args: &[Value],
+    ) -> (Result<Option<Value>, RuntimeError>, Option<TelemetryReport>) {
+        let pimg = ParallelImage::lower(program);
+        self.run_parallel_traced(&pimg, args)
+    }
+
+    /// [`ParallelExecutor::run_parallel`] returning the run's [`TelemetryReport`]
+    /// alongside the result (`None` when telemetry is disabled or compiled out).
+    pub fn run_parallel_traced(
+        &self,
+        pimg: &ParallelImage,
+        args: &[Value],
+    ) -> (Result<Option<Value>, RuntimeError>, Option<TelemetryReport>) {
+        self.run_lowered_traced(&pimg.exec, &pimg.loop_image, args)
+    }
+
     pub(crate) fn run_lowered(
         &self,
         image: &ExecImage,
         loop_image: &LoopImage,
         args: &[Value],
     ) -> Result<Option<Value>, RuntimeError> {
-        if self.effective_workers() == 1 {
-            self.run_single(image, loop_image, args)
+        self.run_lowered_traced(image, loop_image, args).0
+    }
+
+    fn run_lowered_traced(
+        &self,
+        image: &ExecImage,
+        loop_image: &LoopImage,
+        args: &[Value],
+    ) -> (Result<Option<Value>, RuntimeError>, Option<TelemetryReport>) {
+        let workers = self.effective_workers();
+        let telem = TelemetryRun::for_run(self.telemetry, loop_image, workers);
+        let mut result = if workers == 1 {
+            self.run_single(image, loop_image, args, telem.as_ref())
         } else {
-            self.run_pooled(image, loop_image, args)
+            self.run_pooled(image, loop_image, args, telem.as_ref())
+        };
+        let report = telem.map(TelemetryRun::report);
+        if let (Err(RuntimeError::Deadlock { tail, .. }), Some(rep)) = (&mut result, &report) {
+            // Satellite diagnosis: a traced deadlock carries every worker's last events.
+            *tail = rep.deadlock_tail(8);
         }
+        (result, report)
     }
 
     /// Seeds the entry register file for Phase A.
@@ -754,6 +907,7 @@ impl ParallelExecutor {
         image: &ExecImage,
         loop_image: &LoopImage,
         args: &[Value],
+        telem_run: Option<&TelemetryRun>,
     ) -> Result<Option<Value>, RuntimeError> {
         let fi = image.func(loop_image.func);
         let mut tier = LocalTier {
@@ -781,14 +935,20 @@ impl ParallelExecutor {
         let lanes = SignalLanes::new(loop_image.num_phys_lanes(), 1);
         let sleepers = Sleepers::new();
         let exited_at = AtomicU64::new(u64::MAX);
+        let telem = telem_run.map(|r| r.ctx(0));
         let sync = IterSync {
             lanes: &lanes,
             sleepers: &sleepers,
             exited_at: &exited_at,
             spin_budget: 0,
             profile: WaitProfile::DEDICATED,
+            #[cfg(feature = "telemetry")]
+            telem,
         };
+        #[cfg(not(feature = "telemetry"))]
+        let _ = telem;
         let snapshot = regs;
+        let mut counts = CountFlush::new(telem);
         let mut iter_regs = snapshot.clone();
         let mut iteration = 0u64;
         let exit = loop {
@@ -796,7 +956,14 @@ impl ParallelExecutor {
                 return Err(RuntimeError::IterationBudgetExceeded);
             }
             prepare_iteration(loop_image, &snapshot, &mut iter_regs, iteration, &mut tier);
-            match run_iteration(
+            // A single worker "claims" every iteration in order, so traced runs keep the
+            // claims-are-a-permutation invariant at one thread too.
+            counts.claims += 1;
+            if let Some(t) = telem {
+                t.on_claim(iteration);
+            }
+            let iter_start = telem.map(|t| t.on_iter_start(iteration));
+            let outcome = run_iteration(
                 image,
                 loop_image,
                 iteration,
@@ -804,7 +971,12 @@ impl ParallelExecutor {
                 &mut tier,
                 &sync,
                 &mut || {},
-            ) {
+            );
+            counts.iterations += 1;
+            if let (Some(t), Some(t0)) = (telem, iter_start) {
+                t.on_iter_finish(iteration, t0);
+            }
+            match outcome {
                 Ok(IterEnd::Completed) => iteration += 1,
                 Ok(IterEnd::Exit { block }) => {
                     break LoopExit::Edge {
@@ -826,6 +998,8 @@ impl ParallelExecutor {
             LoopExit::Returned(v) => return Ok(v),
         };
         let skipped = tier.drain_private_words();
+        counts.arena_words += skipped;
+        drop(counts);
         if skipped > 0 {
             tier.memory
                 .alloc(skipped as usize)
@@ -854,22 +1028,25 @@ impl ParallelExecutor {
         image: &ExecImage,
         loop_image: &LoopImage,
         args: &[Value],
+        telem: Option<&TelemetryRun>,
     ) -> Result<Option<Value>, RuntimeError> {
         let clamped = ParallelExecutor {
             threads: self.effective_workers(),
             ..*self
         };
-        clamped.run_pooled_on(WorkerPool::global(), image, loop_image, args)
+        clamped.run_pooled_on(WorkerPool::global(), image, loop_image, args, telem)
     }
 
     /// [`ParallelExecutor::run_pooled`] against an explicit pool (tests use a private pool
-    /// to observe activation behaviour).
+    /// to observe activation behaviour). `telem`, when present, must hold at least
+    /// `self.threads` worker slots.
     pub(crate) fn run_pooled_on(
         &self,
         pool: &WorkerPool,
         image: &ExecImage,
         loop_image: &LoopImage,
         args: &[Value],
+        telem: Option<&TelemetryRun>,
     ) -> Result<Option<Value>, RuntimeError> {
         let fi = image.func(loop_image.func);
         let memory = ShardedMemory::from_memory(&image.initial_memory);
@@ -906,13 +1083,20 @@ impl ParallelExecutor {
             profile,
         );
         let helpers = self.threads - 1;
-        let job = |_worker: usize| {
+        let job = |worker: usize| {
             let mut tier = SharedTier {
                 shared: &memory,
                 arena: PrivateArena::new(),
                 exclusive: false,
             };
-            phase_b_worker(&shared, &mut tier, true, &mut || {});
+            // Helpers run with pool indices 1..=helpers; slot 0 is the calling thread.
+            phase_b_worker(
+                &shared,
+                &mut tier,
+                true,
+                &mut || {},
+                telem.map(|r| r.ctx(worker)),
+            );
         };
         {
             // The calling thread is worker 0; helpers are activated the first time worker
@@ -926,15 +1110,16 @@ impl ParallelExecutor {
             };
             // On an oversubscribed machine the primary starts in the solo fast path and
             // switches to the shared claim loop only if a helper asks to join.
+            let primary_telem = telem.map(|r| r.ctx(0));
             let solo_ended = if shared.published.0.load(Ordering::Acquire) == 0 {
-                phase_b_solo(&shared, &mut tier, &mut activate).is_none()
+                phase_b_solo(&shared, &mut tier, &mut activate, primary_telem).is_none()
             } else {
                 false
             };
             if !solo_ended {
                 // The claim protocol is public: helpers may be racing on shared memory.
                 tier.set_exclusive(false);
-                phase_b_worker(&shared, &mut tier, false, &mut activate);
+                phase_b_worker(&shared, &mut tier, false, &mut activate, primary_telem);
             }
             if let Some(t) = ticket {
                 t.wait();
@@ -1162,6 +1347,7 @@ mod tests {
                 segment,
                 wait_pc,
                 segment_pc_range,
+                tail,
             }) => {
                 assert!(iteration >= 1, "iteration 0 never waits");
                 assert!(last_observed < iteration);
@@ -1170,6 +1356,7 @@ mod tests {
                 assert!(
                     segment_pc_range.0 <= wait_pc && wait_pc <= segment_pc_range.1.max(wait_pc)
                 );
+                assert!(tail.is_empty(), "untraced runs carry no telemetry tail");
                 let msg = RuntimeError::Deadlock {
                     dep,
                     iteration,
@@ -1178,10 +1365,61 @@ mod tests {
                     segment,
                     wait_pc,
                     segment_pc_range,
+                    tail,
                 }
                 .to_string();
                 assert!(msg.contains("segment"), "diagnostic lacks segment: {msg}");
                 assert!(msg.contains("pc"), "diagnostic lacks pc info: {msg}");
+            }
+            other => panic!("expected Deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[cfg(feature = "telemetry")]
+    fn traced_deadlocks_carry_the_event_tail() {
+        // Same corrupted program as above, but run with telemetry: the deadlock report
+        // must carry each worker's last events, including the blocked wait itself.
+        let (_module, _main, mut transformed) = build_accumulator(32);
+        let func = transformed.parallel_func;
+        let f = transformed.module.function_mut(func);
+        for block in &mut f.blocks {
+            block
+                .instrs
+                .retain(|i| !matches!(i, helix_ir::Instr::Signal { .. }));
+        }
+        let executor = ParallelExecutor::new(2)
+            .with_spin_budget(50_000)
+            .with_telemetry(TelemetryMode::Full);
+        let (result, report) = executor.run_traced(&transformed, &[]);
+        assert!(report.is_some(), "traced runs produce a report");
+        match result {
+            Err(RuntimeError::Deadlock { tail, .. }) => {
+                assert!(!tail.is_empty(), "traced deadlock must carry worker tails");
+                let has_wait = tail.iter().any(|t| {
+                    t.events
+                        .iter()
+                        .any(|e| matches!(e.kind, crate::telemetry::EventKind::WaitBegin))
+                });
+                assert!(
+                    has_wait,
+                    "some worker tail shows the blocked wait: {tail:?}"
+                );
+                let msg = RuntimeError::Deadlock {
+                    dep: DepId::new(0),
+                    iteration: 1,
+                    lane: 0,
+                    last_observed: 0,
+                    segment: 0,
+                    wait_pc: 0,
+                    segment_pc_range: (0, 0),
+                    tail,
+                }
+                .to_string();
+                assert!(
+                    msg.contains("last events per worker"),
+                    "tail missing from diagnostic: {msg}"
+                );
             }
             other => panic!("expected Deadlock, got {other:?}"),
         }
@@ -1222,7 +1460,7 @@ mod tests {
         // Zero iterations: Phase A runs into the header, iteration 0's prologue exits
         // immediately, and no helper must ever be spawned or woken.
         let got = executor
-            .run_pooled_on(&pool, &pimg.exec, &pimg.loop_image, &[Value::Int(0)])
+            .run_pooled_on(&pool, &pimg.exec, &pimg.loop_image, &[Value::Int(0)], None)
             .unwrap()
             .unwrap()
             .as_int();
@@ -1234,7 +1472,7 @@ mod tests {
         );
         // With iterations to dispatch the same pool does get activated.
         let got = executor
-            .run_pooled_on(&pool, &pimg.exec, &pimg.loop_image, &[Value::Int(12)])
+            .run_pooled_on(&pool, &pimg.exec, &pimg.loop_image, &[Value::Int(12)], None)
             .unwrap()
             .unwrap()
             .as_int();

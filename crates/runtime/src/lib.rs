@@ -28,7 +28,11 @@
 //!   allocations the privatization analysis proved iteration-private;
 //! * [`executor`] — [`ParallelExecutor`] orchestrates the three phases, short-circuits
 //!   zero-iteration loops to pure sequential execution, and reports deadlocks with the
-//!   owning segment and pc range straight from the image's side tables.
+//!   owning segment and pc range straight from the image's side tables;
+//! * [`telemetry`] — per-worker event rings and stall accounting (compile-out via the
+//!   default-on `telemetry` feature, sampled low-overhead mode), aggregated into
+//!   per-segment run/wait/spin/park breakdowns, worker occupancy and observed segment
+//!   costs that feed back into loop selection (`docs/observability.md`).
 //!
 //! Timing is *not* modeled here — that is `helix-simulator`'s job (which reads the
 //! [`ParallelImage`]'s per-segment costs). This crate answers the correctness question —
@@ -41,10 +45,14 @@ pub mod lanes;
 pub mod parallel_image;
 pub mod pool;
 pub mod sharded;
+pub mod telemetry;
 
 pub use calibrate::CalibrationProfile;
 pub use executor::{ParallelExecutor, RuntimeError};
 pub use lanes::SignalLanes;
 pub use parallel_image::{LoopImage, ParallelImage, SegmentLane};
-pub use pool::{WaitProfile, WorkerPool};
+pub use pool::{WaitProfile, WaitStats, WorkerPool};
 pub use sharded::{PrivateArena, ShardedMemory, PRIVATE_BASE};
+pub use telemetry::{
+    Event, EventKind, ObservedSegmentCost, TelemetryMode, TelemetryReport, TelemetryRun, WorkerTail,
+};

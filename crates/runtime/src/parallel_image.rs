@@ -1872,6 +1872,65 @@ pub(crate) struct IterSync<'a> {
     pub spin_budget: u64,
     /// Backoff shape of this run's wait sites.
     pub profile: WaitProfile,
+    /// This worker's telemetry handle, `None` when telemetry is disabled. Compiled out
+    /// entirely without the `telemetry` feature (`run_iteration` then binds a statically
+    /// `None` local, folding every recording branch away).
+    #[cfg(feature = "telemetry")]
+    pub telem: Option<crate::telemetry::WorkerCtx<'a>>,
+}
+
+/// How a blocking lane wait ended (the traced slow path of [`POp::Wait`]).
+enum WaitOutcome {
+    /// The awaited signal arrived.
+    Passed,
+    /// An earlier iteration exited the loop; this iteration's work is moot.
+    Cancelled,
+    /// The spin budget ran out; `observed` is the last counter value seen.
+    Deadlocked { observed: u64 },
+}
+
+/// The blocking branch of a lane `Wait`: adaptive backoff until the signal arrives, the
+/// loop exits underneath the waiter, or the deadlock budget runs out. Out of line from the
+/// dispatch loop (the fast path is a single satisfied poll); `telem` is this worker's
+/// recording handle and is statically `None` when the `telemetry` feature is off.
+fn wait_blocking(
+    sync: &IterSync<'_>,
+    telem: Option<crate::telemetry::WorkerCtx<'_>>,
+    lane_ix: usize,
+    iteration: u64,
+    pc: u32,
+) -> WaitOutcome {
+    let begin_ns = telem.map(|t| t.on_wait_begin(iteration, pc));
+    let mut backoff = AdaptiveWait::with_profile(sync.sleepers, sync.profile);
+    let mut polls = 0u64;
+    let mut parked = false;
+    let end = |outcome: WaitOutcome, backoff: &AdaptiveWait<'_>| {
+        if let (Some(t), Some(begin)) = (telem, begin_ns) {
+            let observed = sync.lanes.observed(lane_ix, iteration);
+            t.on_wait_end(iteration, pc, begin, observed, backoff.stats());
+        }
+        outcome
+    };
+    loop {
+        if sync.lanes.poll(lane_ix, iteration) {
+            return end(WaitOutcome::Passed, &backoff);
+        }
+        let charged = backoff.wait();
+        if telem.is_some() && !parked && backoff.stats().parks > 0 {
+            parked = true;
+            if let Some(t) = telem {
+                t.on_park(iteration, pc);
+            }
+        }
+        polls += 1;
+        if polls & 0x3F == 0 && sync.exited_at.load(Ordering::Acquire) < iteration {
+            return end(WaitOutcome::Cancelled, &backoff);
+        }
+        if charged > sync.spin_budget {
+            let observed = sync.lanes.observed(lane_ix, iteration);
+            return end(WaitOutcome::Deadlocked { observed }, &backoff);
+        }
+    }
 }
 
 /// Executes one iteration of the lowered loop. `regs` must already hold the loop-entry
@@ -1890,6 +1949,12 @@ pub(crate) fn run_iteration<T: Tier>(
 ) -> Result<IterEnd, IterError> {
     let code = &loop_image.pcode[..];
     let mut pc = loop_image.entry_pc as usize;
+    // This worker's telemetry handle. Without the `telemetry` feature the local is a
+    // statically-known `None` and every recording branch below folds away.
+    #[cfg(feature = "telemetry")]
+    let telem = sync.telem;
+    #[cfg(not(feature = "telemetry"))]
+    let telem: Option<crate::telemetry::WorkerCtx<'_>> = None;
     // Reads are unchecked (see `eval`); writes go through `set`, also unchecked: every dst
     // register index was widened into the function's register file at lowering time.
     #[inline(always)]
@@ -2064,31 +2129,28 @@ pub(crate) fn run_iteration<T: Tier>(
             POp::Wait { lane } => {
                 let lane_ix = *lane as usize;
                 if !sync.lanes.poll(lane_ix, iteration) {
-                    let mut backoff = AdaptiveWait::with_profile(sync.sleepers, sync.profile);
-                    let mut polls = 0u64;
-                    loop {
-                        if sync.lanes.poll(lane_ix, iteration) {
-                            break;
-                        }
-                        let charged = backoff.wait();
-                        polls += 1;
-                        if polls & 0x3F == 0 && sync.exited_at.load(Ordering::Acquire) < iteration {
-                            return Ok(IterEnd::Cancelled);
-                        }
-                        if charged > sync.spin_budget {
+                    match wait_blocking(sync, telem, lane_ix, iteration, pc as u32) {
+                        WaitOutcome::Passed => {}
+                        WaitOutcome::Cancelled => return Ok(IterEnd::Cancelled),
+                        WaitOutcome::Deadlocked { observed } => {
                             return Err(IterError::Deadlock {
                                 lane: *lane,
                                 pc: pc as u32,
-                                observed: sync.lanes.observed(lane_ix, iteration),
+                                observed,
                             });
                         }
                     }
+                } else if let Some(t) = telem {
+                    t.on_wait_fast(iteration, pc as u32);
                 }
                 pc += 1;
             }
             POp::SignalLane { lane } => {
                 sync.lanes.signal(*lane as usize, iteration);
                 sync.sleepers.wake_all();
+                if let Some(t) = telem {
+                    t.on_signal(iteration, pc as u32);
+                }
                 pc += 1;
             }
             POp::SignalControl => {
@@ -2268,6 +2330,14 @@ pub(crate) fn run_iteration<T: Tier>(
                     sync.lanes.signal(*lane as usize, iteration);
                 }
                 sync.sleepers.wake_all();
+                if let Some(t) = telem {
+                    // The fused window covers the constituent logical signal pcs.
+                    for k in pc..pc + *width as usize {
+                        if t.lane_of(k as u32) != crate::telemetry::NO_LANE {
+                            t.on_signal(iteration, k as u32);
+                        }
+                    }
+                }
                 pc += *width as usize;
             }
             POp::CmpBrRI {

@@ -326,6 +326,23 @@ impl WaitProfile {
 /// wall-clock time whether the waiter spins or parks.
 const PARK_COST_PER_US: u64 = 10;
 
+/// What one wait site actually did, by backoff stage. Telemetry folds these into the
+/// per-segment run/wait/spin/park breakdown; the counters cost one plain increment per
+/// backoff round and are kept even when telemetry is disabled (the rounds themselves
+/// dwarf an add).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WaitStats {
+    /// Spin-loop rounds taken.
+    pub spins: u64,
+    /// `yield_now` rounds taken.
+    pub yields: u64,
+    /// Timed parks taken.
+    pub parks: u64,
+    /// Total microseconds requested across parks (an upper bound on time parked; a
+    /// wake-up can end a park early).
+    pub park_us: u64,
+}
+
 /// Bounded spin → yield → timed park, shared by every wait site of the runtime.
 pub struct AdaptiveWait<'a> {
     sleepers: &'a Sleepers,
@@ -333,6 +350,7 @@ pub struct AdaptiveWait<'a> {
     park: Duration,
     rounds: u32,
     charged: u64,
+    stats: WaitStats,
 }
 
 impl<'a> AdaptiveWait<'a> {
@@ -349,6 +367,7 @@ impl<'a> AdaptiveWait<'a> {
             park: profile.park_initial,
             rounds: 0,
             charged: 0,
+            stats: WaitStats::default(),
         }
     }
 
@@ -360,15 +379,26 @@ impl<'a> AdaptiveWait<'a> {
         if self.rounds < self.profile.spin_limit {
             std::hint::spin_loop();
             self.charged += 1;
+            self.stats.spins += 1;
         } else if self.rounds < self.profile.yield_limit {
             std::thread::yield_now();
             self.charged += 1;
+            self.stats.yields += 1;
         } else {
             self.sleepers.sleep(self.park);
             self.charged += PARK_COST_PER_US * self.park.as_micros().max(1) as u64;
+            self.stats.parks += 1;
+            self.stats.park_us += self.park.as_micros() as u64;
             self.park = (self.park * 2).min(self.profile.park_max);
         }
         self.charged
+    }
+
+    /// The per-stage breakdown of everything this strategy did since its last
+    /// [`AdaptiveWait::reset`].
+    #[inline]
+    pub fn stats(&self) -> WaitStats {
+        self.stats
     }
 
     /// Restarts the backoff after progress was observed.
@@ -377,6 +407,7 @@ impl<'a> AdaptiveWait<'a> {
         self.rounds = 0;
         self.charged = 0;
         self.park = self.profile.park_initial;
+        self.stats = WaitStats::default();
     }
 }
 
@@ -457,7 +488,26 @@ mod tests {
         let mut wait = AdaptiveWait::new(&sleepers);
         assert_eq!(wait.wait(), 1);
         assert_eq!(wait.wait(), 2);
+        assert_eq!(wait.stats().spins, 2);
         wait.reset();
         assert_eq!(wait.wait(), 1);
+        assert_eq!(wait.stats().spins, 1);
+    }
+
+    #[test]
+    fn adaptive_wait_stats_split_by_stage() {
+        let sleepers = Sleepers::new();
+        let mut wait = AdaptiveWait::with_profile(&sleepers, WaitProfile::OVERSUBSCRIBED);
+        // OVERSUBSCRIBED: 15 spins (rounds 1..16), 8 yields (16..24), then parks.
+        for _ in 0..24 {
+            wait.wait();
+        }
+        let stats = wait.stats();
+        assert_eq!(stats.spins, 15);
+        assert_eq!(stats.yields, 8);
+        assert_eq!(stats.parks, 1);
+        assert!(stats.park_us >= 500, "first park is the 500us initial");
+        wait.reset();
+        assert_eq!(wait.stats(), WaitStats::default());
     }
 }

@@ -18,7 +18,8 @@
 pub mod sim;
 
 pub use sim::{
-    feedback_selection, lowered_segment_costs, measured_segment_costs, profile_and_simulate,
-    simulate_loop, simulate_loop_lowered, simulate_program, simulate_program_with_selection,
-    LoopSimResult, ProgramSimResult, SimConfig,
+    compare_segment_costs, feedback_selection, lowered_segment_costs, measured_segment_costs,
+    observed_costs_for_reselection, profile_and_simulate, simulate_loop, simulate_loop_lowered,
+    simulate_program, simulate_program_with_selection, LoopSimResult, ProgramSimResult,
+    SegmentCostComparison, SimConfig,
 };

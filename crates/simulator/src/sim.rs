@@ -205,6 +205,96 @@ pub fn lowered_segment_costs(
         .collect()
 }
 
+/// One row of the predicted-vs-observed segment-cost table (`helix trace --compare-model`):
+/// the cost model's static prediction for a synchronized segment's lowered span next to what
+/// the runtime telemetry actually measured for it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SegmentCostComparison {
+    /// The dependence whose sequential segment this row describes.
+    pub dep: helix_ir::DepId,
+    /// Plan segment index (matches the runtime's lane metadata).
+    pub segment: usize,
+    /// The cost model's cycles for the segment's lowered bytecode span.
+    pub predicted_cycles: f64,
+    /// Mean observed body cycles (telemetry `WaitEnd → Signal` span, converted at the
+    /// calibrated `ns_per_cycle`); `None` when no sampled iteration exercised the segment.
+    pub observed_cycles: Option<f64>,
+    /// How many sampled wait→signal pairs back the observation.
+    pub observed_samples: u64,
+    /// Mean cycles a worker stalled in this segment's `Wait` before it passed.
+    pub observed_wait_cycles: Option<f64>,
+}
+
+impl SegmentCostComparison {
+    /// `observed / predicted` when both sides exist and the prediction is non-zero.
+    pub fn ratio(&self) -> Option<f64> {
+        match self.observed_cycles {
+            Some(obs) if self.predicted_cycles > 0.0 => Some(obs / self.predicted_cycles),
+            _ => None,
+        }
+    }
+}
+
+/// Joins the cost model's per-segment prediction for a lowered loop image against the
+/// telemetry's [`helix_runtime::ObservedSegmentCost`]s (nanoseconds, converted with the
+/// calibrated `ns_per_cycle`). Returns one row per synchronized lane of the image, in lane
+/// order; lanes the trace never sampled keep `observed_cycles: None`.
+pub fn compare_segment_costs(
+    loop_image: &helix_runtime::LoopImage,
+    cost: &helix_ir::CostModel,
+    observed: &[helix_runtime::ObservedSegmentCost],
+    ns_per_cycle: f64,
+) -> Vec<SegmentCostComparison> {
+    let predicted = lowered_segment_costs(loop_image, cost);
+    let to_cycles = |ns: f64| {
+        if ns_per_cycle > 0.0 {
+            ns / ns_per_cycle
+        } else {
+            ns
+        }
+    };
+    loop_image
+        .lanes
+        .iter()
+        .enumerate()
+        .map(|(lane_ix, lane)| {
+            let obs = observed.iter().find(|o| o.lane == lane_ix);
+            SegmentCostComparison {
+                dep: lane.dep,
+                segment: lane.segment,
+                predicted_cycles: predicted.get(&lane.dep).copied().unwrap_or(0.0),
+                observed_cycles: obs.map(|o| to_cycles(o.mean_body_ns)),
+                observed_samples: obs.map(|o| o.samples).unwrap_or(0),
+                observed_wait_cycles: obs.map(|o| to_cycles(o.mean_wait_ns)),
+            }
+        })
+        .collect()
+}
+
+/// Folds an observed-cost table into the per-loop shape
+/// [`helix_core::Helix::reselect_with_segment_costs`] consumes: the traced loop's segment
+/// costs (in cycles) replace its lowered estimate, every other candidate keeps the lowered
+/// cost from [`measured_segment_costs`].
+pub fn observed_costs_for_reselection(
+    module: &helix_ir::Module,
+    output: &HelixOutput,
+    cost: &helix_ir::CostModel,
+    traced_loop: LoopKey,
+    comparisons: &[SegmentCostComparison],
+) -> BTreeMap<LoopKey, BTreeMap<helix_ir::DepId, f64>> {
+    let mut costs = measured_segment_costs(module, output, cost);
+    if let Some(per_dep) = costs.get_mut(&traced_loop) {
+        for row in comparisons {
+            if let Some(observed) = row.observed_cycles {
+                if observed > 0.0 {
+                    per_dep.insert(row.dep, observed);
+                }
+            }
+        }
+    }
+    costs
+}
+
 /// Simulates one parallelized loop with per-segment cycles taken from the lowered
 /// [`helix_runtime::LoopImage`] instead of the profile-weighted plan estimates (see
 /// [`lowered_segment_costs`]). Segments the image knows nothing about (none, in a
