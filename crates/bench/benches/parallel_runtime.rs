@@ -30,15 +30,20 @@
 //! CI runs `--test` (smoke reps) with `--check-1t 1.25` (a 1-thread parallel run
 //! regressing more than 25% against sequential bytecode fails the job), `--check-4t 0.10`
 //! (the 4-thread geomean regressing more than 10% below the *committed*
-//! BENCH_parallel.json value fails the job — the thread-scaling gate), and
+//! BENCH_parallel.json value fails the job — the thread-scaling gate),
 //! `--check-telemetry 0.02` (the sampled-telemetry geomean drifting more than 2% above
-//! telemetry-disabled fails the job — the observability overhead gate).
+//! telemetry-disabled fails the job — the observability overhead gate), and
+//! `--check-tier` (calibration must select the direct-threaded dispatch tier and its
+//! 1-thread geomean must not fall below the switch interpreter's — no silent regression
+//! to the fallback engine; see `docs/dispatch.md`).
 
 use helix_analysis::LoopNestingGraph;
 use helix_core::{transform, Helix, HelixConfig, ParallelizedLoop};
 use helix_ir::{ExecImage, ImageMachine, Module};
 use helix_profiler::profile_program_image;
-use helix_runtime::{CalibrationProfile, ParallelExecutor, ParallelImage, TelemetryMode};
+use helix_runtime::{
+    CalibrationProfile, DispatchTier, ParallelExecutor, ParallelImage, TelemetryMode,
+};
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
@@ -112,6 +117,10 @@ struct ProgramReport {
     telemetry_overhead: f64,
     /// Per-worker occupancy from one sampled traced run at the largest thread count.
     occupancy: Vec<f64>,
+    /// 1-thread wall-clock with the dispatch tier pinned to the switch interpreter.
+    switch_1t_ns: u128,
+    /// 1-thread wall-clock with the dispatch tier pinned to direct threading.
+    threaded_1t_ns: u128,
 }
 
 impl ProgramReport {
@@ -272,6 +281,22 @@ fn bench_program(
         report.map(|r| r.occupancy()).unwrap_or_default()
     };
 
+    // Tier head-to-head at 1 thread: the same plan with each dispatch engine pinned.
+    // One worker isolates dispatch cost (no claim protocol, no cross-thread signals), so
+    // this is the wall-clock form of the calibrator's per-op numbers — and the
+    // `--check-tier` gate compares the two geomeans.
+    let time_tier = |tier: DispatchTier| {
+        time_executor(
+            &pimg,
+            ParallelExecutor::new(1).with_dispatch_tier(tier),
+            reps,
+            expected,
+            name,
+        )
+    };
+    let switch_1t_ns = time_tier(DispatchTier::Switch).as_nanos();
+    let threaded_1t_ns = time_tier(DispatchTier::Threaded).as_nanos();
+
     // Selection flip: paper-constant and cross-thread measured pricing picked different
     // plans — time them head-to-head at the largest thread count and record which choice
     // wins on the actual runtime.
@@ -311,6 +336,8 @@ fn bench_program(
         telemetry_sampled_ns: telemetry_sampled.as_nanos(),
         telemetry_overhead,
         occupancy,
+        switch_1t_ns,
+        threaded_1t_ns,
     })
 }
 
@@ -345,6 +372,7 @@ fn main() {
     let check_1t = flag_value("--check-1t");
     let check_4t = flag_value("--check-4t");
     let check_telemetry = flag_value("--check-telemetry");
+    let check_tier = args.iter().any(|a| a == "--check-tier");
     let reps = if smoke { 5 } else { 30 };
 
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
@@ -353,9 +381,11 @@ fn main() {
 
     let calibration = CalibrationProfile::measure();
     println!(
-        "parallel_runtime: calibrated — alu {:.1}ns, load {:.1}ns, signal observe {:.0}ns \
-         ({} model cycles; paper: 110), poll {:.1}ns, pool wake {:.0}ns, {} hardware thread(s)",
+        "parallel_runtime: calibrated — alu {:.1}ns switch / {:.1}ns threaded, load {:.1}ns, \
+         signal observe {:.0}ns ({} model cycles; paper: 110), poll {:.1}ns, pool wake {:.0}ns, \
+         {} hardware thread(s)",
         calibration.alu_ns,
+        calibration.alu_threaded_ns,
         calibration.load_ns,
         calibration.signal_observe_ns,
         calibration
@@ -364,6 +394,10 @@ fn main() {
         calibration.signal_poll_ns,
         calibration.pool_wake_ns,
         calibration.hardware_threads,
+    );
+    println!(
+        "parallel_runtime: dispatch tier selected by calibration: {}",
+        calibration.selected_tier()
     );
     std::fs::write(root.join("BENCH_calibration.txt"), calibration.to_text())
         .expect("write BENCH_calibration.txt");
@@ -439,6 +473,27 @@ fn main() {
         reports.len()
     );
 
+    // Per-tier 1-thread geomeans from the pinned head-to-head runs: the wall-clock answer
+    // to "did direct threading actually beat the switch interpreter on whole programs?".
+    let tier_geomean = |ns_of: &dyn Fn(&ProgramReport) -> u128| -> f64 {
+        let logs: Vec<f64> = reports
+            .iter()
+            .map(|r| (r.sequential_ns as f64 / (ns_of(r) as f64).max(1e-12)).ln())
+            .collect();
+        if logs.is_empty() {
+            1.0
+        } else {
+            (logs.iter().sum::<f64>() / logs.len() as f64).exp()
+        }
+    };
+    let geomean_1t_switch = tier_geomean(&|r| r.switch_1t_ns);
+    let geomean_1t_threaded = tier_geomean(&|r| r.threaded_1t_ns);
+    println!(
+        "parallel_runtime: 1-thread geomean over sequential bytecode by tier: switch {:.2}x, \
+         threaded {:.2}x",
+        geomean_1t_switch, geomean_1t_threaded
+    );
+
     // Topology summary: why each requested thread count collapsed (or didn't) on this
     // host — the clamp reason the executor itself reports.
     let top_threads = *THREAD_COUNTS.last().expect("non-empty");
@@ -481,16 +536,32 @@ fn main() {
     let _ = writeln!(
         json,
         "  \"calibration\": {{ \"alu_ns\": {:.3}, \"load_ns\": {:.3}, \
+         \"alu_threaded_ns\": {:.3}, \"load_threaded_ns\": {:.3}, \
          \"signal_observe_ns\": {:.1}, \"signal_poll_ns\": {:.3}, \"pool_wake_ns\": {:.0}, \
          \"signal_latency_cycles\": {} }},",
         calibration.alu_ns,
         calibration.load_ns,
+        calibration.alu_threaded_ns,
+        calibration.load_threaded_ns,
         calibration.signal_observe_ns,
         calibration.signal_poll_ns,
         calibration.pool_wake_ns,
         calibration
             .helix_config(HelixConfig::i7_980x())
             .signal_latency_unprefetched,
+    );
+    let _ = writeln!(
+        json,
+        "  \"dispatch_tier\": \"{}\",",
+        calibration.selected_tier()
+    );
+    let _ = writeln!(
+        json,
+        "  \"geomean_speedup_1t_switch\": {geomean_1t_switch:.4},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"geomean_speedup_1t_threaded\": {geomean_1t_threaded:.4},"
     );
     json.push_str("  \"clamp_reasons\": {\n");
     for (i, threads) in THREAD_COUNTS.iter().enumerate() {
@@ -539,6 +610,22 @@ fn main() {
             let _ = writeln!(json, "      \"effective_workers_{threads}t\": {effective},");
             let _ = writeln!(json, "      \"speedup_{threads}t\": {speedup:.4},");
         }
+        let _ = writeln!(json, "      \"parallel_1t_switch_ns\": {},", r.switch_1t_ns);
+        let _ = writeln!(
+            json,
+            "      \"speedup_1t_switch\": {:.4},",
+            r.sequential_ns as f64 / (r.switch_1t_ns as f64).max(1e-12)
+        );
+        let _ = writeln!(
+            json,
+            "      \"parallel_1t_threaded_ns\": {},",
+            r.threaded_1t_ns
+        );
+        let _ = writeln!(
+            json,
+            "      \"speedup_1t_threaded\": {:.4},",
+            r.sequential_ns as f64 / (r.threaded_1t_ns as f64).max(1e-12)
+        );
         if let Some((paper_loop, measured_loop, paper_ns, measured_ns)) = &r.flip {
             let _ = writeln!(
                 json,
@@ -587,6 +674,26 @@ fn main() {
         "parallel_runtime: wrote BENCH_parallel.json ({} programs)",
         reports.len()
     );
+
+    // Self-check against drift: re-read the file just written and recount the per-program
+    // rows; the summary field must equal what the rows actually say (a stale or
+    // hand-edited summary is exactly the kind of inconsistency this caught once already).
+    {
+        let written = std::fs::read_to_string(&json_path).expect("re-read BENCH_parallel.json");
+        let rows_fast = written
+            .lines()
+            .filter_map(|l| l.trim().strip_prefix("\"speedup_4t\":"))
+            .filter_map(|v| v.trim().trim_end_matches(',').parse::<f64>().ok())
+            .filter(|s| *s >= 1.2)
+            .count();
+        let field = committed_number(&written, "programs_at_least_1_2x_at_4t")
+            .expect("summary field present") as usize;
+        assert_eq!(
+            field, rows_fast,
+            "BENCH_parallel.json drift: programs_at_least_1_2x_at_4t says {field} but the \
+             per-program rows count {rows_fast}"
+        );
+    }
 
     // CI gates. The 1-thread overhead is the per-program floor; the 4-thread geomean is
     // the thread-scaling gate against the committed numbers.
@@ -642,6 +749,32 @@ fn main() {
                 "parallel_runtime: thread-scaling gate skipped (no committed \
                  BENCH_parallel.json to compare against)"
             ),
+        }
+    }
+    if check_tier {
+        // The tier gate: calibration must still select the threaded tier (no silent
+        // regression to the fallback), and the whole-program 1-thread geomean must agree
+        // with the per-op measurement that threading wins.
+        if calibration.selected_tier() != DispatchTier::Threaded {
+            eprintln!(
+                "parallel_runtime: FAIL tier gate: calibration selected {} — the threaded \
+                 tier lost to the switch interpreter on per-op dispatch",
+                calibration.selected_tier()
+            );
+            failed = true;
+        } else if geomean_1t_threaded < geomean_1t_switch {
+            eprintln!(
+                "parallel_runtime: FAIL tier gate: threaded 1-thread geomean {:.4}x fell \
+                 below the switch tier's {:.4}x",
+                geomean_1t_threaded, geomean_1t_switch
+            );
+            failed = true;
+        } else {
+            println!(
+                "parallel_runtime: tier gate ok: threaded {:.2}x >= switch {:.2}x at 1 \
+                 thread, threaded tier selected",
+                geomean_1t_threaded, geomean_1t_switch
+            );
         }
     }
     if let Some(limit) = check_telemetry {

@@ -68,6 +68,9 @@ COMMON OPTIONS:
                        <p> if it exists and write the measured profile there otherwise
     --threads <list>   Worker thread count(s); comma-separated for fuzz (default: 4 for
                        run --parallel and trace, 1,2,4,6 for fuzz)
+    --dispatch-tier <t> (fuzz) Pin the runtime dispatch engine: switch (match-based
+                       interpreter) | threaded (direct-threaded handler streams) | auto
+                       (calibrated selection, the default; see docs/dispatch.md)
     --spin-budget <n>  (run --parallel, trace, fuzz) Wait spins before declaring deadlock
     --sample <n>       Telemetry sampling period: 0 disables event recording, 1 records
                        every iteration, n records every n-th (default: 1 for trace,
@@ -92,7 +95,7 @@ EXAMPLES:
     helix simulate corpus/stencil.hir --cores 6 --json
     helix run corpus/sum_reduction.hir --parallel
     helix trace corpus/nest_flip.hir --compare-model
-    helix fuzz --seeds 500 --threads 1,2,4,6
+    helix fuzz --seeds 500 --threads 1,2,4,6 --dispatch-tier threaded
     helix dump-workload art > /tmp/art.hir
 ";
 
@@ -172,6 +175,9 @@ struct Options {
     gen_config: String,
     shrink: bool,
     inject_fault: Option<String>,
+    /// `--dispatch-tier`: pins the runtime dispatch engine; `None` keeps the calibrated
+    /// automatic selection.
+    dispatch_tier: Option<helix_runtime::DispatchTier>,
 }
 
 impl Default for Options {
@@ -201,6 +207,7 @@ impl Default for Options {
             gen_config: "fuzz".to_string(),
             shrink: true,
             inject_fault: None,
+            dispatch_tier: None,
         }
     }
 }
@@ -223,6 +230,15 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
             "--calibration-file" => {
                 opts.calibration_file = Some(value_of("--calibration-file", &mut it)?);
                 opts.calibrate = true;
+            }
+            "--dispatch-tier" => {
+                let raw = value_of("--dispatch-tier", &mut it)?;
+                let tier = raw.parse().map_err(|_| {
+                    CliError::Usage(format!(
+                        "--dispatch-tier expects switch, threaded or auto, got {raw:?}"
+                    ))
+                })?;
+                opts.dispatch_tier = Some(tier);
             }
             "--entry" => opts.entry = value_of("--entry", &mut it)?,
             "--cores" => {
@@ -1246,7 +1262,7 @@ fn cmd_parallelize_calibrated(opts: &Options, module: &Module) -> Result<(), Cli
         println!(
             "calibrated `{}` on {} hardware thread(s): signal {:.0}ns observed cross-thread \
              ({} model cycles; paper assumed {}), {:.0}ns prefetched-poll ({} cycles; paper {}), \
-             pool wake {:.0}ns",
+             pool wake {:.0}ns, dispatch tier {} ({:.1}ns/op alu vs {:.1}ns switch)",
             module.name,
             calibration.hardware_threads,
             calibration.signal_observe_ns,
@@ -1256,6 +1272,9 @@ fn cmd_parallelize_calibrated(opts: &Options, module: &Module) -> Result<(), Cli
             measured_config.signal_latency_prefetched,
             paper_config.signal_latency_prefetched,
             calibration.pool_wake_ns,
+            calibration.selected_tier(),
+            calibration.dispatch_ns(helix_runtime::DispatchTier::Auto)[0],
+            calibration.alu_ns,
         );
         println!(
             "selection trace (paper-constant vs measured-cost pricing, {} flip(s)):",
@@ -1509,6 +1528,7 @@ fn cmd_fuzz(opts: &Options) -> Result<(), CliError> {
         // Under fault injection the structural signal-placement check is the deterministic
         // detector; the parallel stage would only add racy noise on a known-broken config.
         check_parallel: !inject,
+        dispatch_tier: opts.dispatch_tier.unwrap_or_default(),
         helix: helix_config,
         ..OracleConfig::default()
     };

@@ -25,7 +25,8 @@ use helix_ir::{
 };
 use helix_profiler::{profile_program, profile_program_image};
 use helix_runtime::{
-    EventKind, ParallelExecutor, ParallelImage, TelemetryMode, TelemetryReport, WaitProfile,
+    DispatchTier, EventKind, ParallelExecutor, ParallelImage, TelemetryMode, TelemetryReport,
+    WaitProfile,
 };
 use std::fmt;
 
@@ -46,6 +47,10 @@ pub struct OracleConfig {
     pub check_signal_placement: bool,
     /// Run the parallel executor stage.
     pub check_parallel: bool,
+    /// Dispatch engine for the parallel stage ([`DispatchTier::Auto`] by default). The
+    /// sequential reference engines are tier-independent, so sweeping the same seed range
+    /// once per pinned tier is a switch-vs-threaded differential test by transitivity.
+    pub dispatch_tier: DispatchTier,
     /// HELIX configuration used for analysis and the parallel runs.
     pub helix: HelixConfig,
 }
@@ -60,6 +65,7 @@ impl Default for OracleConfig {
             check_profiles: true,
             check_signal_placement: true,
             check_parallel: true,
+            dispatch_tier: DispatchTier::Auto,
             // A tighter spin budget than production: a genuine lost-signal deadlock should
             // fail the seed in milliseconds, not minutes.
             helix: HelixConfig::i7_980x().with_spin_budget(20_000_000),
@@ -447,7 +453,8 @@ pub fn differential_check(
                     // `from_config` picks up `telemetry_sample_period`, so a traced oracle
                     // additionally validates the event streams it produces.
                     let executor = ParallelExecutor::from_config(threads, &config.helix)
-                        .with_wait_profile(WaitProfile::DEDICATED);
+                        .with_wait_profile(WaitProfile::DEDICATED)
+                        .with_dispatch_tier(config.dispatch_tier);
                     let (run, telemetry) = if config.helix.telemetry_sample_period > 0 {
                         executor.run_parallel_traced(&parallel_image, &[])
                     } else {

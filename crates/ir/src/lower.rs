@@ -262,6 +262,13 @@ impl FuncImage {
         self.block_range[block as usize].0
     }
 
+    /// Program counter a fresh activation of this function starts at — the first op of
+    /// the entry block. Callers (the runtime's dispatch engines) previously recomputed
+    /// this from the two side tables at every call site.
+    pub fn entry_pc(&self) -> u32 {
+        self.block_start(self.entry_block)
+    }
+
     /// Number of blocks in the function.
     pub fn num_blocks(&self) -> usize {
         self.block_range.len()

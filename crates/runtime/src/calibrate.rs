@@ -23,6 +23,7 @@ use crate::lanes::SignalLanes;
 use crate::parallel_image::{run_flat, LocalTier};
 use crate::pool::WorkerPool;
 use crate::sharded::PrivateArena;
+use crate::threaded::{run_flat_threaded, DispatchTier, FlatTables};
 use helix_core::HelixConfig;
 use helix_ir::builder::{FunctionBuilder, ModuleBuilder};
 use helix_ir::{BinOp, CostModel, ExecImage, FuncId, Operand, Value};
@@ -47,16 +48,26 @@ enum Kernel {
 /// cycles against signal latencies, and both must be priced in what *this* runtime pays.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct CalibrationProfile {
-    /// ns per dispatched ALU-class op (add/xor/compare/move).
+    /// ns per dispatched ALU-class op (add/xor/compare/move) in the switch tier.
     pub alu_ns: f64,
-    /// ns per dispatched multiply.
+    /// ns per dispatched multiply in the switch tier.
     pub mul_ns: f64,
-    /// ns per dispatched divide/remainder.
+    /// ns per dispatched divide/remainder in the switch tier.
     pub div_ns: f64,
-    /// ns per dispatched load.
+    /// ns per dispatched load in the switch tier.
     pub load_ns: f64,
-    /// ns per dispatched store.
+    /// ns per dispatched store in the switch tier.
     pub store_ns: f64,
+    /// ns per dispatched ALU-class op in the direct-threaded tier.
+    pub alu_threaded_ns: f64,
+    /// ns per dispatched multiply in the direct-threaded tier.
+    pub mul_threaded_ns: f64,
+    /// ns per dispatched divide/remainder in the direct-threaded tier.
+    pub div_threaded_ns: f64,
+    /// ns per dispatched load in the direct-threaded tier.
+    pub load_threaded_ns: f64,
+    /// ns per dispatched store in the direct-threaded tier.
+    pub store_threaded_ns: f64,
     /// Cross-thread signal latency: publish on one thread → observed by a poll on another,
     /// measured as half a [`SignalLanes`] ping-pong round trip. On an oversubscribed host
     /// this includes the scheduler handoff — the honest cost of an unprefetched signal.
@@ -77,11 +88,17 @@ impl CalibrationProfile {
     /// Measures the machine. Takes a few milliseconds; prefer
     /// [`CalibrationProfile::cached`] unless a fresh measurement is explicitly wanted.
     pub fn measure() -> CalibrationProfile {
-        let alu_ns = per_op_ns(Kernel::Alu);
-        let mul_ns = per_op_ns(Kernel::Mul).max(alu_ns);
-        let div_ns = per_op_ns(Kernel::Div).max(alu_ns);
-        let load_ns = per_op_ns(Kernel::Load).max(alu_ns);
-        let store_ns = per_op_ns(Kernel::Store).max(alu_ns);
+        let alu_ns = per_op_ns(Kernel::Alu, DispatchTier::Switch);
+        let mul_ns = per_op_ns(Kernel::Mul, DispatchTier::Switch).max(alu_ns);
+        let div_ns = per_op_ns(Kernel::Div, DispatchTier::Switch).max(alu_ns);
+        let load_ns = per_op_ns(Kernel::Load, DispatchTier::Switch).max(alu_ns);
+        let store_ns = per_op_ns(Kernel::Store, DispatchTier::Switch).max(alu_ns);
+        let alu_threaded_ns = per_op_ns(Kernel::Alu, DispatchTier::Threaded);
+        let mul_threaded_ns = per_op_ns(Kernel::Mul, DispatchTier::Threaded).max(alu_threaded_ns);
+        let div_threaded_ns = per_op_ns(Kernel::Div, DispatchTier::Threaded).max(alu_threaded_ns);
+        let load_threaded_ns = per_op_ns(Kernel::Load, DispatchTier::Threaded).max(alu_threaded_ns);
+        let store_threaded_ns =
+            per_op_ns(Kernel::Store, DispatchTier::Threaded).max(alu_threaded_ns);
         let (signal_observe_ns, signal_publish_ns, signal_poll_ns) = signal_latencies();
         let pool_wake_ns = pool_wake();
         CalibrationProfile {
@@ -90,6 +107,11 @@ impl CalibrationProfile {
             div_ns,
             load_ns,
             store_ns,
+            alu_threaded_ns,
+            mul_threaded_ns,
+            div_threaded_ns,
+            load_threaded_ns,
+            store_threaded_ns,
             signal_observe_ns,
             signal_publish_ns,
             signal_poll_ns,
@@ -104,31 +126,69 @@ impl CalibrationProfile {
         PROFILE.get_or_init(CalibrationProfile::measure)
     }
 
-    /// Nanoseconds per *model cycle*: the measured ALU dispatch anchors the currency (an
-    /// ALU op costs 1 cycle in every [`CostModel`]).
+    /// Per-class dispatch costs `[alu, mul, div, load, store]` of `tier`, in ns.
+    /// [`DispatchTier::Auto`] resolves through [`CalibrationProfile::selected_tier`].
+    pub fn dispatch_ns(&self, tier: DispatchTier) -> [f64; 5] {
+        match tier {
+            DispatchTier::Switch => [
+                self.alu_ns,
+                self.mul_ns,
+                self.div_ns,
+                self.load_ns,
+                self.store_ns,
+            ],
+            DispatchTier::Threaded => [
+                self.alu_threaded_ns,
+                self.mul_threaded_ns,
+                self.div_threaded_ns,
+                self.load_threaded_ns,
+                self.store_threaded_ns,
+            ],
+            DispatchTier::Auto => self.dispatch_ns(self.selected_tier()),
+        }
+    }
+
+    /// The dispatch tier that measured faster on this machine, by mean per-op dispatch
+    /// cost across the five kernel classes. Ties go to the threaded tier (it is the one
+    /// with the flat-profile branch predictor win the microkernels cannot see).
+    pub fn selected_tier(&self) -> DispatchTier {
+        let mean = |c: [f64; 5]| c.iter().sum::<f64>() / 5.0;
+        if mean(self.dispatch_ns(DispatchTier::Threaded))
+            <= mean(self.dispatch_ns(DispatchTier::Switch))
+        {
+            DispatchTier::Threaded
+        } else {
+            DispatchTier::Switch
+        }
+    }
+
+    /// Nanoseconds per *model cycle*: the measured ALU dispatch of the selected tier
+    /// anchors the currency (an ALU op costs 1 cycle in every [`CostModel`]).
     pub fn ns_per_cycle(&self) -> f64 {
-        self.alu_ns.max(0.05)
+        self.dispatch_ns(DispatchTier::Auto)[0].max(0.05)
     }
 
     fn cycles(&self, ns: f64) -> u64 {
         (ns / self.ns_per_cycle()).round().max(1.0) as u64
     }
 
-    /// The measured intra-core cost model: per-class dispatch costs converted into model
-    /// cycles (ALU = 1 by construction). In an interpreter, dispatch dominates, so the
-    /// classes are much flatter than silicon's — exactly what segment pricing should use.
+    /// The measured intra-core cost model: per-class dispatch costs of the *selected*
+    /// tier — the one the executor will actually run — converted into model cycles
+    /// (ALU = 1 by construction). In an interpreter, dispatch dominates, so the classes
+    /// are much flatter than silicon's — exactly what segment pricing should use.
     pub fn cost_model(&self) -> CostModel {
         let paper = CostModel::intel_i7_980x();
+        let [_, mul_ns, div_ns, load_ns, store_ns] = self.dispatch_ns(DispatchTier::Auto);
         CostModel {
             alu: 1,
-            mul: self.cycles(self.mul_ns),
-            div: self.cycles(self.div_ns),
-            load: self.cycles(self.load_ns),
-            store: self.cycles(self.store_ns),
+            mul: self.cycles(mul_ns),
+            div: self.cycles(div_ns),
+            load: self.cycles(load_ns),
+            store: self.cycles(store_ns),
             // Calls and allocations are not micro-timed (rare in loop bodies); scale the
             // paper's ratios by the measured load cost so they stay plausible.
-            call: (paper.call * self.cycles(self.load_ns)).max(1) / paper.load.max(1),
-            alloc: (paper.alloc * self.cycles(self.load_ns)).max(1) / paper.load.max(1),
+            call: (paper.call * self.cycles(load_ns)).max(1) / paper.load.max(1),
+            alloc: (paper.alloc * self.cycles(load_ns)).max(1) / paper.load.max(1),
             branch: 1,
             wait_local: self.cycles(self.signal_poll_ns),
             signal: self.cycles(self.signal_publish_ns),
@@ -183,12 +243,16 @@ impl CalibrationProfile {
         config
     }
 
-    /// Serializes the profile as the `helix-calibration v1` text format (one `key value`
-    /// pair per line), the format `helix parallelize --calibration-file` reads and writes.
+    /// Serializes the profile as the `helix-calibration v2` text format (one `key value`
+    /// pair per line), the format `helix parallelize --calibration-file` reads and
+    /// writes. v2 extends v1 with the direct-threaded tier's per-class dispatch costs
+    /// (`*_threaded_ns`); [`CalibrationProfile::from_text`] still reads v1 files.
     pub fn to_text(&self) -> String {
         format!(
-            "helix-calibration v1\n\
+            "helix-calibration v2\n\
              alu_ns {}\nmul_ns {}\ndiv_ns {}\nload_ns {}\nstore_ns {}\n\
+             alu_threaded_ns {}\nmul_threaded_ns {}\ndiv_threaded_ns {}\n\
+             load_threaded_ns {}\nstore_threaded_ns {}\n\
              signal_observe_ns {}\nsignal_publish_ns {}\nsignal_poll_ns {}\n\
              pool_wake_ns {}\nhardware_threads {}\n",
             self.alu_ns,
@@ -196,6 +260,11 @@ impl CalibrationProfile {
             self.div_ns,
             self.load_ns,
             self.store_ns,
+            self.alu_threaded_ns,
+            self.mul_threaded_ns,
+            self.div_threaded_ns,
+            self.load_threaded_ns,
+            self.store_threaded_ns,
             self.signal_observe_ns,
             self.signal_publish_ns,
             self.signal_poll_ns,
@@ -204,23 +273,31 @@ impl CalibrationProfile {
         )
     }
 
-    /// Parses the `helix-calibration v1` text format.
+    /// Parses the `helix-calibration v2` text format, accepting v1 files too: a v1
+    /// profile predates the threaded tier, so its per-class costs stand in for both
+    /// tiers (selection then keeps the threaded default without inventing numbers).
     ///
     /// # Errors
     ///
     /// Returns a description of the first malformed or missing field.
     pub fn from_text(text: &str) -> Result<CalibrationProfile, String> {
         let mut lines = text.lines();
-        match lines.next() {
-            Some("helix-calibration v1") => {}
+        let v1 = match lines.next() {
+            Some("helix-calibration v1") => true,
+            Some("helix-calibration v2") => false,
             other => return Err(format!("bad calibration header: {other:?}")),
-        }
+        };
         let mut profile = CalibrationProfile {
             alu_ns: f64::NAN,
             mul_ns: f64::NAN,
             div_ns: f64::NAN,
             load_ns: f64::NAN,
             store_ns: f64::NAN,
+            alu_threaded_ns: f64::NAN,
+            mul_threaded_ns: f64::NAN,
+            div_threaded_ns: f64::NAN,
+            load_threaded_ns: f64::NAN,
+            store_threaded_ns: f64::NAN,
             signal_observe_ns: f64::NAN,
             signal_publish_ns: f64::NAN,
             signal_poll_ns: f64::NAN,
@@ -245,6 +322,11 @@ impl CalibrationProfile {
                 "div_ns" => profile.div_ns = parse(value)?,
                 "load_ns" => profile.load_ns = parse(value)?,
                 "store_ns" => profile.store_ns = parse(value)?,
+                "alu_threaded_ns" => profile.alu_threaded_ns = parse(value)?,
+                "mul_threaded_ns" => profile.mul_threaded_ns = parse(value)?,
+                "div_threaded_ns" => profile.div_threaded_ns = parse(value)?,
+                "load_threaded_ns" => profile.load_threaded_ns = parse(value)?,
+                "store_threaded_ns" => profile.store_threaded_ns = parse(value)?,
                 "signal_observe_ns" => profile.signal_observe_ns = parse(value)?,
                 "signal_publish_ns" => profile.signal_publish_ns = parse(value)?,
                 "signal_poll_ns" => profile.signal_poll_ns = parse(value)?,
@@ -257,12 +339,24 @@ impl CalibrationProfile {
                 other => return Err(format!("unknown calibration key: {other:?}")),
             }
         }
+        if v1 {
+            profile.alu_threaded_ns = profile.alu_ns;
+            profile.mul_threaded_ns = profile.mul_ns;
+            profile.div_threaded_ns = profile.div_ns;
+            profile.load_threaded_ns = profile.load_ns;
+            profile.store_threaded_ns = profile.store_ns;
+        }
         let fields = [
             profile.alu_ns,
             profile.mul_ns,
             profile.div_ns,
             profile.load_ns,
             profile.store_ns,
+            profile.alu_threaded_ns,
+            profile.mul_threaded_ns,
+            profile.div_threaded_ns,
+            profile.load_threaded_ns,
+            profile.store_threaded_ns,
             profile.signal_observe_ns,
             profile.signal_publish_ns,
             profile.signal_poll_ns,
@@ -297,9 +391,12 @@ fn kernel_image(kind: Kernel, ops: usize) -> (ExecImage, FuncId) {
     (ExecImage::lower(&module), func)
 }
 
-/// Best-of-`reps` wall time of one full kernel run through the lean engine.
-fn time_kernel(image: &ExecImage, func: FuncId, reps: usize) -> Duration {
+/// Best-of-`reps` wall time of one full kernel run through one dispatch engine. The
+/// threaded tier's handler tables are lowered outside the timed region, mirroring how the
+/// executor amortizes them across a run.
+fn time_kernel(image: &ExecImage, func: FuncId, reps: usize, tier: DispatchTier) -> Duration {
     let fi = &image.funcs[func.index()];
+    let tables = (tier == DispatchTier::Threaded).then(|| FlatTables::build(image));
     let mut tier = LocalTier {
         memory: image.initial_memory.fresh_copy(),
         arena: PrivateArena::new(),
@@ -308,30 +405,43 @@ fn time_kernel(image: &ExecImage, func: FuncId, reps: usize) -> Duration {
     for _ in 0..reps {
         let mut regs = vec![Value::default(); fi.num_regs];
         let start = Instant::now();
-        let _ = std::hint::black_box(run_flat(
-            image,
-            func,
-            fi.entry_block,
-            None,
-            &mut regs,
-            &mut tier,
-            u64::MAX,
-        ));
+        let result = match &tables {
+            Some(t) => run_flat_threaded(
+                image,
+                t,
+                func,
+                fi.entry_block,
+                None,
+                &mut regs,
+                &mut tier,
+                u64::MAX,
+            ),
+            None => run_flat(
+                image,
+                func,
+                fi.entry_block,
+                None,
+                &mut regs,
+                &mut tier,
+                u64::MAX,
+            ),
+        };
+        let _ = std::hint::black_box(result);
         best = best.min(start.elapsed());
     }
     best
 }
 
-/// ns per op of `kind`, from the slope between a long and a short kernel (fixed overhead
-/// cancels).
-fn per_op_ns(kind: Kernel) -> f64 {
+/// ns per op of `kind` under `tier`, from the slope between a long and a short kernel
+/// (fixed overhead cancels).
+fn per_op_ns(kind: Kernel, tier: DispatchTier) -> f64 {
     const LONG: usize = 8192;
     const SHORT: usize = 1024;
     const REPS: usize = 9;
     let (long_img, long_fn) = kernel_image(kind, LONG);
     let (short_img, short_fn) = kernel_image(kind, SHORT);
-    let long = time_kernel(&long_img, long_fn, REPS).as_nanos() as f64;
-    let short = time_kernel(&short_img, short_fn, REPS).as_nanos() as f64;
+    let long = time_kernel(&long_img, long_fn, REPS, tier).as_nanos() as f64;
+    let short = time_kernel(&short_img, short_fn, REPS, tier).as_nanos() as f64;
     ((long - short) / (LONG - SHORT) as f64).max(0.05)
 }
 
@@ -412,6 +522,11 @@ mod tests {
             ("div", p.div_ns),
             ("load", p.load_ns),
             ("store", p.store_ns),
+            ("alu_threaded", p.alu_threaded_ns),
+            ("mul_threaded", p.mul_threaded_ns),
+            ("div_threaded", p.div_threaded_ns),
+            ("load_threaded", p.load_threaded_ns),
+            ("store_threaded", p.store_threaded_ns),
             ("observe", p.signal_observe_ns),
             ("publish", p.signal_publish_ns),
             ("poll", p.signal_poll_ns),
@@ -424,12 +539,52 @@ mod tests {
         assert!(p.signal_observe_ns >= p.signal_publish_ns);
         // Round trip through the text format.
         let text = p.to_text();
+        assert!(text.starts_with("helix-calibration v2\n"));
         let q = CalibrationProfile::from_text(&text).expect("round trip");
         assert_eq!(p, q);
         // Malformed inputs are rejected.
         assert!(CalibrationProfile::from_text("nope").is_err());
-        assert!(CalibrationProfile::from_text("helix-calibration v1\nalu_ns x\n").is_err());
-        assert!(CalibrationProfile::from_text("helix-calibration v1\n").is_err());
+        assert!(CalibrationProfile::from_text("helix-calibration v2\nalu_ns x\n").is_err());
+        assert!(CalibrationProfile::from_text("helix-calibration v2\n").is_err());
+    }
+
+    #[test]
+    fn v1_files_still_parse_with_threaded_costs_mirrored() {
+        let v1 = "helix-calibration v1\n\
+                  alu_ns 10\nmul_ns 11\ndiv_ns 12\nload_ns 13\nstore_ns 14\n\
+                  signal_observe_ns 100\nsignal_publish_ns 5\nsignal_poll_ns 1\n\
+                  pool_wake_ns 1000\nhardware_threads 6\n";
+        let p = CalibrationProfile::from_text(v1).expect("v1 compat");
+        assert_eq!(p.alu_threaded_ns, p.alu_ns);
+        assert_eq!(p.store_threaded_ns, p.store_ns);
+        // Equal per-tier costs mean the tie, which goes to the threaded tier.
+        assert_eq!(p.selected_tier(), DispatchTier::Threaded);
+    }
+
+    #[test]
+    fn selected_tier_prefers_the_measured_faster_engine() {
+        let mut p = CalibrationProfile::from_text(
+            "helix-calibration v1\n\
+             alu_ns 10\nmul_ns 10\ndiv_ns 10\nload_ns 10\nstore_ns 10\n\
+             signal_observe_ns 100\nsignal_publish_ns 5\nsignal_poll_ns 1\n\
+             pool_wake_ns 1000\nhardware_threads 6\n",
+        )
+        .unwrap();
+        p.alu_threaded_ns = 4.0;
+        p.mul_threaded_ns = 4.0;
+        p.div_threaded_ns = 4.0;
+        p.load_threaded_ns = 4.0;
+        p.store_threaded_ns = 4.0;
+        assert_eq!(p.selected_tier(), DispatchTier::Threaded);
+        // The cost currency follows the selected tier.
+        assert_eq!(p.ns_per_cycle(), 4.0);
+        p.alu_threaded_ns = 40.0;
+        p.mul_threaded_ns = 40.0;
+        p.div_threaded_ns = 40.0;
+        p.load_threaded_ns = 40.0;
+        p.store_threaded_ns = 40.0;
+        assert_eq!(p.selected_tier(), DispatchTier::Switch);
+        assert_eq!(p.ns_per_cycle(), 10.0);
     }
 
     #[test]

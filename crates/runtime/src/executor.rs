@@ -28,6 +28,7 @@
 //!   [`PrivateArena`]; the words skipped in shared memory are re-reserved after the loop so
 //!   every shared address stays bitwise-identical to a sequential run.
 
+use crate::calibrate::CalibrationProfile;
 use crate::lanes::{PaddedCounter, SignalLanes};
 use crate::parallel_image::{
     run_flat, run_iteration, FlatEnd, FlatError, IterEnd, IterError, IterSync, LocalTier,
@@ -36,6 +37,9 @@ use crate::parallel_image::{
 use crate::pool::{AdaptiveWait, Sleepers, WaitProfile, WorkerPool};
 use crate::sharded::{PrivateArena, ShardedMemory};
 use crate::telemetry::{TelemetryMode, TelemetryReport, TelemetryRun, WorkerCtx, WorkerTail};
+use crate::threaded::{
+    run_flat_threaded, run_iteration_threaded, DispatchTier, FlatTables, IterTable,
+};
 use helix_core::TransformedProgram;
 use helix_ir::interp::ExecError;
 use helix_ir::{DepId, ExecImage, Value};
@@ -389,6 +393,7 @@ fn phase_b_worker<T: Tier>(
     helper: bool,
     on_first_control: &mut dyn FnMut(),
     telem: Option<WorkerCtx<'_>>,
+    table: Option<&IterTable<T>>,
 ) {
     let sync = IterSync {
         lanes: &shared.lanes,
@@ -491,15 +496,27 @@ fn phase_b_worker<T: Tier>(
             }
         };
         let iter_start = telem.map(|t| t.on_iter_start(i));
-        let outcome = run_iteration(
-            shared.image,
-            shared.loop_image,
-            i,
-            &mut regs,
-            tier,
-            &sync,
-            &mut control_hook,
-        );
+        let outcome = match table {
+            Some(t) => run_iteration_threaded(
+                shared.image,
+                shared.loop_image,
+                t,
+                i,
+                &mut regs,
+                tier,
+                &sync,
+                &mut control_hook,
+            ),
+            None => run_iteration(
+                shared.image,
+                shared.loop_image,
+                i,
+                &mut regs,
+                tier,
+                &sync,
+                &mut control_hook,
+            ),
+        };
         counts.iterations += 1;
         if let (Some(t), Some(t0)) = (telem, iter_start) {
             t.on_iter_finish(i, t0);
@@ -571,6 +588,7 @@ fn phase_b_solo<T: Tier>(
     tier: &mut T,
     on_first_control: &mut dyn FnMut(),
     telem: Option<WorkerCtx<'_>>,
+    table: Option<&IterTable<T>>,
 ) -> Option<u64> {
     let sync = IterSync {
         lanes: &shared.lanes,
@@ -614,15 +632,27 @@ fn phase_b_solo<T: Tier>(
             t.on_claim(iteration);
         }
         let iter_start = telem.map(|t| t.on_iter_start(iteration));
-        let outcome = run_iteration(
-            shared.image,
-            shared.loop_image,
-            iteration,
-            &mut regs,
-            tier,
-            &sync,
-            &mut control_hook,
-        );
+        let outcome = match table {
+            Some(t) => run_iteration_threaded(
+                shared.image,
+                shared.loop_image,
+                t,
+                iteration,
+                &mut regs,
+                tier,
+                &sync,
+                &mut control_hook,
+            ),
+            None => run_iteration(
+                shared.image,
+                shared.loop_image,
+                iteration,
+                &mut regs,
+                tier,
+                &sync,
+                &mut control_hook,
+            ),
+        };
         counts.iterations += 1;
         if let (Some(t), Some(t0)) = (telem, iter_start) {
             t.on_iter_finish(iteration, t0);
@@ -681,6 +711,10 @@ pub struct ParallelExecutor {
     /// What the run records (see [`TelemetryMode`]); disabled by default. Reports come
     /// back through the `*_traced` entry points.
     pub telemetry: TelemetryMode,
+    /// Which dispatch engine runs the bytecode (see [`DispatchTier`]). The default,
+    /// [`DispatchTier::Auto`], asks the process-wide [`CalibrationProfile`] which tier
+    /// measured faster on this machine.
+    pub dispatch_tier: DispatchTier,
 }
 
 impl Default for ParallelExecutor {
@@ -691,6 +725,7 @@ impl Default for ParallelExecutor {
             spin_budget: DEFAULT_SPIN_BUDGET,
             wait_profile: None,
             telemetry: TelemetryMode::Disabled,
+            dispatch_tier: DispatchTier::Auto,
         }
     }
 }
@@ -713,6 +748,7 @@ impl ParallelExecutor {
             spin_budget: config.spin_budget.max(1),
             wait_profile: None,
             telemetry: TelemetryMode::from_sample_period(config.telemetry_sample_period),
+            dispatch_tier: DispatchTier::Auto,
         }
     }
 
@@ -738,6 +774,23 @@ impl ParallelExecutor {
     pub fn with_telemetry(mut self, mode: TelemetryMode) -> Self {
         self.telemetry = mode;
         self
+    }
+
+    /// Pins the dispatch engine (see [`DispatchTier`]). [`DispatchTier::Auto`] — the
+    /// default — defers to the calibrator's per-tier dispatch measurements.
+    pub fn with_dispatch_tier(mut self, tier: DispatchTier) -> Self {
+        self.dispatch_tier = tier;
+        self
+    }
+
+    /// The tier this executor will actually dispatch with: an explicit pin wins, and
+    /// `Auto` resolves through [`CalibrationProfile::selected_tier`] — the measured-cost
+    /// feedback loop (PR 5) applied to the engine choice itself.
+    pub fn resolved_tier(&self) -> DispatchTier {
+        match self.dispatch_tier {
+            DispatchTier::Auto => CalibrationProfile::cached().selected_tier(),
+            pinned => pinned,
+        }
     }
 
     /// Runs the parallel clone of `program` from its entry with `args`, executing the
@@ -910,20 +963,35 @@ impl ParallelExecutor {
         telem_run: Option<&TelemetryRun>,
     ) -> Result<Option<Value>, RuntimeError> {
         let fi = image.func(loop_image.func);
+        let threaded = self.resolved_tier() == DispatchTier::Threaded;
+        let flat_tables = threaded.then(|| FlatTables::build(image));
         let mut tier = LocalTier {
             memory: image.initial_memory.fresh_copy(),
             arena: PrivateArena::new(),
         };
         let mut regs = Self::entry_regs(image, loop_image, args);
-        match run_flat(
-            image,
-            loop_image.func,
-            fi.entry_block,
-            Some(loop_image.header),
-            &mut regs,
-            &mut tier,
-            self.max_iterations,
-        )? {
+        let phase_a = match &flat_tables {
+            Some(t) => run_flat_threaded(
+                image,
+                t,
+                loop_image.func,
+                fi.entry_block,
+                Some(loop_image.header),
+                &mut regs,
+                &mut tier,
+                self.max_iterations,
+            )?,
+            None => run_flat(
+                image,
+                loop_image.func,
+                fi.entry_block,
+                Some(loop_image.header),
+                &mut regs,
+                &mut tier,
+                self.max_iterations,
+            )?,
+        };
+        match phase_a {
             FlatEnd::Returned(v) => return Ok(v), // the loop was never reached
             FlatEnd::ReachedStop => {}
         }
@@ -948,6 +1016,7 @@ impl ParallelExecutor {
         #[cfg(not(feature = "telemetry"))]
         let _ = telem;
         let snapshot = regs;
+        let iter_table = threaded.then(|| IterTable::build(loop_image));
         let mut counts = CountFlush::new(telem);
         let mut iter_regs = snapshot.clone();
         let mut iteration = 0u64;
@@ -963,15 +1032,27 @@ impl ParallelExecutor {
                 t.on_claim(iteration);
             }
             let iter_start = telem.map(|t| t.on_iter_start(iteration));
-            let outcome = run_iteration(
-                image,
-                loop_image,
-                iteration,
-                &mut iter_regs,
-                &mut tier,
-                &sync,
-                &mut || {},
-            );
+            let outcome = match &iter_table {
+                Some(t) => run_iteration_threaded(
+                    image,
+                    loop_image,
+                    t,
+                    iteration,
+                    &mut iter_regs,
+                    &mut tier,
+                    &sync,
+                    &mut || {},
+                ),
+                None => run_iteration(
+                    image,
+                    loop_image,
+                    iteration,
+                    &mut iter_regs,
+                    &mut tier,
+                    &sync,
+                    &mut || {},
+                ),
+            };
             counts.iterations += 1;
             if let (Some(t), Some(t0)) = (telem, iter_start) {
                 t.on_iter_finish(iteration, t0);
@@ -1005,15 +1086,28 @@ impl ParallelExecutor {
                 .alloc(skipped as usize)
                 .map_err(ExecError::from)?;
         }
-        match run_flat(
-            image,
-            loop_image.func,
-            block,
-            None,
-            &mut regs,
-            &mut tier,
-            self.max_iterations,
-        )? {
+        let phase_c = match &flat_tables {
+            Some(t) => run_flat_threaded(
+                image,
+                t,
+                loop_image.func,
+                block,
+                None,
+                &mut regs,
+                &mut tier,
+                self.max_iterations,
+            )?,
+            None => run_flat(
+                image,
+                loop_image.func,
+                block,
+                None,
+                &mut regs,
+                &mut tier,
+                self.max_iterations,
+            )?,
+        };
+        match phase_c {
             FlatEnd::Returned(v) => Ok(v),
             FlatEnd::ReachedStop => unreachable!("phase C has no stop block"),
         }
@@ -1049,7 +1143,9 @@ impl ParallelExecutor {
         telem: Option<&TelemetryRun>,
     ) -> Result<Option<Value>, RuntimeError> {
         let fi = image.func(loop_image.func);
+        let threaded = self.resolved_tier() == DispatchTier::Threaded;
         let memory = ShardedMemory::from_memory(&image.initial_memory);
+        let flat_tables = threaded.then(|| FlatTables::build(image));
         let mut tier = SharedTier {
             shared: &memory,
             arena: PrivateArena::new(),
@@ -1057,15 +1153,28 @@ impl ParallelExecutor {
             exclusive: true,
         };
         let mut regs = Self::entry_regs(image, loop_image, args);
-        match run_flat(
-            image,
-            loop_image.func,
-            fi.entry_block,
-            Some(loop_image.header),
-            &mut regs,
-            &mut tier,
-            self.max_iterations,
-        )? {
+        let phase_a = match &flat_tables {
+            Some(t) => run_flat_threaded(
+                image,
+                t,
+                loop_image.func,
+                fi.entry_block,
+                Some(loop_image.header),
+                &mut regs,
+                &mut tier,
+                self.max_iterations,
+            )?,
+            None => run_flat(
+                image,
+                loop_image.func,
+                fi.entry_block,
+                Some(loop_image.header),
+                &mut regs,
+                &mut tier,
+                self.max_iterations,
+            )?,
+        };
+        match phase_a {
             FlatEnd::Returned(v) => return Ok(v), // the loop was never reached
             FlatEnd::ReachedStop => {}
         }
@@ -1089,6 +1198,9 @@ impl ParallelExecutor {
                 arena: PrivateArena::new(),
                 exclusive: false,
             };
+            // Each helper lowers its own handler table: a single pass over the loop
+            // bytecode, far below the pool-wake cost it rides on.
+            let table = threaded.then(|| IterTable::build(loop_image));
             // Helpers run with pool indices 1..=helpers; slot 0 is the calling thread.
             phase_b_worker(
                 &shared,
@@ -1096,6 +1208,7 @@ impl ParallelExecutor {
                 true,
                 &mut || {},
                 telem.map(|r| r.ctx(worker)),
+                table.as_ref(),
             );
         };
         {
@@ -1111,15 +1224,30 @@ impl ParallelExecutor {
             // On an oversubscribed machine the primary starts in the solo fast path and
             // switches to the shared claim loop only if a helper asks to join.
             let primary_telem = telem.map(|r| r.ctx(0));
+            let table = threaded.then(|| IterTable::build(loop_image));
             let solo_ended = if shared.published.0.load(Ordering::Acquire) == 0 {
-                phase_b_solo(&shared, &mut tier, &mut activate, primary_telem).is_none()
+                phase_b_solo(
+                    &shared,
+                    &mut tier,
+                    &mut activate,
+                    primary_telem,
+                    table.as_ref(),
+                )
+                .is_none()
             } else {
                 false
             };
             if !solo_ended {
                 // The claim protocol is public: helpers may be racing on shared memory.
                 tier.set_exclusive(false);
-                phase_b_worker(&shared, &mut tier, false, &mut activate, primary_telem);
+                phase_b_worker(
+                    &shared,
+                    &mut tier,
+                    false,
+                    &mut activate,
+                    primary_telem,
+                    table.as_ref(),
+                );
             }
             if let Some(t) = ticket {
                 t.wait();
@@ -1128,7 +1256,7 @@ impl ParallelExecutor {
             // owns memory again for Phase C.
             tier.set_exclusive(true);
         }
-        self.finish(shared, &mut tier, |tier, words| {
+        self.finish(shared, &mut tier, flat_tables.as_ref(), |tier, words| {
             tier.shared.reserve(words).map_err(ExecError::from)
         })
     }
@@ -1139,6 +1267,7 @@ impl ParallelExecutor {
         &self,
         shared: RunShared<'_>,
         tier: &mut T,
+        flat_tables: Option<&FlatTables<T>>,
         reserve: impl FnOnce(&mut T, usize) -> Result<(), ExecError>,
     ) -> Result<Option<Value>, RuntimeError> {
         let image = shared.image;
@@ -1166,15 +1295,28 @@ impl ParallelExecutor {
         if skipped > 0 {
             reserve(tier, skipped as usize)?;
         }
-        match run_flat(
-            image,
-            loop_image.func,
-            block,
-            None,
-            &mut regs,
-            tier,
-            self.max_iterations,
-        )? {
+        let phase_c = match flat_tables {
+            Some(t) => run_flat_threaded(
+                image,
+                t,
+                loop_image.func,
+                block,
+                None,
+                &mut regs,
+                tier,
+                self.max_iterations,
+            )?,
+            None => run_flat(
+                image,
+                loop_image.func,
+                block,
+                None,
+                &mut regs,
+                tier,
+                self.max_iterations,
+            )?,
+        };
+        match phase_c {
             FlatEnd::Returned(v) => Ok(v),
             FlatEnd::ReachedStop => unreachable!("phase C has no stop block"),
         }
@@ -1267,6 +1409,50 @@ mod tests {
                 .as_int();
             assert_eq!(got, expected, "mismatch with {threads} threads");
         }
+    }
+
+    #[test]
+    fn dispatch_tiers_agree_at_every_thread_count() {
+        // The direct-threaded tier must be observationally identical to the switch
+        // interpreter: same result, at every worker count, under the pinned DEDICATED
+        // profile that keeps the full claim protocol alive.
+        let (module, main, transformed) = build_accumulator(96);
+        let mut machine = Machine::new(&module);
+        let expected = machine.call(main, &[]).unwrap().unwrap().as_int();
+        let pimg = ParallelImage::lower(&transformed);
+        for threads in [1, 2, 4, 6] {
+            for tier in [
+                DispatchTier::Switch,
+                DispatchTier::Threaded,
+                DispatchTier::Auto,
+            ] {
+                let executor = ParallelExecutor::new(threads)
+                    .with_wait_profile(WaitProfile::DEDICATED)
+                    .with_dispatch_tier(tier);
+                let got = executor
+                    .run_parallel(&pimg, &[])
+                    .unwrap_or_else(|e| panic!("{threads}t/{tier}: {e}"))
+                    .unwrap()
+                    .as_int();
+                assert_eq!(got, expected, "{threads} threads, {tier} tier");
+            }
+        }
+    }
+
+    #[test]
+    fn auto_tier_resolves_through_the_calibrator() {
+        let executor = ParallelExecutor::new(2);
+        assert_eq!(executor.dispatch_tier, DispatchTier::Auto);
+        let resolved = executor.resolved_tier();
+        assert_ne!(
+            resolved,
+            DispatchTier::Auto,
+            "Auto must resolve to an engine"
+        );
+        assert_eq!(resolved, CalibrationProfile::cached().selected_tier());
+        // Pins win over calibration.
+        let pinned = executor.with_dispatch_tier(DispatchTier::Switch);
+        assert_eq!(pinned.resolved_tier(), DispatchTier::Switch);
     }
 
     #[test]

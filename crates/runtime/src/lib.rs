@@ -46,6 +46,7 @@ pub mod parallel_image;
 pub mod pool;
 pub mod sharded;
 pub mod telemetry;
+pub mod threaded;
 
 pub use calibrate::CalibrationProfile;
 pub use executor::{ParallelExecutor, RuntimeError};
@@ -56,3 +57,4 @@ pub use sharded::{PrivateArena, ShardedMemory, PRIVATE_BASE};
 pub use telemetry::{
     Event, EventKind, ObservedSegmentCost, TelemetryMode, TelemetryReport, TelemetryRun, WorkerTail,
 };
+pub use threaded::DispatchTier;

@@ -356,29 +356,33 @@ impl LoopImage {
     pub fn fusion_summary(&self) -> String {
         let mut c2 = 0;
         let mut c3 = 0;
+        let mut c3f = 0;
         let mut cri = 0;
         let mut lab = 0;
         let mut bsa = 0;
         let mut sidx = 0;
         let mut rmw = 0;
+        let mut rmwr = 0;
         let mut cmpbr = 0;
         let mut smulti = 0;
         for p in &self.pcode {
             match p {
                 POp::BinChainII { .. } => c2 += 1,
                 POp::BinChain3II { .. } => c3 += 1,
+                POp::BinChain3FF { .. } => c3f += 1,
                 POp::BinChainRI { .. } => cri += 1,
                 POp::LoadABin { .. } => lab += 1,
                 POp::BinStoreA { .. } => bsa += 1,
                 POp::StoreIdx { .. } => sidx += 1,
                 POp::RmwA { .. } => rmw += 1,
+                POp::RmwR { .. } => rmwr += 1,
                 POp::CmpBrRI { .. } | POp::CmpBrRR { .. } => cmpbr += 1,
                 POp::SignalMulti { .. } => smulti += 1,
                 _ => {}
             }
         }
         format!(
-            "chain2 {c2} chain3 {c3} chainRI {cri} loadbin {lab} binstore {bsa}              storeidx {sidx} rmw {rmw} cmpbr {cmpbr} sigmulti {smulti} / {} ops",
+            "chain2 {c2} chain3 {c3} chain3f {c3f} chainRI {cri} loadbin {lab} binstore {bsa}              storeidx {sidx} rmw {rmw} rmwr {rmwr} cmpbr {cmpbr} sigmulti {smulti} / {} ops",
             self.pcode.len()
         )
     }
@@ -510,9 +514,13 @@ fn coalesce_lanes(code: &[Op], runs: &[(usize, usize)], num_logical: usize) -> (
 /// Patterns, tried in priority order at each pc (windows do not overlap):
 ///
 /// 1. **RMW** `load-abs; bin; store-abs` (width 3) — the canonical synchronized-segment
-///    body (`acc = acc ⊕ x`): one dispatch for the whole read-modify-write.
+///    body (`acc = acc ⊕ x`): one dispatch for the whole read-modify-write — and its
+///    register-addressed twin `load (addr+off); bin; store (addr+off)` (the
+///    pointer-walking accumulation), guarded so the window provably cannot modify the
+///    address register.
 /// 2. **Immediate chains** (width 3 then 2) — runs of `dst = prev op imm` ops, the ALU
-///    round shape of hash/blend kernels, plus the `RR;RI` pair.
+///    round shape of hash/blend kernels (all-int *and* all-float triples), plus the
+///    `RR;RI` pair.
 /// 3. **load+op** (width 2) — an absolute load feeding the next binary op.
 /// 4. **op+store** (width 2) — a binary op whose result the next op stores to an absolute
 ///    address, and the array-store idiom `slot = base + index; store slot <- value`.
@@ -567,6 +575,51 @@ fn fuse_at(pcode: &mut [POp], pc_block: &[u32], pc: usize) -> usize {
         }
     }
 
+    // 1b. Register-addressed RMW: `ld = load (addr+off); bin consuming ld; store
+    // (addr+off) <- dst` — the pointer-walking accumulation. The fused body computes the
+    // address once, which is only sound when neither write of the window can touch the
+    // address register (`ld != addr && dst != addr`) and load and store agree on the
+    // offset and privatization route.
+    if same_block(pc + 2) {
+        if let POp::LoadR {
+            dst: ld,
+            addr,
+            offset,
+            private_ok,
+        } = pcode[pc]
+        {
+            if let Some((op, other, ld_on_lhs, dst)) = rr_consumes(&pcode[pc + 1], ld) {
+                if let POp::StoreRR {
+                    addr: saddr,
+                    offset: soffset,
+                    value,
+                    private_ok: sprivate,
+                } = pcode[pc + 2]
+                {
+                    if saddr == addr
+                        && soffset == offset
+                        && sprivate == private_ok
+                        && value == dst
+                        && ld != addr
+                        && dst != addr
+                    {
+                        pcode[pc] = POp::RmwR {
+                            addr,
+                            offset,
+                            ld,
+                            op,
+                            other,
+                            ld_on_lhs,
+                            dst,
+                            private_ok,
+                        };
+                        return 3;
+                    }
+                }
+            }
+        }
+    }
+
     // 2. Immediate chains: `d1 = lhs op1 i1; d2 = d1 op2 i2 [; d3 = d2 op3 i3]`, plus the
     // RR;RI pair.
     if let POp::BinRI {
@@ -586,31 +639,49 @@ fn fuse_at(pcode: &mut [POp], pc_block: &[u32], pc: usize) -> usize {
             {
                 if l2 == d1 {
                     if same_block(pc + 2) {
-                        if let (
-                            Value::Int(i1),
-                            Value::Int(i2),
-                            POp::BinRI {
-                                dst: d3,
-                                op: op3,
-                                lhs: l3,
-                                rhs: Value::Int(i3),
-                            },
-                        ) = (i1, i2, pcode[pc + 2].clone())
+                        if let POp::BinRI {
+                            dst: d3,
+                            op: op3,
+                            lhs: l3,
+                            rhs: i3,
+                        } = pcode[pc + 2]
                         {
                             if l3 == d2 {
-                                pcode[pc] = POp::BinChain3II {
-                                    lhs,
-                                    op1,
-                                    i1,
-                                    d1,
-                                    op2,
-                                    i2,
-                                    d2,
-                                    op3,
-                                    i3,
-                                    d3,
-                                };
-                                return 3;
+                                // All-int and all-float triples get a width-3 form; mixed
+                                // immediates fall back to the pair below.
+                                match (i1, i2, i3) {
+                                    (Value::Int(i1), Value::Int(i2), Value::Int(i3)) => {
+                                        pcode[pc] = POp::BinChain3II {
+                                            lhs,
+                                            op1,
+                                            i1,
+                                            d1,
+                                            op2,
+                                            i2,
+                                            d2,
+                                            op3,
+                                            i3,
+                                            d3,
+                                        };
+                                        return 3;
+                                    }
+                                    (Value::Float(f1), Value::Float(f2), Value::Float(f3)) => {
+                                        pcode[pc] = POp::BinChain3FF {
+                                            lhs,
+                                            op1,
+                                            f1,
+                                            d1,
+                                            op2,
+                                            f2,
+                                            d2,
+                                            op3,
+                                            f3,
+                                            d3,
+                                        };
+                                        return 3;
+                                    }
+                                    _ => {}
+                                }
                             }
                         }
                     }
@@ -1093,7 +1164,8 @@ pub(crate) enum POp {
         d2: u32,
     },
     /// `d1 = lhs op1 i1; d2 = d1 op2 i2; d3 = d2 op3 i3` with integer immediates
-    /// (width 3; float chains fall back to pairs so this variant stays pair-sized).
+    /// (width 3; all-float triples get [`POp::BinChain3FF`], mixed ones fall back to
+    /// pairs so both variants stay flat-sized).
     BinChain3II {
         lhs: u32,
         op1: BinOp,
@@ -1104,6 +1176,20 @@ pub(crate) enum POp {
         d2: u32,
         op3: BinOp,
         i3: i64,
+        d3: u32,
+    },
+    /// `d1 = lhs op1 f1; d2 = d1 op2 f2; d3 = d2 op3 f3` with float immediates (width 3) —
+    /// the float scaling/blend chains that previously fell back to pairs.
+    BinChain3FF {
+        lhs: u32,
+        op1: BinOp,
+        f1: f64,
+        d1: u32,
+        op2: BinOp,
+        f2: f64,
+        d2: u32,
+        op3: BinOp,
+        f3: f64,
         d3: u32,
     },
     /// `d1 = lhs op1 rhs; d2 = d1 op2 i2` (width 2).
@@ -1153,6 +1239,20 @@ pub(crate) enum POp {
         dst: u32,
         saddr: i64,
     },
+    /// `ld = load (addr+offset); dst = ld op other; store (addr+offset) <- dst` (width 3)
+    /// — the register-addressed read-modify-write (pointer-walking accumulations). Sound
+    /// only when the load/bin provably leave the address register unmodified
+    /// (`ld != addr && dst != addr`), so the fused body may compute the address once.
+    RmwR {
+        addr: u32,
+        offset: i64,
+        ld: u32,
+        op: BinOp,
+        other: u32,
+        ld_on_lhs: bool,
+        dst: u32,
+        private_ok: bool,
+    },
     /// Publishes several signal lanes with one dispatch and one wake (width
     /// `lanes.len()`), produced by coalescing a run of adjacent end-of-segment signals.
     SignalMulti {
@@ -1195,7 +1295,10 @@ impl POp {
             | POp::StoreIdx { .. }
             | POp::CmpBrRI { .. }
             | POp::CmpBrRR { .. } => 2,
-            POp::BinChain3II { .. } | POp::RmwA { .. } => 3,
+            POp::BinChain3II { .. }
+            | POp::BinChain3FF { .. }
+            | POp::RmwA { .. }
+            | POp::RmwR { .. } => 3,
             POp::SignalMulti { width, .. } => *width as usize,
             _ => 1,
         }
@@ -1213,7 +1316,7 @@ fn opnd_value(o: Opnd) -> Option<Value> {
 /// Specializes one rewritten iteration [`Op`] (see [`POp`]). Folding uses the engine's own
 /// evaluation helpers, so a folded constant is bitwise what the generic engine would have
 /// computed. `private_ok` is true for the statically-proven privatized access sites.
-fn specialize_op(op: &Op, private_ok: bool) -> POp {
+pub(crate) fn specialize_op(op: &Op, private_ok: bool) -> POp {
     match op {
         Op::Mov { dst, src } => match opnd_value(*src) {
             Some(v) => POp::MovI { dst: *dst, v },
@@ -1587,7 +1690,7 @@ impl Tier for LocalTier {
 /// lowering widens the register file to cover every referenced index, and every caller sizes
 /// `regs` to the function's `num_regs`.
 #[inline(always)]
-fn eval(regs: &[Value], o: Opnd) -> Value {
+pub(crate) fn eval(regs: &[Value], o: Opnd) -> Value {
     match o {
         Opnd::Reg(r) => {
             debug_assert!((r as usize) < regs.len());
@@ -1758,7 +1861,7 @@ pub(crate) fn run_flat<T: Tier>(
                 });
                 func_ix = callee_ix;
                 f = &image.funcs[func_ix];
-                pc = f.block_start(f.entry_block) as usize;
+                pc = f.entry_pc() as usize;
             }
             Op::Jump { pc: target, block } => {
                 if frames.is_empty() {
@@ -1880,7 +1983,7 @@ pub(crate) struct IterSync<'a> {
 }
 
 /// How a blocking lane wait ended (the traced slow path of [`POp::Wait`]).
-enum WaitOutcome {
+pub(crate) enum WaitOutcome {
     /// The awaited signal arrived.
     Passed,
     /// An earlier iteration exited the loop; this iteration's work is moot.
@@ -1893,7 +1996,7 @@ enum WaitOutcome {
 /// loop exits underneath the waiter, or the deadlock budget runs out. Out of line from the
 /// dispatch loop (the fast path is a single satisfied poll); `telem` is this worker's
 /// recording handle and is statically `None` when the `telemetry` feature is off.
-fn wait_blocking(
+pub(crate) fn wait_blocking(
     sync: &IterSync<'_>,
     telem: Option<crate::telemetry::WorkerCtx<'_>>,
     lane_ix: usize,
@@ -2244,6 +2347,25 @@ pub(crate) fn run_iteration<T: Tier>(
                 set(regs, *d3, eval_binop(*op3, b, Value::Int(*i3)));
                 pc += 3;
             }
+            POp::BinChain3FF {
+                lhs,
+                op1,
+                f1,
+                d1,
+                op2,
+                f2,
+                d2,
+                op3,
+                f3,
+                d3,
+            } => {
+                let a = eval_binop(*op1, get(regs, *lhs), Value::Float(*f1));
+                set(regs, *d1, a);
+                let b = eval_binop(*op2, a, Value::Float(*f2));
+                set(regs, *d2, b);
+                set(regs, *d3, eval_binop(*op3, b, Value::Float(*f3)));
+                pc += 3;
+            }
             POp::BinChainRI {
                 lhs,
                 rhs,
@@ -2325,6 +2447,41 @@ pub(crate) fn run_iteration<T: Tier>(
                 tier.store(*saddr, v)?;
                 pc += 3;
             }
+            POp::RmwR {
+                addr,
+                offset,
+                ld,
+                op,
+                other,
+                ld_on_lhs,
+                dst,
+                private_ok,
+            } => {
+                // The address register is provably unmodified by the window (fusion
+                // guards `ld != addr && dst != addr`), so computing the address once is
+                // bitwise what the unfused load/store pair would do.
+                let base = get(regs, *addr).as_int();
+                let a = base + offset;
+                let l = if *private_ok {
+                    tier.load_private(a)?
+                } else {
+                    tier.load(a)?
+                };
+                set(regs, *ld, l);
+                let o = get(regs, *other);
+                let v = if *ld_on_lhs {
+                    eval_binop(*op, l, o)
+                } else {
+                    eval_binop(*op, o, l)
+                };
+                set(regs, *dst, v);
+                if *private_ok {
+                    tier.store_private(a, v)?;
+                } else {
+                    tier.store(a, v)?;
+                }
+                pc += 3;
+            }
             POp::SignalMulti { lanes, width } => {
                 for lane in lanes.iter() {
                     sync.lanes.signal(*lane as usize, iteration);
@@ -2391,7 +2548,12 @@ pub(crate) fn run_iteration<T: Tier>(
 }
 
 /// Sizes and seeds a callee register file inside `storage` for [`run_flat`].
-fn prepare_callee_regs(image: &ExecImage, callee: u32, args: &[Value], storage: &mut Vec<Value>) {
+pub(crate) fn prepare_callee_regs(
+    image: &ExecImage,
+    callee: u32,
+    args: &[Value],
+    storage: &mut Vec<Value>,
+) {
     let cf = &image.funcs[callee as usize];
     storage.resize(cf.num_regs.max(args.len()), Value::default());
     for (slot, a) in storage.iter_mut().zip(args.iter()).take(cf.num_params) {
@@ -2738,6 +2900,123 @@ mod tests {
             ParallelExecutor::new(2).with_wait_profile(crate::pool::WaitProfile::DEDICATED);
         assert_eq!(executor.run_lowered(&exec, &fused, &[]).unwrap(), expected);
         assert_eq!(executor.run_lowered(&exec, &plain, &[]).unwrap(), expected);
+    }
+
+    #[test]
+    fn float_chain_triples_fuse_and_match_unfused() {
+        // Three chained float-immediate binops (`a = f * 1.5; b = a + 0.25; c = b * 0.75`)
+        // must fuse into one width-3 BinChain3FF — and the fused body must reproduce the
+        // unfused ops' float results bit for bit at every thread count.
+        let mut mb = ModuleBuilder::new("fchain");
+        let acc = mb.add_global("acc", 1);
+        let mut fb = FunctionBuilder::new("main", 0);
+        let lh = fb.counted_loop(Operand::int(0), Operand::int(64), 1);
+        let f = fb.unary_to_new(helix_ir::UnOp::ToFloat, Operand::Var(lh.induction_var));
+        let a = fb.binary_to_new(helix_ir::BinOp::Mul, Operand::Var(f), Operand::float(1.5));
+        let b = fb.binary_to_new(helix_ir::BinOp::Add, Operand::Var(a), Operand::float(0.25));
+        let c = fb.binary_to_new(helix_ir::BinOp::Mul, Operand::Var(b), Operand::float(0.75));
+        let cur = fb.new_var();
+        fb.load(cur, Operand::Global(acc), 0);
+        let next = fb.binary_to_new(helix_ir::BinOp::Add, Operand::Var(cur), Operand::Var(c));
+        fb.store(Operand::Global(acc), 0, Operand::Var(next));
+        fb.br(lh.latch);
+        fb.switch_to(lh.exit);
+        let out = fb.new_var();
+        fb.load(out, Operand::Global(acc), 0);
+        fb.ret(Some(Operand::Var(out)));
+        mb.add_function(fb.finish());
+        let module = mb.finish();
+        let main = module.function_by_name("main").unwrap();
+        let (transformed, fused, plain) = lower_both(&module, main).expect("plan exists");
+        assert!(
+            fused
+                .pcode
+                .iter()
+                .any(|p| matches!(p, POp::BinChain3FF { .. })),
+            "the all-float immediate triple must fuse: {}",
+            fused.fusion_summary()
+        );
+        let mut machine = Machine::new(&transformed.module);
+        let expected = machine.call(transformed.parallel_func, &[]).unwrap();
+        let exec = ExecImage::lower(&transformed.module);
+        for threads in [1, 2, 4] {
+            let executor = ParallelExecutor::new(threads)
+                .with_wait_profile(crate::pool::WaitProfile::DEDICATED);
+            assert_eq!(
+                executor.run_lowered(&exec, &fused, &[]).unwrap(),
+                expected,
+                "fused diverged at {threads}t"
+            );
+            assert_eq!(
+                executor.run_lowered(&exec, &plain, &[]).unwrap(),
+                expected,
+                "plain diverged at {threads}t"
+            );
+        }
+    }
+
+    #[test]
+    fn register_addressed_rmw_fuses_and_matches_unfused() {
+        // A histogram-style accumulation through a register-held address
+        // (`out[iv & 3] ^= x`): `slot = base + bit; ld = load slot; bin; store slot <- dst`
+        // must fuse the load/bin/store tail into a width-3 RmwR, and run bitwise like the
+        // unfused window at every thread count.
+        let mut mb = ModuleBuilder::new("rmwr");
+        let out = mb.add_global("out", 4);
+        let mut fb = FunctionBuilder::new("main", 0);
+        let lh = fb.counted_loop(Operand::int(0), Operand::int(64), 1);
+        let x = fb.binary_to_new(
+            helix_ir::BinOp::Mul,
+            Operand::Var(lh.induction_var),
+            Operand::int(2654435761),
+        );
+        let bit = fb.binary_to_new(
+            helix_ir::BinOp::And,
+            Operand::Var(lh.induction_var),
+            Operand::int(3),
+        );
+        let slot = fb.binary_to_new(
+            helix_ir::BinOp::Add,
+            Operand::Global(out),
+            Operand::Var(bit),
+        );
+        let cur = fb.load_to_new(Operand::Var(slot), 0);
+        let next = fb.binary_to_new(helix_ir::BinOp::Xor, Operand::Var(cur), Operand::Var(x));
+        fb.store(Operand::Var(slot), 0, Operand::Var(next));
+        fb.br(lh.latch);
+        fb.switch_to(lh.exit);
+        let mut sum = fb.load_to_new(Operand::Global(out), 0);
+        for k in 1..4i64 {
+            let w = fb.load_to_new(Operand::Global(out), k);
+            sum = fb.binary_to_new(helix_ir::BinOp::Add, Operand::Var(sum), Operand::Var(w));
+        }
+        fb.ret(Some(Operand::Var(sum)));
+        mb.add_function(fb.finish());
+        let module = mb.finish();
+        let main = module.function_by_name("main").unwrap();
+        let (transformed, fused, plain) = lower_both(&module, main).expect("plan exists");
+        assert!(
+            fused.pcode.iter().any(|p| matches!(p, POp::RmwR { .. })),
+            "the register-addressed RMW must fuse: {}",
+            fused.fusion_summary()
+        );
+        let mut machine = Machine::new(&transformed.module);
+        let expected = machine.call(transformed.parallel_func, &[]).unwrap();
+        let exec = ExecImage::lower(&transformed.module);
+        for threads in [1, 2, 4] {
+            let executor = ParallelExecutor::new(threads)
+                .with_wait_profile(crate::pool::WaitProfile::DEDICATED);
+            assert_eq!(
+                executor.run_lowered(&exec, &fused, &[]).unwrap(),
+                expected,
+                "fused diverged at {threads}t"
+            );
+            assert_eq!(
+                executor.run_lowered(&exec, &plain, &[]).unwrap(),
+                expected,
+                "plain diverged at {threads}t"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,1568 @@
+//! The direct-threaded dispatch tier: each lowered op stream is decoded **once** into an
+//! array of pre-resolved handler function pointers ([`TOp`]), one monomorphized handler per
+//! specialized [`POp`] shape (fused superinstructions included), dispatched by a loop that
+//! is a single indirect call per op.
+//!
+//! Why this beats the match-based engine in [`crate::parallel_image`]:
+//!
+//! * **operand decode happens at lowering time** — a handler reads flat `u32`/`i64`/[`Value`]
+//!   fields out of its own [`TOp`] instead of matching an enum and chasing `Box`es;
+//! * **per-shape monomorphization** — binary/compare/RMW handlers are instantiated per
+//!   [`BinOp`]/[`Pred`]/[`UnOp`] (and per `private_ok` route), so the operation itself is a
+//!   compile-time constant inside the handler body and the `eval_binop` match disappears;
+//! * **one indirect jump per op** — the branch predictor sees a distinct call site target
+//!   per handler rather than one central switch that aliases every op's history.
+//!
+//! Rust has no stable guaranteed tail calls (`become` is unstable), so this is the classic
+//! loop-over-function-pointers approximation of direct threading rather than true
+//! tail-call threading; the measured win comes from the pre-decoded operands and the
+//! monomorphized straight-line handler bodies (see `docs/dispatch.md`).
+//!
+//! The switch interpreter remains both the fallback tier and the differential reference:
+//! every handler body here is a transliteration of the corresponding `run_iteration` /
+//! `run_flat` arm, and the fuzz oracle runs the two tiers against each other.
+
+use crate::parallel_image::{
+    eval, prepare_callee_regs, run_flat, specialize_op, wait_blocking, FlatEnd, FlatError, IterEnd,
+    IterError, IterSync, LoopImage, POp, Tier, WaitOutcome, PC_END_ITER, PC_EXIT,
+};
+use crate::telemetry::{WorkerCtx, NO_LANE};
+use helix_ir::interp::{eval_binop, eval_pred, eval_unop, ExecError, MAX_CALL_DEPTH};
+use helix_ir::{BinOp, BlockId, ExecImage, FuncId, Op, Opnd, Pred, UnOp, Value};
+
+/// Which dispatch engine runs the lowered bytecode.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DispatchTier {
+    /// Pick automatically: the threaded tier unless calibration shows it losing on this
+    /// host (see `CalibrationProfile::selected_tier`).
+    #[default]
+    Auto,
+    /// The match-based interpreter in [`crate::parallel_image`] — the reference tier.
+    Switch,
+    /// The direct-threaded tier in this module.
+    Threaded,
+}
+
+impl std::fmt::Display for DispatchTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            DispatchTier::Auto => "auto",
+            DispatchTier::Switch => "switch",
+            DispatchTier::Threaded => "threaded",
+        })
+    }
+}
+
+impl std::str::FromStr for DispatchTier {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(DispatchTier::Auto),
+            "switch" => Ok(DispatchTier::Switch),
+            "threaded" => Ok(DispatchTier::Threaded),
+            other => Err(format!(
+                "unknown dispatch tier `{other}` (expected auto|switch|threaded)"
+            )),
+        }
+    }
+}
+
+/// Handler return value: the next pc, or one of the sentinels below.
+/// "This execution is over" — the verdict is in `TCtx::{fault,end_iter,end_flat}`.
+const DONE: usize = usize::MAX;
+/// "The current function changed" (flat call/ret): the dispatch loop re-reads
+/// `TCtx::{cur_func,next_pc}` and switches code arrays.
+const SWITCH: usize = usize::MAX - 1;
+
+/// A handler executes one decoded op and returns the next pc (or a sentinel).
+pub(crate) type Handler<T> = for<'r> fn(&mut TCtx<'r, T>, &TOp<T>, usize) -> usize;
+
+/// One decoded op: a handler pointer plus a flat field bag the decoder filled for it.
+/// Field meaning is per-handler (documented at each decode site); unused fields are zero.
+/// No `Box`, no enum tag — dispatch reads exactly one cache line ahead.
+pub(crate) struct TOp<T: Tier> {
+    h: Handler<T>,
+    a: u32,
+    b: u32,
+    c: u32,
+    d: u32,
+    e: u32,
+    o1: BinOp,
+    o2: BinOp,
+    o3: BinOp,
+    i: i64,
+    j: i64,
+    v: Value,
+    w: Value,
+}
+
+impl<T: Tier> TOp<T> {
+    fn new(h: Handler<T>) -> TOp<T> {
+        TOp {
+            h,
+            a: 0,
+            b: 0,
+            c: 0,
+            d: 0,
+            e: 0,
+            o1: BinOp::Add,
+            o2: BinOp::Add,
+            o3: BinOp::Add,
+            i: 0,
+            j: 0,
+            v: Value::Int(0),
+            w: Value::Int(0),
+        }
+    }
+}
+
+/// One suspended guest frame of the flat engine's explicit call stack.
+struct TFrame {
+    func: usize,
+    pc: usize,
+    regs: Vec<Value>,
+    dst: Option<u32>,
+}
+
+/// How a flat threaded run halted (converted to `FlatEnd`/`FlatError` by the runner).
+enum FlatHalt {
+    ReachedStop,
+    Returned(Option<Value>),
+    BudgetExceeded,
+}
+
+/// The mutable state threaded handlers operate on. Code arrays live *outside* this struct
+/// (in the dispatch loop) so a handler borrowing its own `TOp` never conflicts with the
+/// `&mut TCtx` it also receives.
+pub(crate) struct TCtx<'r, T: Tier> {
+    image: &'r ExecImage,
+    /// The specialized iteration stream (for the rare boxed ops a `TOp` cannot carry:
+    /// `SelectB`, `CallB`, `SignalMulti`). Empty in flat mode.
+    pcode: &'r [POp],
+    regs: &'r mut Vec<Value>,
+    tier: &'r mut T,
+    iteration: u64,
+    sync: Option<&'r IterSync<'r>>,
+    on_control: Option<&'r mut (dyn FnMut() + 'r)>,
+    telem: Option<WorkerCtx<'r>>,
+    /// Current function index (flat mode; the loop clone function in iteration mode).
+    cur_func: usize,
+    /// Resume pc after a `SWITCH` sentinel.
+    next_pc: usize,
+    frames: Vec<TFrame>,
+    top_blocks: u64,
+    budget: u64,
+    stop_block: Option<u32>,
+    /// A guest-level execution error (memory fault, stack overflow, missing terminator).
+    fault: Option<ExecError>,
+    end_iter: Option<Result<IterEnd, IterError>>,
+    end_flat: Option<FlatHalt>,
+}
+
+// Reads are unchecked exactly like the switch engine's `eval`/`get`: lowering widens the
+// register file to cover every referenced index and every caller sizes `regs` to
+// `num_regs`, so the indices are in range by construction.
+#[inline(always)]
+fn get(regs: &[Value], r: u32) -> Value {
+    debug_assert!((r as usize) < regs.len());
+    unsafe { *regs.get_unchecked(r as usize) }
+}
+
+#[inline(always)]
+fn set(regs: &mut [Value], r: u32, v: Value) {
+    debug_assert!((r as usize) < regs.len());
+    unsafe {
+        *regs.get_unchecked_mut(r as usize) = v;
+    }
+}
+
+/// Propagates a tier (memory) error out of a handler: record the fault, end the run.
+macro_rules! tier_try {
+    ($ctx:expr, $e:expr) => {
+        match $e {
+            Ok(v) => v,
+            Err(e) => {
+                $ctx.fault = Some(e);
+                return DONE;
+            }
+        }
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Monomorphization markers: one ZST per BinOp / Pred / UnOp, so a handler
+// instantiated with the marker bakes the operation in as a compile-time constant.
+// ---------------------------------------------------------------------------
+
+trait CBin {
+    const OP: BinOp;
+}
+trait CPred {
+    const OP: Pred;
+}
+trait CUn {
+    const OP: UnOp;
+}
+
+macro_rules! zbin {
+    ($($z:ident => $v:ident),* $(,)?) => {
+        $(struct $z;
+        impl CBin for $z {
+            const OP: BinOp = BinOp::$v;
+        })*
+    };
+}
+zbin!(
+    ZAdd => Add, ZSub => Sub, ZMul => Mul, ZDiv => Div, ZRem => Rem, ZAnd => And,
+    ZOr => Or, ZXor => Xor, ZShl => Shl, ZShr => Shr, ZMin => Min, ZMax => Max,
+);
+
+macro_rules! zpred {
+    ($($z:ident => $v:ident),* $(,)?) => {
+        $(struct $z;
+        impl CPred for $z {
+            const OP: Pred = Pred::$v;
+        })*
+    };
+}
+zpred!(ZEq => Eq, ZNe => Ne, ZLt => Lt, ZLe => Le, ZGt => Gt, ZGe => Ge);
+
+macro_rules! zun {
+    ($($z:ident => $v:ident),* $(,)?) => {
+        $(struct $z;
+        impl CUn for $z {
+            const OP: UnOp = UnOp::$v;
+        })*
+    };
+}
+zun!(ZNeg => Neg, ZNot => Not, ZToFloat => ToFloat, ZToInt => ToInt);
+
+/// Selects the `$h::<$t, Z>` instantiation matching a runtime [`BinOp`].
+macro_rules! by_binop {
+    ($op:expr, $h:ident, $t:ident) => {
+        match $op {
+            BinOp::Add => $h::<$t, ZAdd> as Handler<$t>,
+            BinOp::Sub => $h::<$t, ZSub> as Handler<$t>,
+            BinOp::Mul => $h::<$t, ZMul> as Handler<$t>,
+            BinOp::Div => $h::<$t, ZDiv> as Handler<$t>,
+            BinOp::Rem => $h::<$t, ZRem> as Handler<$t>,
+            BinOp::And => $h::<$t, ZAnd> as Handler<$t>,
+            BinOp::Or => $h::<$t, ZOr> as Handler<$t>,
+            BinOp::Xor => $h::<$t, ZXor> as Handler<$t>,
+            BinOp::Shl => $h::<$t, ZShl> as Handler<$t>,
+            BinOp::Shr => $h::<$t, ZShr> as Handler<$t>,
+            BinOp::Min => $h::<$t, ZMin> as Handler<$t>,
+            BinOp::Max => $h::<$t, ZMax> as Handler<$t>,
+        }
+    };
+}
+
+/// [`by_binop!`] for handlers that also take a `const P: bool` (private-route) parameter.
+macro_rules! by_binop_b {
+    ($op:expr, $h:ident, $t:ident, $b:literal) => {
+        match $op {
+            BinOp::Add => $h::<$t, ZAdd, $b> as Handler<$t>,
+            BinOp::Sub => $h::<$t, ZSub, $b> as Handler<$t>,
+            BinOp::Mul => $h::<$t, ZMul, $b> as Handler<$t>,
+            BinOp::Div => $h::<$t, ZDiv, $b> as Handler<$t>,
+            BinOp::Rem => $h::<$t, ZRem, $b> as Handler<$t>,
+            BinOp::And => $h::<$t, ZAnd, $b> as Handler<$t>,
+            BinOp::Or => $h::<$t, ZOr, $b> as Handler<$t>,
+            BinOp::Xor => $h::<$t, ZXor, $b> as Handler<$t>,
+            BinOp::Shl => $h::<$t, ZShl, $b> as Handler<$t>,
+            BinOp::Shr => $h::<$t, ZShr, $b> as Handler<$t>,
+            BinOp::Min => $h::<$t, ZMin, $b> as Handler<$t>,
+            BinOp::Max => $h::<$t, ZMax, $b> as Handler<$t>,
+        }
+    };
+}
+
+macro_rules! by_pred {
+    ($op:expr, $h:ident, $t:ident) => {
+        match $op {
+            Pred::Eq => $h::<$t, ZEq> as Handler<$t>,
+            Pred::Ne => $h::<$t, ZNe> as Handler<$t>,
+            Pred::Lt => $h::<$t, ZLt> as Handler<$t>,
+            Pred::Le => $h::<$t, ZLe> as Handler<$t>,
+            Pred::Gt => $h::<$t, ZGt> as Handler<$t>,
+            Pred::Ge => $h::<$t, ZGe> as Handler<$t>,
+        }
+    };
+}
+
+macro_rules! by_unop {
+    ($op:expr, $h:ident, $t:ident) => {
+        match $op {
+            UnOp::Neg => $h::<$t, ZNeg> as Handler<$t>,
+            UnOp::Not => $h::<$t, ZNot> as Handler<$t>,
+            UnOp::ToFloat => $h::<$t, ZToFloat> as Handler<$t>,
+            UnOp::ToInt => $h::<$t, ZToInt> as Handler<$t>,
+        }
+    };
+}
+
+// ---------------------------------------------------------------------------
+// The dispatch loop.
+// ---------------------------------------------------------------------------
+
+/// Runs decoded code until a handler returns [`DONE`]. `tables` holds per-function code
+/// arrays for flat mode ([`SWITCH`] reloads from it); iteration mode passes `&[]` and
+/// never switches.
+fn dispatch<'c, T: Tier>(
+    tables: &'c [Vec<TOp<T>>],
+    mut code: &'c [TOp<T>],
+    mut pc: usize,
+    ctx: &mut TCtx<'_, T>,
+) {
+    loop {
+        let op = &code[pc];
+        let next = (op.h)(ctx, op, pc);
+        if next < SWITCH {
+            pc = next;
+            continue;
+        }
+        if next == DONE {
+            return;
+        }
+        code = &tables[ctx.cur_func];
+        pc = ctx.next_pc;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mode-shared data handlers. Field mapping is noted as `a=.. b=..` per handler and must
+// match `decode_data` exactly. Each body is a transliteration of the corresponding
+// switch-engine arm.
+// ---------------------------------------------------------------------------
+
+/// `a=dst b=src`
+fn h_mov_r<T: Tier>(ctx: &mut TCtx<'_, T>, op: &TOp<T>, pc: usize) -> usize {
+    let v = get(ctx.regs, op.b);
+    set(ctx.regs, op.a, v);
+    pc + 1
+}
+
+/// `a=dst v=imm`
+fn h_mov_i<T: Tier>(ctx: &mut TCtx<'_, T>, op: &TOp<T>, pc: usize) -> usize {
+    set(ctx.regs, op.a, op.v);
+    pc + 1
+}
+
+/// `a=dst b=src`
+fn h_un_r<T: Tier, U: CUn>(ctx: &mut TCtx<'_, T>, op: &TOp<T>, pc: usize) -> usize {
+    let v = eval_unop(U::OP, get(ctx.regs, op.b));
+    set(ctx.regs, op.a, v);
+    pc + 1
+}
+
+/// `a=dst b=lhs c=rhs`
+fn h_bin_rr<T: Tier, Z: CBin>(ctx: &mut TCtx<'_, T>, op: &TOp<T>, pc: usize) -> usize {
+    let v = eval_binop(Z::OP, get(ctx.regs, op.b), get(ctx.regs, op.c));
+    set(ctx.regs, op.a, v);
+    pc + 1
+}
+
+/// `a=dst b=lhs v=rhs`
+fn h_bin_ri<T: Tier, Z: CBin>(ctx: &mut TCtx<'_, T>, op: &TOp<T>, pc: usize) -> usize {
+    let v = eval_binop(Z::OP, get(ctx.regs, op.b), op.v);
+    set(ctx.regs, op.a, v);
+    pc + 1
+}
+
+/// `a=dst b=rhs v=lhs`
+fn h_bin_ir<T: Tier, Z: CBin>(ctx: &mut TCtx<'_, T>, op: &TOp<T>, pc: usize) -> usize {
+    let v = eval_binop(Z::OP, op.v, get(ctx.regs, op.b));
+    set(ctx.regs, op.a, v);
+    pc + 1
+}
+
+/// `a=dst b=lhs c=rhs`
+fn h_cmp_rr<T: Tier, P: CPred>(ctx: &mut TCtx<'_, T>, op: &TOp<T>, pc: usize) -> usize {
+    let v = Value::from_bool(eval_pred(P::OP, get(ctx.regs, op.b), get(ctx.regs, op.c)));
+    set(ctx.regs, op.a, v);
+    pc + 1
+}
+
+/// `a=dst b=lhs v=rhs`
+fn h_cmp_ri<T: Tier, P: CPred>(ctx: &mut TCtx<'_, T>, op: &TOp<T>, pc: usize) -> usize {
+    let v = Value::from_bool(eval_pred(P::OP, get(ctx.regs, op.b), op.v));
+    set(ctx.regs, op.a, v);
+    pc + 1
+}
+
+/// `a=dst b=rhs v=lhs`
+fn h_cmp_ir<T: Tier, P: CPred>(ctx: &mut TCtx<'_, T>, op: &TOp<T>, pc: usize) -> usize {
+    let v = Value::from_bool(eval_pred(P::OP, op.v, get(ctx.regs, op.b)));
+    set(ctx.regs, op.a, v);
+    pc + 1
+}
+
+/// `a=dst b=addr i=offset`, `P` = private route proven
+fn h_load_r<T: Tier, const P: bool>(ctx: &mut TCtx<'_, T>, op: &TOp<T>, pc: usize) -> usize {
+    let a = get(ctx.regs, op.b).as_int() + op.i;
+    let v = if P {
+        tier_try!(ctx, ctx.tier.load_private(a))
+    } else {
+        tier_try!(ctx, ctx.tier.load(a))
+    };
+    set(ctx.regs, op.a, v);
+    pc + 1
+}
+
+/// `a=dst i=addr`
+fn h_load_a<T: Tier>(ctx: &mut TCtx<'_, T>, op: &TOp<T>, pc: usize) -> usize {
+    let v = tier_try!(ctx, ctx.tier.load(op.i));
+    set(ctx.regs, op.a, v);
+    pc + 1
+}
+
+/// `a=addr b=value i=offset`
+fn h_store_rr<T: Tier, const P: bool>(ctx: &mut TCtx<'_, T>, op: &TOp<T>, pc: usize) -> usize {
+    let a = get(ctx.regs, op.a).as_int() + op.i;
+    let v = get(ctx.regs, op.b);
+    if P {
+        tier_try!(ctx, ctx.tier.store_private(a, v));
+    } else {
+        tier_try!(ctx, ctx.tier.store(a, v));
+    }
+    pc + 1
+}
+
+/// `a=addr i=offset v=value`
+fn h_store_ri<T: Tier, const P: bool>(ctx: &mut TCtx<'_, T>, op: &TOp<T>, pc: usize) -> usize {
+    let a = get(ctx.regs, op.a).as_int() + op.i;
+    if P {
+        tier_try!(ctx, ctx.tier.store_private(a, op.v));
+    } else {
+        tier_try!(ctx, ctx.tier.store(a, op.v));
+    }
+    pc + 1
+}
+
+/// `a=value i=addr`
+fn h_store_ar<T: Tier>(ctx: &mut TCtx<'_, T>, op: &TOp<T>, pc: usize) -> usize {
+    let v = get(ctx.regs, op.a);
+    tier_try!(ctx, ctx.tier.store(op.i, v));
+    pc + 1
+}
+
+/// `i=addr v=value`
+fn h_store_ai<T: Tier>(ctx: &mut TCtx<'_, T>, op: &TOp<T>, pc: usize) -> usize {
+    tier_try!(ctx, ctx.tier.store(op.i, op.v));
+    pc + 1
+}
+
+/// `a=dst b=words`
+fn h_alloc_r<T: Tier>(ctx: &mut TCtx<'_, T>, op: &TOp<T>, pc: usize) -> usize {
+    let n = get(ctx.regs, op.b).as_int().max(0) as usize;
+    let base = tier_try!(ctx, ctx.tier.alloc(n));
+    set(ctx.regs, op.a, Value::Int(base));
+    pc + 1
+}
+
+/// `a=dst i=words`
+fn h_alloc_i<T: Tier>(ctx: &mut TCtx<'_, T>, op: &TOp<T>, pc: usize) -> usize {
+    let n = op.i.max(0) as usize;
+    let base = tier_try!(ctx, ctx.tier.alloc(n));
+    set(ctx.regs, op.a, Value::Int(base));
+    pc + 1
+}
+
+/// `a=dst b=words`
+fn h_palloc_r<T: Tier>(ctx: &mut TCtx<'_, T>, op: &TOp<T>, pc: usize) -> usize {
+    let n = get(ctx.regs, op.b).as_int().max(0) as usize;
+    let base = tier_try!(ctx, ctx.tier.alloc_private(n));
+    set(ctx.regs, op.a, Value::Int(base));
+    pc + 1
+}
+
+/// `a=dst i=words`
+fn h_palloc_i<T: Tier>(ctx: &mut TCtx<'_, T>, op: &TOp<T>, pc: usize) -> usize {
+    let n = op.i.max(0) as usize;
+    let base = tier_try!(ctx, ctx.tier.alloc_private(n));
+    set(ctx.regs, op.a, Value::Int(base));
+    pc + 1
+}
+
+// --- fused superinstructions (straight-line bodies, one dispatch per window) ---
+
+/// `a=lhs b=d1 c=d2 o1 o2 v=i1 w=i2` — `d1 = lhs o1 i1; d2 = d1 o2 i2`
+fn h_chain_ii<T: Tier>(ctx: &mut TCtx<'_, T>, op: &TOp<T>, pc: usize) -> usize {
+    let x = eval_binop(op.o1, get(ctx.regs, op.a), op.v);
+    set(ctx.regs, op.b, x);
+    set(ctx.regs, op.c, eval_binop(op.o2, x, op.w));
+    pc + 2
+}
+
+/// `a=lhs b=d1 c=d2 d=d3 o1 o2 o3 v=i1 w=i2 i=i3` (integer immediates)
+fn h_chain3_ii<T: Tier>(ctx: &mut TCtx<'_, T>, op: &TOp<T>, pc: usize) -> usize {
+    let x = eval_binop(op.o1, get(ctx.regs, op.a), op.v);
+    set(ctx.regs, op.b, x);
+    let y = eval_binop(op.o2, x, op.w);
+    set(ctx.regs, op.c, y);
+    set(ctx.regs, op.d, eval_binop(op.o3, y, Value::Int(op.i)));
+    pc + 3
+}
+
+/// `a=lhs b=d1 c=d2 d=d3 o1 o2 o3 v=f1 w=f2 i=f3.to_bits()` (float immediates)
+fn h_chain3_ff<T: Tier>(ctx: &mut TCtx<'_, T>, op: &TOp<T>, pc: usize) -> usize {
+    let x = eval_binop(op.o1, get(ctx.regs, op.a), op.v);
+    set(ctx.regs, op.b, x);
+    let y = eval_binop(op.o2, x, op.w);
+    set(ctx.regs, op.c, y);
+    let f3 = Value::Float(f64::from_bits(op.i as u64));
+    set(ctx.regs, op.d, eval_binop(op.o3, y, f3));
+    pc + 3
+}
+
+/// `a=lhs b=rhs c=d1 d=d2 o1 o2 v=i2` — `d1 = lhs o1 rhs; d2 = d1 o2 i2`
+fn h_chain_ri<T: Tier>(ctx: &mut TCtx<'_, T>, op: &TOp<T>, pc: usize) -> usize {
+    let x = eval_binop(op.o1, get(ctx.regs, op.a), get(ctx.regs, op.b));
+    set(ctx.regs, op.c, x);
+    set(ctx.regs, op.d, eval_binop(op.o2, x, op.v));
+    pc + 2
+}
+
+/// `a=ld b=other c=dst e=ld_on_lhs i=laddr` — `ld = load laddr; dst = ld Z other`
+fn h_load_a_bin<T: Tier, Z: CBin>(ctx: &mut TCtx<'_, T>, op: &TOp<T>, pc: usize) -> usize {
+    let l = tier_try!(ctx, ctx.tier.load(op.i));
+    set(ctx.regs, op.a, l);
+    let o = get(ctx.regs, op.b);
+    let v = if op.e != 0 {
+        eval_binop(Z::OP, l, o)
+    } else {
+        eval_binop(Z::OP, o, l)
+    };
+    set(ctx.regs, op.c, v);
+    pc + 2
+}
+
+/// `a=lhs b=rhs c=dst i=saddr` — `dst = lhs Z rhs; store saddr <- dst`
+fn h_bin_store_a<T: Tier, Z: CBin>(ctx: &mut TCtx<'_, T>, op: &TOp<T>, pc: usize) -> usize {
+    let v = eval_binop(Z::OP, get(ctx.regs, op.a), get(ctx.regs, op.b));
+    set(ctx.regs, op.c, v);
+    tier_try!(ctx, ctx.tier.store(op.i, v));
+    pc + 2
+}
+
+/// `a=idx b=dst c=value i=base j=offset` — the array-store idiom. Mirrors the unfused
+/// BinIR+StoreRR pair exactly: the add goes through `eval_binop` so a float index register
+/// produces the same float-typed dst and float-rounded address.
+fn h_store_idx<T: Tier>(ctx: &mut TCtx<'_, T>, op: &TOp<T>, pc: usize) -> usize {
+    let v = eval_binop(BinOp::Add, Value::Int(op.i), get(ctx.regs, op.a));
+    set(ctx.regs, op.b, v);
+    let val = get(ctx.regs, op.c);
+    tier_try!(ctx, ctx.tier.store(v.as_int() + op.j, val));
+    pc + 2
+}
+
+/// `a=ld b=other c=dst e=ld_on_lhs i=laddr j=saddr` — absolute-address read-modify-write
+fn h_rmw_a<T: Tier, Z: CBin>(ctx: &mut TCtx<'_, T>, op: &TOp<T>, pc: usize) -> usize {
+    let l = tier_try!(ctx, ctx.tier.load(op.i));
+    set(ctx.regs, op.a, l);
+    let o = get(ctx.regs, op.b);
+    let v = if op.e != 0 {
+        eval_binop(Z::OP, l, o)
+    } else {
+        eval_binop(Z::OP, o, l)
+    };
+    set(ctx.regs, op.c, v);
+    tier_try!(ctx, ctx.tier.store(op.j, v));
+    pc + 3
+}
+
+/// `a=addr b=ld c=other d=dst e=ld_on_lhs i=offset` — register-addressed read-modify-write.
+/// The address register is provably unmodified by the window (fusion guards
+/// `ld != addr && dst != addr`), so computing the address once is bitwise what the unfused
+/// load/store pair would do.
+fn h_rmw_r<T: Tier, Z: CBin, const P: bool>(
+    ctx: &mut TCtx<'_, T>,
+    op: &TOp<T>,
+    pc: usize,
+) -> usize {
+    let a = get(ctx.regs, op.a).as_int() + op.i;
+    let l = if P {
+        tier_try!(ctx, ctx.tier.load_private(a))
+    } else {
+        tier_try!(ctx, ctx.tier.load(a))
+    };
+    set(ctx.regs, op.b, l);
+    let o = get(ctx.regs, op.c);
+    let v = if op.e != 0 {
+        eval_binop(Z::OP, l, o)
+    } else {
+        eval_binop(Z::OP, o, l)
+    };
+    set(ctx.regs, op.d, v);
+    if P {
+        tier_try!(ctx, ctx.tier.store_private(a, v));
+    } else {
+        tier_try!(ctx, ctx.tier.store(a, v));
+    }
+    pc + 3
+}
+
+/// `a=block` — missing terminator (both modes; the runner maps the fault).
+fn h_trap<T: Tier>(ctx: &mut TCtx<'_, T>, op: &TOp<T>, _pc: usize) -> usize {
+    ctx.fault = Some(ExecError::MissingTerminator(BlockId::new(op.a)));
+    DONE
+}
+
+/// Flat-mode `Wait`/`Signal`: no-ops, like `run_flat`'s treatment.
+fn h_nop<T: Tier>(_ctx: &mut TCtx<'_, T>, _op: &TOp<T>, pc: usize) -> usize {
+    pc + 1
+}
+
+// ---------------------------------------------------------------------------
+// Iteration-mode control handlers (transliterations of `run_iteration` arms).
+// ---------------------------------------------------------------------------
+
+/// `a=lane` — the synchronized-segment entry wait.
+fn h_wait<T: Tier>(ctx: &mut TCtx<'_, T>, op: &TOp<T>, pc: usize) -> usize {
+    let sync = ctx.sync.expect("iteration handler outside iteration mode");
+    let lane_ix = op.a as usize;
+    if !sync.lanes.poll(lane_ix, ctx.iteration) {
+        match wait_blocking(sync, ctx.telem, lane_ix, ctx.iteration, pc as u32) {
+            WaitOutcome::Passed => {}
+            WaitOutcome::Cancelled => {
+                ctx.end_iter = Some(Ok(IterEnd::Cancelled));
+                return DONE;
+            }
+            WaitOutcome::Deadlocked { observed } => {
+                ctx.end_iter = Some(Err(IterError::Deadlock {
+                    lane: op.a,
+                    pc: pc as u32,
+                    observed,
+                }));
+                return DONE;
+            }
+        }
+    } else if let Some(t) = ctx.telem {
+        t.on_wait_fast(ctx.iteration, pc as u32);
+    }
+    pc + 1
+}
+
+/// `a=lane` — the segment-exit signal.
+fn h_signal_lane<T: Tier>(ctx: &mut TCtx<'_, T>, op: &TOp<T>, pc: usize) -> usize {
+    let sync = ctx.sync.expect("iteration handler outside iteration mode");
+    sync.lanes.signal(op.a as usize, ctx.iteration);
+    sync.sleepers.wake_all();
+    if let Some(t) = ctx.telem {
+        t.on_signal(ctx.iteration, pc as u32);
+    }
+    pc + 1
+}
+
+/// Prologue completed: release the next iteration.
+fn h_signal_control<T: Tier>(ctx: &mut TCtx<'_, T>, _op: &TOp<T>, pc: usize) -> usize {
+    if let Some(f) = ctx.on_control.as_mut() {
+        f();
+    }
+    pc + 1
+}
+
+/// Coalesced multi-lane signal; lanes live in the boxed `POp` at `pc`.
+fn h_signal_multi<T: Tier>(ctx: &mut TCtx<'_, T>, _op: &TOp<T>, pc: usize) -> usize {
+    let pcode = ctx.pcode;
+    let POp::SignalMulti { lanes, width } = &pcode[pc] else {
+        unreachable!("decoder installs h_signal_multi only on SignalMulti")
+    };
+    let sync = ctx.sync.expect("iteration handler outside iteration mode");
+    for lane in lanes.iter() {
+        sync.lanes.signal(*lane as usize, ctx.iteration);
+    }
+    sync.sleepers.wake_all();
+    if let Some(t) = ctx.telem {
+        // The fused window covers the constituent logical signal pcs.
+        for k in pc..pc + *width as usize {
+            if t.lane_of(k as u32) != NO_LANE {
+                t.on_signal(ctx.iteration, k as u32);
+            }
+        }
+    }
+    pc + *width as usize
+}
+
+/// Select; operands live in the boxed `POp` at `pc`.
+fn h_select_iter<T: Tier>(ctx: &mut TCtx<'_, T>, _op: &TOp<T>, pc: usize) -> usize {
+    let pcode = ctx.pcode;
+    let POp::SelectB(data) = &pcode[pc] else {
+        unreachable!("decoder installs h_select_iter only on SelectB")
+    };
+    let v = if eval(ctx.regs, data.cond).as_bool() {
+        eval(ctx.regs, data.on_true)
+    } else {
+        eval(ctx.regs, data.on_false)
+    };
+    set(ctx.regs, data.dst, v);
+    pc + 1
+}
+
+/// Call out of the iteration; call data lives in the boxed `POp` at `pc`. Callees run on
+/// the switch engine (calls are rare in iteration code, and this keeps the callee
+/// semantics identical to the reference tier by construction).
+fn h_call_iter<T: Tier>(ctx: &mut TCtx<'_, T>, _op: &TOp<T>, pc: usize) -> usize {
+    let image = ctx.image;
+    let pcode = ctx.pcode;
+    let POp::CallB(call) = &pcode[pc] else {
+        unreachable!("decoder installs h_call_iter only on CallB")
+    };
+    let actuals: Vec<Value> = call.args.iter().map(|a| eval(ctx.regs, *a)).collect();
+    let mut callee_regs: Vec<Value> = Vec::new();
+    prepare_callee_regs(image, call.func, &actuals, &mut callee_regs);
+    match run_flat(
+        image,
+        FuncId::new(call.func),
+        image.funcs[call.func as usize].entry_block,
+        None,
+        &mut callee_regs,
+        ctx.tier,
+        u64::MAX,
+    ) {
+        Ok(FlatEnd::Returned(v)) => {
+            if let Some(d) = call.dst {
+                set(ctx.regs, d, v.unwrap_or_default());
+            }
+            pc + 1
+        }
+        Ok(FlatEnd::ReachedStop) => unreachable!("no stop block in callee runs"),
+        Err(FlatError::Exec(e)) => {
+            ctx.fault = Some(e);
+            DONE
+        }
+        Err(FlatError::BudgetExceeded) => unreachable!("callees are unmetered"),
+    }
+}
+
+/// `a=pc` — internal jump.
+fn h_jump_iter<T: Tier>(_ctx: &mut TCtx<'_, T>, op: &TOp<T>, _pc: usize) -> usize {
+    op.a as usize
+}
+
+fn h_end_iter<T: Tier>(ctx: &mut TCtx<'_, T>, _op: &TOp<T>, _pc: usize) -> usize {
+    ctx.end_iter = Some(Ok(IterEnd::Completed));
+    DONE
+}
+
+/// `a=block`
+fn h_exit_jump<T: Tier>(ctx: &mut TCtx<'_, T>, op: &TOp<T>, _pc: usize) -> usize {
+    ctx.end_iter = Some(Ok(IterEnd::Exit { block: op.a }));
+    DONE
+}
+
+/// Resolves an iteration branch edge: sentinel targets end the iteration.
+#[inline(always)]
+fn iter_edge<T: Tier>(ctx: &mut TCtx<'_, T>, target: u32, block: u32) -> usize {
+    match target {
+        PC_END_ITER => {
+            ctx.end_iter = Some(Ok(IterEnd::Completed));
+            DONE
+        }
+        PC_EXIT => {
+            ctx.end_iter = Some(Ok(IterEnd::Exit { block }));
+            DONE
+        }
+        t => t as usize,
+    }
+}
+
+/// `a=cond b=then_pc c=else_pc d=then_block e=else_block`
+fn h_branch_iter<T: Tier>(ctx: &mut TCtx<'_, T>, op: &TOp<T>, _pc: usize) -> usize {
+    let (target, block) = if get(ctx.regs, op.a).as_bool() {
+        (op.b, op.d)
+    } else {
+        (op.c, op.e)
+    };
+    iter_edge(ctx, target, block)
+}
+
+/// `a=src`
+fn h_ret_r_iter<T: Tier>(ctx: &mut TCtx<'_, T>, op: &TOp<T>, _pc: usize) -> usize {
+    ctx.end_iter = Some(Ok(IterEnd::Returned(Some(get(ctx.regs, op.a)))));
+    DONE
+}
+
+/// `e=has_value v=value`
+fn h_ret_i_iter<T: Tier>(ctx: &mut TCtx<'_, T>, op: &TOp<T>, _pc: usize) -> usize {
+    let v = (op.e != 0).then_some(op.v);
+    ctx.end_iter = Some(Ok(IterEnd::Returned(v)));
+    DONE
+}
+
+/// `a=dst b=lhs c=then_pc d=else_pc i=then_block j=else_block v=imm` — fused cmp+branch.
+fn h_cmpbr_ri<T: Tier, P: CPred>(ctx: &mut TCtx<'_, T>, op: &TOp<T>, _pc: usize) -> usize {
+    let taken = eval_pred(P::OP, get(ctx.regs, op.b), op.v);
+    set(ctx.regs, op.a, Value::from_bool(taken));
+    let (target, block) = if taken {
+        (op.c, op.i as u32)
+    } else {
+        (op.d, op.j as u32)
+    };
+    iter_edge(ctx, target, block)
+}
+
+/// `a=dst b=lhs c=rhs d=then_pc e=else_pc i=then_block j=else_block`
+fn h_cmpbr_rr<T: Tier, P: CPred>(ctx: &mut TCtx<'_, T>, op: &TOp<T>, _pc: usize) -> usize {
+    let taken = eval_pred(P::OP, get(ctx.regs, op.b), get(ctx.regs, op.c));
+    set(ctx.regs, op.a, Value::from_bool(taken));
+    let (target, block) = if taken {
+        (op.d, op.i as u32)
+    } else {
+        (op.e, op.j as u32)
+    };
+    iter_edge(ctx, target, block)
+}
+
+// ---------------------------------------------------------------------------
+// Flat-mode control handlers (transliterations of `run_flat` arms).
+// ---------------------------------------------------------------------------
+
+/// Resolves a flat top-level block transition: stop-block and budget checks apply only
+/// outside callees, like `run_flat`.
+#[inline(always)]
+fn flat_edge<T: Tier>(ctx: &mut TCtx<'_, T>, target: u32, block: u32) -> usize {
+    if ctx.frames.is_empty() {
+        if ctx.stop_block == Some(block) {
+            ctx.end_flat = Some(FlatHalt::ReachedStop);
+            return DONE;
+        }
+        ctx.top_blocks += 1;
+        if ctx.top_blocks > ctx.budget {
+            ctx.end_flat = Some(FlatHalt::BudgetExceeded);
+            return DONE;
+        }
+    }
+    target as usize
+}
+
+/// `a=target b=block`
+fn h_jump_flat<T: Tier>(ctx: &mut TCtx<'_, T>, op: &TOp<T>, _pc: usize) -> usize {
+    flat_edge(ctx, op.a, op.b)
+}
+
+/// `a=cond b=then_pc c=else_pc d=then_block e=else_block`
+fn h_branch_flat<T: Tier>(ctx: &mut TCtx<'_, T>, op: &TOp<T>, _pc: usize) -> usize {
+    let (target, block) = if get(ctx.regs, op.a).as_bool() {
+        (op.b, op.d)
+    } else {
+        (op.c, op.e)
+    };
+    flat_edge(ctx, target, block)
+}
+
+/// Select; operands live in the original `Op` stream at `pc`.
+fn h_select_flat<T: Tier>(ctx: &mut TCtx<'_, T>, _op: &TOp<T>, pc: usize) -> usize {
+    let image = ctx.image;
+    let Op::Select {
+        dst,
+        cond,
+        on_true,
+        on_false,
+    } = &image.funcs[ctx.cur_func].code[pc]
+    else {
+        unreachable!("decoder installs h_select_flat only on Select")
+    };
+    let v = if eval(ctx.regs, *cond).as_bool() {
+        eval(ctx.regs, *on_true)
+    } else {
+        eval(ctx.regs, *on_false)
+    };
+    set(ctx.regs, *dst, v);
+    pc + 1
+}
+
+/// Call; args live in the original `Op` stream at `pc`. Pushes a frame and switches code
+/// arrays via the `SWITCH` sentinel.
+fn h_call_flat<T: Tier>(ctx: &mut TCtx<'_, T>, _op: &TOp<T>, pc: usize) -> usize {
+    let image = ctx.image;
+    let Op::Call {
+        dst,
+        func: callee,
+        args,
+    } = &image.funcs[ctx.cur_func].code[pc]
+    else {
+        unreachable!("decoder installs h_call_flat only on Call")
+    };
+    if ctx.frames.len() + 1 > MAX_CALL_DEPTH {
+        ctx.fault = Some(ExecError::StackOverflow);
+        return DONE;
+    }
+    let callee_ix = *callee as usize;
+    let cf = &image.funcs[callee_ix];
+    let mut callee_regs = vec![Value::default(); cf.num_regs.max(args.len())];
+    for (slot, a) in callee_regs.iter_mut().zip(args.iter()).take(cf.num_params) {
+        *slot = eval(ctx.regs, *a);
+    }
+    ctx.frames.push(TFrame {
+        func: ctx.cur_func,
+        pc,
+        regs: std::mem::replace(ctx.regs, callee_regs),
+        dst: *dst,
+    });
+    ctx.cur_func = callee_ix;
+    ctx.next_pc = cf.entry_pc() as usize;
+    SWITCH
+}
+
+/// Shared return path: pop a frame or end the run.
+#[inline(always)]
+fn ret_flat<T: Tier>(ctx: &mut TCtx<'_, T>, v: Option<Value>) -> usize {
+    match ctx.frames.pop() {
+        None => {
+            ctx.end_flat = Some(FlatHalt::Returned(v));
+            DONE
+        }
+        Some(frame) => {
+            ctx.cur_func = frame.func;
+            *ctx.regs = frame.regs;
+            if let Some(d) = frame.dst {
+                set(ctx.regs, d, v.unwrap_or_default());
+            }
+            ctx.next_pc = frame.pc + 1;
+            SWITCH
+        }
+    }
+}
+
+/// `a=src`
+fn h_ret_r_flat<T: Tier>(ctx: &mut TCtx<'_, T>, op: &TOp<T>, _pc: usize) -> usize {
+    let v = Some(get(ctx.regs, op.a));
+    ret_flat(ctx, v)
+}
+
+/// `e=has_value v=value`
+fn h_ret_i_flat<T: Tier>(ctx: &mut TCtx<'_, T>, op: &TOp<T>, _pc: usize) -> usize {
+    let v = (op.e != 0).then_some(op.v);
+    ret_flat(ctx, v)
+}
+
+// ---------------------------------------------------------------------------
+// Decoders: POp/Op streams → TOp arrays. Interior slots of fused windows decode like any
+// other op (they keep their original POp), so jumps into the middle of a window work
+// exactly as they do on the switch engine.
+// ---------------------------------------------------------------------------
+
+/// Decodes a mode-independent data op; `None` for control ops and the boxed shapes
+/// handled per mode.
+fn decode_data<T: Tier>(p: &POp) -> Option<TOp<T>> {
+    Some(match p {
+        POp::MovR { dst, src } => TOp {
+            a: *dst,
+            b: *src,
+            ..TOp::new(h_mov_r::<T>)
+        },
+        POp::MovI { dst, v } => TOp {
+            a: *dst,
+            v: *v,
+            ..TOp::new(h_mov_i::<T>)
+        },
+        POp::UnR { dst, op, src } => TOp {
+            a: *dst,
+            b: *src,
+            ..TOp::new(by_unop!(*op, h_un_r, T))
+        },
+        POp::BinRR { dst, op, lhs, rhs } => TOp {
+            a: *dst,
+            b: *lhs,
+            c: *rhs,
+            ..TOp::new(by_binop!(*op, h_bin_rr, T))
+        },
+        POp::BinRI { dst, op, lhs, rhs } => TOp {
+            a: *dst,
+            b: *lhs,
+            v: *rhs,
+            ..TOp::new(by_binop!(*op, h_bin_ri, T))
+        },
+        POp::BinIR { dst, op, lhs, rhs } => TOp {
+            a: *dst,
+            b: *rhs,
+            v: *lhs,
+            ..TOp::new(by_binop!(*op, h_bin_ir, T))
+        },
+        POp::CmpRR {
+            dst,
+            pred,
+            lhs,
+            rhs,
+        } => TOp {
+            a: *dst,
+            b: *lhs,
+            c: *rhs,
+            ..TOp::new(by_pred!(*pred, h_cmp_rr, T))
+        },
+        POp::CmpRI {
+            dst,
+            pred,
+            lhs,
+            rhs,
+        } => TOp {
+            a: *dst,
+            b: *lhs,
+            v: *rhs,
+            ..TOp::new(by_pred!(*pred, h_cmp_ri, T))
+        },
+        POp::CmpIR {
+            dst,
+            pred,
+            lhs,
+            rhs,
+        } => TOp {
+            a: *dst,
+            b: *rhs,
+            v: *lhs,
+            ..TOp::new(by_pred!(*pred, h_cmp_ir, T))
+        },
+        POp::LoadR {
+            dst,
+            addr,
+            offset,
+            private_ok,
+        } => TOp {
+            a: *dst,
+            b: *addr,
+            i: *offset,
+            ..TOp::new(if *private_ok {
+                h_load_r::<T, true> as Handler<T>
+            } else {
+                h_load_r::<T, false> as Handler<T>
+            })
+        },
+        POp::LoadA { dst, addr } => TOp {
+            a: *dst,
+            i: *addr,
+            ..TOp::new(h_load_a::<T>)
+        },
+        POp::StoreRR {
+            addr,
+            offset,
+            value,
+            private_ok,
+        } => TOp {
+            a: *addr,
+            b: *value,
+            i: *offset,
+            ..TOp::new(if *private_ok {
+                h_store_rr::<T, true> as Handler<T>
+            } else {
+                h_store_rr::<T, false> as Handler<T>
+            })
+        },
+        POp::StoreRI {
+            addr,
+            offset,
+            value,
+            private_ok,
+        } => TOp {
+            a: *addr,
+            i: *offset,
+            v: *value,
+            ..TOp::new(if *private_ok {
+                h_store_ri::<T, true> as Handler<T>
+            } else {
+                h_store_ri::<T, false> as Handler<T>
+            })
+        },
+        POp::StoreAR { addr, value } => TOp {
+            a: *value,
+            i: *addr,
+            ..TOp::new(h_store_ar::<T>)
+        },
+        POp::StoreAI { addr, value } => TOp {
+            i: *addr,
+            v: *value,
+            ..TOp::new(h_store_ai::<T>)
+        },
+        POp::AllocR { dst, words } => TOp {
+            a: *dst,
+            b: *words,
+            ..TOp::new(h_alloc_r::<T>)
+        },
+        POp::AllocI { dst, words } => TOp {
+            a: *dst,
+            i: *words,
+            ..TOp::new(h_alloc_i::<T>)
+        },
+        POp::PrivateAllocR { dst, words } => TOp {
+            a: *dst,
+            b: *words,
+            ..TOp::new(h_palloc_r::<T>)
+        },
+        POp::PrivateAllocI { dst, words } => TOp {
+            a: *dst,
+            i: *words,
+            ..TOp::new(h_palloc_i::<T>)
+        },
+        POp::BinChainII {
+            lhs,
+            op1,
+            i1,
+            d1,
+            op2,
+            i2,
+            d2,
+        } => TOp {
+            a: *lhs,
+            b: *d1,
+            c: *d2,
+            o1: *op1,
+            o2: *op2,
+            v: *i1,
+            w: *i2,
+            ..TOp::new(h_chain_ii::<T>)
+        },
+        POp::BinChain3II {
+            lhs,
+            op1,
+            i1,
+            d1,
+            op2,
+            i2,
+            d2,
+            op3,
+            i3,
+            d3,
+        } => TOp {
+            a: *lhs,
+            b: *d1,
+            c: *d2,
+            d: *d3,
+            o1: *op1,
+            o2: *op2,
+            o3: *op3,
+            v: Value::Int(*i1),
+            w: Value::Int(*i2),
+            i: *i3,
+            ..TOp::new(h_chain3_ii::<T>)
+        },
+        POp::BinChain3FF {
+            lhs,
+            op1,
+            f1,
+            d1,
+            op2,
+            f2,
+            d2,
+            op3,
+            f3,
+            d3,
+        } => TOp {
+            a: *lhs,
+            b: *d1,
+            c: *d2,
+            d: *d3,
+            o1: *op1,
+            o2: *op2,
+            o3: *op3,
+            v: Value::Float(*f1),
+            w: Value::Float(*f2),
+            i: f3.to_bits() as i64,
+            ..TOp::new(h_chain3_ff::<T>)
+        },
+        POp::BinChainRI {
+            lhs,
+            rhs,
+            op1,
+            d1,
+            op2,
+            i2,
+            d2,
+        } => TOp {
+            a: *lhs,
+            b: *rhs,
+            c: *d1,
+            d: *d2,
+            o1: *op1,
+            o2: *op2,
+            v: *i2,
+            ..TOp::new(h_chain_ri::<T>)
+        },
+        POp::LoadABin {
+            laddr,
+            ld,
+            op,
+            other,
+            ld_on_lhs,
+            dst,
+        } => TOp {
+            a: *ld,
+            b: *other,
+            c: *dst,
+            e: *ld_on_lhs as u32,
+            i: *laddr,
+            ..TOp::new(by_binop!(*op, h_load_a_bin, T))
+        },
+        POp::BinStoreA {
+            op,
+            lhs,
+            rhs,
+            dst,
+            saddr,
+        } => TOp {
+            a: *lhs,
+            b: *rhs,
+            c: *dst,
+            i: *saddr,
+            ..TOp::new(by_binop!(*op, h_bin_store_a, T))
+        },
+        POp::StoreIdx {
+            base,
+            idx,
+            dst,
+            offset,
+            value,
+        } => TOp {
+            a: *idx,
+            b: *dst,
+            c: *value,
+            i: *base,
+            j: *offset,
+            ..TOp::new(h_store_idx::<T>)
+        },
+        POp::RmwA {
+            laddr,
+            ld,
+            op,
+            other,
+            ld_on_lhs,
+            dst,
+            saddr,
+        } => TOp {
+            a: *ld,
+            b: *other,
+            c: *dst,
+            e: *ld_on_lhs as u32,
+            i: *laddr,
+            j: *saddr,
+            ..TOp::new(by_binop!(*op, h_rmw_a, T))
+        },
+        POp::RmwR {
+            addr,
+            offset,
+            ld,
+            op,
+            other,
+            ld_on_lhs,
+            dst,
+            private_ok,
+        } => TOp {
+            a: *addr,
+            b: *ld,
+            c: *other,
+            d: *dst,
+            e: *ld_on_lhs as u32,
+            i: *offset,
+            ..TOp::new(if *private_ok {
+                by_binop_b!(*op, h_rmw_r, T, true)
+            } else {
+                by_binop_b!(*op, h_rmw_r, T, false)
+            })
+        },
+        POp::Trap { block } => TOp {
+            a: *block,
+            ..TOp::new(h_trap::<T>)
+        },
+        _ => return None,
+    })
+}
+
+/// Decodes one specialized iteration op.
+fn decode_iter_op<T: Tier>(p: &POp) -> TOp<T> {
+    if let Some(t) = decode_data(p) {
+        return t;
+    }
+    match p {
+        POp::SelectB(_) => TOp::new(h_select_iter::<T>),
+        POp::CallB(_) => TOp::new(h_call_iter::<T>),
+        POp::Wait { lane } => TOp {
+            a: *lane,
+            ..TOp::new(h_wait::<T>)
+        },
+        POp::SignalLane { lane } => TOp {
+            a: *lane,
+            ..TOp::new(h_signal_lane::<T>)
+        },
+        POp::SignalControl => TOp::new(h_signal_control::<T>),
+        POp::SignalMulti { .. } => TOp::new(h_signal_multi::<T>),
+        POp::Jump { pc } => TOp {
+            a: *pc,
+            ..TOp::new(h_jump_iter::<T>)
+        },
+        POp::EndIter => TOp::new(h_end_iter::<T>),
+        POp::ExitJump { block } => TOp {
+            a: *block,
+            ..TOp::new(h_exit_jump::<T>)
+        },
+        POp::Branch {
+            cond,
+            then_pc,
+            then_block,
+            else_pc,
+            else_block,
+        } => TOp {
+            a: *cond,
+            b: *then_pc,
+            c: *else_pc,
+            d: *then_block,
+            e: *else_block,
+            ..TOp::new(h_branch_iter::<T>)
+        },
+        POp::RetR { src } => TOp {
+            a: *src,
+            ..TOp::new(h_ret_r_iter::<T>)
+        },
+        POp::RetI { v } => TOp {
+            e: v.is_some() as u32,
+            v: v.unwrap_or_default(),
+            ..TOp::new(h_ret_i_iter::<T>)
+        },
+        POp::CmpBrRI {
+            dst,
+            pred,
+            lhs,
+            imm,
+            then_pc,
+            then_block,
+            else_pc,
+            else_block,
+        } => TOp {
+            a: *dst,
+            b: *lhs,
+            c: *then_pc,
+            d: *else_pc,
+            i: *then_block as i64,
+            j: *else_block as i64,
+            v: *imm,
+            ..TOp::new(by_pred!(*pred, h_cmpbr_ri, T))
+        },
+        POp::CmpBrRR {
+            dst,
+            pred,
+            lhs,
+            rhs,
+            then_pc,
+            then_block,
+            else_pc,
+            else_block,
+        } => TOp {
+            a: *dst,
+            b: *lhs,
+            c: *rhs,
+            d: *then_pc,
+            e: *else_pc,
+            i: *then_block as i64,
+            j: *else_block as i64,
+            ..TOp::new(by_pred!(*pred, h_cmpbr_rr, T))
+        },
+        _ => unreachable!("decode_data covers every remaining POp"),
+    }
+}
+
+/// Decodes one whole-function op for the flat engine. Data ops reuse the iteration
+/// specializer (with `private_ok = false`, matching `run_flat`'s shared-route accesses);
+/// control ops decode straight from the [`Op`] so block fields survive for the stop-block
+/// and budget checks. No fusion in flat mode — same as `run_flat`.
+fn decode_flat_op<T: Tier>(op: &Op) -> TOp<T> {
+    match op {
+        Op::Wait { .. } | Op::Signal { .. } => TOp::new(h_nop::<T>),
+        Op::Select { .. } => TOp::new(h_select_flat::<T>),
+        Op::Call { .. } => TOp::new(h_call_flat::<T>),
+        Op::Jump { pc, block } => TOp {
+            a: *pc,
+            b: *block,
+            ..TOp::new(h_jump_flat::<T>)
+        },
+        Op::Branch {
+            cond,
+            then_pc,
+            then_block,
+            else_pc,
+            else_block,
+        } => match cond {
+            Opnd::Reg(r) => TOp {
+                a: *r,
+                b: *then_pc,
+                c: *else_pc,
+                d: *then_block,
+                e: *else_block,
+                ..TOp::new(h_branch_flat::<T>)
+            },
+            imm => {
+                // Constant condition: the branch folds to its taken edge.
+                let (pc, block) = if eval(&[], *imm).as_bool() {
+                    (*then_pc, *then_block)
+                } else {
+                    (*else_pc, *else_block)
+                };
+                TOp {
+                    a: pc,
+                    b: block,
+                    ..TOp::new(h_jump_flat::<T>)
+                }
+            }
+        },
+        Op::Ret { value } => match value {
+            Some(Opnd::Reg(r)) => TOp {
+                a: *r,
+                ..TOp::new(h_ret_r_flat::<T>)
+            },
+            Some(imm) => TOp {
+                e: 1,
+                v: eval(&[], *imm),
+                ..TOp::new(h_ret_i_flat::<T>)
+            },
+            None => TOp::new(h_ret_i_flat::<T>),
+        },
+        Op::Trap { block } => TOp {
+            a: *block,
+            ..TOp::new(h_trap::<T>)
+        },
+        data => decode_data(&specialize_op(data, false))
+            .expect("every non-control Op specializes to a data POp"),
+    }
+}
+
+/// The decoded per-iteration code array of one [`LoopImage`]. Cheap to build (one pass
+/// over the stream), so workers build their own instance.
+pub(crate) struct IterTable<T: Tier> {
+    ops: Vec<TOp<T>>,
+}
+
+impl<T: Tier> IterTable<T> {
+    pub(crate) fn build(loop_image: &LoopImage) -> IterTable<T> {
+        IterTable {
+            ops: loop_image.pcode.iter().map(decode_iter_op).collect(),
+        }
+    }
+}
+
+/// Decoded whole-function code arrays of an [`ExecImage`] (flat engine: Phase A/C and
+/// callee bodies), parallel to `image.funcs`.
+pub(crate) struct FlatTables<T: Tier> {
+    funcs: Vec<Vec<TOp<T>>>,
+}
+
+impl<T: Tier> FlatTables<T> {
+    pub(crate) fn build(image: &ExecImage) -> FlatTables<T> {
+        FlatTables {
+            funcs: image
+                .funcs
+                .iter()
+                .map(|f| f.code.iter().map(decode_flat_op).collect())
+                .collect(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runners.
+// ---------------------------------------------------------------------------
+
+/// [`crate::parallel_image::run_iteration`] on the threaded tier: identical contract,
+/// identical observable semantics (the fuzz oracle and the telemetry parity test hold the
+/// two to bitwise agreement).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_iteration_threaded<T: Tier>(
+    image: &ExecImage,
+    loop_image: &LoopImage,
+    table: &IterTable<T>,
+    iteration: u64,
+    regs: &mut Vec<Value>,
+    tier: &mut T,
+    sync: &IterSync<'_>,
+    on_control: &mut dyn FnMut(),
+) -> Result<IterEnd, IterError> {
+    // This worker's telemetry handle; statically `None` without the feature, exactly like
+    // `run_iteration`, so every recording branch in the handlers folds away.
+    #[cfg(feature = "telemetry")]
+    let telem = sync.telem;
+    #[cfg(not(feature = "telemetry"))]
+    let telem: Option<WorkerCtx<'_>> = None;
+    let mut ctx = TCtx {
+        image,
+        pcode: &loop_image.pcode,
+        regs,
+        tier,
+        iteration,
+        sync: Some(sync),
+        on_control: Some(on_control),
+        telem,
+        cur_func: loop_image.func.index(),
+        next_pc: 0,
+        frames: Vec::new(),
+        top_blocks: 0,
+        budget: u64::MAX,
+        stop_block: None,
+        fault: None,
+        end_iter: None,
+        end_flat: None,
+    };
+    dispatch::<T>(&[], &table.ops, loop_image.entry_pc as usize, &mut ctx);
+    if let Some(e) = ctx.fault {
+        return Err(IterError::Exec(e));
+    }
+    ctx.end_iter.expect("iteration ended without a verdict")
+}
+
+/// [`crate::parallel_image::run_flat`] on the threaded tier: identical contract (stop
+/// block, budget metering, unwind-to-bottom register hand-back).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_flat_threaded<T: Tier>(
+    image: &ExecImage,
+    tables: &FlatTables<T>,
+    func: FuncId,
+    start_block: u32,
+    stop_block: Option<u32>,
+    regs: &mut Vec<Value>,
+    tier: &mut T,
+    budget: u64,
+) -> Result<FlatEnd, FlatError> {
+    let f = &image.funcs[func.index()];
+    if regs.len() < f.num_regs {
+        regs.resize(f.num_regs, Value::default());
+    }
+    if stop_block == Some(start_block) {
+        return Ok(FlatEnd::ReachedStop);
+    }
+    let entry = f.block_start(start_block) as usize;
+    let mut ctx = TCtx {
+        image,
+        pcode: &[],
+        regs,
+        tier,
+        iteration: 0,
+        sync: None,
+        on_control: None,
+        telem: None,
+        cur_func: func.index(),
+        next_pc: 0,
+        frames: Vec::new(),
+        top_blocks: 0,
+        budget,
+        stop_block,
+        fault: None,
+        end_iter: None,
+        end_flat: None,
+    };
+    dispatch::<T>(&tables.funcs, &tables.funcs[func.index()], entry, &mut ctx);
+    let TCtx {
+        frames,
+        fault,
+        end_flat,
+        ..
+    } = ctx;
+    // Hand the (possibly callee-stale) top-level register file back: unwind to the bottom
+    // frame if the run ended inside a callee, like `run_flat`.
+    if let Some(bottom) = frames.into_iter().next() {
+        *regs = bottom.regs;
+    }
+    if let Some(e) = fault {
+        return Err(FlatError::Exec(e));
+    }
+    match end_flat.expect("flat run ended without a verdict") {
+        FlatHalt::ReachedStop => Ok(FlatEnd::ReachedStop),
+        FlatHalt::Returned(v) => Ok(FlatEnd::Returned(v)),
+        FlatHalt::BudgetExceeded => Err(FlatError::BudgetExceeded),
+    }
+}

@@ -13,7 +13,7 @@ use helix::gen::{differential_check, generate, telemetry_violations, GenConfig, 
 use helix::ir::builder::{FunctionBuilder, ModuleBuilder};
 use helix::ir::{BinOp, Machine, Operand};
 use helix::profiler::profile_program_image;
-use helix::runtime::{EventKind, ParallelExecutor, TelemetryMode, WaitProfile};
+use helix::runtime::{DispatchTier, EventKind, ParallelExecutor, TelemetryMode, WaitProfile};
 
 /// Builds an accumulator whose loop carries a synchronized dependence (same shape as
 /// `parallel_stress.rs`): every iteration loads, mixes and stores one global cell.
@@ -104,6 +104,83 @@ fn full_traces_are_well_formed_at_every_thread_count() {
         );
         for (ix, &it) in claims.iter().enumerate() {
             assert_eq!(it, ix as u64, "{threads}t: claim stream has a hole");
+        }
+    }
+}
+
+#[test]
+fn dispatch_tiers_produce_identical_telemetry() {
+    // Telemetry must be dispatch-tier-agnostic: the direct-threaded engine drives the
+    // exact same hooks as the switch interpreter. Under the forced DEDICATED profile the
+    // structural invariants (balanced waits, claim permutation) must hold in both tiers,
+    // and with one worker — where the schedule is deterministic — the counters must be
+    // *identical*, not merely well-formed.
+    let (module, main, transformed) = accumulator(256);
+    let mut seq = Machine::new(&module);
+    let expected = seq.call(main, &[]).unwrap();
+
+    for threads in [1usize, 2, 4] {
+        let run_with = |tier: DispatchTier| {
+            let executor = ParallelExecutor::new(threads)
+                .with_wait_profile(WaitProfile::DEDICATED)
+                .with_telemetry(TelemetryMode::Full)
+                .with_dispatch_tier(tier);
+            let (run, report) = executor.run_traced(&transformed, &[]);
+            let got = run.unwrap_or_else(|e| panic!("{threads}t/{tier}: {e}"));
+            assert_eq!(
+                got, expected,
+                "{tier} tier changed the result at {threads}t"
+            );
+            report.expect("telemetry enabled, report expected")
+        };
+        let switch = run_with(DispatchTier::Switch);
+        let threaded = run_with(DispatchTier::Threaded);
+
+        for (tier, report) in [("switch", &switch), ("threaded", &threaded)] {
+            let violations = telemetry_violations(report);
+            assert!(
+                violations.is_empty(),
+                "{threads}t/{tier}: unbalanced or malformed stream: {violations:?}"
+            );
+            assert!(
+                report.total_iterations() >= 256,
+                "{threads}t/{tier}: only {} iterations recorded",
+                report.total_iterations()
+            );
+        }
+
+        if threads == 1 {
+            // Single worker, in-order schedule: every counter the tiers produce must
+            // match exactly — claims, executed bodies, sampled bodies, recorded events.
+            let totals = |r: &helix::runtime::TelemetryReport| {
+                let w = &r.workers[0];
+                (
+                    w.counters.claims,
+                    w.counters.iterations,
+                    w.counters.sampled_iterations,
+                    w.events.len(),
+                    w.events_dropped,
+                )
+            };
+            assert_eq!(
+                totals(&switch),
+                totals(&threaded),
+                "1t: tiers disagree on deterministic counters"
+            );
+            // And the event streams agree kind-for-kind and iteration-for-iteration
+            // (timestamps naturally differ).
+            let kinds = |r: &helix::runtime::TelemetryReport| {
+                r.workers[0]
+                    .events
+                    .iter()
+                    .map(|e| (e.kind, e.iteration))
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(
+                kinds(&switch),
+                kinds(&threaded),
+                "1t: event streams diverge"
+            );
         }
     }
 }
