@@ -1,0 +1,158 @@
+//! `helix serve` daemon benchmark: cold (parse + profile + analyze + transform + lower +
+//! execute) versus warm (content-hash cache hit: execute only) request latency through
+//! the exact job pipeline the daemon runs ([`helix_service::Server::handle`]).
+//!
+//! For each corpus program the harness times one cold request against a fresh daemon,
+//! then best-of-N warm resubmissions of the identical text. The warm path must skip
+//! parse/analyze/lower entirely — the cache-hit counter is asserted, and with
+//! `--check-warm <ratio>` (CI passes 0.20) a warm/cold ratio above the bound fails the
+//! job: the cache must buy at least a 5× latency win or it is not doing its job.
+//!
+//! Results go to stdout and `BENCH_service.json` at the repository root. CI runs
+//! `--test` (smoke reps) with `--check-warm 0.20`.
+
+use std::time::{Duration, Instant};
+
+use helix_service::{CacheOutcome, Request, ServeConfig, Server, Status};
+
+// Programs where prepare dominates a single execution — the population the warm/cold
+// gate is about. Execution-heavy corpus programs (hash_sweep, blend_mix, nest_flip)
+// would measure their own loop runtime, not the cache.
+const PROGRAMS: [&str; 4] = [
+    "array_transform",
+    "irregular_branch",
+    "pointer_chase",
+    "nested_helper",
+];
+
+struct ProgramReport {
+    name: String,
+    plan: String,
+    cold: Duration,
+    warm: Duration,
+    hits: u64,
+}
+
+impl ProgramReport {
+    fn warm_over_cold(&self) -> f64 {
+        self.warm.as_secs_f64() / self.cold.as_secs_f64().max(1e-12)
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--test");
+    let check_warm: Option<f64> = args
+        .iter()
+        .position(|a| a == "--check-warm")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok());
+    let warm_reps = if smoke { 5 } else { 25 };
+
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut reports = Vec::new();
+
+    for name in PROGRAMS {
+        let source = std::fs::read_to_string(root.join("corpus").join(format!("{name}.hir")))
+            .expect("read corpus program");
+
+        // A fresh daemon per program so "cold" genuinely means an empty cache.
+        let server = Server::new(ServeConfig {
+            cache_cap: 8,
+            service_threads: 1,
+            default_threads: 2,
+            calibrate: false,
+            ..ServeConfig::default()
+        });
+
+        let start = Instant::now();
+        let cold_resp = server.handle(&Request::run(1, &source));
+        let cold = start.elapsed();
+        assert_eq!(
+            cold_resp.status,
+            Some(Status::Ok),
+            "{name} cold: {:?}",
+            cold_resp.error
+        );
+        assert_eq!(cold_resp.cache, CacheOutcome::Miss);
+
+        let mut warm = Duration::MAX;
+        for rep in 0..warm_reps {
+            let start = Instant::now();
+            let resp = server.handle(&Request::run(2 + rep, &source));
+            warm = warm.min(start.elapsed());
+            assert_eq!(resp.cache, CacheOutcome::Hit, "{name} warm rep must hit");
+            assert_eq!(
+                resp.result, cold_resp.result,
+                "{name}: warm result must be bitwise-identical to cold"
+            );
+            assert_eq!(
+                resp.memory_hash, cold_resp.memory_hash,
+                "{name}: warm memory must be bitwise-identical to cold"
+            );
+        }
+
+        let stats = server.cache_stats();
+        assert!(stats.hits >= warm_reps, "{name}: hit counter must advance");
+        println!(
+            "service: {name:<18} plan {:<10} cold {:>12?}  warm {:>12?}  warm/cold {:.4}  hits {}",
+            cold_resp.plan.as_deref().unwrap_or("?"),
+            cold,
+            warm,
+            warm.as_secs_f64() / cold.as_secs_f64(),
+            stats.hits,
+        );
+        reports.push(ProgramReport {
+            name: name.to_string(),
+            plan: cold_resp.plan.unwrap_or_default(),
+            cold,
+            warm,
+            hits: stats.hits,
+        });
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"host_threads\": {},\n  \"warm_reps\": {warm_reps},\n  \"programs\": [\n",
+        helix_runtime::detect_hardware_threads()
+    ));
+    for (i, r) in reports.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"plan\": \"{}\", \"cold_ns\": {}, \"warm_ns\": {}, \
+             \"warm_over_cold\": {:.4}, \"cache_hits\": {} }}{}\n",
+            r.name,
+            r.plan,
+            r.cold.as_nanos(),
+            r.warm.as_nanos(),
+            r.warm_over_cold(),
+            r.hits,
+            if i + 1 < reports.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let json_path = root.join("BENCH_service.json");
+    std::fs::write(&json_path, &json).expect("write BENCH_service.json");
+    println!(
+        "service: wrote BENCH_service.json ({} programs)",
+        reports.len()
+    );
+
+    if let Some(bound) = check_warm {
+        let mut failed = false;
+        for r in &reports {
+            let ratio = r.warm_over_cold();
+            if ratio > bound {
+                eprintln!(
+                    "service: CHECK FAILED — {} warm/cold ratio {ratio:.4} exceeds {bound} \
+                     (the cache is not skipping prepare)",
+                    r.name
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("service: warm/cold check passed (bound {bound})");
+    }
+}

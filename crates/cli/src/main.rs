@@ -47,6 +47,9 @@ COMMANDS:
                    --compare-model) predicted-vs-observed cost validation
     dump-workload  Print a built-in synthetic workload as canonical .hir
     fuzz           Differentially fuzz the stack with generated programs
+    serve          Run the daemon: accept .hir jobs over a Unix socket or framed
+                   stdin/stdout, with a content-hash image cache and shared-pool
+                   scheduling (protocol: docs/service.md)
 
 COMMON OPTIONS:
     --json             Emit the report as JSON on stdout
@@ -80,6 +83,13 @@ COMMON OPTIONS:
                        and report loops whose selection would flip under observed costs
     --out <path>       (trace) Chrome trace-event output file (default: <input>.trace.json)
 
+SERVE OPTIONS:
+    --socket <path>    Listen on a Unix socket at <path> (default: framed stdin/stdout)
+    --stdio            Serve the length-prefixed batch protocol on stdin/stdout
+    --cache-cap <n>    Prepared-image cache capacity in entries (default: 64)
+    --service-threads <n>  Concurrent job slots draining the FIFO queue (default: 2)
+    --no-calibrate     Skip the startup runtime calibration (use paper-constant costs)
+
 FUZZ OPTIONS:
     --seeds <n>        Number of seeds to run (default: 100)
     --seed-start <n>   First seed of the range (default: 1)
@@ -97,6 +107,7 @@ EXAMPLES:
     helix trace corpus/nest_flip.hir --compare-model
     helix fuzz --seeds 500 --threads 1,2,4,6 --dispatch-tier threaded
     helix dump-workload art > /tmp/art.hir
+    helix serve --socket /tmp/helix.sock --cache-cap 32
 ";
 
 fn main() -> ExitCode {
@@ -396,6 +407,7 @@ fn run_cli(args: &[String]) -> Result<(), CliError> {
         "trace" => cmd_trace(&parse_options(&args[1..])?),
         "dump-workload" => cmd_dump_workload(&args[1..]),
         "fuzz" => cmd_fuzz(&parse_options(&args[1..])?),
+        "serve" => cmd_serve(&args[1..]),
         other => Err(CliError::Usage(format!("unknown command `{other}`"))),
     }
 }
@@ -1714,5 +1726,88 @@ fn cmd_dump_workload(args: &[String]) -> Result<(), CliError> {
         })?;
     let (module, _main) = bench.build();
     print!("{}", printer::format_module(&module));
+    Ok(())
+}
+
+/// `helix serve`: the long-running daemon (see `docs/service.md` for the protocol).
+fn cmd_serve(args: &[String]) -> Result<(), CliError> {
+    use helix_service::{ServeConfig, Server};
+
+    let mut config = ServeConfig::default();
+    let mut socket: Option<std::path::PathBuf> = None;
+    let mut stdio = false;
+    let mut it = args.iter();
+    fn value_of(flag: &str, it: &mut std::slice::Iter<'_, String>) -> Result<String, CliError> {
+        it.next()
+            .cloned()
+            .ok_or_else(|| CliError::Usage(format!("{flag} requires a value")))
+    }
+    fn number(flag: &str, it: &mut std::slice::Iter<'_, String>) -> Result<u64, CliError> {
+        value_of(flag, it)?
+            .parse()
+            .map_err(|_| CliError::Usage(format!("{flag} expects a positive integer")))
+    }
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--socket" => socket = Some(value_of("--socket", &mut it)?.into()),
+            "--stdio" => stdio = true,
+            "--cache-cap" => config.cache_cap = number("--cache-cap", &mut it)?.max(1) as usize,
+            "--service-threads" => {
+                config.service_threads = number("--service-threads", &mut it)?.max(1) as usize
+            }
+            "--threads" => config.default_threads = number("--threads", &mut it)?.max(1) as usize,
+            "--max-iterations" => config.max_iterations = number("--max-iterations", &mut it)?,
+            "--fuel" => config.fuel = number("--fuel", &mut it)?,
+            "--no-calibrate" => config.calibrate = false,
+            other => return Err(CliError::Usage(format!("unknown serve option `{other}`"))),
+        }
+    }
+    if stdio && socket.is_some() {
+        return Err(CliError::Usage(
+            "--stdio and --socket are mutually exclusive".into(),
+        ));
+    }
+
+    if config.calibrate {
+        eprintln!("helix serve: calibrating runtime costs...");
+    }
+    let server = Server::new(config.clone());
+    eprintln!(
+        "helix serve: ready ({} mode; cache cap {}, {} service thread(s), {} worker(s) per job)",
+        match &socket {
+            Some(p) => format!("socket {}", p.display()),
+            None => "stdio".to_string(),
+        },
+        config.cache_cap,
+        config.service_threads,
+        config.default_threads,
+    );
+    match socket {
+        Some(path) => {
+            let _ = std::fs::remove_file(&path);
+            let result = server.serve_unix(&path);
+            let _ = std::fs::remove_file(&path);
+            result.map_err(|e| {
+                CliError::failed(format!("serve on socket {}: {e}", path.display()))
+            })?;
+        }
+        None => {
+            let stdin = std::io::stdin().lock();
+            server.serve_connection(stdin, std::io::stdout());
+        }
+    }
+    let cache = server.cache_stats();
+    let jobs = server.job_stats();
+    eprintln!(
+        "helix serve: shutdown (jobs: {} ok, {} failed, {} panicked, {} expired; \
+         cache: {} hits, {} misses, {} evictions)",
+        jobs.ok,
+        jobs.failed,
+        jobs.panicked,
+        jobs.deadline,
+        cache.hits,
+        cache.misses,
+        cache.evictions,
+    );
     Ok(())
 }

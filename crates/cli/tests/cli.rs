@@ -1,0 +1,184 @@
+//! Black-box tests of the `helix` binary: the `serve` daemon smoke test (50 mixed
+//! requests over the stdio batch protocol, one fault-injected panic among them) and
+//! the file-IO error paths (missing input, unwritable output — both must name the
+//! offending path).
+
+use std::process::{Command, Stdio};
+
+use helix_service::{CacheOutcome, Client, Fault, Op, Request, Status};
+
+fn helix_exe() -> &'static str {
+    env!("CARGO_BIN_EXE_helix")
+}
+
+/// The same DOALL-shaped program family the service tests use; `seed` varies the
+/// content hash so the smoke test exercises misses, hits and (tight caps) evictions.
+fn doall(seed: i64) -> String {
+    format!(
+        r#"module cli_smoke
+global @g0 "arr" [64 words]
+global @g1 "acc" [1 words]
+func main(0 params, 8 vars) {{
+bb0: (entry)
+  %v0 = const 0
+  br bb1
+bb1:
+  %v1 = cmp.lt %v0, 64
+  condbr %v1, bb2, bb3
+bb2:
+  %v2 = add @g0, %v0
+  %v3 = mul %v0, {seed}
+  %v3 = xor %v3, 40503
+  %v3 = mul %v3, 31
+  %v3 = xor %v3, 99991
+  store [%v2 + 0], %v3
+  %v0 = add %v0, 1
+  br bb1
+bb3:
+  %v0 = const 0
+  br bb4
+bb4:
+  %v1 = cmp.lt %v0, 64
+  condbr %v1, bb5, bb6
+bb5:
+  %v2 = add @g0, %v0
+  %v4 = load [%v2 + 0]
+  %v5 = load [@g1 + 0]
+  %v5 = add %v5, %v4
+  store [@g1 + 0], %v5
+  %v0 = add %v0, 1
+  br bb4
+bb6:
+  %v5 = load [@g1 + 0]
+  ret %v5
+}}
+"#
+    )
+}
+
+#[test]
+fn serve_smoke_50_mixed_requests_survive_an_injected_panic() {
+    let mut child = Command::new(helix_exe())
+        .args([
+            "serve",
+            "--stdio",
+            "--no-calibrate",
+            "--service-threads",
+            "2",
+            "--threads",
+            "2",
+            "--cache-cap",
+            "8",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn helix serve");
+    let stdin = child.stdin.take().unwrap();
+    let stdout = child.stdout.take().unwrap();
+    let mut client = Client::from_halves(stdout, stdin);
+
+    // 50 mixed requests: runs rotating over three programs (so the cache sees misses
+    // AND hits), pings and stats sprinkled in, and one fault-injected panicking job.
+    const FAULT_ID: u64 = 25;
+    let programs = [doall(11), doall(22), doall(33)];
+    for id in 1..=50u64 {
+        let req = match id % 10 {
+            3 => Request::new(Op::Ping, id),
+            7 => Request::new(Op::Stats, id),
+            _ => {
+                let mut req = Request::run(id, &programs[(id % 3) as usize]);
+                if id == FAULT_ID {
+                    req.fault = Fault::PanicAt(3);
+                }
+                req
+            }
+        };
+        client.send(&req).unwrap();
+    }
+    client.send(&Request::new(Op::Shutdown, 51)).unwrap();
+
+    let mut responses = Vec::new();
+    while let Some(resp) = client.recv().unwrap() {
+        responses.push(resp);
+    }
+    let mut ids: Vec<u64> = responses.iter().map(|r| r.id).collect();
+    ids.sort_unstable();
+    assert_eq!(
+        ids,
+        (1..=51).collect::<Vec<u64>>(),
+        "every request must be answered exactly once"
+    );
+
+    let mut hits = 0;
+    for resp in &responses {
+        if resp.id == FAULT_ID {
+            assert_eq!(resp.status, Some(Status::Panic), "fault job: {resp:?}");
+            let error = resp.error.as_deref().unwrap_or("");
+            assert!(
+                error.contains("injected fault"),
+                "panic payload must reach the client: {error}"
+            );
+        } else {
+            assert_eq!(
+                resp.status,
+                Some(Status::Ok),
+                "non-faulty id {} must succeed after the panic: {:?}",
+                resp.id,
+                resp.error
+            );
+        }
+        if resp.cache == CacheOutcome::Hit {
+            hits += 1;
+        }
+    }
+    assert!(hits > 0, "repeated programs must hit the cache");
+
+    let status = child.wait().expect("wait for helix serve");
+    assert!(status.success(), "daemon must exit cleanly, got {status}");
+}
+
+#[test]
+fn missing_input_file_error_names_the_path() {
+    let output = Command::new(helix_exe())
+        .args(["run", "/no/such/dir/program.hir"])
+        .output()
+        .unwrap();
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("/no/such/dir/program.hir"),
+        "read error must name the path: {stderr}"
+    );
+}
+
+#[test]
+fn unwritable_output_path_error_names_the_path() {
+    let dir = std::env::temp_dir().join(format!("helix-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let program = dir.join("prog.hir");
+    std::fs::write(&program, doall(5)).unwrap();
+
+    // The parent of --out does not exist, so the trace write must fail — with the path.
+    let out_path = "/no/such/dir/out.trace.json";
+    let output = Command::new(helix_exe())
+        .args([
+            "trace",
+            program.to_str().unwrap(),
+            "--threads",
+            "2",
+            "--out",
+            out_path,
+        ])
+        .output()
+        .unwrap();
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains(out_path) && stderr.contains("cannot write"),
+        "write error must name the path: {stderr}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

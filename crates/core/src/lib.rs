@@ -46,7 +46,10 @@ pub mod transform;
 pub use config::HelixConfig;
 pub use model::{PrefetchMode, SpeedupModel};
 pub use normalize::NormalizedLoop;
-pub use pipeline::{Helix, HelixOutput, LoopStatistics, SelectionTrace, SelectionTraceEntry};
+pub use pipeline::{
+    content_hash, Helix, HelixOutput, LoopStatistics, PreparedProgram, SelectionTrace,
+    SelectionTraceEntry,
+};
 pub use plan::{ParallelizedLoop, SequentialSegment};
 pub use privatize::{analyze_privatization, PrivatizationInfo};
 pub use selection::{DynamicLoopGraph, LoopSelection};

@@ -66,6 +66,49 @@ pub struct HelixOutput {
     pub loads_per_iteration: BTreeMap<LoopKey, f64>,
 }
 
+/// A program carried through the whole pipeline in one call — profiled, analyzed, and (when
+/// a loop qualified) transformed — keyed for content-addressed caching.
+///
+/// This is the unit the `helix serve` daemon caches: everything per-program the pipeline
+/// computes, so a warm request pays only hash-lookup + execution. Produced by
+/// [`Helix::prepare`].
+#[derive(Clone, Debug)]
+pub struct PreparedProgram {
+    /// Content hash of the module's canonical printed form + entry name (see
+    /// [`content_hash`]). Two textually different `.hir` files that print canonically
+    /// identical share a key.
+    pub key: u64,
+    /// The training run's profile.
+    pub profile: ProgramProfile,
+    /// The full analysis output (plans, selection, model inputs).
+    pub output: HelixOutput,
+    /// The transformed clone of the chosen plan, ready to lower; `None` when no candidate
+    /// loop of the entry function exists (the program runs sequentially).
+    pub transformed: Option<crate::transform::TransformedProgram>,
+    /// Which loop the transform targets.
+    pub plan_key: Option<LoopKey>,
+    /// Was the chosen plan *selected* by the Section 2.2 algorithm (as opposed to a
+    /// hottest-candidate fallback)?
+    pub plan_selected: bool,
+}
+
+/// Stable content hash of `module`'s canonical printed form, folded with `entry`.
+///
+/// The canonical form is [`helix_ir::printer::format_module`] — the same text the
+/// round-tripping frontend guarantees `parse(print(m)) == m` for — so formatting,
+/// comments and name sugar in the submitted source never split cache entries. FNV-1a,
+/// 64-bit: stable across processes and platforms (unlike `DefaultHasher`, which is
+/// randomly seeded per process and would make daemon cache keys unreproducible).
+pub fn content_hash(module: &Module, entry: &str) -> u64 {
+    let canonical = helix_ir::printer::format_module(module);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in canonical.bytes().chain([0u8]).chain(entry.bytes()) {
+        h ^= byte as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// The HELIX analysis driver.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Helix {
@@ -118,6 +161,48 @@ impl Helix {
         let profile = profiler.finish();
         let output = self.analyze(module, &profile);
         Ok((profile, output))
+    }
+
+    /// Cache-keyed pipeline entry point: profile → analyze → select → transform, one call.
+    ///
+    /// Picks the hottest *selected* plan of the entry function, falling back to the
+    /// hottest candidate plan when selection rejected everything (so callers can still
+    /// exercise the parallel runtime), and `None` when the entry has no candidate loop at
+    /// all. The returned [`PreparedProgram`] carries the [`content_hash`] key the service
+    /// caches it under.
+    ///
+    /// The profiling run trains on `args`: a cached entry's plan reflects the first-touch
+    /// training arguments. That is a *performance* statement only — the transformation is
+    /// semantics-preserving for any arguments, so executing a cached image with different
+    /// arguments is always correct.
+    ///
+    /// # Errors
+    ///
+    /// Returns the engine error if the profiling run faults or exhausts `fuel`.
+    pub fn prepare(
+        &self,
+        module: &Module,
+        entry: helix_ir::FuncId,
+        args: &[helix_ir::Value],
+        fuel: u64,
+    ) -> Result<PreparedProgram, helix_ir::interp::ExecError> {
+        let key = content_hash(module, &module.function(entry).name);
+        let (profile, output) = self.profile_and_analyze(module, entry, args, fuel)?;
+        let hottest = |keys: &mut dyn Iterator<Item = LoopKey>| -> Option<LoopKey> {
+            keys.filter(|(func, _)| *func == entry)
+                .max_by_key(|k| profile.loop_profile(*k).cycles)
+        };
+        let selected = hottest(&mut output.selection.selected.iter().copied());
+        let plan_key = selected.or_else(|| hottest(&mut output.plans.keys().copied()));
+        let transformed = plan_key.map(|k| crate::transform::apply(module, &output.plans[&k]));
+        Ok(PreparedProgram {
+            key,
+            profile,
+            output,
+            transformed,
+            plan_key,
+            plan_selected: selected.is_some(),
+        })
     }
 
     /// Runs Steps 1–8 on every profiled candidate loop of `module` and selects the loops to
@@ -810,6 +895,32 @@ mod tests {
             "fully-sequential loop must drop"
         );
         assert!(trace.flips().iter().any(|e| e.key == victim));
+    }
+
+    #[test]
+    fn prepare_is_cache_keyed_and_transforms_the_hot_loop() {
+        let (module, main) = program();
+        let helix = Helix::new(HelixConfig::default());
+        let prepared = helix
+            .prepare(&module, main, &[], helix_ir::interp::DEFAULT_FUEL)
+            .unwrap();
+        let plan_key = prepared.plan_key.expect("hot loop produces a plan");
+        assert_eq!(plan_key.0, main, "plan targets the entry function");
+        let transformed = prepared.transformed.as_ref().expect("plan transformed");
+        assert_eq!(transformed.plan.loop_id, plan_key.1);
+        // The key is deterministic, matches the free function, and separates entries.
+        let again = helix
+            .prepare(&module, main, &[], helix_ir::interp::DEFAULT_FUEL)
+            .unwrap();
+        assert_eq!(prepared.key, again.key);
+        assert_eq!(prepared.key, content_hash(&module, "main"));
+        assert_ne!(
+            content_hash(&module, "main"),
+            content_hash(&module, "other")
+        );
+        // The prepared plan is the hottest one selection kept.
+        assert!(prepared.plan_selected);
+        assert!(prepared.output.selection.is_selected(plan_key));
     }
 
     #[test]

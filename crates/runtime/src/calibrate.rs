@@ -116,7 +116,7 @@ impl CalibrationProfile {
             signal_publish_ns,
             signal_poll_ns,
             pool_wake_ns,
-            hardware_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            hardware_threads: crate::pool::detect_hardware_threads(),
         }
     }
 
@@ -499,11 +499,14 @@ fn signal_latencies() -> (f64, f64, f64) {
 fn pool_wake() -> f64 {
     let pool = WorkerPool::new();
     let noop = |_ix: usize| {};
-    pool.submit(1, &noop).wait(); // spawn + warm the helper
+    let joined = pool.submit(1, &noop).wait(); // spawn + warm the helper
+    joined.expect("calibration no-op job cannot panic");
     let mut best = Duration::MAX;
     for _ in 0..7 {
         let start = Instant::now();
-        pool.submit(1, &noop).wait();
+        pool.submit(1, &noop)
+            .wait()
+            .expect("calibration no-op job cannot panic");
         best = best.min(start.elapsed());
     }
     (best.as_nanos() as f64).max(1.0)

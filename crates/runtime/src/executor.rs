@@ -34,7 +34,9 @@ use crate::parallel_image::{
     run_flat, run_iteration, FlatEnd, FlatError, IterEnd, IterError, IterSync, LocalTier,
     LoopImage, ParallelImage, SharedTier, Tier,
 };
-use crate::pool::{AdaptiveWait, Sleepers, WaitProfile, WorkerPool};
+use crate::pool::{
+    detect_hardware_threads, panic_message, AdaptiveWait, Sleepers, WaitProfile, WorkerPool,
+};
 use crate::sharded::{PrivateArena, ShardedMemory};
 use crate::telemetry::{TelemetryMode, TelemetryReport, TelemetryRun, WorkerCtx, WorkerTail};
 use crate::threaded::{
@@ -42,8 +44,9 @@ use crate::threaded::{
 };
 use helix_core::TransformedProgram;
 use helix_ir::interp::ExecError;
-use helix_ir::{DepId, ExecImage, Value};
+use helix_ir::{DepId, ExecImage, Memory, Value};
 use parking_lot::Mutex;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Default safety cap on the number of loop iterations dispatched.
@@ -85,6 +88,19 @@ pub enum RuntimeError {
     },
     /// The loop never terminated within the iteration budget.
     IterationBudgetExceeded,
+    /// A worker thread panicked during the run. The panic payload is preserved (not
+    /// re-raised): the run is cancelled, the pool poisons itself and respawns its helper
+    /// cohort on the next submit, and the caller — a CLI invocation or a served daemon
+    /// job — decides what the panic means. Long-lived servers keep serving.
+    WorkerPanicked {
+        /// Which worker the panic escaped from (0 is the submitting thread).
+        worker: usize,
+        /// The panic payload rendered as text.
+        message: String,
+        /// The telemetry tail: each worker's last events before the panic. Empty when
+        /// the run was not traced.
+        tail: Vec<WorkerTail>,
+    },
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -117,6 +133,23 @@ impl std::fmt::Display for RuntimeError {
                 Ok(())
             }
             RuntimeError::IterationBudgetExceeded => write!(f, "iteration budget exceeded"),
+            RuntimeError::WorkerPanicked {
+                worker,
+                message,
+                tail,
+            } => {
+                write!(
+                    f,
+                    "worker {worker} panicked during a parallel run: {message}"
+                )?;
+                if !tail.is_empty() {
+                    write!(f, "; last events per worker:")?;
+                    for t in tail {
+                        write!(f, " {t}")?;
+                    }
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -136,6 +169,19 @@ impl From<FlatError> for RuntimeError {
             FlatError::BudgetExceeded => RuntimeError::IterationBudgetExceeded,
         }
     }
+}
+
+/// Everything one parallel run produced (see [`ParallelExecutor::run_parallel_out`]).
+#[derive(Debug)]
+pub struct RunOutput {
+    /// The function's return value, or how the run failed.
+    pub result: Result<Option<Value>, RuntimeError>,
+    /// The run's telemetry report (`None` when telemetry is disabled or compiled out).
+    pub report: Option<TelemetryReport>,
+    /// The run's final memory, captured only when
+    /// [`ParallelExecutor::capture_memory`] is set and the run succeeded. The service's
+    /// differential check compares this bitwise between cold and warm runs.
+    pub memory: Option<Memory>,
 }
 
 /// How the parallelized loop ended.
@@ -190,6 +236,9 @@ struct RunShared<'a> {
     /// 0 while the primary runs the solo fast path; `u64::MAX` once the claim protocol
     /// (control / next_claim / completion ring) is published and every worker may race.
     published: PaddedCounter,
+    /// Fault injection: the worker that claims this iteration panics before running it
+    /// (see [`ParallelExecutor::with_injected_panic`]).
+    panic_at: Option<u64>,
     /// Backoff shape of this run's wait sites (topology-dependent).
     profile: WaitProfile,
     /// Send wake-ups on per-iteration progress (claim availability)? Worth it only when
@@ -199,6 +248,7 @@ struct RunShared<'a> {
 }
 
 impl<'a> RunShared<'a> {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         image: &'a ExecImage,
         loop_image: &'a LoopImage,
@@ -206,6 +256,7 @@ impl<'a> RunShared<'a> {
         threads: usize,
         max_iterations: u64,
         spin_budget: u64,
+        panic_at: Option<u64>,
         profile: WaitProfile,
     ) -> Self {
         let window = (threads * 2).next_power_of_two().max(8);
@@ -235,6 +286,7 @@ impl<'a> RunShared<'a> {
             } else {
                 0
             })),
+            panic_at,
             profile,
             wake_on_progress: profile.wakes_on_progress(),
         }
@@ -475,6 +527,9 @@ fn phase_b_worker<T: Tier>(
         if let Some(t) = telem {
             t.on_claim(i);
         }
+        if shared.panic_at == Some(i) {
+            panic!("injected fault: worker panic at iteration {i}");
+        }
 
         prepare_iteration(shared.loop_image, &shared.snapshot, &mut regs, i, tier);
 
@@ -619,6 +674,9 @@ fn phase_b_solo<T: Tier>(
             shared.publish_protocol(iteration);
             return Some(iteration);
         }
+        if shared.panic_at == Some(iteration) {
+            panic!("injected fault: worker panic at iteration {iteration}");
+        }
         prepare_iteration(
             shared.loop_image,
             &shared.snapshot,
@@ -715,6 +773,18 @@ pub struct ParallelExecutor {
     /// [`DispatchTier::Auto`], asks the process-wide [`CalibrationProfile`] which tier
     /// measured faster on this machine.
     pub dispatch_tier: DispatchTier,
+    /// Hardware thread count, snapshotted once at construction. Every decision derived
+    /// from the machine's topology — worker clamping, the clamp diagnostic, the wait
+    /// profile — reads this snapshot, so a cgroup resize mid-run can never make them
+    /// disagree with each other.
+    pub hardware: usize,
+    /// Fault injection for robustness tests: the worker that claims this iteration
+    /// panics before running it. The panic surfaces as
+    /// [`RuntimeError::WorkerPanicked`], never as a process abort.
+    pub panic_at: Option<u64>,
+    /// Capture the run's final memory into [`RunOutput::memory`] (the `*_out` entry
+    /// points); off by default — snapshotting striped memory costs a full copy.
+    pub capture_memory: bool,
 }
 
 impl Default for ParallelExecutor {
@@ -726,6 +796,9 @@ impl Default for ParallelExecutor {
             wait_profile: None,
             telemetry: TelemetryMode::Disabled,
             dispatch_tier: DispatchTier::Auto,
+            hardware: detect_hardware_threads(),
+            panic_at: None,
+            capture_memory: false,
         }
     }
 }
@@ -746,9 +819,8 @@ impl ParallelExecutor {
             threads: threads.max(1),
             max_iterations: config.max_loop_iterations.max(1),
             spin_budget: config.spin_budget.max(1),
-            wait_profile: None,
             telemetry: TelemetryMode::from_sample_period(config.telemetry_sample_period),
-            dispatch_tier: DispatchTier::Auto,
+            ..Self::default()
         }
     }
 
@@ -780,6 +852,21 @@ impl ParallelExecutor {
     /// default — defers to the calibrator's per-tier dispatch measurements.
     pub fn with_dispatch_tier(mut self, tier: DispatchTier) -> Self {
         self.dispatch_tier = tier;
+        self
+    }
+
+    /// Injects a fault: the worker that claims `iteration` panics before running it (see
+    /// [`ParallelExecutor::panic_at`]). For robustness tests and the service's
+    /// fault-injection smoke requests.
+    pub fn with_injected_panic(mut self, iteration: u64) -> Self {
+        self.panic_at = Some(iteration);
+        self
+    }
+
+    /// Captures the run's final memory into [`RunOutput::memory`] (see
+    /// [`ParallelExecutor::capture_memory`]).
+    pub fn with_capture_memory(mut self, capture: bool) -> Self {
+        self.capture_memory = capture;
         self
     }
 
@@ -860,8 +947,7 @@ impl ParallelExecutor {
         if self.wait_profile.is_some() {
             return self.threads;
         }
-        let hardware = std::thread::available_parallelism().map_or(1, |n| n.get());
-        self.threads.min(hardware.max(1))
+        self.threads.min(self.hardware.max(1))
     }
 
     /// Why [`ParallelExecutor::effective_workers`] is what it is, as a one-line
@@ -869,7 +955,9 @@ impl ParallelExecutor {
     /// fit, or the count was clamped to the hardware. Reported by the bench alongside
     /// `effective_workers` so a collapsed measurement explains itself.
     pub fn clamp_reason(&self) -> String {
-        let hardware = std::thread::available_parallelism().map_or(1, |n| n.get());
+        // The same snapshot `effective_workers` clamps with: the diagnostic can never
+        // describe a different machine than the clamp acted on.
+        let hardware = self.hardware;
         if self.wait_profile.is_some() {
             format!(
                 "pinned wait profile keeps {} worker(s) on {} hardware thread(s)",
@@ -911,6 +999,13 @@ impl ParallelExecutor {
         self.run_lowered_traced(&pimg.exec, &pimg.loop_image, args)
     }
 
+    /// [`ParallelExecutor::run_parallel`] with the full output: result, telemetry
+    /// report, and — when [`ParallelExecutor::capture_memory`] is set — the run's final
+    /// memory.
+    pub fn run_parallel_out(&self, pimg: &ParallelImage, args: &[Value]) -> RunOutput {
+        self.run_lowered_out(&pimg.exec, &pimg.loop_image, args)
+    }
+
     pub(crate) fn run_lowered(
         &self,
         image: &ExecImage,
@@ -926,19 +1021,56 @@ impl ParallelExecutor {
         loop_image: &LoopImage,
         args: &[Value],
     ) -> (Result<Option<Value>, RuntimeError>, Option<TelemetryReport>) {
+        let out = self.run_lowered_out(image, loop_image, args);
+        (out.result, out.report)
+    }
+
+    fn run_lowered_out(
+        &self,
+        image: &ExecImage,
+        loop_image: &LoopImage,
+        args: &[Value],
+    ) -> RunOutput {
         let workers = self.effective_workers();
         let telem = TelemetryRun::for_run(self.telemetry, loop_image, workers);
-        let mut result = if workers == 1 {
-            self.run_single(image, loop_image, args, telem.as_ref())
-        } else {
-            self.run_pooled(image, loop_image, args, telem.as_ref())
+        // The whole run is a panic boundary: any panic that reaches the submitting
+        // thread — a Phase A/C fault, the single-worker path, or a primary-worker panic
+        // — becomes a recoverable `WorkerPanicked` instead of unwinding the caller.
+        // (The pooled path additionally catches panics per worker, so helpers drain
+        // promptly and the pool poisons itself; see `run_pooled_on`.)
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            if workers == 1 {
+                self.run_single(image, loop_image, args, telem.as_ref())
+            } else {
+                self.run_pooled(image, loop_image, args, telem.as_ref())
+            }
+        }));
+        let (mut result, memory) = match run {
+            Ok(Ok((value, memory))) => (Ok(value), memory),
+            Ok(Err(e)) => (Err(e), None),
+            Err(payload) => (
+                Err(RuntimeError::WorkerPanicked {
+                    worker: 0,
+                    message: panic_message(payload.as_ref()),
+                    tail: Vec::new(),
+                }),
+                None,
+            ),
         };
         let report = telem.map(TelemetryRun::report);
-        if let (Err(RuntimeError::Deadlock { tail, .. }), Some(rep)) = (&mut result, &report) {
-            // Satellite diagnosis: a traced deadlock carries every worker's last events.
-            *tail = rep.deadlock_tail(8);
+        match (&mut result, &report) {
+            // Satellite diagnosis: a traced failure carries every worker's last events.
+            (Err(RuntimeError::Deadlock { tail, .. }), Some(rep))
+            | (Err(RuntimeError::WorkerPanicked { tail, .. }), Some(rep)) => {
+                *tail = rep.deadlock_tail(8);
+            }
+            _ => {}
         }
-        (result, report)
+        RunOutput {
+            result,
+            report,
+            memory,
+        }
     }
 
     /// Seeds the entry register file for Phase A.
@@ -961,7 +1093,7 @@ impl ParallelExecutor {
         loop_image: &LoopImage,
         args: &[Value],
         telem_run: Option<&TelemetryRun>,
-    ) -> Result<Option<Value>, RuntimeError> {
+    ) -> Result<(Option<Value>, Option<Memory>), RuntimeError> {
         let fi = image.func(loop_image.func);
         let threaded = self.resolved_tier() == DispatchTier::Threaded;
         let flat_tables = threaded.then(|| FlatTables::build(image));
@@ -992,7 +1124,11 @@ impl ParallelExecutor {
             )?,
         };
         match phase_a {
-            FlatEnd::Returned(v) => return Ok(v), // the loop was never reached
+            // The loop was never reached.
+            FlatEnd::Returned(v) => {
+                let memory = self.capture_memory.then_some(tier.memory);
+                return Ok((v, memory));
+            }
             FlatEnd::ReachedStop => {}
         }
 
@@ -1023,6 +1159,10 @@ impl ParallelExecutor {
         let exit = loop {
             if iteration > self.max_iterations {
                 return Err(RuntimeError::IterationBudgetExceeded);
+            }
+            if self.panic_at == Some(iteration) {
+                // Caught by `run_lowered_out`'s panic boundary on this same thread.
+                panic!("injected fault: worker panic at iteration {iteration}");
             }
             prepare_iteration(loop_image, &snapshot, &mut iter_regs, iteration, &mut tier);
             // A single worker "claims" every iteration in order, so traced runs keep the
@@ -1076,7 +1216,10 @@ impl ParallelExecutor {
         };
         let (block, mut regs) = match exit {
             LoopExit::Edge { block, regs } => (block, regs),
-            LoopExit::Returned(v) => return Ok(v),
+            LoopExit::Returned(v) => {
+                let memory = self.capture_memory.then_some(tier.memory);
+                return Ok((v, memory));
+            }
         };
         let skipped = tier.drain_private_words();
         counts.arena_words += skipped;
@@ -1108,7 +1251,10 @@ impl ParallelExecutor {
             )?,
         };
         match phase_c {
-            FlatEnd::Returned(v) => Ok(v),
+            FlatEnd::Returned(v) => {
+                let memory = self.capture_memory.then_some(tier.memory);
+                Ok((v, memory))
+            }
             FlatEnd::ReachedStop => unreachable!("phase C has no stop block"),
         }
     }
@@ -1123,7 +1269,7 @@ impl ParallelExecutor {
         loop_image: &LoopImage,
         args: &[Value],
         telem: Option<&TelemetryRun>,
-    ) -> Result<Option<Value>, RuntimeError> {
+    ) -> Result<(Option<Value>, Option<Memory>), RuntimeError> {
         let clamped = ParallelExecutor {
             threads: self.effective_workers(),
             ..*self
@@ -1141,7 +1287,7 @@ impl ParallelExecutor {
         loop_image: &LoopImage,
         args: &[Value],
         telem: Option<&TelemetryRun>,
-    ) -> Result<Option<Value>, RuntimeError> {
+    ) -> Result<(Option<Value>, Option<Memory>), RuntimeError> {
         let fi = image.func(loop_image.func);
         let threaded = self.resolved_tier() == DispatchTier::Threaded;
         let memory = ShardedMemory::from_memory(&image.initial_memory);
@@ -1175,13 +1321,19 @@ impl ParallelExecutor {
             )?,
         };
         match phase_a {
-            FlatEnd::Returned(v) => return Ok(v), // the loop was never reached
+            // The loop was never reached.
+            FlatEnd::Returned(v) => {
+                let captured = self
+                    .capture_memory
+                    .then(|| memory.snapshot(&image.initial_memory));
+                return Ok((v, captured));
+            }
             FlatEnd::ReachedStop => {}
         }
 
         let profile = self
             .wait_profile
-            .unwrap_or_else(|| WaitProfile::for_threads(self.threads));
+            .unwrap_or_else(|| WaitProfile::for_threads_on(self.threads, self.hardware));
         let shared = RunShared::new(
             image,
             loop_image,
@@ -1189,27 +1341,47 @@ impl ParallelExecutor {
             self.threads,
             self.max_iterations,
             self.spin_budget,
+            self.panic_at,
             profile,
         );
         let helpers = self.threads - 1;
         let job = |worker: usize| {
-            let mut tier = SharedTier {
-                shared: &memory,
-                arena: PrivateArena::new(),
-                exclusive: false,
-            };
-            // Each helper lowers its own handler table: a single pass over the loop
-            // bytecode, far below the pool-wake cost it rides on.
-            let table = threaded.then(|| IterTable::build(loop_image));
-            // Helpers run with pool indices 1..=helpers; slot 0 is the calling thread.
-            phase_b_worker(
-                &shared,
-                &mut tier,
-                true,
-                &mut || {},
-                telem.map(|r| r.ctx(worker)),
-                table.as_ref(),
-            );
+            // Helper panic boundary: record the cancellation *before* re-raising into
+            // the pool's own catch, so every other worker drains promptly (iteration 0
+            // wins the earliest-error race and zeroes `exited_at`) instead of spinning
+            // out its full deadlock budget on control that will never be released.
+            let run = catch_unwind(AssertUnwindSafe(|| {
+                let mut tier = SharedTier {
+                    shared: &memory,
+                    arena: PrivateArena::new(),
+                    exclusive: false,
+                };
+                // Each helper lowers its own handler table: a single pass over the loop
+                // bytecode, far below the pool-wake cost it rides on.
+                let table = threaded.then(|| IterTable::build(loop_image));
+                // Helpers run with pool indices 1..=helpers; slot 0 is the calling thread.
+                phase_b_worker(
+                    &shared,
+                    &mut tier,
+                    true,
+                    &mut || {},
+                    telem.map(|r| r.ctx(worker)),
+                    table.as_ref(),
+                );
+            }));
+            if let Err(payload) = run {
+                shared.record_error(
+                    0,
+                    RuntimeError::WorkerPanicked {
+                        worker,
+                        message: panic_message(payload.as_ref()),
+                        tail: Vec::new(),
+                    },
+                );
+                // Re-raise into the pool's catch: the pool poisons itself and respawns
+                // its helper cohort on the next submit.
+                resume_unwind(payload);
+            }
         };
         {
             // The calling thread is worker 0; helpers are activated the first time worker
@@ -1225,40 +1397,72 @@ impl ParallelExecutor {
             // switches to the shared claim loop only if a helper asks to join.
             let primary_telem = telem.map(|r| r.ctx(0));
             let table = threaded.then(|| IterTable::build(loop_image));
-            let solo_ended = if shared.published.0.load(Ordering::Acquire) == 0 {
-                phase_b_solo(
-                    &shared,
-                    &mut tier,
-                    &mut activate,
-                    primary_telem,
-                    table.as_ref(),
-                )
-                .is_none()
-            } else {
-                false
-            };
-            if !solo_ended {
-                // The claim protocol is public: helpers may be racing on shared memory.
-                tier.set_exclusive(false);
-                phase_b_worker(
-                    &shared,
-                    &mut tier,
-                    false,
-                    &mut activate,
-                    primary_telem,
-                    table.as_ref(),
+            // Primary panic boundary: a panic on the submitting thread mid-Phase-B must
+            // record the cancellation before the ticket join below, or the helpers would
+            // wait forever on control the primary can no longer release.
+            let primary = catch_unwind(AssertUnwindSafe(|| {
+                let solo_ended = if shared.published.0.load(Ordering::Acquire) == 0 {
+                    phase_b_solo(
+                        &shared,
+                        &mut tier,
+                        &mut activate,
+                        primary_telem,
+                        table.as_ref(),
+                    )
+                    .is_none()
+                } else {
+                    false
+                };
+                if !solo_ended {
+                    // The claim protocol is public: helpers may be racing on shared memory.
+                    tier.set_exclusive(false);
+                    phase_b_worker(
+                        &shared,
+                        &mut tier,
+                        false,
+                        &mut activate,
+                        primary_telem,
+                        table.as_ref(),
+                    );
+                }
+            }));
+            if let Err(payload) = primary {
+                shared.record_error(
+                    0,
+                    RuntimeError::WorkerPanicked {
+                        worker: 0,
+                        message: panic_message(payload.as_ref()),
+                        tail: Vec::new(),
+                    },
                 );
             }
             if let Some(t) = ticket {
-                t.wait();
+                if let Err(p) = t.wait() {
+                    // The helper's own boundary already recorded the structured error
+                    // before re-raising; this fallback covers a panic that somehow
+                    // escaped outside it (record_error keeps the earliest, so a
+                    // duplicate is a no-op).
+                    shared.record_error(
+                        0,
+                        RuntimeError::WorkerPanicked {
+                            worker: p.worker,
+                            message: p.message,
+                            tail: Vec::new(),
+                        },
+                    );
+                }
             }
             // Every helper has left the job (the ticket join is the barrier): this thread
             // owns memory again for Phase C.
             tier.set_exclusive(true);
         }
-        self.finish(shared, &mut tier, flat_tables.as_ref(), |tier, words| {
+        let value = self.finish(shared, &mut tier, flat_tables.as_ref(), |tier, words| {
             tier.shared.reserve(words).map_err(ExecError::from)
-        })
+        })?;
+        let captured = self
+            .capture_memory
+            .then(|| memory.snapshot(&image.initial_memory));
+        Ok((value, captured))
     }
 
     /// Shared Phase B epilogue + Phase C: surface errors, re-reserve privately served
@@ -1638,6 +1842,92 @@ mod tests {
     }
 
     #[test]
+    fn injected_panic_surfaces_as_structured_error_and_next_run_succeeds() {
+        // The prerequisite bugfix of the service work: a worker panic during a parallel
+        // run must come back as `RuntimeError::WorkerPanicked` (payload preserved, no
+        // process abort), and the *next* run on the same executor — same process-wide
+        // pool — must succeed on a transparently respawned helper cohort. The DEDICATED
+        // pin keeps the full multi-worker claim protocol alive on a 1-CPU host.
+        let (_module, _main, transformed) = build_accumulator(64);
+        let pimg = ParallelImage::lower(&transformed);
+        let expected = ParallelExecutor::new(1)
+            .run_parallel(&pimg, &[])
+            .unwrap()
+            .unwrap()
+            .as_int();
+        for threads in [1, 2, 4] {
+            let executor = ParallelExecutor::new(threads).with_wait_profile(WaitProfile::DEDICATED);
+            let faulty = executor.with_injected_panic(7);
+            match faulty.run_parallel(&pimg, &[]) {
+                Err(RuntimeError::WorkerPanicked {
+                    worker, message, ..
+                }) => {
+                    assert!(worker < threads, "worker index in range ({worker})");
+                    assert!(
+                        message.contains("injected fault"),
+                        "payload preserved: {message}"
+                    );
+                }
+                other => panic!("{threads}t: expected WorkerPanicked, got {other:?}"),
+            }
+            // Recovery: the same executor (minus the fault) runs to completion.
+            let got = executor
+                .run_parallel(&pimg, &[])
+                .unwrap_or_else(|e| panic!("{threads}t post-panic run failed: {e}"))
+                .unwrap()
+                .as_int();
+            assert_eq!(got, expected, "{threads}t post-panic result");
+        }
+    }
+
+    #[test]
+    fn captured_memory_is_deterministic_across_runs() {
+        let (_module, _main, transformed) = build_accumulator(48);
+        let pimg = ParallelImage::lower(&transformed);
+        let executor = ParallelExecutor::new(2)
+            .with_wait_profile(WaitProfile::DEDICATED)
+            .with_capture_memory(true);
+        let first = executor.run_parallel_out(&pimg, &[]);
+        let second = executor.run_parallel_out(&pimg, &[]);
+        let a = first.memory.expect("captured");
+        let b = second.memory.expect("captured");
+        assert_eq!(first.result.unwrap(), second.result.unwrap());
+        assert_eq!(a.heap_base(), b.heap_base());
+        assert_eq!(a.heap_used(), b.heap_used());
+        assert_eq!(
+            a.words(),
+            b.words(),
+            "memory diverged between identical runs"
+        );
+        // Capture off → no snapshot.
+        let off = ParallelExecutor::new(2).run_parallel_out(&pimg, &[]);
+        assert!(off.memory.is_none());
+    }
+
+    #[test]
+    fn hardware_snapshot_drives_clamp_and_its_diagnostic() {
+        // The clamp and its explanation must read the same snapshot: override it and
+        // both move together, regardless of what the machine reports right now.
+        let mut executor = ParallelExecutor::new(8);
+        executor.hardware = 2;
+        assert_eq!(executor.effective_workers(), 2);
+        assert!(
+            executor.clamp_reason().contains("2 hardware thread(s)"),
+            "diagnostic uses the snapshot: {}",
+            executor.clamp_reason()
+        );
+        executor.hardware = 16;
+        assert_eq!(executor.effective_workers(), 8);
+        assert!(
+            executor
+                .clamp_reason()
+                .contains("fit 16 hardware thread(s)"),
+            "diagnostic uses the snapshot: {}",
+            executor.clamp_reason()
+        );
+    }
+
+    #[test]
     fn zero_trip_loops_never_wake_the_pool() {
         let transformed = build_param_trip();
         let pimg = ParallelImage::lower(&transformed);
@@ -1648,6 +1938,7 @@ mod tests {
         let got = executor
             .run_pooled_on(&pool, &pimg.exec, &pimg.loop_image, &[Value::Int(0)], None)
             .unwrap()
+            .0
             .unwrap()
             .as_int();
         assert_eq!(got, 0);
@@ -1660,6 +1951,7 @@ mod tests {
         let got = executor
             .run_pooled_on(&pool, &pimg.exec, &pimg.loop_image, &[Value::Int(12)], None)
             .unwrap()
+            .0
             .unwrap()
             .as_int();
         assert_eq!(got, 36);

@@ -49,10 +49,10 @@ pub mod telemetry;
 pub mod threaded;
 
 pub use calibrate::CalibrationProfile;
-pub use executor::{ParallelExecutor, RuntimeError};
+pub use executor::{ParallelExecutor, RunOutput, RuntimeError};
 pub use lanes::SignalLanes;
 pub use parallel_image::{LoopImage, ParallelImage, SegmentLane};
-pub use pool::{WaitProfile, WaitStats, WorkerPool};
+pub use pool::{detect_hardware_threads, WaitProfile, WaitStats, WorkerPanic, WorkerPool};
 pub use sharded::{PrivateArena, ShardedMemory, PRIVATE_BASE};
 pub use telemetry::{
     Event, EventKind, ObservedSegmentCost, TelemetryMode, TelemetryReport, TelemetryRun, WorkerTail,

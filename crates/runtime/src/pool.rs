@@ -30,6 +30,38 @@ use std::time::Duration;
 /// (`1..=helpers`; index 0 is the submitting thread, which runs outside the pool).
 type JobFn = Arc<dyn Fn(usize) + Send + Sync>;
 
+/// A panic that escaped a worker's job closure, with its payload preserved.
+///
+/// The pool catches helper panics (the helper thread itself survives), records the first
+/// one here, and hands it to the submitter through [`JobTicket::wait`] instead of
+/// re-panicking with a fixed string. The executor converts it into
+/// `RuntimeError::WorkerPanicked`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// Pool worker index the panic escaped from (`1..=helpers`; `0` is the submitter).
+    pub worker: usize,
+    /// The panic payload rendered as text (`&str`/`String` payloads verbatim, anything
+    /// else a placeholder).
+    pub message: String,
+}
+
+impl std::fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "worker {} panicked: {}", self.worker, self.message)
+    }
+}
+
+/// Renders a caught panic payload as text without re-raising it.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 struct Job {
     f: JobFn,
     /// Helpers wanted; helpers with a claimed slot run the closure, the rest keep parking.
@@ -38,8 +70,8 @@ struct Job {
     started: usize,
     /// Helpers still inside the closure (or yet to start).
     active: usize,
-    /// `true` when a helper's closure panicked (re-raised by the submitter).
-    panicked: bool,
+    /// First panic that escaped a helper's closure (surfaced through the ticket).
+    panic: Option<WorkerPanic>,
 }
 
 #[derive(Default)]
@@ -48,6 +80,13 @@ struct PoolState {
     /// Monotonic job counter; helpers wait for `epoch` to move past the one they last saw.
     epoch: u64,
     spawned: usize,
+    /// Helper cohort id. Helpers capture it at spawn and exit when it moves on: after a
+    /// panic the pool is poisoned and the next submit retires the whole cohort (bumping
+    /// this) and spawns a fresh one, so a panicking job can't leak corrupted thread state
+    /// into later runs.
+    generation: u64,
+    /// Set when a job panicked; cleared by the respawn on the next submit.
+    poisoned: bool,
 }
 
 struct PoolInner {
@@ -88,6 +127,13 @@ impl WorkerPool {
         self.inner.state.lock().spawned
     }
 
+    /// Helper-cohort generation: bumped each time a panic forces a respawn (for tests and
+    /// diagnostics — `generation() > 0` means the pool has recovered from at least one
+    /// worker panic).
+    pub fn generation(&self) -> u64 {
+        self.inner.state.lock().generation
+    }
+
     /// Publishes `f` to `helpers` pool threads and returns a ticket that joins them.
     ///
     /// The closure runs once per helper with indices `1..=helpers`. The caller usually
@@ -124,13 +170,23 @@ impl WorkerPool {
         while state.job.is_some() {
             self.inner.done.wait(&mut state);
         }
+        if state.poisoned {
+            // A previous job panicked: retire the whole helper cohort (each parked helper
+            // wakes on the notify below, sees the generation moved on, and exits) and
+            // spawn a fresh one for this job. Submitters never observe the poisoning —
+            // recovery is this transparent respawn.
+            state.generation += 1;
+            state.spawned = 0;
+            state.poisoned = false;
+        }
         // Grow the pool to the requested helper count.
         while state.spawned < helpers {
             state.spawned += 1;
             let inner = Arc::clone(&self.inner);
+            let generation = state.generation;
             std::thread::Builder::new()
                 .name(format!("helix-worker-{}", state.spawned))
-                .spawn(move || helper_loop(&inner))
+                .spawn(move || helper_loop(&inner, generation))
                 .expect("spawn helix worker thread");
         }
         state.job = Some(Job {
@@ -138,7 +194,7 @@ impl WorkerPool {
             helpers,
             started: 0,
             active: helpers,
-            panicked: false,
+            panic: None,
         });
         state.epoch += 1;
         drop(state);
@@ -165,16 +221,19 @@ pub(crate) struct JobTicket<'scope> {
 impl JobTicket<'_> {
     /// Blocks until every helper has finished the job.
     ///
-    /// # Panics
-    ///
-    /// Re-raises a panic that escaped a helper's closure.
-    pub(crate) fn wait(mut self) {
-        self.join();
+    /// A panic that escaped a helper's closure is returned as [`WorkerPanic`] (payload
+    /// preserved), never re-raised: the submitter decides what a worker panic means. The
+    /// pool is left poisoned; the next [`WorkerPool::submit`] respawns the helper cohort.
+    pub(crate) fn wait(mut self) -> Result<(), WorkerPanic> {
+        match self.join() {
+            None => Ok(()),
+            Some(panic) => Err(panic),
+        }
     }
 
-    fn join(&mut self) {
+    fn join(&mut self) -> Option<WorkerPanic> {
         if self.joined {
-            return;
+            return None;
         }
         self.joined = true;
         let inner = &self.pool.inner;
@@ -182,32 +241,42 @@ impl JobTicket<'_> {
         while let Some(job) = &state.job {
             if job.active == 0 {
                 let job = state.job.take().expect("job present");
-                drop(state);
-                // A queued submitter may be waiting for the slot to free up.
-                inner.done.notify_all();
-                if job.panicked && !std::thread::panicking() {
-                    panic!("a helix worker thread panicked during a parallel run");
+                if job.panic.is_some() {
+                    state.poisoned = true;
                 }
-                return;
+                drop(state);
+                // Notify *after* the slot is cleared (and the poison flag set): a queued
+                // submitter woken here must observe a free slot, or it re-parks and the
+                // next wake-up comes only from another take — clearing before notifying
+                // is what guarantees a panicking job can never wedge the queue.
+                inner.done.notify_all();
+                return job.panic;
             }
             inner.done.wait(&mut state);
         }
+        None
     }
 }
 
 impl Drop for JobTicket<'_> {
     fn drop(&mut self) {
-        self.join();
+        // A panic surfacing during unwind (or an explicitly ignored ticket) is dropped
+        // here; the poison flag still forces the respawn on the next submit.
+        let _ = self.join();
     }
 }
 
-fn helper_loop(inner: &PoolInner) {
+fn helper_loop(inner: &PoolInner, generation: u64) {
     let mut seen_epoch = 0u64;
     loop {
-        // Claim a slot in a fresh job, or park until one appears.
+        // Claim a slot in a fresh job, or park until one appears. Exit once the pool has
+        // moved on to a newer helper cohort (post-panic respawn retired this one).
         let (f, index) = {
             let mut state = inner.state.lock();
             loop {
+                if state.generation != generation {
+                    return;
+                }
                 if state.epoch != seen_epoch {
                     seen_epoch = state.epoch;
                     if let Some(job) = &mut state.job {
@@ -225,14 +294,27 @@ fn helper_loop(inner: &PoolInner) {
         let mut state = inner.state.lock();
         if let Some(job) = &mut state.job {
             job.active -= 1;
-            if result.is_err() {
-                job.panicked = true;
+            if let Err(payload) = result {
+                let panic = WorkerPanic {
+                    worker: index,
+                    message: panic_message(payload.as_ref()),
+                };
+                job.panic.get_or_insert(panic);
             }
             if job.active == 0 {
                 inner.done.notify_all();
             }
         }
     }
+}
+
+/// The machine's hardware thread count, queried in one place.
+///
+/// Every consumer (executor worker clamp, wait-profile choice, calibration) snapshots this
+/// once per executor/profile and threads the value through, so a mid-run cgroup resize can
+/// never make two decisions disagree about the same machine.
+pub fn detect_hardware_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 /// The shared sleep pad workers park on when a synchronization wait outlasts its spin
@@ -305,9 +387,15 @@ impl WaitProfile {
         park_max: Duration::from_millis(8),
     };
 
-    /// Picks the profile for `threads` workers on this machine.
+    /// Picks the profile for `threads` workers on this machine (fresh hardware snapshot).
     pub fn for_threads(threads: usize) -> WaitProfile {
-        let hardware = std::thread::available_parallelism().map_or(1, |n| n.get());
+        Self::for_threads_on(threads, detect_hardware_threads())
+    }
+
+    /// Picks the profile for `threads` workers given an already-taken `hardware` thread
+    /// snapshot — callers that made other decisions from a snapshot pass the same one so
+    /// profile and clamp can't disagree mid-run.
+    pub fn for_threads_on(threads: usize, hardware: usize) -> WaitProfile {
         if hardware >= threads {
             WaitProfile::DEDICATED
         } else {
@@ -426,7 +514,7 @@ mod tests {
                 hits.fetch_add(ix as u64, Ordering::SeqCst);
             };
             let ticket = pool.submit(2, &f);
-            ticket.wait();
+            ticket.wait().unwrap();
             assert_eq!(hits.load(Ordering::SeqCst), 3 * round);
             assert_eq!(pool.spawned_helpers(), 2, "helpers persist across jobs");
         }
@@ -436,13 +524,83 @@ mod tests {
     fn pool_grows_to_the_largest_request() {
         let pool = WorkerPool::new();
         let f = |_ix: usize| {};
-        pool.submit(1, &f).wait();
+        pool.submit(1, &f).wait().unwrap();
         assert_eq!(pool.spawned_helpers(), 1);
-        pool.submit(3, &f).wait();
+        pool.submit(3, &f).wait().unwrap();
         assert_eq!(pool.spawned_helpers(), 3);
         // A smaller job reuses the existing threads without spawning more.
-        pool.submit(2, &f).wait();
+        pool.submit(2, &f).wait().unwrap();
         assert_eq!(pool.spawned_helpers(), 3);
+    }
+
+    #[test]
+    fn panicking_job_returns_payload_and_pool_respawns() {
+        let pool = WorkerPool::new();
+        let boom = |ix: usize| {
+            if ix == 1 {
+                panic!("intentional test panic");
+            }
+        };
+        let err = pool.submit(2, &boom).wait().expect_err("panic surfaced");
+        assert_eq!(err.worker, 1);
+        assert_eq!(err.message, "intentional test panic");
+        assert_eq!(
+            pool.generation(),
+            0,
+            "respawn is deferred to the next submit"
+        );
+
+        // The next job on the same pool succeeds on a fresh helper cohort.
+        let hits = AtomicU64::new(0);
+        let ok = |_ix: usize| {
+            hits.fetch_add(1, Ordering::SeqCst);
+        };
+        pool.submit(2, &ok).wait().unwrap();
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
+        assert_eq!(pool.generation(), 1, "cohort retired after the panic");
+        assert_eq!(pool.spawned_helpers(), 2);
+    }
+
+    #[test]
+    fn non_string_panic_payload_is_reported() {
+        let pool = WorkerPool::new();
+        let boom = |_ix: usize| std::panic::panic_any(42u32);
+        let err = pool.submit(1, &boom).wait().expect_err("panic surfaced");
+        assert_eq!(err.message, "non-string panic payload");
+    }
+
+    #[test]
+    fn panicking_job_does_not_wedge_queued_submitters() {
+        // A submitter queued behind a panicking job must still get the slot: the ticket
+        // clears the job before notifying `done`, so the panic can't wedge the queue.
+        let pool = Arc::new(WorkerPool::new());
+        let release = Arc::new(AtomicU64::new(0));
+        let queued_done = Arc::new(AtomicU64::new(0));
+
+        let p = Arc::clone(&pool);
+        let r = Arc::clone(&release);
+        let qd = Arc::clone(&queued_done);
+        let queued = std::thread::spawn(move || {
+            // Wait until the panicking job is in flight, then queue behind it.
+            while r.load(Ordering::SeqCst) == 0 {
+                std::thread::yield_now();
+            }
+            let f = |_ix: usize| {};
+            p.submit(1, &f).wait().unwrap();
+            qd.store(1, Ordering::SeqCst);
+        });
+
+        let r = Arc::clone(&release);
+        let boom = move |_ix: usize| {
+            r.store(1, Ordering::SeqCst);
+            // Give the queued submitter time to actually park on `done`.
+            std::thread::sleep(Duration::from_millis(20));
+            panic!("queued-submitter test panic");
+        };
+        let err = pool.submit(1, &boom).wait().expect_err("panic surfaced");
+        assert_eq!(err.message, "queued-submitter test panic");
+        queued.join().unwrap();
+        assert_eq!(queued_done.load(Ordering::SeqCst), 1);
     }
 
     #[test]

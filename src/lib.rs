@@ -16,6 +16,8 @@
 //! * [`runtime`] — the real-thread ring executor used for correctness validation.
 //! * [`profiler`] — the profiling interpreter feeding loop selection.
 //! * [`workloads`] — synthetic SPEC CPU2000 stand-in programs.
+//! * [`service`] — the `helix serve` daemon: content-hash image cache and shared-pool
+//!   job scheduling over a framed socket/stdin protocol (`docs/service.md`).
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system inventory and the
 //! experiment index mapping every figure and table of the paper to a reproducing harness.
@@ -27,5 +29,6 @@ pub use helix_gen as gen;
 pub use helix_ir as ir;
 pub use helix_profiler as profiler;
 pub use helix_runtime as runtime;
+pub use helix_service as service;
 pub use helix_simulator as simulator;
 pub use helix_workloads as workloads;
