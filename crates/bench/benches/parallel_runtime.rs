@@ -121,6 +121,9 @@ struct ProgramReport {
     switch_1t_ns: u128,
     /// 1-thread wall-clock with the dispatch tier pinned to direct threading.
     threaded_1t_ns: u128,
+    /// 1-thread wall-clock with the dispatch tier pinned to the template JIT (degrades
+    /// to threaded dispatch where the JIT cannot run).
+    jit_1t_ns: u128,
 }
 
 impl ProgramReport {
@@ -296,6 +299,7 @@ fn bench_program(
     };
     let switch_1t_ns = time_tier(DispatchTier::Switch).as_nanos();
     let threaded_1t_ns = time_tier(DispatchTier::Threaded).as_nanos();
+    let jit_1t_ns = time_tier(DispatchTier::Jit).as_nanos();
 
     // Selection flip: paper-constant and cross-thread measured pricing picked different
     // plans — time them head-to-head at the largest thread count and record which choice
@@ -338,6 +342,7 @@ fn bench_program(
         occupancy,
         switch_1t_ns,
         threaded_1t_ns,
+        jit_1t_ns,
     })
 }
 
@@ -488,10 +493,11 @@ fn main() {
     };
     let geomean_1t_switch = tier_geomean(&|r| r.switch_1t_ns);
     let geomean_1t_threaded = tier_geomean(&|r| r.threaded_1t_ns);
+    let geomean_1t_jit = tier_geomean(&|r| r.jit_1t_ns);
     println!(
         "parallel_runtime: 1-thread geomean over sequential bytecode by tier: switch {:.2}x, \
-         threaded {:.2}x",
-        geomean_1t_switch, geomean_1t_threaded
+         threaded {:.2}x, jit {:.2}x",
+        geomean_1t_switch, geomean_1t_threaded, geomean_1t_jit
     );
 
     // Topology summary: why each requested thread count collapsed (or didn't) on this
@@ -537,12 +543,15 @@ fn main() {
         json,
         "  \"calibration\": {{ \"alu_ns\": {:.3}, \"load_ns\": {:.3}, \
          \"alu_threaded_ns\": {:.3}, \"load_threaded_ns\": {:.3}, \
+         \"alu_jit_ns\": {:.3}, \"load_jit_ns\": {:.3}, \
          \"signal_observe_ns\": {:.1}, \"signal_poll_ns\": {:.3}, \"pool_wake_ns\": {:.0}, \
          \"signal_latency_cycles\": {} }},",
         calibration.alu_ns,
         calibration.load_ns,
         calibration.alu_threaded_ns,
         calibration.load_threaded_ns,
+        calibration.alu_jit_ns,
+        calibration.load_jit_ns,
         calibration.signal_observe_ns,
         calibration.signal_poll_ns,
         calibration.pool_wake_ns,
@@ -563,6 +572,7 @@ fn main() {
         json,
         "  \"geomean_speedup_1t_threaded\": {geomean_1t_threaded:.4},"
     );
+    let _ = writeln!(json, "  \"geomean_speedup_1t_jit\": {geomean_1t_jit:.4},");
     json.push_str("  \"clamp_reasons\": {\n");
     for (i, threads) in THREAD_COUNTS.iter().enumerate() {
         let _ = writeln!(
@@ -625,6 +635,12 @@ fn main() {
             json,
             "      \"speedup_1t_threaded\": {:.4},",
             r.sequential_ns as f64 / (r.threaded_1t_ns as f64).max(1e-12)
+        );
+        let _ = writeln!(json, "      \"parallel_1t_jit_ns\": {},", r.jit_1t_ns);
+        let _ = writeln!(
+            json,
+            "      \"speedup_1t_jit\": {:.4},",
+            r.sequential_ns as f64 / (r.jit_1t_ns as f64).max(1e-12)
         );
         if let Some((paper_loop, measured_loop, paper_ns, measured_ns)) = &r.flip {
             let _ = writeln!(
@@ -752,30 +768,50 @@ fn main() {
         }
     }
     if check_tier {
-        // The tier gate: calibration must still select the threaded tier (no silent
-        // regression to the fallback), and the whole-program 1-thread geomean must agree
-        // with the per-op measurement that threading wins.
-        if calibration.selected_tier() != DispatchTier::Threaded {
+        // The tier gate, generalized over all three engines: whichever tier the
+        // calibrator selected from per-op dispatch costs must also post the best
+        // whole-program 1-thread geomean — the wall-clock measurement has to agree with
+        // the microkernel one, or the selection (and everything the cost model prices
+        // from it) is wrong. On this host the selected tier is expected to be the JIT
+        // where it runs, threaded elsewhere; the switch interpreter winning anywhere is
+        // a regression.
+        let tiers = [
+            (DispatchTier::Switch, geomean_1t_switch),
+            (DispatchTier::Threaded, geomean_1t_threaded),
+            (DispatchTier::Jit, geomean_1t_jit),
+        ];
+        let selected = calibration.selected_tier();
+        let selected_geomean = tiers
+            .iter()
+            .find(|(t, _)| *t == selected)
+            .map(|(_, g)| *g)
+            .expect("selected tier is one of the three engines");
+        let mut gate_ok = true;
+        if selected == DispatchTier::Switch {
             eprintln!(
-                "parallel_runtime: FAIL tier gate: calibration selected {} — the threaded \
-                 tier lost to the switch interpreter on per-op dispatch",
-                calibration.selected_tier()
+                "parallel_runtime: FAIL tier gate: calibration selected the switch \
+                 interpreter — both optimized dispatch engines lost on per-op cost"
             );
-            failed = true;
-        } else if geomean_1t_threaded < geomean_1t_switch {
-            eprintln!(
-                "parallel_runtime: FAIL tier gate: threaded 1-thread geomean {:.4}x fell \
-                 below the switch tier's {:.4}x",
-                geomean_1t_threaded, geomean_1t_switch
-            );
-            failed = true;
-        } else {
+            gate_ok = false;
+        }
+        for (tier, geomean) in tiers {
+            if tier != selected && selected_geomean < geomean {
+                eprintln!(
+                    "parallel_runtime: FAIL tier gate: calibration selected {selected} but \
+                     its 1-thread geomean {selected_geomean:.4}x fell below the {tier} \
+                     tier's {geomean:.4}x",
+                );
+                gate_ok = false;
+            }
+        }
+        if gate_ok {
             println!(
-                "parallel_runtime: tier gate ok: threaded {:.2}x >= switch {:.2}x at 1 \
-                 thread, threaded tier selected",
-                geomean_1t_threaded, geomean_1t_switch
+                "parallel_runtime: tier gate ok: selected tier {selected} has the best \
+                 1-thread geomean ({selected_geomean:.2}x; switch {geomean_1t_switch:.2}x, \
+                 threaded {geomean_1t_threaded:.2}x, jit {geomean_1t_jit:.2}x)",
             );
         }
+        failed |= !gate_ok;
     }
     if let Some(limit) = check_telemetry {
         if telemetry_geomean > limit {

@@ -72,7 +72,8 @@ COMMON OPTIONS:
     --threads <list>   Worker thread count(s); comma-separated for fuzz (default: 4 for
                        run --parallel and trace, 1,2,4,6 for fuzz)
     --dispatch-tier <t> (fuzz) Pin the runtime dispatch engine: switch (match-based
-                       interpreter) | threaded (direct-threaded handler streams) | auto
+                       interpreter) | threaded (direct-threaded handler streams) | jit
+                       (template JIT over threaded tables, see docs/jit.md) | auto
                        (calibrated selection, the default; see docs/dispatch.md)
     --spin-budget <n>  (run --parallel, trace, fuzz) Wait spins before declaring deadlock
     --sample <n>       Telemetry sampling period: 0 disables event recording, 1 records
@@ -105,7 +106,7 @@ EXAMPLES:
     helix simulate corpus/stencil.hir --cores 6 --json
     helix run corpus/sum_reduction.hir --parallel
     helix trace corpus/nest_flip.hir --compare-model
-    helix fuzz --seeds 500 --threads 1,2,4,6 --dispatch-tier threaded
+    helix fuzz --seeds 500 --threads 1,2,4,6 --dispatch-tier jit
     helix dump-workload art > /tmp/art.hir
     helix serve --socket /tmp/helix.sock --cache-cap 32
 ";
@@ -246,7 +247,7 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                 let raw = value_of("--dispatch-tier", &mut it)?;
                 let tier = raw.parse().map_err(|_| {
                     CliError::Usage(format!(
-                        "--dispatch-tier expects switch, threaded or auto, got {raw:?}"
+                        "--dispatch-tier expects switch, threaded, jit or auto, got {raw:?}"
                     ))
                 })?;
                 opts.dispatch_tier = Some(tier);
@@ -764,6 +765,10 @@ fn runtime_json(report: &TelemetryReport, executor: &ParallelExecutor) -> Json {
         .count();
     Json::object([
         ("mode", Json::str(&telemetry_mode_name(report.mode))),
+        (
+            "dispatch_tier",
+            Json::str(&executor.resolved_tier().to_string()),
+        ),
         ("wall_ns", Json::uint(report.wall_ns)),
         (
             "effective_workers",
@@ -1274,7 +1279,8 @@ fn cmd_parallelize_calibrated(opts: &Options, module: &Module) -> Result<(), Cli
         println!(
             "calibrated `{}` on {} hardware thread(s): signal {:.0}ns observed cross-thread \
              ({} model cycles; paper assumed {}), {:.0}ns prefetched-poll ({} cycles; paper {}), \
-             pool wake {:.0}ns, dispatch tier {} ({:.1}ns/op alu vs {:.1}ns switch)",
+             pool wake {:.0}ns, dispatch tier {} ({:.1}ns/op alu; jit {:.1} / threaded {:.1} / \
+             switch {:.1})",
             module.name,
             calibration.hardware_threads,
             calibration.signal_observe_ns,
@@ -1286,6 +1292,8 @@ fn cmd_parallelize_calibrated(opts: &Options, module: &Module) -> Result<(), Cli
             calibration.pool_wake_ns,
             calibration.selected_tier(),
             calibration.dispatch_ns(helix_runtime::DispatchTier::Auto)[0],
+            calibration.alu_jit_ns,
+            calibration.alu_threaded_ns,
             calibration.alu_ns,
         );
         println!(

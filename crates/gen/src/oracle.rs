@@ -49,7 +49,8 @@ pub struct OracleConfig {
     pub check_parallel: bool,
     /// Dispatch engine for the parallel stage ([`DispatchTier::Auto`] by default). The
     /// sequential reference engines are tier-independent, so sweeping the same seed range
-    /// once per pinned tier is a switch-vs-threaded differential test by transitivity.
+    /// once per pinned tier is a switch-vs-threaded-vs-jit differential test by
+    /// transitivity.
     pub dispatch_tier: DispatchTier,
     /// HELIX configuration used for analysis and the parallel runs.
     pub helix: HelixConfig,

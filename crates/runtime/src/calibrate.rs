@@ -26,7 +26,7 @@ use crate::sharded::PrivateArena;
 use crate::threaded::{run_flat_threaded, DispatchTier, FlatTables};
 use helix_core::HelixConfig;
 use helix_ir::builder::{FunctionBuilder, ModuleBuilder};
-use helix_ir::{BinOp, CostModel, ExecImage, FuncId, Operand, Value};
+use helix_ir::{BinOp, CostModel, ExecImage, FuncId, Operand, Pred, Value};
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
@@ -68,6 +68,18 @@ pub struct CalibrationProfile {
     pub load_threaded_ns: f64,
     /// ns per dispatched store in the direct-threaded tier.
     pub store_threaded_ns: f64,
+    /// ns per ALU-class op in the template-JIT tier (native straight-line code; where the
+    /// JIT is unsupported these mirror the threaded costs, see `measure`).
+    pub alu_jit_ns: f64,
+    /// ns per multiply in the template-JIT tier.
+    pub mul_jit_ns: f64,
+    /// ns per divide/remainder in the template-JIT tier.
+    pub div_jit_ns: f64,
+    /// ns per dispatched load in the template-JIT tier (loads are not JIT-covered, so
+    /// this is threaded dispatch measured under the JIT configuration).
+    pub load_jit_ns: f64,
+    /// ns per dispatched store in the template-JIT tier (same caveat as loads).
+    pub store_jit_ns: f64,
     /// Cross-thread signal latency: publish on one thread → observed by a poll on another,
     /// measured as half a [`SignalLanes`] ping-pong round trip. On an oversubscribed host
     /// this includes the scheduler handoff — the honest cost of an unprefetched signal.
@@ -99,6 +111,27 @@ impl CalibrationProfile {
         let load_threaded_ns = per_op_ns(Kernel::Load, DispatchTier::Threaded).max(alu_threaded_ns);
         let store_threaded_ns =
             per_op_ns(Kernel::Store, DispatchTier::Threaded).max(alu_threaded_ns);
+        // Where the JIT cannot run, its honest cost *is* the threaded cost (that is what
+        // the Jit tier degrades to), so mirror rather than invent numbers.
+        let (alu_jit_ns, mul_jit_ns, div_jit_ns, load_jit_ns, store_jit_ns) =
+            if crate::jit::jit_supported() {
+                let alu = per_op_ns(Kernel::Alu, DispatchTier::Jit);
+                (
+                    alu,
+                    per_op_ns(Kernel::Mul, DispatchTier::Jit).max(alu),
+                    per_op_ns(Kernel::Div, DispatchTier::Jit).max(alu),
+                    per_op_ns(Kernel::Load, DispatchTier::Jit).max(alu),
+                    per_op_ns(Kernel::Store, DispatchTier::Jit).max(alu),
+                )
+            } else {
+                (
+                    alu_threaded_ns,
+                    mul_threaded_ns,
+                    div_threaded_ns,
+                    load_threaded_ns,
+                    store_threaded_ns,
+                )
+            };
         let (signal_observe_ns, signal_publish_ns, signal_poll_ns) = signal_latencies();
         let pool_wake_ns = pool_wake();
         CalibrationProfile {
@@ -112,6 +145,11 @@ impl CalibrationProfile {
             div_threaded_ns,
             load_threaded_ns,
             store_threaded_ns,
+            alu_jit_ns,
+            mul_jit_ns,
+            div_jit_ns,
+            load_jit_ns,
+            store_jit_ns,
             signal_observe_ns,
             signal_publish_ns,
             signal_poll_ns,
@@ -144,18 +182,32 @@ impl CalibrationProfile {
                 self.load_threaded_ns,
                 self.store_threaded_ns,
             ],
+            DispatchTier::Jit => [
+                self.alu_jit_ns,
+                self.mul_jit_ns,
+                self.div_jit_ns,
+                self.load_jit_ns,
+                self.store_jit_ns,
+            ],
             DispatchTier::Auto => self.dispatch_ns(self.selected_tier()),
         }
     }
 
-    /// The dispatch tier that measured faster on this machine, by mean per-op dispatch
-    /// cost across the five kernel classes. Ties go to the threaded tier (it is the one
-    /// with the flat-profile branch predictor win the microkernels cannot see).
+    /// The dispatch tier that measured fastest on this machine, by mean per-op dispatch
+    /// cost across the five kernel classes. The JIT tier is considered only where it can
+    /// actually run ([`crate::jit::jit_supported`]) and only on a *strict* win — mirrored
+    /// profiles (v1/v2 files, unsupported hosts) therefore never select it. Remaining
+    /// ties go to the threaded tier (it is the one with the flat-profile branch predictor
+    /// win the microkernels cannot see).
     pub fn selected_tier(&self) -> DispatchTier {
         let mean = |c: [f64; 5]| c.iter().sum::<f64>() / 5.0;
-        if mean(self.dispatch_ns(DispatchTier::Threaded))
-            <= mean(self.dispatch_ns(DispatchTier::Switch))
+        let threaded = mean(self.dispatch_ns(DispatchTier::Threaded));
+        let switch = mean(self.dispatch_ns(DispatchTier::Switch));
+        if crate::jit::jit_supported()
+            && mean(self.dispatch_ns(DispatchTier::Jit)) < threaded.min(switch)
         {
+            DispatchTier::Jit
+        } else if threaded <= switch {
             DispatchTier::Threaded
         } else {
             DispatchTier::Switch
@@ -243,16 +295,19 @@ impl CalibrationProfile {
         config
     }
 
-    /// Serializes the profile as the `helix-calibration v2` text format (one `key value`
+    /// Serializes the profile as the `helix-calibration v3` text format (one `key value`
     /// pair per line), the format `helix parallelize --calibration-file` reads and
-    /// writes. v2 extends v1 with the direct-threaded tier's per-class dispatch costs
-    /// (`*_threaded_ns`); [`CalibrationProfile::from_text`] still reads v1 files.
+    /// writes. v2 extended v1 with the direct-threaded tier's per-class costs
+    /// (`*_threaded_ns`); v3 adds the template-JIT tier's (`*_jit_ns`).
+    /// [`CalibrationProfile::from_text`] still reads v1 and v2 files.
     pub fn to_text(&self) -> String {
         format!(
-            "helix-calibration v2\n\
+            "helix-calibration v3\n\
              alu_ns {}\nmul_ns {}\ndiv_ns {}\nload_ns {}\nstore_ns {}\n\
              alu_threaded_ns {}\nmul_threaded_ns {}\ndiv_threaded_ns {}\n\
              load_threaded_ns {}\nstore_threaded_ns {}\n\
+             alu_jit_ns {}\nmul_jit_ns {}\ndiv_jit_ns {}\n\
+             load_jit_ns {}\nstore_jit_ns {}\n\
              signal_observe_ns {}\nsignal_publish_ns {}\nsignal_poll_ns {}\n\
              pool_wake_ns {}\nhardware_threads {}\n",
             self.alu_ns,
@@ -265,6 +320,11 @@ impl CalibrationProfile {
             self.div_threaded_ns,
             self.load_threaded_ns,
             self.store_threaded_ns,
+            self.alu_jit_ns,
+            self.mul_jit_ns,
+            self.div_jit_ns,
+            self.load_jit_ns,
+            self.store_jit_ns,
             self.signal_observe_ns,
             self.signal_publish_ns,
             self.signal_poll_ns,
@@ -273,18 +333,21 @@ impl CalibrationProfile {
         )
     }
 
-    /// Parses the `helix-calibration v2` text format, accepting v1 files too: a v1
-    /// profile predates the threaded tier, so its per-class costs stand in for both
-    /// tiers (selection then keeps the threaded default without inventing numbers).
+    /// Parses the `helix-calibration v3` text format, accepting v1 and v2 files too.
+    /// Older files predate the newer tiers, so their most-refined measured costs stand in
+    /// for the missing ones (v1 → threaded and JIT mirror the switch costs; v2 → JIT
+    /// mirrors the threaded costs). A mirrored JIT column never *wins* selection — see
+    /// [`CalibrationProfile::selected_tier`] — so old files keep their old behavior.
     ///
     /// # Errors
     ///
     /// Returns a description of the first malformed or missing field.
     pub fn from_text(text: &str) -> Result<CalibrationProfile, String> {
         let mut lines = text.lines();
-        let v1 = match lines.next() {
-            Some("helix-calibration v1") => true,
-            Some("helix-calibration v2") => false,
+        let version = match lines.next() {
+            Some("helix-calibration v1") => 1,
+            Some("helix-calibration v2") => 2,
+            Some("helix-calibration v3") => 3,
             other => return Err(format!("bad calibration header: {other:?}")),
         };
         let mut profile = CalibrationProfile {
@@ -298,6 +361,11 @@ impl CalibrationProfile {
             div_threaded_ns: f64::NAN,
             load_threaded_ns: f64::NAN,
             store_threaded_ns: f64::NAN,
+            alu_jit_ns: f64::NAN,
+            mul_jit_ns: f64::NAN,
+            div_jit_ns: f64::NAN,
+            load_jit_ns: f64::NAN,
+            store_jit_ns: f64::NAN,
             signal_observe_ns: f64::NAN,
             signal_publish_ns: f64::NAN,
             signal_poll_ns: f64::NAN,
@@ -327,6 +395,11 @@ impl CalibrationProfile {
                 "div_threaded_ns" => profile.div_threaded_ns = parse(value)?,
                 "load_threaded_ns" => profile.load_threaded_ns = parse(value)?,
                 "store_threaded_ns" => profile.store_threaded_ns = parse(value)?,
+                "alu_jit_ns" => profile.alu_jit_ns = parse(value)?,
+                "mul_jit_ns" => profile.mul_jit_ns = parse(value)?,
+                "div_jit_ns" => profile.div_jit_ns = parse(value)?,
+                "load_jit_ns" => profile.load_jit_ns = parse(value)?,
+                "store_jit_ns" => profile.store_jit_ns = parse(value)?,
                 "signal_observe_ns" => profile.signal_observe_ns = parse(value)?,
                 "signal_publish_ns" => profile.signal_publish_ns = parse(value)?,
                 "signal_poll_ns" => profile.signal_poll_ns = parse(value)?,
@@ -339,12 +412,19 @@ impl CalibrationProfile {
                 other => return Err(format!("unknown calibration key: {other:?}")),
             }
         }
-        if v1 {
+        if version < 2 {
             profile.alu_threaded_ns = profile.alu_ns;
             profile.mul_threaded_ns = profile.mul_ns;
             profile.div_threaded_ns = profile.div_ns;
             profile.load_threaded_ns = profile.load_ns;
             profile.store_threaded_ns = profile.store_ns;
+        }
+        if version < 3 {
+            profile.alu_jit_ns = profile.alu_threaded_ns;
+            profile.mul_jit_ns = profile.mul_threaded_ns;
+            profile.div_jit_ns = profile.div_threaded_ns;
+            profile.load_jit_ns = profile.load_threaded_ns;
+            profile.store_jit_ns = profile.store_threaded_ns;
         }
         let fields = [
             profile.alu_ns,
@@ -357,6 +437,11 @@ impl CalibrationProfile {
             profile.div_threaded_ns,
             profile.load_threaded_ns,
             profile.store_threaded_ns,
+            profile.alu_jit_ns,
+            profile.mul_jit_ns,
+            profile.div_jit_ns,
+            profile.load_jit_ns,
+            profile.store_jit_ns,
             profile.signal_observe_ns,
             profile.signal_publish_ns,
             profile.signal_poll_ns,
@@ -369,14 +454,45 @@ impl CalibrationProfile {
     }
 }
 
-/// Builds a straight-line kernel of `ops` ops of one class and lowers it.
-fn kernel_image(kind: Kernel, ops: usize) -> (ExecImage, FuncId) {
+/// How many times a calibration kernel's loop body runs per invocation.
+const KERNEL_ITERS: i64 = 128;
+
+/// Builds a kernel that executes a counted loop whose body is `body_ops` ops of one
+/// class, and lowers it.
+///
+/// Two shape decisions keep the measurement honest:
+///
+/// * **The body is a loop, not a straight line.** HELIX prices ops inside parallelized
+///   loop segments — code that re-executes hot. A straight-line kernel of thousands of
+///   ops executes each instruction exactly once per run, which for a code-expanding
+///   tier (the JIT emits ~100–200 bytes of template per op) turns the measurement into
+///   a cold instruction-fetch benchmark instead of a dispatch benchmark. A compact body
+///   re-entered `KERNEL_ITERS` times is warm in every tier, like the real workloads.
+/// * **The ops rotate over eight independent accumulators.** A single `v = v op 1`
+///   chain serializes on the value's store-to-load latency, which out-of-order hardware
+///   overlaps with dispatch — hiding most of the cost this kernel exists to measure.
+///   Independent lanes keep the data side off the critical path, so the slope prices
+///   per-op dispatch/throughput.
+fn kernel_image(kind: Kernel, body_ops: usize) -> (ExecImage, FuncId) {
+    const LANES: usize = 8;
     let mut mb = ModuleBuilder::new("calibration");
     let g = mb.add_global("g", 4);
     let mut fb = FunctionBuilder::new("k", 0);
-    let v = fb.new_var();
-    fb.const_int(v, 1);
-    for _ in 0..ops {
+    let vars: Vec<_> = (0..LANES)
+        .map(|_| {
+            let v = fb.new_var();
+            fb.const_int(v, 1);
+            v
+        })
+        .collect();
+    let n = fb.new_var();
+    fb.const_int(n, KERNEL_ITERS);
+    let body = fb.new_block();
+    let exit = fb.new_block();
+    fb.br(body);
+    fb.switch_to(body);
+    for i in 0..body_ops {
+        let v = vars[i % LANES];
         match kind {
             Kernel::Alu => fb.binary(v, BinOp::Add, Operand::Var(v), Operand::int(1)),
             Kernel::Mul => fb.binary(v, BinOp::Mul, Operand::Var(v), Operand::int(1)),
@@ -385,18 +501,25 @@ fn kernel_image(kind: Kernel, ops: usize) -> (ExecImage, FuncId) {
             Kernel::Store => fb.store(Operand::Global(g), 0, Operand::Var(v)),
         }
     }
-    fb.ret(Some(Operand::Var(v)));
+    fb.binary(n, BinOp::Sub, Operand::Var(n), Operand::int(1));
+    let c = fb.cmp_to_new(Pred::Gt, Operand::Var(n), Operand::int(0));
+    fb.cond_br(Operand::Var(c), body, exit);
+    fb.switch_to(exit);
+    fb.ret(Some(Operand::Var(vars[0])));
     let func = mb.add_function(fb.finish());
     let module = mb.finish();
     (ExecImage::lower(&module), func)
 }
 
 /// Best-of-`reps` wall time of one full kernel run through one dispatch engine. The
-/// threaded tier's handler tables are lowered outside the timed region, mirroring how the
-/// executor amortizes them across a run.
+/// threaded/JIT tiers' handler tables (and compiled chunks) are built outside the timed
+/// region, mirroring how the executor amortizes them across a run.
 fn time_kernel(image: &ExecImage, func: FuncId, reps: usize, tier: DispatchTier) -> Duration {
     let fi = &image.funcs[func.index()];
-    let tables = (tier == DispatchTier::Threaded).then(|| FlatTables::build(image));
+    // `built` bundles the table with the JIT artifact whose machine code it points into —
+    // it must stay alive for the whole timing loop.
+    let built = crate::jit::build_flat_tables::<LocalTier>(tier, image);
+    let tables: Option<&FlatTables<LocalTier>> = built.as_ref().map(|(t, _)| t);
     let mut tier = LocalTier {
         memory: image.initial_memory.fresh_copy(),
         arena: PrivateArena::new(),
@@ -405,7 +528,7 @@ fn time_kernel(image: &ExecImage, func: FuncId, reps: usize, tier: DispatchTier)
     for _ in 0..reps {
         let mut regs = vec![Value::default(); fi.num_regs];
         let start = Instant::now();
-        let result = match &tables {
+        let result = match tables {
             Some(t) => run_flat_threaded(
                 image,
                 t,
@@ -432,17 +555,18 @@ fn time_kernel(image: &ExecImage, func: FuncId, reps: usize, tier: DispatchTier)
     best
 }
 
-/// ns per op of `kind` under `tier`, from the slope between a long and a short kernel
-/// (fixed overhead cancels).
+/// ns per op of `kind` under `tier`, from the slope between a long-body and a
+/// short-body kernel: the per-iteration loop overhead (counter, compare, branch, chunk
+/// entry) and the fixed call overhead are identical in both and cancel.
 fn per_op_ns(kind: Kernel, tier: DispatchTier) -> f64 {
-    const LONG: usize = 8192;
-    const SHORT: usize = 1024;
+    const LONG: usize = 128;
+    const SHORT: usize = 16;
     const REPS: usize = 9;
     let (long_img, long_fn) = kernel_image(kind, LONG);
     let (short_img, short_fn) = kernel_image(kind, SHORT);
     let long = time_kernel(&long_img, long_fn, REPS, tier).as_nanos() as f64;
     let short = time_kernel(&short_img, short_fn, REPS, tier).as_nanos() as f64;
-    ((long - short) / (LONG - SHORT) as f64).max(0.05)
+    ((long - short) / (KERNEL_ITERS as f64 * (LONG - SHORT) as f64)).max(0.05)
 }
 
 /// Measures the signal-lane costs: `(cross-thread observe, local publish, satisfied poll)`
@@ -530,6 +654,11 @@ mod tests {
             ("div_threaded", p.div_threaded_ns),
             ("load_threaded", p.load_threaded_ns),
             ("store_threaded", p.store_threaded_ns),
+            ("alu_jit", p.alu_jit_ns),
+            ("mul_jit", p.mul_jit_ns),
+            ("div_jit", p.div_jit_ns),
+            ("load_jit", p.load_jit_ns),
+            ("store_jit", p.store_jit_ns),
             ("observe", p.signal_observe_ns),
             ("publish", p.signal_publish_ns),
             ("poll", p.signal_poll_ns),
@@ -542,13 +671,13 @@ mod tests {
         assert!(p.signal_observe_ns >= p.signal_publish_ns);
         // Round trip through the text format.
         let text = p.to_text();
-        assert!(text.starts_with("helix-calibration v2\n"));
+        assert!(text.starts_with("helix-calibration v3\n"));
         let q = CalibrationProfile::from_text(&text).expect("round trip");
         assert_eq!(p, q);
         // Malformed inputs are rejected.
         assert!(CalibrationProfile::from_text("nope").is_err());
-        assert!(CalibrationProfile::from_text("helix-calibration v2\nalu_ns x\n").is_err());
-        assert!(CalibrationProfile::from_text("helix-calibration v2\n").is_err());
+        assert!(CalibrationProfile::from_text("helix-calibration v3\nalu_ns x\n").is_err());
+        assert!(CalibrationProfile::from_text("helix-calibration v3\n").is_err());
     }
 
     #[test]
@@ -560,7 +689,66 @@ mod tests {
         let p = CalibrationProfile::from_text(v1).expect("v1 compat");
         assert_eq!(p.alu_threaded_ns, p.alu_ns);
         assert_eq!(p.store_threaded_ns, p.store_ns);
-        // Equal per-tier costs mean the tie, which goes to the threaded tier.
+        assert_eq!(p.alu_jit_ns, p.alu_ns);
+        // Equal per-tier costs mean the tie, which goes to the threaded tier (never the
+        // JIT: a mirrored column is not a strict win).
+        assert_eq!(p.selected_tier(), DispatchTier::Threaded);
+    }
+
+    #[test]
+    fn v2_files_still_parse_with_jit_costs_mirrored_from_threaded() {
+        let v2 = "helix-calibration v2\n\
+                  alu_ns 10\nmul_ns 11\ndiv_ns 12\nload_ns 13\nstore_ns 14\n\
+                  alu_threaded_ns 4\nmul_threaded_ns 5\ndiv_threaded_ns 6\n\
+                  load_threaded_ns 7\nstore_threaded_ns 8\n\
+                  signal_observe_ns 100\nsignal_publish_ns 5\nsignal_poll_ns 1\n\
+                  pool_wake_ns 1000\nhardware_threads 6\n";
+        let p = CalibrationProfile::from_text(v2).expect("v2 compat");
+        assert_eq!(p.alu_jit_ns, 4.0);
+        assert_eq!(p.store_jit_ns, 8.0);
+        // The mirrored JIT column ties the threaded one, so selection is unchanged.
+        assert_eq!(p.selected_tier(), DispatchTier::Threaded);
+        assert_eq!(p.ns_per_cycle(), 4.0);
+    }
+
+    #[test]
+    fn selected_tier_considers_the_jit_only_on_a_strict_supported_win() {
+        // Read-side of the env lock: the branch below must see a stable
+        // `jit_supported()` verdict across its assertions.
+        let _env = crate::jit::TEST_ENV_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let mut p = CalibrationProfile::from_text(
+            "helix-calibration v1\n\
+             alu_ns 10\nmul_ns 10\ndiv_ns 10\nload_ns 10\nstore_ns 10\n\
+             signal_observe_ns 100\nsignal_publish_ns 5\nsignal_poll_ns 1\n\
+             pool_wake_ns 1000\nhardware_threads 6\n",
+        )
+        .unwrap();
+        p.alu_threaded_ns = 4.0;
+        p.mul_threaded_ns = 4.0;
+        p.div_threaded_ns = 4.0;
+        p.load_threaded_ns = 4.0;
+        p.store_threaded_ns = 4.0;
+        p.alu_jit_ns = 1.0;
+        p.mul_jit_ns = 1.0;
+        p.div_jit_ns = 1.0;
+        p.load_jit_ns = 1.0;
+        p.store_jit_ns = 1.0;
+        if crate::jit::jit_supported() {
+            assert_eq!(p.selected_tier(), DispatchTier::Jit);
+            assert_eq!(p.ns_per_cycle(), 1.0);
+        } else {
+            // Unsupported host: the JIT column is ignored however fast it claims to be.
+            assert_eq!(p.selected_tier(), DispatchTier::Threaded);
+            assert_eq!(p.ns_per_cycle(), 4.0);
+        }
+        // A tie with the threaded tier is not a win.
+        p.alu_jit_ns = 4.0;
+        p.mul_jit_ns = 4.0;
+        p.div_jit_ns = 4.0;
+        p.load_jit_ns = 4.0;
+        p.store_jit_ns = 4.0;
         assert_eq!(p.selected_tier(), DispatchTier::Threaded);
     }
 

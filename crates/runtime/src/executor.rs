@@ -29,6 +29,7 @@
 //!   every shared address stays bitwise-identical to a sequential run.
 
 use crate::calibrate::CalibrationProfile;
+use crate::jit;
 use crate::lanes::{PaddedCounter, SignalLanes};
 use crate::parallel_image::{
     run_flat, run_iteration, FlatEnd, FlatError, IterEnd, IterError, IterSync, LocalTier,
@@ -1095,14 +1096,17 @@ impl ParallelExecutor {
         telem_run: Option<&TelemetryRun>,
     ) -> Result<(Option<Value>, Option<Memory>), RuntimeError> {
         let fi = image.func(loop_image.func);
-        let threaded = self.resolved_tier() == DispatchTier::Threaded;
-        let flat_tables = threaded.then(|| FlatTables::build(image));
+        let dispatch = self.resolved_tier();
+        // `built_flat` owns any JIT artifact; it must stay alive as long as the table
+        // (the patched head slots point into it), which its scope here guarantees.
+        let built_flat = jit::build_flat_tables::<LocalTier>(dispatch, image);
+        let flat_tables = built_flat.as_ref().map(|(t, _)| t);
         let mut tier = LocalTier {
             memory: image.initial_memory.fresh_copy(),
             arena: PrivateArena::new(),
         };
         let mut regs = Self::entry_regs(image, loop_image, args);
-        let phase_a = match &flat_tables {
+        let phase_a = match flat_tables {
             Some(t) => run_flat_threaded(
                 image,
                 t,
@@ -1152,7 +1156,8 @@ impl ParallelExecutor {
         #[cfg(not(feature = "telemetry"))]
         let _ = telem;
         let snapshot = regs;
-        let iter_table = threaded.then(|| IterTable::build(loop_image));
+        let built_iter = jit::build_iter_table::<LocalTier>(dispatch, loop_image);
+        let iter_table = built_iter.as_ref().map(|(t, _)| t);
         let mut counts = CountFlush::new(telem);
         let mut iter_regs = snapshot.clone();
         let mut iteration = 0u64;
@@ -1172,7 +1177,7 @@ impl ParallelExecutor {
                 t.on_claim(iteration);
             }
             let iter_start = telem.map(|t| t.on_iter_start(iteration));
-            let outcome = match &iter_table {
+            let outcome = match iter_table {
                 Some(t) => run_iteration_threaded(
                     image,
                     loop_image,
@@ -1229,7 +1234,7 @@ impl ParallelExecutor {
                 .alloc(skipped as usize)
                 .map_err(ExecError::from)?;
         }
-        let phase_c = match &flat_tables {
+        let phase_c = match flat_tables {
             Some(t) => run_flat_threaded(
                 image,
                 t,
@@ -1289,9 +1294,11 @@ impl ParallelExecutor {
         telem: Option<&TelemetryRun>,
     ) -> Result<(Option<Value>, Option<Memory>), RuntimeError> {
         let fi = image.func(loop_image.func);
-        let threaded = self.resolved_tier() == DispatchTier::Threaded;
+        let dispatch = self.resolved_tier();
         let memory = ShardedMemory::from_memory(&image.initial_memory);
-        let flat_tables = threaded.then(|| FlatTables::build(image));
+        // Owns any JIT artifact; outlives every use of `flat_tables` below.
+        let built_flat = jit::build_flat_tables::<SharedTier>(dispatch, image);
+        let flat_tables = built_flat.as_ref().map(|(t, _)| t);
         let mut tier = SharedTier {
             shared: &memory,
             arena: PrivateArena::new(),
@@ -1299,7 +1306,7 @@ impl ParallelExecutor {
             exclusive: true,
         };
         let mut regs = Self::entry_regs(image, loop_image, args);
-        let phase_a = match &flat_tables {
+        let phase_a = match flat_tables {
             Some(t) => run_flat_threaded(
                 image,
                 t,
@@ -1356,9 +1363,12 @@ impl ParallelExecutor {
                     arena: PrivateArena::new(),
                     exclusive: false,
                 };
-                // Each helper lowers its own handler table: a single pass over the loop
-                // bytecode, far below the pool-wake cost it rides on.
-                let table = threaded.then(|| IterTable::build(loop_image));
+                // Each helper lowers (and, under the JIT tier, compiles) its own handler
+                // table: a single pass over the loop bytecode, far below the pool-wake
+                // cost it rides on. The artifact binding keeps any native code mapped for
+                // the whole phase.
+                let built = jit::build_iter_table(dispatch, loop_image);
+                let table = built.as_ref().map(|(t, _)| t);
                 // Helpers run with pool indices 1..=helpers; slot 0 is the calling thread.
                 phase_b_worker(
                     &shared,
@@ -1366,7 +1376,7 @@ impl ParallelExecutor {
                     true,
                     &mut || {},
                     telem.map(|r| r.ctx(worker)),
-                    table.as_ref(),
+                    table,
                 );
             }));
             if let Err(payload) = run {
@@ -1396,20 +1406,14 @@ impl ParallelExecutor {
             // On an oversubscribed machine the primary starts in the solo fast path and
             // switches to the shared claim loop only if a helper asks to join.
             let primary_telem = telem.map(|r| r.ctx(0));
-            let table = threaded.then(|| IterTable::build(loop_image));
+            let built = jit::build_iter_table(dispatch, loop_image);
+            let table = built.as_ref().map(|(t, _)| t);
             // Primary panic boundary: a panic on the submitting thread mid-Phase-B must
             // record the cancellation before the ticket join below, or the helpers would
             // wait forever on control the primary can no longer release.
             let primary = catch_unwind(AssertUnwindSafe(|| {
                 let solo_ended = if shared.published.0.load(Ordering::Acquire) == 0 {
-                    phase_b_solo(
-                        &shared,
-                        &mut tier,
-                        &mut activate,
-                        primary_telem,
-                        table.as_ref(),
-                    )
-                    .is_none()
+                    phase_b_solo(&shared, &mut tier, &mut activate, primary_telem, table).is_none()
                 } else {
                     false
                 };
@@ -1422,7 +1426,7 @@ impl ParallelExecutor {
                         false,
                         &mut activate,
                         primary_telem,
-                        table.as_ref(),
+                        table,
                     );
                 }
             }));
@@ -1456,7 +1460,7 @@ impl ParallelExecutor {
             // owns memory again for Phase C.
             tier.set_exclusive(true);
         }
-        let value = self.finish(shared, &mut tier, flat_tables.as_ref(), |tier, words| {
+        let value = self.finish(shared, &mut tier, flat_tables, |tier, words| {
             tier.shared.reserve(words).map_err(ExecError::from)
         })?;
         let captured = self
@@ -1617,9 +1621,10 @@ mod tests {
 
     #[test]
     fn dispatch_tiers_agree_at_every_thread_count() {
-        // The direct-threaded tier must be observationally identical to the switch
-        // interpreter: same result, at every worker count, under the pinned DEDICATED
-        // profile that keeps the full claim protocol alive.
+        // The direct-threaded and JIT tiers must be observationally identical to the
+        // switch interpreter: same result, at every worker count, under the pinned
+        // DEDICATED profile that keeps the full claim protocol alive. (On targets
+        // without JIT support the `Jit` leg degrades to threaded — still a valid leg.)
         let (module, main, transformed) = build_accumulator(96);
         let mut machine = Machine::new(&module);
         let expected = machine.call(main, &[]).unwrap().unwrap().as_int();
@@ -1628,6 +1633,7 @@ mod tests {
             for tier in [
                 DispatchTier::Switch,
                 DispatchTier::Threaded,
+                DispatchTier::Jit,
                 DispatchTier::Auto,
             ] {
                 let executor = ParallelExecutor::new(threads)
@@ -1645,6 +1651,11 @@ mod tests {
 
     #[test]
     fn auto_tier_resolves_through_the_calibrator() {
+        // Read-side of the env lock: the comparison below calls `selected_tier()` twice
+        // and must not see `HELIX_DISABLE_JIT` flip in between.
+        let _env = crate::jit::TEST_ENV_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
         let executor = ParallelExecutor::new(2);
         assert_eq!(executor.dispatch_tier, DispatchTier::Auto);
         let resolved = executor.resolved_tier();
@@ -1856,28 +1867,68 @@ mod tests {
             .unwrap()
             .as_int();
         for threads in [1, 2, 4] {
-            let executor = ParallelExecutor::new(threads).with_wait_profile(WaitProfile::DEDICATED);
-            let faulty = executor.with_injected_panic(7);
-            match faulty.run_parallel(&pimg, &[]) {
-                Err(RuntimeError::WorkerPanicked {
-                    worker, message, ..
-                }) => {
-                    assert!(worker < threads, "worker index in range ({worker})");
-                    assert!(
-                        message.contains("injected fault"),
-                        "payload preserved: {message}"
-                    );
+            // Fault injection fires at claim time, ahead of dispatch, so every tier —
+            // including JIT-patched tables, where the panic unwinds across only
+            // interpreter frames, never native ones — must surface and recover alike.
+            for tier in [
+                DispatchTier::Switch,
+                DispatchTier::Threaded,
+                DispatchTier::Jit,
+            ] {
+                let executor = ParallelExecutor::new(threads)
+                    .with_wait_profile(WaitProfile::DEDICATED)
+                    .with_dispatch_tier(tier);
+                let faulty = executor.with_injected_panic(7);
+                match faulty.run_parallel(&pimg, &[]) {
+                    Err(RuntimeError::WorkerPanicked {
+                        worker, message, ..
+                    }) => {
+                        assert!(worker < threads, "worker index in range ({worker})");
+                        assert!(
+                            message.contains("injected fault"),
+                            "payload preserved: {message}"
+                        );
+                    }
+                    other => panic!("{threads}t/{tier}: expected WorkerPanicked, got {other:?}"),
                 }
-                other => panic!("{threads}t: expected WorkerPanicked, got {other:?}"),
+                // Recovery: the same executor (minus the fault) runs to completion.
+                let got = executor
+                    .run_parallel(&pimg, &[])
+                    .unwrap_or_else(|e| panic!("{threads}t/{tier} post-panic run failed: {e}"))
+                    .unwrap()
+                    .as_int();
+                assert_eq!(got, expected, "{threads}t/{tier} post-panic result");
             }
-            // Recovery: the same executor (minus the fault) runs to completion.
+        }
+    }
+
+    #[test]
+    fn jit_tier_degrades_to_threaded_when_disabled() {
+        // `HELIX_DISABLE_JIT=1` must turn both a pinned `Jit` tier and an `Auto`
+        // resolution into plain threaded execution — correct results, no panic. The env
+        // flag is read on every `jit_supported()` call, so flipping it mid-process works.
+        let (module, main, transformed) = build_accumulator(48);
+        let mut machine = Machine::new(&module);
+        let expected = machine.call(main, &[]).unwrap().unwrap().as_int();
+        let pimg = ParallelImage::lower(&transformed);
+        let _env = crate::jit::TEST_ENV_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        std::env::set_var("HELIX_DISABLE_JIT", "1");
+        assert!(!crate::jit::jit_supported());
+        for tier in [DispatchTier::Jit, DispatchTier::Auto] {
+            let executor = ParallelExecutor::new(2)
+                .with_wait_profile(WaitProfile::DEDICATED)
+                .with_dispatch_tier(tier);
+            assert_ne!(executor.resolved_tier(), DispatchTier::Auto);
             let got = executor
                 .run_parallel(&pimg, &[])
-                .unwrap_or_else(|e| panic!("{threads}t post-panic run failed: {e}"))
+                .unwrap_or_else(|e| panic!("{tier} with JIT disabled: {e}"))
                 .unwrap()
                 .as_int();
-            assert_eq!(got, expected, "{threads}t post-panic result");
+            assert_eq!(got, expected, "{tier} with JIT disabled");
         }
+        std::env::remove_var("HELIX_DISABLE_JIT");
     }
 
     #[test]

@@ -41,6 +41,7 @@
 
 pub mod calibrate;
 pub mod executor;
+pub mod jit;
 pub mod lanes;
 pub mod parallel_image;
 pub mod pool;
@@ -50,6 +51,7 @@ pub mod threaded;
 
 pub use calibrate::CalibrationProfile;
 pub use executor::{ParallelExecutor, RunOutput, RuntimeError};
+pub use jit::jit_supported;
 pub use lanes::SignalLanes;
 pub use parallel_image::{LoopImage, ParallelImage, SegmentLane};
 pub use pool::{detect_hardware_threads, WaitProfile, WaitStats, WorkerPanic, WorkerPool};

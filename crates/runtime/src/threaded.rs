@@ -41,6 +41,10 @@ pub enum DispatchTier {
     Switch,
     /// The direct-threaded tier in this module.
     Threaded,
+    /// The template JIT in [`crate::jit`]: threaded dispatch whose straight-line data
+    /// runs are compiled to native x86-64 chunks. Degrades to [`DispatchTier::Threaded`]
+    /// on unsupported targets or under `HELIX_DISABLE_JIT=1`.
+    Jit,
 }
 
 impl std::fmt::Display for DispatchTier {
@@ -49,6 +53,7 @@ impl std::fmt::Display for DispatchTier {
             DispatchTier::Auto => "auto",
             DispatchTier::Switch => "switch",
             DispatchTier::Threaded => "threaded",
+            DispatchTier::Jit => "jit",
         })
     }
 }
@@ -61,8 +66,9 @@ impl std::str::FromStr for DispatchTier {
             "auto" => Ok(DispatchTier::Auto),
             "switch" => Ok(DispatchTier::Switch),
             "threaded" => Ok(DispatchTier::Threaded),
+            "jit" => Ok(DispatchTier::Jit),
             other => Err(format!(
-                "unknown dispatch tier `{other}` (expected auto|switch|threaded)"
+                "unknown dispatch tier `{other}` (expected auto|switch|threaded|jit)"
             )),
         }
     }
@@ -82,7 +88,7 @@ pub(crate) type Handler<T> = for<'r> fn(&mut TCtx<'r, T>, &TOp<T>, usize) -> usi
 /// Field meaning is per-handler (documented at each decode site); unused fields are zero.
 /// No `Box`, no enum tag — dispatch reads exactly one cache line ahead.
 pub(crate) struct TOp<T: Tier> {
-    h: Handler<T>,
+    pub(crate) h: Handler<T>,
     a: u32,
     b: u32,
     c: u32,
@@ -91,11 +97,22 @@ pub(crate) struct TOp<T: Tier> {
     o1: BinOp,
     o2: BinOp,
     o3: BinOp,
-    i: i64,
-    j: i64,
+    pub(crate) i: i64,
+    pub(crate) j: i64,
     v: Value,
     w: Value,
 }
+
+// `TOp` is a bag of `Copy` fields for every `T` (the handler is a plain fn pointer), but
+// a derive would demand `T: Copy`; the JIT patcher copies head slots aside before
+// rewriting them, so spell the impls out.
+impl<T: Tier> Clone for TOp<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T: Tier> Copy for TOp<T> {}
 
 impl<T: Tier> TOp<T> {
     fn new(h: Handler<T>) -> TOp<T> {
@@ -140,7 +157,7 @@ pub(crate) struct TCtx<'r, T: Tier> {
     /// The specialized iteration stream (for the rare boxed ops a `TOp` cannot carry:
     /// `SelectB`, `CallB`, `SignalMulti`). Empty in flat mode.
     pcode: &'r [POp],
-    regs: &'r mut Vec<Value>,
+    pub(crate) regs: &'r mut Vec<Value>,
     tier: &'r mut T,
     iteration: u64,
     sync: Option<&'r IterSync<'r>>,
@@ -1426,7 +1443,7 @@ fn decode_flat_op<T: Tier>(op: &Op) -> TOp<T> {
 /// The decoded per-iteration code array of one [`LoopImage`]. Cheap to build (one pass
 /// over the stream), so workers build their own instance.
 pub(crate) struct IterTable<T: Tier> {
-    ops: Vec<TOp<T>>,
+    pub(crate) ops: Vec<TOp<T>>,
 }
 
 impl<T: Tier> IterTable<T> {
@@ -1440,7 +1457,7 @@ impl<T: Tier> IterTable<T> {
 /// Decoded whole-function code arrays of an [`ExecImage`] (flat engine: Phase A/C and
 /// callee bodies), parallel to `image.funcs`.
 pub(crate) struct FlatTables<T: Tier> {
-    funcs: Vec<Vec<TOp<T>>>,
+    pub(crate) funcs: Vec<Vec<TOp<T>>>,
 }
 
 impl<T: Tier> FlatTables<T> {

@@ -22,7 +22,7 @@ use std::time::{Duration, Instant};
 use helix_core::{content_hash, Helix, HelixConfig};
 use helix_ir::{ExecImage, ImageMachine, Memory, Value};
 use helix_runtime::{
-    CalibrationProfile, ParallelExecutor, ParallelImage, RuntimeError, WorkerPool,
+    CalibrationProfile, DispatchTier, ParallelExecutor, ParallelImage, RuntimeError, WorkerPool,
 };
 use parking_lot::{Condvar, Mutex};
 
@@ -182,6 +182,38 @@ impl Server {
         for (k, v) in pairs {
             r.extra.push((k.to_string(), v.to_string()));
         }
+        // The dispatch engine every parallel job resolves to: `Auto` goes through the
+        // process-wide calibration cache, exactly as `run_job`'s executors do, so this
+        // is the engine the next job will run on — plus the measured per-op ALU
+        // dispatch costs behind the choice.
+        let calibration = CalibrationProfile::cached();
+        let push = |r: &mut Response, k: &str, v: String| r.extra.push((k.to_string(), v));
+        push(
+            &mut r,
+            "dispatch_tier",
+            calibration.selected_tier().to_string(),
+        );
+        push(
+            &mut r,
+            "jit_supported",
+            helix_runtime::jit_supported().to_string(),
+        );
+        for (name, tier) in [
+            ("calibration_alu_switch_ns", DispatchTier::Switch),
+            ("calibration_alu_threaded_ns", DispatchTier::Threaded),
+            ("calibration_alu_jit_ns", DispatchTier::Jit),
+        ] {
+            push(
+                &mut r,
+                name,
+                format!("{:.2}", calibration.dispatch_ns(tier)[0]),
+            );
+        }
+        push(
+            &mut r,
+            "calibration_ns_per_cycle",
+            format!("{:.2}", calibration.ns_per_cycle()),
+        );
         r
     }
 

@@ -250,6 +250,30 @@ fn batch_transport_answers_every_id_with_fifo_deadlines_and_shutdown() {
         assert_eq!(by_id(4).status, Some(Status::Deadline));
         assert_eq!(by_id(5).status, Some(Status::Panic));
         assert_eq!(by_id(6).status, Some(Status::Ok));
+        // Stats report the dispatch engine jobs resolve to, plus the calibration
+        // summary behind the choice (per-tier ALU dispatch costs).
+        let stats = by_id(6);
+        let extra = |k: &str| {
+            stats
+                .extra
+                .iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, v)| v.as_str())
+        };
+        let tier = extra("dispatch_tier").expect("stats report a dispatch tier");
+        assert!(
+            ["switch", "threaded", "jit"].contains(&tier),
+            "resolved tier, never auto: {tier}"
+        );
+        for key in [
+            "jit_supported",
+            "calibration_alu_switch_ns",
+            "calibration_alu_threaded_ns",
+            "calibration_alu_jit_ns",
+            "calibration_ns_per_cycle",
+        ] {
+            assert!(extra(key).is_some(), "stats missing {key}");
+        }
         assert_eq!(by_id(7).status, Some(Status::Ok));
     });
 
